@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out, on the hot-spot
+ * trace (all normalized against the non-power-aware baseline):
+ *
+ *  1. sliding-window depth N of Eq. 11 (1 = no history smoothing);
+ *  2. congestion-adaptive thresholds (Table 1) vs. a single fixed set;
+ *  3. voltage-before-frequency transition ordering vs. a pessimistic
+ *     design that must disable the link for the whole T_v + T_br;
+ *  4. the DVS policy vs. on/off links (Soteriou-Peh-style) vs. static
+ *     minimum rate.
+ */
+
+#include "bench_util.hh"
+#include "core/sweeps.hh"
+
+using namespace oenet;
+using namespace oenet::bench;
+
+namespace {
+
+constexpr Cycle kTotal = 250000;
+
+RunMetrics
+runCase(const SystemConfig &cfg, const TrafficSpec &spec)
+{
+    RunProtocol protocol;
+    protocol.warmup = 10000;
+    protocol.measure = kTotal;
+    protocol.drainLimit = 60000;
+    return runExperiment(cfg, spec, protocol);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablations", "policy design choices on the hot-spot trace");
+
+    // The default schedule's 4.8 pkt/cycle plateau sits at the edge of
+    // saturation where ratios explode and hide the ablation contrasts;
+    // scale it to 70% so differences stay interpretable.
+    std::vector<RatePhase> phases =
+        defaultHotspotSchedule(kTotal + 20000);
+    for (auto &ph : phases)
+        ph.rate *= 0.7;
+    TrafficSpec spec = TrafficSpec::hotspot(std::move(phases), 4, 71);
+
+    SystemConfig base;
+    base.powerAware = false;
+    RunMetrics baseline = runCase(base, spec);
+
+    auto report = [&](Table &t, const char *name,
+                      const SystemConfig &cfg) {
+        RunMetrics m = runCase(cfg, spec);
+        NormalizedMetrics n = normalizeAgainst(m, baseline);
+        t.row({name, formatDouble(n.latencyRatio, 3),
+               formatDouble(n.powerRatio, 3),
+               formatDouble(n.plpRatio, 3),
+               formatDouble(static_cast<double>(m.transitions), 0)});
+        std::printf("  %s done\n", name);
+    };
+
+    {
+        Table t("Ablation 1: sliding-window depth N (Eq. 11)",
+                "ablation_sliding_depth.csv",
+                {"N", "latency_x", "power_x", "plp_x", "transitions"});
+        for (int n : {1, 2, 4, 8}) {
+            SystemConfig cfg;
+            cfg.policy.slidingWindows = n;
+            report(t, std::to_string(n).c_str(), cfg);
+        }
+        t.print();
+    }
+
+    {
+        Table t("Ablation 2: congestion-adaptive vs fixed thresholds",
+                "ablation_congestion_thresholds.csv",
+                {"variant", "latency_x", "power_x", "plp_x",
+                 "transitions"});
+        SystemConfig adaptive; // Table 1 defaults
+        report(t, "table1_adaptive", adaptive);
+        SystemConfig fixed;
+        fixed.policy.thLowCongested = fixed.policy.thLowUncongested;
+        fixed.policy.thHighCongested = fixed.policy.thHighUncongested;
+        report(t, "fixed_0.4_0.6", fixed);
+        t.print();
+    }
+
+    {
+        Table t("Ablation 3: transition ordering",
+                "ablation_transition_ordering.csv",
+                {"variant", "latency_x", "power_x", "plp_x",
+                 "transitions"});
+        SystemConfig ordered; // voltage ramps while link runs
+        report(t, "voltage_first", ordered);
+        SystemConfig pessimistic;
+        // A design without the ordering trick: the link is dead for
+        // the full voltage + frequency transition.
+        pessimistic.voltTransitionCycles = 0;
+        pessimistic.freqTransitionCycles = 120;
+        report(t, "disable_120cyc", pessimistic);
+        t.print();
+    }
+
+    {
+        Table t("Ablation 4: sender-backlog escalation (saturation "
+                "stabilizer)",
+                "ablation_backlog_escalation.csv",
+                {"variant", "latency_x", "power_x", "plp_x",
+                 "transitions"});
+        SystemConfig on; // default
+        report(t, "escalation_on", on);
+        SystemConfig off;
+        off.senderBacklogEscalation = false;
+        report(t, "escalation_off", off);
+        t.print();
+    }
+
+    {
+        Table t("Ablation 6: routing algorithm",
+                "ablation_routing.csv",
+                {"routing", "latency_x", "power_x", "plp_x",
+                 "transitions"});
+        for (auto algo : {RoutingAlgo::kXY, RoutingAlgo::kYX,
+                          RoutingAlgo::kWestFirst}) {
+            SystemConfig cfg;
+            cfg.routing = algo;
+            report(t, routingAlgoName(algo), cfg);
+        }
+        t.print();
+    }
+
+    {
+        Table t("Ablation 5: policy family",
+                "ablation_policy_family.csv",
+                {"policy", "latency_x", "power_x", "plp_x",
+                 "transitions"});
+        SystemConfig dvs;
+        report(t, "history_dvs", dvs);
+        SystemConfig onoff;
+        onoff.policyMode = PolicyMode::kOnOff;
+        report(t, "on_off", onoff);
+        SystemConfig static_min;
+        static_min.policyMode = PolicyMode::kStatic;
+        static_min.staticLevel = 0;
+        report(t, "static_min", static_min);
+        t.print();
+    }
+    return 0;
+}

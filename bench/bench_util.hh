@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration benches: aligned table
+ * printing and CSV capture next to stdout, so every bench both shows
+ * the paper-comparable series and leaves machine-readable data.
+ */
+
+#ifndef OENET_BENCH_BENCH_UTIL_HH
+#define OENET_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/stats.hh"
+
+namespace oenet::bench {
+
+/** Column-aligned table that mirrors itself into a CSV file. */
+class Table
+{
+  public:
+    Table(std::string title, std::string csv_path,
+          std::vector<std::string> columns)
+        : title_(std::move(title)), csv_(csv_path),
+          columns_(std::move(columns))
+    {
+        csv_.header(columns_);
+    }
+
+    void row(const std::vector<std::string> &cells)
+    {
+        rows_.push_back(cells);
+        csv_.row(cells);
+    }
+
+    void rowNumeric(const std::vector<double> &cells, int precision = 4)
+    {
+        std::vector<std::string> s;
+        s.reserve(cells.size());
+        for (double v : cells)
+            s.push_back(formatDouble(v, precision));
+        row(s);
+    }
+
+    /** Print the accumulated table to stdout. */
+    void print() const
+    {
+        std::printf("\n== %s ==\n", title_.c_str());
+        printRow(columns_);
+        for (const auto &r : rows_)
+            printRow(r);
+        std::printf("   (csv: %s)\n", csv_.path().c_str());
+    }
+
+  private:
+    void printRow(const std::vector<std::string> &cells) const
+    {
+        for (const auto &c : cells)
+            std::printf("%14s", c.c_str());
+        std::printf("\n");
+    }
+
+    std::string title_;
+    CsvWriter csv_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Banner naming the paper artifact a bench regenerates. */
+inline void
+banner(const char *artifact, const char *description)
+{
+    std::printf("==========================================================\n");
+    std::printf("oenet bench: %s\n%s\n", artifact, description);
+    std::printf("==========================================================\n");
+}
+
+} // namespace oenet::bench
+
+#endif // OENET_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * the RNG, the arbiter, link accept/pop, router tick (idle and
+ * loaded), and a full-system cycle at the paper's 64-rack scale.
+ * These guard the simulator's own performance, which bounds how much
+ * of the paper's design space the figure benches can sweep.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hh"
+
+using namespace oenet;
+
+namespace {
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_RngPoisson(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.poisson(2.0));
+}
+BENCHMARK(BM_RngPoisson);
+
+void
+BM_ArbiterPick(benchmark::State &state)
+{
+    RoundRobinArbiter arb(12);
+    std::uint64_t req = 0b101001011011;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arb.pick(req));
+}
+BENCHMARK(BM_ArbiterPick);
+
+void
+BM_LinkAcceptPop(benchmark::State &state)
+{
+    auto levels = BitrateLevelTable::linear(5.0, 10.0, 6);
+    OpticalLink link("b", LinkKind::kInterRouter, levels,
+                     OpticalLink::Params{});
+    Flit f;
+    f.flags = Flit::kHeadFlag | Flit::kTailFlag;
+    Cycle t = 0;
+    for (auto _ : state) {
+        if (link.canAccept(t))
+            link.accept(t, f);
+        while (link.hasArrival(t))
+            benchmark::DoNotOptimize(link.popArrival(t));
+        t++;
+    }
+}
+BENCHMARK(BM_LinkAcceptPop);
+
+void
+BM_SystemCycleIdle(benchmark::State &state)
+{
+    SystemConfig cfg; // full 64-rack system
+    PoeSystem sys(cfg);
+    sys.run(5000); // let the policy settle
+    for (auto _ : state)
+        sys.run(1);
+}
+BENCHMARK(BM_SystemCycleIdle)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SystemCycleLoaded(benchmark::State &state)
+{
+    SystemConfig cfg;
+    PoeSystem sys(cfg);
+    sys.setTraffic(makeTraffic(TrafficSpec::uniform(2.0, 4, 3), cfg));
+    sys.run(5000);
+    for (auto _ : state)
+        sys.run(1);
+}
+BENCHMARK(BM_SystemCycleLoaded)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SmallSystemCycleLoaded(benchmark::State &state)
+{
+    SystemConfig cfg;
+    cfg.meshX = 2;
+    cfg.meshY = 2;
+    cfg.clusterSize = 2;
+    PoeSystem sys(cfg);
+    sys.setTraffic(makeTraffic(TrafficSpec::uniform(0.3, 4, 3), cfg));
+    sys.run(2000);
+    for (auto _ : state)
+        sys.run(1);
+}
+BENCHMARK(BM_SmallSystemCycleLoaded)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

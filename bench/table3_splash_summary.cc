@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Table 3: average latency, power, and power-latency
+ * product of the power-aware network normalized against the
+ * non-power-aware network, for the FFT / LU / Radix traces.
+ *
+ * Paper values: latency x1.08 / 1.50 / 1.60; power x0.22 / 0.25 /
+ * 0.23; PLP x0.24 / 0.38 / 0.37 — i.e. > 75% power saving at < 2x
+ * latency, with FFT's slow phases tracked nearly for free.
+ */
+
+#include "bench_util.hh"
+#include "core/sweeps.hh"
+
+using namespace oenet;
+using namespace oenet::bench;
+
+int
+main()
+{
+    banner("Table 3", "power-performance on SPLASH-2 traces, "
+                      "normalized to the non-power-aware network");
+
+    constexpr Cycle kDuration = 1200000;
+
+    Table t("Table 3: normalized power-performance",
+            "table3_splash_summary.csv",
+            {"trace", "latency_ratio", "power_ratio", "plp_ratio",
+             "paper_latency", "paper_power", "paper_plp"});
+
+    struct PaperRow
+    {
+        SplashKind kind;
+        double lat, pwr, plp;
+    };
+    const PaperRow rows[] = {
+        {SplashKind::kFft, 1.08, 0.22, 0.24},
+        {SplashKind::kLu, 1.50, 0.25, 0.38},
+        {SplashKind::kRadix, 1.60, 0.23, 0.37},
+    };
+
+    for (const auto &row : rows) {
+        SplashSynthParams sp;
+        sp.kind = row.kind;
+        sp.numNodes = 512;
+        sp.duration = kDuration;
+        sp.rateScale = 0.25;
+        sp.seed = 61;
+        TraceData trace = generateSplashTrace(sp);
+
+        RunProtocol protocol;
+        protocol.warmup = 0;
+        protocol.measure = kDuration;
+        protocol.drainLimit = 300000;
+
+        SystemConfig cfg; // modulator defaults
+        PairedResult r = runPaired(
+            cfg, TrafficSpec::traceReplay(trace), protocol);
+
+        t.row({splashKindName(row.kind),
+               formatDouble(r.normalized.latencyRatio, 2),
+               formatDouble(r.normalized.powerRatio, 2),
+               formatDouble(r.normalized.plpRatio, 2),
+               formatDouble(row.lat, 2), formatDouble(row.pwr, 2),
+               formatDouble(row.plp, 2)});
+        std::printf("  %s done (pa lat %.1f cyc, base lat %.1f cyc)\n",
+                    splashKindName(row.kind),
+                    r.powerAware.avgLatency, r.baseline.avgLatency);
+    }
+    t.print();
+    std::printf("\npaper headline: >75%% average power saving, <2x "
+                "latency, >60%% PLP saving.\n");
+    return 0;
+}

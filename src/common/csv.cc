@@ -1,0 +1,66 @@
+#include "common/csv.hh"
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace oenet {
+
+std::string
+csvQuote(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(const std::string &path) : path_(path), out_(path)
+{
+    if (!out_)
+        fatal("cannot open CSV output '%s'", path.c_str());
+}
+
+void
+CsvWriter::writeCells(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); i++) {
+        if (i)
+            out_ << ',';
+        out_ << csvQuote(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    if (wroteHeader_)
+        panic("CsvWriter: header written twice for '%s'", path_.c_str());
+    writeCells(columns);
+    wroteHeader_ = true;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    writeCells(cells);
+    rows_++;
+}
+
+void
+CsvWriter::rowNumeric(const std::vector<double> &cells, int precision)
+{
+    std::vector<std::string> s;
+    s.reserve(cells.size());
+    for (double v : cells)
+        s.push_back(formatDouble(v, precision));
+    row(s);
+}
+
+} // namespace oenet

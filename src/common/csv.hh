@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal CSV emission used by the benchmark harness to dump the series
+ * behind every regenerated figure next to the human-readable table.
+ */
+
+#ifndef OENET_COMMON_CSV_HH
+#define OENET_COMMON_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace oenet {
+
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write the header row. Must be the first row written. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Append one row of string cells (quoted if needed). */
+    void row(const std::vector<std::string> &cells);
+
+    /** Append one row of numeric cells. */
+    void rowNumeric(const std::vector<double> &cells, int precision = 6);
+
+    /** Rows written so far, excluding the header. */
+    std::size_t rowCount() const { return rows_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void writeCells(const std::vector<std::string> &cells);
+
+    std::string path_;
+    std::ofstream out_;
+    std::size_t rows_ = 0;
+    bool wroteHeader_ = false;
+};
+
+/** Quote a CSV cell if it contains separators/quotes/newlines. */
+std::string csvQuote(const std::string &cell);
+
+} // namespace oenet
+
+#endif // OENET_COMMON_CSV_HH

@@ -1,0 +1,74 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace oenet {
+
+namespace {
+bool g_quiet = false;
+
+void
+vreport(FILE *stream, const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stream, "%s: ", tag);
+    std::vfprintf(stream, fmt, ap);
+    std::fprintf(stream, "\n");
+}
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_quiet)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_quiet)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stdout, "info", fmt, ap);
+    va_end(ap);
+}
+
+void
+setQuiet(bool quiet)
+{
+    g_quiet = quiet;
+}
+
+bool
+quiet()
+{
+    return g_quiet;
+}
+
+} // namespace oenet

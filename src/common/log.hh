@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Status / error reporting in the gem5 tradition:
+ *
+ *   panic()  -- an internal invariant broke; abort() so the bug is loud.
+ *   fatal()  -- the user asked for something impossible; exit(1).
+ *   warn()   -- questionable but survivable condition.
+ *   inform() -- plain status output.
+ *
+ * All take printf-style format strings. Output goes to stderr except
+ * inform(), which goes to stdout.
+ */
+
+#ifndef OENET_COMMON_LOG_HH
+#define OENET_COMMON_LOG_HH
+
+#include <cstdarg>
+
+namespace oenet {
+
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return true if output is currently suppressed. */
+bool quiet();
+
+} // namespace oenet
+
+#endif // OENET_COMMON_LOG_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * oenet simulations must be exactly reproducible for a given seed, so we
+ * carry our own generator (xoshiro256**, seeded through splitmix64)
+ * rather than depending on standard-library distribution internals that
+ * vary across implementations. All distributions used by the simulator
+ * (uniform, bernoulli, geometric inter-arrival, exponential, zipf) are
+ * implemented here from first principles.
+ */
+
+#ifndef OENET_COMMON_RNG_HH
+#define OENET_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace oenet {
+
+/**
+ * xoshiro256** generator. Small, fast, and high quality; each traffic
+ * source owns its own instance so sources are independent streams.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Re-seed in place. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool bernoulli(double p);
+
+    /**
+     * Number of whole failures before the first success of a Bernoulli
+     * process with per-trial probability @p p. Used for arrival-skip
+     * sampling: if a source injects with probability p each cycle, the
+     * gap to the next injection is geometric(p) + 1 cycles.
+     */
+    std::uint64_t geometric(double p);
+
+    /** Exponential variate with mean @p mean. */
+    double exponential(double mean);
+
+    /** Poisson variate with the given mean (Knuth for small means,
+     *  normal approximation above 30). */
+    std::uint64_t poisson(double mean);
+
+    /** Jump to an independent stream (2^128 steps ahead). */
+    void jump();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace oenet
+
+#endif // OENET_COMMON_RNG_HH

@@ -1,0 +1,162 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+void
+RunningStat::add(double x)
+{
+    n_++;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins, 0)
+{
+    if (!(hi > lo) || bins == 0)
+        panic("Histogram: bad range [%f, %f) with %zu bins", lo, hi, bins);
+}
+
+void
+Histogram::add(double x)
+{
+    count_++;
+    if (x < lo_) {
+        underflow_++;
+    } else if (x >= hi_) {
+        overflow_++;
+    } else {
+        auto i = static_cast<std::size_t>((x - lo_) / width_);
+        if (i >= bins_.size())
+            i = bins_.size() - 1; // floating-point edge
+        bins_[i]++;
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::binHi(std::size_t i) const
+{
+    return binLo(i) + width_;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    auto target = static_cast<double>(count_) * q;
+    double cum = static_cast<double>(underflow_);
+    if (cum >= target)
+        return lo_;
+    for (std::size_t i = 0; i < bins_.size(); i++) {
+        double next = cum + static_cast<double>(bins_[i]);
+        if (next >= target && bins_[i] > 0) {
+            double frac = (target - cum) / static_cast<double>(bins_[i]);
+            return binLo(i) + frac * width_;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+double
+TimeSeries::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const auto &x : samples_)
+        s += x.value;
+    return s / static_cast<double>(samples_.size());
+}
+
+void
+TimeWeighted::update(Cycle now, double new_value)
+{
+    if (now < lastChange_)
+        panic("TimeWeighted: time went backwards (%llu < %llu)",
+              static_cast<unsigned long long>(now),
+              static_cast<unsigned long long>(lastChange_));
+    integral_ += value_ * static_cast<double>(now - lastChange_);
+    lastChange_ = now;
+    value_ = new_value;
+}
+
+double
+TimeWeighted::integral(Cycle now) const
+{
+    return integral_ + value_ * static_cast<double>(now - lastChange_);
+}
+
+double
+TimeWeighted::average(Cycle now) const
+{
+    if (now <= resetAt_)
+        return value_;
+    return integral(now) / static_cast<double>(now - resetAt_);
+}
+
+void
+TimeWeighted::reset(Cycle now)
+{
+    integral_ = 0.0;
+    lastChange_ = now;
+    resetAt_ = now;
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace oenet

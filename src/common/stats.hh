@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Statistics primitives used throughout the simulator:
+ *
+ *   RunningStat  -- streaming mean / variance / min / max (Welford).
+ *   Histogram    -- fixed-width bins with under/overflow, quantiles.
+ *   TimeSeries   -- (cycle, value) samples for figure generation.
+ *   TimeWeighted -- integral of a piecewise-constant signal over time,
+ *                   used for buffer occupancy (B_u) and link power so we
+ *                   never have to sample per cycle.
+ */
+
+#ifndef OENET_COMMON_STATS_HH
+#define OENET_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace oenet {
+
+/** Streaming mean/variance accumulator (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    void add(double x);
+    void reset();
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Fixed-width-bin histogram over [lo, hi) with under/overflow bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    void reset();
+
+    std::size_t count() const { return count_; }
+    std::size_t bin(std::size_t i) const { return bins_.at(i); }
+    std::size_t numBins() const { return bins_.size(); }
+    std::size_t underflow() const { return underflow_; }
+    std::size_t overflow() const { return overflow_; }
+    double binLo(std::size_t i) const;
+    double binHi(std::size_t i) const;
+
+    /** Approximate quantile (q in [0,1]) by linear scan of bins. */
+    double quantile(double q) const;
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<std::size_t> bins_;
+    std::size_t underflow_ = 0, overflow_ = 0, count_ = 0;
+};
+
+/** Ordered (cycle, value) samples; the backing store for figures. */
+class TimeSeries
+{
+  public:
+    struct Sample
+    {
+        Cycle cycle;
+        double value;
+    };
+
+    void add(Cycle cycle, double value) { samples_.push_back({cycle, value}); }
+    void reset() { samples_.clear(); }
+    const std::vector<Sample> &samples() const { return samples_; }
+    bool empty() const { return samples_.empty(); }
+
+    /** Mean of all sample values (unweighted). */
+    double mean() const;
+
+  private:
+    std::vector<Sample> samples_;
+};
+
+/**
+ * Integral of a piecewise-constant signal. The owner calls update(now,
+ * newValue) whenever the signal changes; the accumulated integral makes
+ * time-averaged queries O(1) with no per-cycle work.
+ */
+class TimeWeighted
+{
+  public:
+    explicit TimeWeighted(double initial = 0.0) : value_(initial) {}
+
+    /** Change the signal value at time @p now. */
+    void update(Cycle now, double new_value);
+
+    /** Current signal value. */
+    double value() const { return value_; }
+
+    /** Integral of the signal from t=lastReset to @p now. */
+    double integral(Cycle now) const;
+
+    /** Time-average of the signal from t=lastReset to @p now. */
+    double average(Cycle now) const;
+
+    /** Restart integration at @p now, keeping the current value. */
+    void reset(Cycle now);
+
+  private:
+    double value_;
+    double integral_ = 0.0;
+    Cycle lastChange_ = 0;
+    Cycle resetAt_ = 0;
+};
+
+/** Format helper: fixed precision double to string. */
+std::string formatDouble(double v, int precision = 4);
+
+} // namespace oenet
+
+#endif // OENET_COMMON_STATS_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental scalar types shared across all oenet subsystems.
+ */
+
+#ifndef OENET_COMMON_TYPES_HH
+#define OENET_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace oenet {
+
+/** Router-core clock cycle count. The router core runs at a fixed
+ *  frequency (625 MHz in the reference system), so a Cycle is the
+ *  natural simulation time unit. */
+using Cycle = std::uint64_t;
+
+/** A cycle value that is never reached. */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** Identifier of a processing node (0 .. numNodes-1). */
+using NodeId = std::uint32_t;
+
+/** Identifier of a packet, unique over a simulation run. */
+using PacketId = std::uint64_t;
+
+/** Invalid marker for ports / VCs / indices. */
+inline constexpr int kInvalid = -1;
+
+} // namespace oenet
+
+#endif // OENET_COMMON_TYPES_HH

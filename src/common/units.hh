@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit helpers. All physical quantities in oenet are carried as doubles
+ * in a single canonical unit per dimension, declared here once:
+ *
+ *   bit rate      : Gb/s
+ *   voltage       : V
+ *   current       : mA
+ *   power (elec)  : mW
+ *   power (opt)   : mW   (dBm helpers provided)
+ *   energy        : mJ
+ *   capacitance   : pF
+ *   time          : router cycles (see types.hh) or seconds for wall
+ *                   quantities such as attenuator response
+ *
+ * Helper functions convert from other customary units so call sites can
+ * state values the way the paper quotes them.
+ */
+
+#ifndef OENET_COMMON_UNITS_HH
+#define OENET_COMMON_UNITS_HH
+
+#include <cmath>
+
+#include "common/types.hh"
+
+namespace oenet {
+
+/** Reference router core frequency: 625 MHz (Section 4.1). */
+inline constexpr double kRouterFreqHz = 625e6;
+
+/** Flit width in bits (Section 4.1). */
+inline constexpr int kFlitBits = 16;
+
+/** Maximum link bit rate: 10 Gb/s (Section 4.1). */
+inline constexpr double kMaxBitRateGbps = 10.0;
+
+/** Seconds per router cycle. */
+inline constexpr double kSecondsPerCycle = 1.0 / kRouterFreqHz;
+
+/** Convert a duration in microseconds to router cycles (rounded). */
+constexpr Cycle
+microsToCycles(double us)
+{
+    return static_cast<Cycle>(us * 1e-6 * kRouterFreqHz + 0.5);
+}
+
+/** Convert router cycles to microseconds. */
+constexpr double
+cyclesToMicros(Cycle cycles)
+{
+    return static_cast<double>(cycles) * kSecondsPerCycle * 1e6;
+}
+
+/** Flits per router cycle a link moves at bit rate @p br_gbps.
+ *  At 10 Gb/s with 16-bit flits and a 625 MHz core this is exactly 1. */
+constexpr double
+flitsPerCycle(double br_gbps)
+{
+    return br_gbps * 1e9 / (kFlitBits * kRouterFreqHz);
+}
+
+/** Router cycles needed to serialize one flit at @p br_gbps. */
+constexpr double
+cyclesPerFlit(double br_gbps)
+{
+    return 1.0 / flitsPerCycle(br_gbps);
+}
+
+/** Optical power: dBm to mW. */
+inline double
+dbmToMw(double dbm)
+{
+    return std::pow(10.0, dbm / 10.0);
+}
+
+/** Optical power: mW to dBm. */
+inline double
+mwToDbm(double mw)
+{
+    return 10.0 * std::log10(mw);
+}
+
+/** Apply a loss given in dB to a power in mW. */
+inline double
+applyLossDb(double mw, double loss_db)
+{
+    return mw * std::pow(10.0, -loss_db / 10.0);
+}
+
+/** Electron charge, C. */
+inline constexpr double kElectronChargeC = 1.602176634e-19;
+
+/** Planck constant, J*s. */
+inline constexpr double kPlanckJs = 6.62607015e-34;
+
+/** Speed of light, m/s. */
+inline constexpr double kSpeedOfLightMps = 2.99792458e8;
+
+/** Optical frequency (Hz) of a carrier at @p wavelength_nm. */
+inline double
+opticalFrequencyHz(double wavelength_nm)
+{
+    return kSpeedOfLightMps / (wavelength_nm * 1e-9);
+}
+
+} // namespace oenet
+
+#endif // OENET_COMMON_UNITS_HH

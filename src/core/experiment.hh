@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Experiment protocol: declarative traffic specs, the
+ * warmup/measure/drain run procedure, zero-load latency, and the
+ * saturation-throughput search (Section 4.1: throughput is the
+ * injection rate at which average latency exceeds twice the zero-load
+ * latency).
+ */
+
+#ifndef OENET_CORE_EXPERIMENT_HH
+#define OENET_CORE_EXPERIMENT_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/poe_system.hh"
+#include "traffic/hotspot.hh"
+#include "traffic/permutation.hh"
+#include "traffic/splash_synth.hh"
+#include "traffic/trace.hh"
+#include "traffic/uniform.hh"
+
+namespace oenet {
+
+/** Declarative description of a workload, so sweep drivers can rebuild
+ *  fresh sources per run. */
+struct TrafficSpec
+{
+    enum class Kind
+    {
+        kUniform,
+        kHotspot,
+        kPermutation,
+        kTrace,
+    };
+
+    Kind kind = Kind::kUniform;
+    double rate = 1.0; ///< packets/cycle (uniform & permutation)
+    int packetLen = 4;
+    std::uint64_t seed = 1;
+
+    // Hotspot.
+    std::vector<RatePhase> phases;
+    NodeId hotNode = 348;
+    int hotWeight = 4;
+
+    // Permutation.
+    PermutationPattern pattern = PermutationPattern::kTranspose;
+
+    // Trace (not owned; must outlive runs).
+    const TraceData *trace = nullptr;
+
+    static TrafficSpec uniform(double rate, int len = 4,
+                               std::uint64_t seed = 1);
+    static TrafficSpec hotspot(std::vector<RatePhase> phases,
+                               int len = 4, std::uint64_t seed = 1);
+    static TrafficSpec traceReplay(const TraceData &trace);
+};
+
+/** Instantiate the source a spec describes for a given system size. */
+std::unique_ptr<TrafficSource> makeTraffic(const TrafficSpec &spec,
+                                           const SystemConfig &config);
+
+/** Phases of a standard run. */
+struct RunProtocol
+{
+    Cycle warmup = 20000;
+    Cycle measure = 100000;
+    Cycle drainLimit = 300000;
+};
+
+/** Build a system, run the protocol, return the metrics. */
+RunMetrics runExperiment(const SystemConfig &config,
+                         const TrafficSpec &spec,
+                         const RunProtocol &protocol);
+
+/** Latency of a packet on an empty network (avg over a light trickle);
+ *  the reference for the 2x saturation rule. */
+double zeroLoadLatency(const SystemConfig &config, int packet_len,
+                       std::uint64_t seed = 7);
+
+/** Binary-search the saturation throughput (packets/cycle) under
+ *  uniform random traffic. */
+double findSaturationRate(const SystemConfig &config, int packet_len,
+                          double rate_hi, const RunProtocol &protocol);
+
+} // namespace oenet
+
+#endif // OENET_CORE_EXPERIMENT_HH

@@ -1,0 +1,35 @@
+#include "core/metrics.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+std::string
+RunMetrics::summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "lat=%.1fcyc p95=%.1f pwr=%.1fmW (%.3f of base) "
+                  "plp=%.1f thru=%.3ff/c pkts=%llu drained=%d",
+                  avgLatency, p95Latency, avgPowerMw, normalizedPower,
+                  powerLatencyProduct, throughputFlitsPerCycle,
+                  static_cast<unsigned long long>(packetsMeasured),
+                  drained ? 1 : 0);
+    return buf;
+}
+
+NormalizedMetrics
+normalizeAgainst(const RunMetrics &run, const RunMetrics &baseline)
+{
+    NormalizedMetrics n;
+    if (baseline.avgLatency > 0.0)
+        n.latencyRatio = run.avgLatency / baseline.avgLatency;
+    if (baseline.avgPowerMw > 0.0)
+        n.powerRatio = run.avgPowerMw / baseline.avgPowerMw;
+    n.plpRatio = n.latencyRatio * n.powerRatio;
+    return n;
+}
+
+} // namespace oenet

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Result records for simulation runs, matching the metrics of Section
+ * 4.1: packet latency (creation of first flit to ejection of last),
+ * throughput, power (absolute and as a fraction of the non-power-aware
+ * baseline), and the power-latency product.
+ */
+
+#ifndef OENET_CORE_METRICS_HH
+#define OENET_CORE_METRICS_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace oenet {
+
+struct RunMetrics
+{
+    // Latency (cycles), over packets created in the measurement window.
+    double avgLatency = 0.0;
+    double p50Latency = 0.0;
+    double p95Latency = 0.0;
+    double maxLatency = 0.0;
+    std::uint64_t packetsMeasured = 0;
+
+    // Power over the measurement window.
+    double avgPowerMw = 0.0;
+    double baselinePowerMw = 0.0;
+    double normalizedPower = 0.0; ///< avg / baseline (non-power-aware)
+
+    // Derived.
+    double powerLatencyProduct = 0.0; ///< normalizedPower * avgLatency
+
+    // Delivery.
+    double throughputFlitsPerCycle = 0.0; ///< ejected flits per cycle
+    double offeredRate = 0.0;             ///< packets/cycle offered
+    std::uint64_t packetsInjected = 0;
+    std::uint64_t packetsEjected = 0;
+    bool drained = false; ///< all measured packets left the network
+
+    // Policy activity.
+    std::uint64_t transitions = 0;
+    std::uint64_t decisionsUp = 0;
+    std::uint64_t decisionsDown = 0;
+    std::uint64_t opticalStalls = 0;
+
+    Cycle measuredCycles = 0;
+
+    /** One-line summary for logs. */
+    std::string summary() const;
+};
+
+/** Ratios of a power-aware run against a baseline run (the
+ *  normalization the paper's figures use). */
+struct NormalizedMetrics
+{
+    double latencyRatio = 0.0;
+    double powerRatio = 0.0;
+    double plpRatio = 0.0; ///< latencyRatio * powerRatio
+};
+
+NormalizedMetrics normalizeAgainst(const RunMetrics &run,
+                                   const RunMetrics &baseline);
+
+} // namespace oenet
+
+#endif // OENET_CORE_METRICS_HH

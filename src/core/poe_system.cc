@@ -1,0 +1,170 @@
+#include "core/poe_system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+PoeSystem::PoeSystem(const SystemConfig &config)
+    : config_(config), latencyHist_(0.0, 50000.0, 500)
+{
+    // The traffic pump ticks before routers and nodes so packets created
+    // at cycle t can start injecting at cycle t.
+    kernel_.addTicking(this);
+    network_ = std::make_unique<Network>(kernel_, config_.networkParams());
+    network_->setPacketSink(this);
+    if (config_.powerAware)
+        engine_ = std::make_unique<PolicyEngine>(kernel_, *network_,
+                                                 config_.engineParams());
+}
+
+PoeSystem::~PoeSystem() = default;
+
+void
+PoeSystem::setTraffic(std::unique_ptr<TrafficSource> traffic)
+{
+    traffic_ = std::move(traffic);
+}
+
+void
+PoeSystem::tick(Cycle now)
+{
+    if (!traffic_)
+        return;
+    scratchArrivals_.clear();
+    traffic_->arrivals(now, scratchArrivals_);
+    for (const PacketDesc &p : scratchArrivals_) {
+        network_->injectPacket(p.src, p.dst, p.len, now);
+        if (measuring_)
+            measuredCreated_++;
+    }
+}
+
+void
+PoeSystem::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; i++)
+        kernel_.step();
+}
+
+void
+PoeSystem::startMeasurement()
+{
+    measuring_ = true;
+    measureEnded_ = false;
+    measureStart_ = kernel_.now();
+    powerIntegralStart_ =
+        network_->totalPowerIntegralMwCycles(kernel_.now());
+    measuredCreated_ = 0;
+    measuredEjected_ = 0;
+    measuredFlitsEjectedStart_ = network_->flitsEjected();
+    latency_.reset();
+    latencyHist_.reset();
+    transitionsStart_ = totalTransitions();
+}
+
+void
+PoeSystem::stopMeasurement()
+{
+    if (!measuring_)
+        panic("PoeSystem::stopMeasurement without startMeasurement");
+    measuring_ = false;
+    measureEnded_ = true;
+    measureEnd_ = kernel_.now();
+    powerIntegralEnd_ =
+        network_->totalPowerIntegralMwCycles(kernel_.now());
+    measuredFlitsEjectedEnd_ = network_->flitsEjected();
+}
+
+void
+PoeSystem::packetEjected(const Flit &tail, Cycle now)
+{
+    bool in_window = tail.createdAt >= measureStart_ &&
+                     (measuring_ || tail.createdAt < measureEnd_);
+    if (!measureEnded_ && !measuring_)
+        in_window = false;
+    if (!in_window)
+        return;
+    measuredEjected_++;
+    auto lat = static_cast<double>(now - tail.createdAt);
+    latency_.add(lat);
+    latencyHist_.add(lat);
+}
+
+bool
+PoeSystem::awaitDrain(Cycle limit)
+{
+    for (Cycle i = 0; i < limit; i++) {
+        if (measuredEjected_ >= measuredCreated_)
+            return true;
+        kernel_.step();
+    }
+    return measuredEjected_ >= measuredCreated_;
+}
+
+std::uint64_t
+PoeSystem::totalTransitions() const
+{
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < network_->numLinks(); i++)
+        n += network_->link(i).numTransitions();
+    return n;
+}
+
+double
+PoeSystem::normalizedPowerNow()
+{
+    return network_->totalPowerMw(kernel_.now()) /
+           network_->baselinePowerMw();
+}
+
+RunMetrics
+PoeSystem::metrics()
+{
+    RunMetrics m;
+    Cycle end = measureEnded_ ? measureEnd_ : kernel_.now();
+    double integral_end =
+        measureEnded_ ? powerIntegralEnd_
+                      : network_->totalPowerIntegralMwCycles(end);
+    m.measuredCycles = end > measureStart_ ? end - measureStart_ : 0;
+
+    m.avgLatency = latency_.mean();
+    m.maxLatency = latency_.max();
+    // Histogram quantiles interpolate within bins; clamp them to the
+    // observed range so coarse bins cannot report p95 > max.
+    m.p50Latency = std::min(latencyHist_.quantile(0.50), m.maxLatency);
+    m.p95Latency = std::min(latencyHist_.quantile(0.95), m.maxLatency);
+    m.packetsMeasured = latency_.count();
+
+    if (m.measuredCycles > 0) {
+        m.avgPowerMw = (integral_end - powerIntegralStart_) /
+                       static_cast<double>(m.measuredCycles);
+        std::uint64_t ejected_end = measureEnded_
+                                        ? measuredFlitsEjectedEnd_
+                                        : network_->flitsEjected();
+        m.throughputFlitsPerCycle =
+            static_cast<double>(ejected_end -
+                                measuredFlitsEjectedStart_) /
+            static_cast<double>(m.measuredCycles);
+        m.offeredRate = static_cast<double>(measuredCreated_) /
+                        static_cast<double>(m.measuredCycles);
+    }
+    m.baselinePowerMw = network_->baselinePowerMw();
+    if (m.baselinePowerMw > 0.0)
+        m.normalizedPower = m.avgPowerMw / m.baselinePowerMw;
+    m.powerLatencyProduct = m.normalizedPower * m.avgLatency;
+
+    m.packetsInjected = network_->packetsInjected();
+    m.packetsEjected = network_->packetsEjected();
+    m.drained = measuredEjected_ >= measuredCreated_;
+    m.transitions = totalTransitions() - transitionsStart_;
+    if (engine_) {
+        m.decisionsUp = engine_->totalDecisionsUp();
+        m.decisionsDown = engine_->totalDecisionsDown();
+        m.opticalStalls = engine_->totalOpticalStalls();
+    }
+    return m;
+}
+
+} // namespace oenet

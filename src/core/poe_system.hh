@@ -1,0 +1,115 @@
+/**
+ * @file
+ * PoeSystem — the fully assembled power-aware opto-electronic networked
+ * system, and the repository's primary public entry point.
+ *
+ * It owns the kernel, the network, the policy engine (when power-aware),
+ * and the traffic source; pumps traffic into the nodes each cycle;
+ * collects packet latencies over a caller-controlled measurement window;
+ * and turns the accumulated state into RunMetrics.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ *
+ *     SystemConfig cfg;                       // paper defaults
+ *     PoeSystem sys(cfg);
+ *     sys.setTraffic(std::make_unique<UniformRandomTraffic>(...));
+ *     sys.run(20000);                         // warm up
+ *     sys.startMeasurement();
+ *     sys.run(100000);                        // measure
+ *     sys.stopMeasurement();
+ *     sys.awaitDrain(200000);
+ *     RunMetrics m = sys.metrics();
+ */
+
+#ifndef OENET_CORE_POE_SYSTEM_HH
+#define OENET_CORE_POE_SYSTEM_HH
+
+#include <memory>
+
+#include "core/metrics.hh"
+#include "core/system_config.hh"
+#include "traffic/injection_process.hh"
+
+namespace oenet {
+
+class PoeSystem : public PacketSink, public Ticking
+{
+  public:
+    explicit PoeSystem(const SystemConfig &config);
+    ~PoeSystem() override;
+
+    /** Install the traffic source (replaces any previous). */
+    void setTraffic(std::unique_ptr<TrafficSource> traffic);
+
+    /** Advance the system by @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /** Begin collecting latency/power statistics. */
+    void startMeasurement();
+
+    /** Stop the measurement window (packets created inside it keep
+     *  being tracked until they eject). */
+    void stopMeasurement();
+
+    /** Run until every packet created during the measurement window has
+     *  ejected, or @p limit extra cycles elapse.
+     *  @return true if fully drained. */
+    bool awaitDrain(Cycle limit);
+
+    /** Metrics for the last measurement window. */
+    RunMetrics metrics();
+
+    /** Instantaneous normalized power (all links, vs. always-max). */
+    double normalizedPowerNow();
+
+    // Ticking (traffic pump; registered before routers/nodes).
+    void tick(Cycle now) override;
+
+    // PacketSink.
+    void packetEjected(const Flit &tail, Cycle now) override;
+
+    /** Packets created inside the measurement window so far. */
+    std::uint64_t measuredCreated() const { return measuredCreated_; }
+
+    /** Packets from the measurement window ejected so far. */
+    std::uint64_t measuredEjected() const { return measuredEjected_; }
+
+    /** Streaming latency stats of the measurement window. */
+    const RunningStat &latencyStat() const { return latency_; }
+
+    Kernel &kernel() { return kernel_; }
+    Network &network() { return *network_; }
+    PolicyEngine *engine() { return engine_.get(); }
+    const SystemConfig &config() const { return config_; }
+    Cycle now() const { return kernel_.now(); }
+
+  private:
+    SystemConfig config_;
+    Kernel kernel_;
+    std::unique_ptr<Network> network_;
+    std::unique_ptr<PolicyEngine> engine_;
+    std::unique_ptr<TrafficSource> traffic_;
+    std::vector<PacketDesc> scratchArrivals_;
+
+    // Measurement state.
+    bool measuring_ = false;
+    Cycle measureStart_ = 0;
+    Cycle measureEnd_ = 0;
+    bool measureEnded_ = false;
+    double powerIntegralStart_ = 0.0;
+    double powerIntegralEnd_ = 0.0;
+    std::uint64_t measuredCreated_ = 0;
+    std::uint64_t measuredEjected_ = 0;
+    std::uint64_t measuredFlitsEjectedStart_ = 0;
+    std::uint64_t measuredFlitsEjectedEnd_ = 0;
+    double offeredPacketsInWindow_ = 0.0;
+    RunningStat latency_;
+    Histogram latencyHist_;
+    std::uint64_t transitionsStart_ = 0;
+
+    std::uint64_t totalTransitions() const;
+};
+
+} // namespace oenet
+
+#endif // OENET_CORE_POE_SYSTEM_HH

@@ -1,0 +1,78 @@
+#include "core/sweeps.hh"
+
+namespace oenet {
+
+SystemConfig
+baselineConfig(const SystemConfig &config)
+{
+    SystemConfig base = config;
+    base.powerAware = false;
+    return base;
+}
+
+PairedResult
+runPaired(const SystemConfig &config, const TrafficSpec &spec,
+          const RunProtocol &protocol)
+{
+    PairedResult r;
+    r.powerAware = runExperiment(config, spec, protocol);
+    r.baseline = runExperiment(baselineConfig(config), spec, protocol);
+    r.normalized = normalizeAgainst(r.powerAware, r.baseline);
+    return r;
+}
+
+TimelineResult
+runTimeline(const SystemConfig &config, const TrafficSpec &spec,
+            Cycle total, Cycle bin, Cycle warmup)
+{
+    TimelineResult result;
+    result.bin = bin;
+
+    PoeSystem sys(config);
+    sys.setTraffic(makeTraffic(spec, config));
+    if (warmup > 0)
+        sys.run(warmup);
+    sys.startMeasurement();
+
+    double base = sys.network().baselinePowerMw();
+    double prev_integral =
+        sys.network().totalPowerIntegralMwCycles(sys.now());
+    std::uint64_t prev_created = sys.measuredCreated();
+    double prev_lat_sum = sys.latencyStat().sum();
+    std::size_t prev_lat_n = sys.latencyStat().count();
+
+    for (Cycle t = 0; t < total; t += bin) {
+        Cycle step = bin < total - t ? bin : total - t;
+        sys.run(step);
+
+        double integral =
+            sys.network().totalPowerIntegralMwCycles(sys.now());
+        result.normalizedPower.push_back(
+            (integral - prev_integral) /
+            (static_cast<double>(step) * base));
+        prev_integral = integral;
+
+        std::uint64_t created = sys.measuredCreated();
+        result.offeredRate.push_back(
+            static_cast<double>(created - prev_created) /
+            static_cast<double>(step));
+        prev_created = created;
+
+        double lat_sum = sys.latencyStat().sum();
+        std::size_t lat_n = sys.latencyStat().count();
+        result.avgLatency.push_back(
+            lat_n > prev_lat_n
+                ? (lat_sum - prev_lat_sum) /
+                      static_cast<double>(lat_n - prev_lat_n)
+                : 0.0);
+        prev_lat_sum = lat_sum;
+        prev_lat_n = lat_n;
+    }
+
+    sys.stopMeasurement();
+    sys.awaitDrain(300000);
+    result.metrics = sys.metrics();
+    return result;
+}
+
+} // namespace oenet

@@ -1,0 +1,178 @@
+#include "core/system_config.hh"
+
+#include "phy/calibration.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+SystemConfig
+SystemConfig::fromConfig(const Config &config)
+{
+    SystemConfig c;
+    c.meshX = static_cast<int>(config.getInt("mesh.x", c.meshX));
+    c.meshY = static_cast<int>(config.getInt("mesh.y", c.meshY));
+    c.clusterSize =
+        static_cast<int>(config.getInt("mesh.cluster", c.clusterSize));
+
+    c.numVcs = static_cast<int>(config.getInt("router.vcs", c.numVcs));
+    c.bufferDepthPerPort = static_cast<int>(
+        config.getInt("router.buffer", c.bufferDepthPerPort));
+    std::string routing = config.getString("router.routing", "xy");
+    if (routing == "xy") {
+        c.routing = RoutingAlgo::kXY;
+    } else if (routing == "yx") {
+        c.routing = RoutingAlgo::kYX;
+    } else if (routing == "westfirst") {
+        c.routing = RoutingAlgo::kWestFirst;
+    } else {
+        fatal("router.routing must be xy, yx, or westfirst, got '%s'",
+              routing.c_str());
+    }
+
+    std::string scheme = config.getString("link.scheme", "modulator");
+    if (scheme == "vcsel") {
+        c.scheme = LinkScheme::kVcsel;
+    } else if (scheme == "modulator") {
+        c.scheme = LinkScheme::kModulator;
+    } else {
+        fatal("link.scheme must be vcsel or modulator, got '%s'",
+              scheme.c_str());
+    }
+    c.brMinGbps = config.getDouble("link.br_min", c.brMinGbps);
+    c.brMaxGbps = config.getDouble("link.br_max", c.brMaxGbps);
+    c.numLevels =
+        static_cast<int>(config.getInt("link.levels", c.numLevels));
+    c.freqTransitionCycles = config.getUint("link.tbr",
+                                            c.freqTransitionCycles);
+    c.voltTransitionCycles = config.getUint("link.tv",
+                                            c.voltTransitionCycles);
+    c.propagationCycles =
+        config.getUint("link.propagation", c.propagationCycles);
+
+    c.powerAware = config.getBool("policy.enabled", c.powerAware);
+    std::string mode = config.getString("policy.mode", "dvs");
+    if (mode == "dvs") {
+        c.policyMode = PolicyMode::kDvs;
+    } else if (mode == "onoff") {
+        c.policyMode = PolicyMode::kOnOff;
+    } else if (mode == "proportional") {
+        c.policyMode = PolicyMode::kProportional;
+    } else if (mode == "static") {
+        c.policyMode = PolicyMode::kStatic;
+    } else {
+        fatal("policy.mode must be dvs, proportional, onoff, or "
+              "static, got '%s'",
+              mode.c_str());
+    }
+    c.windowCycles = config.getUint("policy.window", c.windowCycles);
+    c.policy.thLowUncongested =
+        config.getDouble("policy.th_low", c.policy.thLowUncongested);
+    c.policy.thHighUncongested =
+        config.getDouble("policy.th_high", c.policy.thHighUncongested);
+    c.policy.thLowCongested = config.getDouble(
+        "policy.th_low_congested", c.policy.thLowCongested);
+    c.policy.thHighCongested = config.getDouble(
+        "policy.th_high_congested", c.policy.thHighCongested);
+    c.policy.buCongested =
+        config.getDouble("policy.bu_congested", c.policy.buCongested);
+    c.policy.slidingWindows = static_cast<int>(
+        config.getInt("policy.sliding", c.policy.slidingWindows));
+
+    std::string optical = config.getString("optical.mode", "fixed");
+    if (optical == "fixed") {
+        c.opticalMode = OpticalMode::kFixed;
+    } else if (optical == "trilevel") {
+        c.opticalMode = OpticalMode::kTriLevel;
+    } else {
+        fatal("optical.mode must be fixed or trilevel, got '%s'",
+              optical.c_str());
+    }
+    c.laser.responseCycles =
+        config.getUint("optical.response", c.laser.responseCycles);
+    c.laser.decisionEpochCycles = config.getUint(
+        "optical.epoch", c.laser.decisionEpochCycles);
+
+    c.staticLevel =
+        static_cast<int>(config.getInt("policy.static_level",
+                                       c.staticLevel));
+    c.senderBacklogEscalation =
+        config.getBool("policy.backlog_escalation",
+                       c.senderBacklogEscalation);
+    c.senderBacklogFlits = static_cast<int>(
+        config.getInt("policy.backlog_flits", c.senderBacklogFlits));
+    c.minLevel =
+        static_cast<int>(config.getInt("policy.min_level", c.minLevel));
+
+    c.proportional.targetUtilization = config.getDouble(
+        "policy.target_util", c.proportional.targetUtilization);
+    c.proportional.slidingWindows = static_cast<int>(config.getInt(
+        "policy.prop_sliding", c.proportional.slidingWindows));
+
+    // Test-chip calibration feed-in (Section 5's stated next step).
+    std::string calib = config.getString("link.calibration", "");
+    if (!calib.empty()) {
+        LinkCalibration cal = loadLinkCalibration(calib);
+        c.power = cal.power;
+        c.vmaxV = cal.power.vmaxV;
+        c.brMaxGbps = cal.power.brMaxGbps;
+        if (cal.levels) {
+            c.measuredLevels = cal.levels;
+            c.brMinGbps = cal.levels->minBitRateGbps();
+            c.brMaxGbps = cal.levels->maxBitRateGbps();
+            c.numLevels = cal.levels->numLevels();
+        }
+    }
+
+    if (c.opticalMode == OpticalMode::kTriLevel &&
+        c.scheme != LinkScheme::kModulator)
+        fatal("tri-level optical power requires the modulator scheme");
+    return c;
+}
+
+Network::Params
+SystemConfig::networkParams() const
+{
+    Network::Params p;
+    p.meshX = meshX;
+    p.meshY = meshY;
+    p.nodesPerCluster = clusterSize;
+    p.router.numVcs = numVcs;
+    p.router.bufferDepthPerPort = bufferDepthPerPort;
+    p.router.routing = routing;
+    p.link.scheme = scheme;
+    p.link.power = power;
+    p.link.power.vmaxV = vmaxV;
+    p.link.power.brMaxGbps = brMaxGbps;
+    p.link.freqTransitionCycles = freqTransitionCycles;
+    p.link.voltTransitionCycles = voltTransitionCycles;
+    p.link.propagationCycles = propagationCycles;
+    p.link.offPowerMw = offPowerMw;
+    // Links start at the maximum rate; the policy scales them down.
+    p.link.initialLevel = kInvalid;
+    p.levels = measuredLevels
+                   ? *measuredLevels
+                   : BitrateLevelTable::linear(brMinGbps, brMaxGbps,
+                                               numLevels, vmaxV);
+    return p;
+}
+
+PolicyEngine::Params
+SystemConfig::engineParams() const
+{
+    PolicyEngine::Params p;
+    p.mode = policyMode;
+    p.windowCycles = windowCycles;
+    p.link.policy = policy;
+    p.link.opticalMode = opticalMode;
+    p.link.laser = laser;
+    p.link.minLevel = minLevel;
+    p.link.senderBacklogEscalation = senderBacklogEscalation;
+    p.link.senderBacklogFlits = senderBacklogFlits;
+    p.onOff = onOff;
+    p.proportional = proportional;
+    p.staticLevel = staticLevel;
+    return p;
+}
+
+} // namespace oenet

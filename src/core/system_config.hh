@@ -1,0 +1,78 @@
+/**
+ * @file
+ * One struct holding every knob of the power-aware opto-electronic
+ * networked system, with the paper's Section 4.1 values as defaults:
+ * 8x8 mesh of 64 racks, 8 nodes each, 625 MHz routers, 16-flit input
+ * buffers, 16-bit flits, 10 Gb/s links with 6 bit-rate levels over
+ * 5-10 Gb/s, T_br = 20 cycles, T_v = 100 cycles, T_w = 1000 cycles,
+ * Table 1 thresholds.
+ *
+ * Convertible from a generic Config (key=value) so every example and
+ * bench accepts the same flags.
+ */
+
+#ifndef OENET_CORE_SYSTEM_CONFIG_HH
+#define OENET_CORE_SYSTEM_CONFIG_HH
+
+#include <optional>
+
+#include "common/config.hh"
+#include "network/network.hh"
+#include "policy/controller.hh"
+
+namespace oenet {
+
+struct SystemConfig
+{
+    // Topology.
+    int meshX = 8;
+    int meshY = 8;
+    int clusterSize = 8;
+
+    // Router microarchitecture.
+    int numVcs = 2;
+    int bufferDepthPerPort = 16;
+    RoutingAlgo routing = RoutingAlgo::kXY;
+
+    // Links.
+    LinkScheme scheme = LinkScheme::kModulator;
+    double brMinGbps = 5.0;
+    double brMaxGbps = 10.0;
+    int numLevels = 6;
+    double vmaxV = 1.8;
+    Cycle freqTransitionCycles = 20;  ///< T_br
+    Cycle voltTransitionCycles = 100; ///< T_v
+    Cycle propagationCycles = 1;
+    LinkPowerParams power{};
+    double offPowerMw = 2.0;
+
+    // Policy.
+    bool powerAware = true;
+    PolicyMode policyMode = PolicyMode::kDvs;
+    Cycle windowCycles = 1000; ///< T_w
+    HistoryDvsParams policy{};
+    OpticalMode opticalMode = OpticalMode::kFixed;
+    LaserPowerState::Params laser{};
+    OnOffController::Params onOff{};
+    int minLevel = 0;
+    int staticLevel = kInvalid;
+    bool senderBacklogEscalation = true;
+    int senderBacklogFlits = 8;
+    ProportionalDvsParams proportional{};
+
+    /** Measured operating points from a calibration file, replacing
+     *  the linear brMin..brMax table when present. */
+    std::optional<BitrateLevelTable> measuredLevels;
+
+    int numNodes() const { return meshX * meshY * clusterSize; }
+
+    /** Parse overrides from a Config (keys documented in README). */
+    static SystemConfig fromConfig(const Config &config);
+
+    Network::Params networkParams() const;
+    PolicyEngine::Params engineParams() const;
+};
+
+} // namespace oenet
+
+#endif // OENET_CORE_SYSTEM_CONFIG_HH

@@ -1,0 +1,292 @@
+#include "link/link.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+const char *
+linkKindName(LinkKind kind)
+{
+    switch (kind) {
+      case LinkKind::kInjection:
+        return "injection";
+      case LinkKind::kEjection:
+        return "ejection";
+      case LinkKind::kInterRouter:
+        return "inter-router";
+    }
+    panic("linkKindName: bad kind %d", static_cast<int>(kind));
+}
+
+OpticalLink::OpticalLink(std::string name, LinkKind kind,
+                         const BitrateLevelTable &levels,
+                         const Params &params)
+    : name_(std::move(name)), kind_(kind), levels_(levels),
+      params_(params), powerModel_(params.scheme, params.power)
+{
+    int init = params_.initialLevel;
+    if (init == kInvalid)
+        init = levels_.maxLevel();
+    if (init < 0 || init > levels_.maxLevel())
+        fatal("OpticalLink %s: initial level %d out of range",
+              name_.c_str(), init);
+    fromLevel_ = toLevel_ = init;
+    refreshSignals(0);
+}
+
+double
+OpticalLink::currentBitRateGbps() const
+{
+    // During a voltage ramp ahead of a frequency increase the link is
+    // still clocked at the old rate; in every other phase the wire rate
+    // is the target level's.
+    int level = phase_ == Phase::kVoltRampUp ? fromLevel_ : toLevel_;
+    return levels_.level(level).brGbps;
+}
+
+void
+OpticalLink::refreshSignals(Cycle at)
+{
+    // Operating point used for *power*: voltage is conservatively the
+    // higher of the two endpoints mid-transition (it ramps before the
+    // frequency rises and after it falls).
+    double br_power;
+    double v_power;
+    switch (phase_) {
+      case Phase::kStable:
+        br_power = levels_.level(toLevel_).brGbps;
+        v_power = levels_.level(toLevel_).vddV;
+        break;
+      case Phase::kVoltRampUp:
+        br_power = levels_.level(fromLevel_).brGbps;
+        v_power = levels_.level(toLevel_).vddV;
+        break;
+      case Phase::kFreqSwitch:
+        br_power = levels_.level(toLevel_).brGbps;
+        v_power = std::max(levels_.level(fromLevel_).vddV,
+                           levels_.level(toLevel_).vddV);
+        break;
+      case Phase::kVoltRampDown:
+        br_power = levels_.level(toLevel_).brGbps;
+        v_power = levels_.level(fromLevel_).vddV;
+        break;
+      case Phase::kOff:
+        powerTw_.update(at, params_.offPowerMw);
+        capacityTw_.update(at, 0.0);
+        return;
+      default:
+        panic("OpticalLink %s: bad phase", name_.c_str());
+    }
+    powerTw_.update(at, powerModel_.powerMw(br_power, v_power,
+                                            opticalScale_));
+    double capacity =
+        enabledNow() ? flitsPerCycle(currentBitRateGbps()) : 0.0;
+    capacityTw_.update(at, capacity);
+}
+
+void
+OpticalLink::enterPhase(Phase phase, Cycle at, Cycle end)
+{
+    phase_ = phase;
+    phaseEnd_ = end;
+    if (phase == Phase::kStable)
+        fromLevel_ = toLevel_;
+    refreshSignals(at);
+}
+
+void
+OpticalLink::setOff(Cycle now, bool off)
+{
+    advance(now);
+    if (off) {
+        if (phase_ != Phase::kStable)
+            panic("OpticalLink %s: setOff during transition",
+                  name_.c_str());
+        enterPhase(Phase::kOff, now, kNeverCycle);
+    } else {
+        if (phase_ != Phase::kOff)
+            return;
+        // Wake-up: the receiver CDR must reacquire lock.
+        numTransitions_++;
+        enterPhase(Phase::kFreqSwitch, now,
+                   now + params_.freqTransitionCycles);
+        advance(now);
+    }
+}
+
+void
+OpticalLink::advance(Cycle now)
+{
+    while (phase_ != Phase::kStable && phase_ != Phase::kOff &&
+           phaseEnd_ <= now) {
+        Cycle at = phaseEnd_;
+        switch (phase_) {
+          case Phase::kVoltRampUp:
+            enterPhase(Phase::kFreqSwitch, at,
+                       at + params_.freqTransitionCycles);
+            break;
+          case Phase::kFreqSwitch:
+            if (toLevel_ >= fromLevel_) {
+                enterPhase(Phase::kStable, at, at);
+            } else {
+                enterPhase(Phase::kVoltRampDown, at,
+                           at + params_.voltTransitionCycles);
+            }
+            break;
+          case Phase::kVoltRampDown:
+            enterPhase(Phase::kStable, at, at);
+            break;
+          default:
+            panic("OpticalLink %s: advancing stable phase",
+                  name_.c_str());
+        }
+    }
+}
+
+bool
+OpticalLink::canAcceptSlow(Cycle now)
+{
+    advance(now);
+    if (!enabledNow() || inflightCount_ >= kInflightCap)
+        return false;
+    return static_cast<double>(now) >= nextFree_ - 1e-9;
+}
+
+void
+OpticalLink::accept(Cycle now, const Flit &flit)
+{
+    advance(now);
+    if (!enabledNow())
+        panic("OpticalLink %s: accept while disabled", name_.c_str());
+    if (inflightCount_ >= kInflightCap)
+        panic("OpticalLink %s: in-flight ring overflow", name_.c_str());
+    if (static_cast<double>(now) < nextFree_ - 1e-9)
+        panic("OpticalLink %s: accept while serializing", name_.c_str());
+
+    double cpf = cyclesPerFlit(currentBitRateGbps());
+    nextFree_ = std::max(nextFree_, static_cast<double>(now)) + cpf;
+
+    Cycle arrives = now + params_.propagationCycles +
+                    static_cast<Cycle>(std::ceil(cpf - 1e-9));
+    if (arrives <= lastArrival_)
+        arrives = lastArrival_ + 1;
+    lastArrival_ = arrives;
+
+    int slot = (inflightHead_ + inflightCount_) % kInflightCap;
+    inflight_[slot] = InFlight{flit, arrives};
+    inflightCount_++;
+
+    windowFlits_++;
+    totalFlits_++;
+}
+
+Flit
+OpticalLink::popArrival(Cycle now)
+{
+    if (!hasArrival(now))
+        panic("OpticalLink %s: popArrival with nothing arrived",
+              name_.c_str());
+    Flit flit = inflight_[inflightHead_].flit;
+    inflightHead_ = (inflightHead_ + 1) % kInflightCap;
+    inflightCount_--;
+    return flit;
+}
+
+void
+OpticalLink::requestLevel(Cycle now, int level)
+{
+    advance(now);
+    if (phase_ != Phase::kStable)
+        panic("OpticalLink %s: level request during transition",
+              name_.c_str());
+    if (level < 0 || level > levels_.maxLevel())
+        panic("OpticalLink %s: level %d out of range", name_.c_str(),
+              level);
+    if (level == toLevel_)
+        return;
+
+    fromLevel_ = toLevel_;
+    toLevel_ = level;
+    numTransitions_++;
+
+    if (level > fromLevel_) {
+        // Raise voltage first (link keeps running), then switch
+        // frequency (CDR relock disables the link for T_br).
+        if (params_.voltTransitionCycles > 0) {
+            enterPhase(Phase::kVoltRampUp, now,
+                       now + params_.voltTransitionCycles);
+        } else {
+            enterPhase(Phase::kFreqSwitch, now,
+                       now + params_.freqTransitionCycles);
+        }
+    } else {
+        // Drop frequency first, then ramp the voltage down.
+        enterPhase(Phase::kFreqSwitch, now,
+                   now + params_.freqTransitionCycles);
+    }
+    // Zero-length phases resolve immediately.
+    advance(now);
+}
+
+bool
+OpticalLink::transitionInProgress(Cycle now)
+{
+    advance(now);
+    return phase_ != Phase::kStable;
+}
+
+void
+OpticalLink::setOpticalScale(Cycle now, double scale)
+{
+    advance(now);
+    if (scale <= 0.0 || scale > 1.0)
+        panic("OpticalLink %s: optical scale %f out of (0, 1]",
+              name_.c_str(), scale);
+    opticalScale_ = scale;
+    refreshSignals(now);
+}
+
+void
+OpticalLink::beginWindow(Cycle now)
+{
+    advance(now);
+    windowFlits_ = 0;
+    windowCapBase_ = capacityTw_.integral(now);
+    windowStart_ = now;
+}
+
+double
+OpticalLink::windowUtilization(Cycle now)
+{
+    advance(now);
+    double cap = capacityTw_.integral(now) - windowCapBase_;
+    if (cap <= 1e-9)
+        return windowFlits_ > 0 ? 1.0 : 0.0;
+    double u = static_cast<double>(windowFlits_) / cap;
+    return u > 1.0 ? 1.0 : u;
+}
+
+double
+OpticalLink::powerMw(Cycle now)
+{
+    advance(now);
+    return powerTw_.value();
+}
+
+double
+OpticalLink::powerIntegralMwCycles(Cycle now)
+{
+    advance(now);
+    return powerTw_.integral(now);
+}
+
+double
+OpticalLink::energyMj(Cycle now)
+{
+    // mW * cycles * seconds/cycle = mW*s = mJ.
+    return powerIntegralMwCycles(now) * kSecondsPerCycle;
+}
+
+} // namespace oenet

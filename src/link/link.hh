@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Power-aware opto-electronic link (Sections 2-3.2).
+ *
+ * An OpticalLink is a unidirectional flit channel between a sender (a
+ * router output port or a node's injection queue) and a receiver (a
+ * router input port or a node's ejection buffer). It models:
+ *
+ *  - serialization at the current bit rate: at 10 Gb/s a 16-bit flit
+ *    leaves every 625 MHz router cycle; at level br the transmitter is
+ *    occupied for 10/br cycles per flit (fractional occupancy is
+ *    tracked exactly);
+ *  - a fixed propagation delay (fiber flight time);
+ *  - the bit-rate/voltage transition state machine of Section 3.2.1:
+ *    on an *up* transition the supply voltage ramps first (T_v cycles,
+ *    link fully operational at the old rate), then the frequency
+ *    switches (T_br cycles with the link disabled while the receiver
+ *    CDR relocks); on a *down* transition the frequency drops first
+ *    (T_br disabled), then the voltage ramps down (operational);
+ *  - the optical power scale feeding the transmitter (set by the
+ *    external-laser controller for modulator links, implied by Vdd for
+ *    VCSEL links);
+ *  - power/energy accounting through LinkPowerModel, integrated exactly
+ *    as a piecewise-constant signal (no per-cycle work);
+ *  - utilization statistics for the policy controller: flits sent and
+ *    the capacity integral, giving capacity-normalized utilization L_u.
+ *
+ * The link is passive: it has no tick. Time advances lazily — every
+ * public entry point first walks the state machine up to `now`.
+ */
+
+#ifndef OENET_LINK_LINK_HH
+#define OENET_LINK_LINK_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+#include "phy/bitrate_levels.hh"
+#include "phy/laser_source.hh"
+#include "phy/link_power.hh"
+#include "router/flit.hh"
+
+namespace oenet {
+
+/** What role a link plays in the system (used for reporting). */
+enum class LinkKind
+{
+    kInjection,   ///< node -> router
+    kEjection,    ///< router -> node
+    kInterRouter, ///< router -> router
+};
+
+const char *linkKindName(LinkKind kind);
+
+class OpticalLink
+{
+  public:
+    struct Params
+    {
+        LinkScheme scheme = LinkScheme::kVcsel;
+        LinkPowerParams power{};
+        Cycle freqTransitionCycles = 20; ///< T_br (CDR relock, disabled)
+        Cycle voltTransitionCycles = 100; ///< T_v (operational)
+        Cycle propagationCycles = 1;      ///< fiber flight time
+        int initialLevel = kInvalid;      ///< default: highest level
+        double offPowerMw = 2.0;          ///< leakage when gated off
+    };
+
+    /** @param levels level table; must outlive the link. */
+    OpticalLink(std::string name, LinkKind kind,
+                const BitrateLevelTable &levels, const Params &params);
+
+    // ------------------------------------------------------------------
+    // Data path: sender side
+    // ------------------------------------------------------------------
+
+    /** True if the sender may hand over one flit this cycle.
+     *  Inline fast path: a stable link needs no state-machine walk. */
+    bool canAccept(Cycle now)
+    {
+        if (phase_ == Phase::kStable) {
+            return inflightCount_ < kInflightCap &&
+                   static_cast<double>(now) >= nextFree_ - 1e-9;
+        }
+        return canAcceptSlow(now);
+    }
+
+    /** Hand one flit to the link. @pre canAccept(now). */
+    void accept(Cycle now, const Flit &flit);
+
+    // ------------------------------------------------------------------
+    // Data path: receiver side
+    // ------------------------------------------------------------------
+
+    /** True if a flit has fully arrived by cycle @p now. Arrivals are
+     *  stamped at accept() time, so no state walk is needed. */
+    bool hasArrival(Cycle now) const
+    {
+        return inflightCount_ > 0 &&
+               inflight_[inflightHead_].arrives <= now;
+    }
+
+    /** Pop the oldest arrived flit. @pre hasArrival(now). */
+    Flit popArrival(Cycle now);
+
+    /** Flits accepted but not yet popped by the receiver. */
+    int inFlight() const { return inflightCount_; }
+
+    // ------------------------------------------------------------------
+    // Power control
+    // ------------------------------------------------------------------
+
+    /** Begin a one-step transition to @p level.
+     *  @pre !transitionInProgress(now). */
+    void requestLevel(Cycle now, int level);
+
+    /** True while a voltage ramp or frequency switch is underway. */
+    bool transitionInProgress(Cycle now);
+
+    /** Stable (or transition-target) level index. */
+    int currentLevel() const { return toLevel_; }
+
+    /** Bit rate the link serializes at right now (Gb/s). */
+    double currentBitRateGbps() const;
+
+    /** Set the optical power scale (modulator scheme; VOA output). */
+    void setOpticalScale(Cycle now, double scale);
+    double opticalScale() const { return opticalScale_; }
+
+    /**
+     * Power-gate the whole link (on/off networks, the comparison point
+     * of Soteriou & Peh cited as [26]). Turning off is immediate;
+     * turning back on costs a CDR relock (T_br disabled), like any
+     * frequency change. @pre off: no transition in progress.
+     */
+    void setOff(Cycle now, bool off);
+    bool isOff() const { return phase_ == Phase::kOff; }
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    /** Reset the utilization window (policy epoch boundary). */
+    void beginWindow(Cycle now);
+
+    /** Capacity-normalized utilization since the last beginWindow():
+     *  flits sent / flits the link could have sent. In [0, 1]. */
+    double windowUtilization(Cycle now);
+
+    /** Flits accepted since the last beginWindow(). */
+    std::uint64_t windowFlits() const { return windowFlits_; }
+
+    /** Flits accepted over the whole run. */
+    std::uint64_t totalFlits() const { return totalFlits_; }
+
+    /** Electrical power drawn right now (mW). */
+    double powerMw(Cycle now);
+
+    /** Energy consumed since t=0 (mJ equivalent: mW * cycles * s/cycle,
+     *  reported in millijoules). */
+    double energyMj(Cycle now);
+
+    /** Integral of power over time in mW-cycles (exact, cheap). */
+    double powerIntegralMwCycles(Cycle now);
+
+    /** Power of a non-power-aware link (always-max baseline), mW. */
+    double maxPowerMw() const { return powerModel_.maxPowerMw(); }
+
+    /** Count of frequency transitions performed. */
+    std::uint64_t numTransitions() const { return numTransitions_; }
+
+    const std::string &name() const { return name_; }
+    LinkKind kind() const { return kind_; }
+    const BitrateLevelTable &levels() const { return levels_; }
+    LinkScheme scheme() const { return powerModel_.scheme(); }
+    const Params &params() const { return params_; }
+
+  private:
+    bool canAcceptSlow(Cycle now);
+
+    enum class Phase
+    {
+        kStable,
+        kVoltRampUp,  ///< voltage rising ahead of a frequency increase
+        kFreqSwitch,  ///< CDR relock; link disabled
+        kVoltRampDown, ///< voltage falling after a frequency decrease
+        kOff           ///< power-gated (on/off policy extension)
+    };
+
+    /** Walk the transition state machine up to @p now. */
+    void advance(Cycle now);
+
+    /** Enter @p phase at @p at, ending at @p end; refresh accounting. */
+    void enterPhase(Phase phase, Cycle at, Cycle end);
+
+    /** Recompute power/capacity signals at time @p at. */
+    void refreshSignals(Cycle at);
+
+    bool enabledNow() const
+    {
+        return phase_ != Phase::kFreqSwitch && phase_ != Phase::kOff;
+    }
+
+    std::string name_;
+    LinkKind kind_;
+    const BitrateLevelTable &levels_;
+    Params params_;
+    LinkPowerModel powerModel_;
+
+    // Transition state.
+    Phase phase_ = Phase::kStable;
+    Cycle phaseEnd_ = 0;
+    int fromLevel_ = 0;
+    int toLevel_ = 0;
+    double opticalScale_ = 1.0;
+    std::uint64_t numTransitions_ = 0;
+
+    // Serialization / in-flight flits.
+    static constexpr int kInflightCap = 16;
+    double nextFree_ = 0.0; ///< earliest cycle the transmitter is free
+    struct InFlight
+    {
+        Flit flit;
+        Cycle arrives;
+    };
+    InFlight inflight_[kInflightCap];
+    int inflightHead_ = 0;
+    int inflightCount_ = 0;
+    Cycle lastArrival_ = 0;
+
+    // Accounting.
+    TimeWeighted powerTw_;    ///< mW, piecewise constant
+    TimeWeighted capacityTw_; ///< flits/cycle the link could move
+    std::uint64_t windowFlits_ = 0;
+    std::uint64_t totalFlits_ = 0;
+    double windowCapBase_ = 0.0;
+    Cycle windowStart_ = 0;
+};
+
+} // namespace oenet
+
+#endif // OENET_LINK_LINK_HH

@@ -1,0 +1,168 @@
+#include "network/network.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+Network::Network(Kernel &kernel, const Params &params)
+    : mesh_(params.meshX, params.meshY, params.nodesPerCluster),
+      levels_(params.levels)
+{
+    // Routers and nodes.
+    routers_.reserve(static_cast<std::size_t>(mesh_.numRouters()));
+    for (int r = 0; r < mesh_.numRouters(); r++) {
+        routers_.push_back(std::make_unique<Router>(
+            "router" + std::to_string(r), mesh_.rackX(r), mesh_.rackY(r),
+            mesh_, params.router));
+    }
+    int vc_depth = params.router.bufferDepthPerPort / params.router.numVcs;
+    Node::Params node_params;
+    node_params.numVcs = params.router.numVcs;
+    node_params.vcDepth = vc_depth;
+    nodes_.reserve(static_cast<std::size_t>(mesh_.numNodes()));
+    for (int n = 0; n < mesh_.numNodes(); n++)
+        nodes_.push_back(std::make_unique<Node>(static_cast<NodeId>(n),
+                                                node_params));
+
+    // Links.
+    specs_ = enumerateLinks(mesh_);
+    links_.reserve(specs_.size());
+    for (const auto &spec : specs_) {
+        auto link = std::make_unique<OpticalLink>(spec.name, spec.kind,
+                                                  levels_, params.link);
+        switch (spec.kind) {
+          case LinkKind::kInjection: {
+            Node &src = *nodes_[spec.srcNode];
+            Router &dst = *routers_[static_cast<std::size_t>(
+                spec.dstRouter)];
+            src.connectInjection(link.get());
+            // The router returns credits to the node; port id unused on
+            // the node side.
+            dst.connectInput(spec.dstPort, link.get(), &src, 0);
+            break;
+          }
+          case LinkKind::kEjection: {
+            Router &src = *routers_[static_cast<std::size_t>(
+                spec.srcRouter)];
+            Node &dst = *nodes_[spec.dstNode];
+            src.connectOutput(spec.srcPort, link.get(), vc_depth);
+            dst.connectEjection(link.get(), &src, spec.srcPort);
+            break;
+          }
+          case LinkKind::kInterRouter: {
+            Router &src = *routers_[static_cast<std::size_t>(
+                spec.srcRouter)];
+            Router &dst = *routers_[static_cast<std::size_t>(
+                spec.dstRouter)];
+            src.connectOutput(spec.srcPort, link.get(), vc_depth);
+            dst.connectInput(spec.dstPort, link.get(), &src,
+                             spec.srcPort);
+            break;
+          }
+        }
+        baselinePowerMw_ += link->maxPowerMw();
+        links_.push_back(std::move(link));
+    }
+
+    // Tick order: routers then nodes. Interactions are time-tagged, so
+    // this only pins determinism, not semantics.
+    for (auto &r : routers_)
+        kernel.addTicking(r.get());
+    for (auto &n : nodes_)
+        kernel.addTicking(n.get());
+}
+
+std::pair<const OccupancyProvider *, int>
+Network::downstreamOf(std::size_t i) const
+{
+    const LinkSpec &spec = specs_.at(i);
+    switch (spec.kind) {
+      case LinkKind::kInjection:
+      case LinkKind::kInterRouter:
+        return {routers_.at(static_cast<std::size_t>(spec.dstRouter))
+                    .get(),
+                spec.dstPort};
+      case LinkKind::kEjection:
+        return {nodes_.at(spec.dstNode).get(), 0};
+    }
+    panic("Network::downstreamOf: bad link kind");
+}
+
+PacketId
+Network::injectPacket(NodeId src, NodeId dst, int len, Cycle now)
+{
+    if (src >= static_cast<NodeId>(mesh_.numNodes()) ||
+        dst >= static_cast<NodeId>(mesh_.numNodes()))
+        panic("Network::injectPacket: bad endpoints %u -> %u", src, dst);
+    PacketId id = nextPacketId_++;
+    nodes_[src]->enqueuePacket(id, dst, len, now);
+    packetsInjected_++;
+    return id;
+}
+
+void
+Network::setPacketSink(PacketSink *sink)
+{
+    for (auto &n : nodes_)
+        n->setPacketSink(sink);
+}
+
+double
+Network::totalPowerMw(Cycle now)
+{
+    double sum = 0.0;
+    for (auto &l : links_)
+        sum += l->powerMw(now);
+    return sum;
+}
+
+double
+Network::totalPowerIntegralMwCycles(Cycle now)
+{
+    double sum = 0.0;
+    for (auto &l : links_)
+        sum += l->powerIntegralMwCycles(now);
+    return sum;
+}
+
+std::uint64_t
+Network::packetsEjected() const
+{
+    std::uint64_t n = 0;
+    for (const auto &node : nodes_)
+        n += node->packetsEjected();
+    return n;
+}
+
+std::uint64_t
+Network::flitsInjected() const
+{
+    std::uint64_t n = 0;
+    for (const auto &node : nodes_)
+        n += node->flitsInjected();
+    return n;
+}
+
+std::uint64_t
+Network::flitsEjected() const
+{
+    std::uint64_t n = 0;
+    for (const auto &node : nodes_)
+        n += node->flitsEjected();
+    return n;
+}
+
+std::uint64_t
+Network::flitsInSystem() const
+{
+    std::uint64_t n = 0;
+    for (const auto &node : nodes_)
+        n += node->sourceQueueFlits();
+    for (const auto &r : routers_)
+        n += static_cast<std::uint64_t>(r->totalBufferedFlits());
+    for (const auto &l : links_)
+        n += static_cast<std::uint64_t>(l->inFlight());
+    return n;
+}
+
+} // namespace oenet

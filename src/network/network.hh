@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The assembled opto-electronic networked system: 64 cluster routers in
+ * an 8x8 mesh (configurable), 8 nodes per rack, and the full complement
+ * of power-aware optical links wiring them together.
+ *
+ * The Network owns routers, nodes, and links; registers the ticking
+ * components with the Kernel; and aggregates power/energy across all
+ * links. Policy controllers attach from outside (see policy/) — a
+ * Network with no controllers is exactly the non-power-aware baseline,
+ * every link pinned at the maximum bit rate.
+ */
+
+#ifndef OENET_NETWORK_NETWORK_HH
+#define OENET_NETWORK_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "network/node.hh"
+#include "network/topology.hh"
+#include "router/router.hh"
+
+namespace oenet {
+
+class Network
+{
+  public:
+    struct Params
+    {
+        int meshX = 8;
+        int meshY = 8;
+        int nodesPerCluster = 8;
+        Router::Params router{};
+        OpticalLink::Params link{};
+        BitrateLevelTable levels =
+            BitrateLevelTable::linear(5.0, 10.0, 6);
+    };
+
+    Network(Kernel &kernel, const Params &params);
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    // ------------------------------------------------------------------
+    // Structure
+    // ------------------------------------------------------------------
+
+    const ClusteredMesh &mesh() const { return mesh_; }
+    int numRouters() const { return mesh_.numRouters(); }
+    int numNodes() const { return mesh_.numNodes(); }
+    std::size_t numLinks() const { return links_.size(); }
+
+    Router &router(int i) { return *routers_.at(static_cast<std::size_t>(i)); }
+    Node &node(NodeId n) { return *nodes_.at(n); }
+    OpticalLink &link(std::size_t i) { return *links_.at(i); }
+    const LinkSpec &linkSpec(std::size_t i) const { return specs_.at(i); }
+
+    /** The OccupancyProvider + input port at the far end of link @p i,
+     *  i.e. where the policy reads B_u for that link. */
+    std::pair<const OccupancyProvider *, int>
+    downstreamOf(std::size_t i) const;
+
+    // ------------------------------------------------------------------
+    // Traffic entry
+    // ------------------------------------------------------------------
+
+    /** Create a packet at @p src destined to @p dst with @p len flits.
+     *  Returns its PacketId. */
+    PacketId injectPacket(NodeId src, NodeId dst, int len, Cycle now);
+
+    /** Observer called on every packet ejection. */
+    void setPacketSink(PacketSink *sink);
+
+    // ------------------------------------------------------------------
+    // Aggregates
+    // ------------------------------------------------------------------
+
+    /** Instantaneous link power, mW, summed over all links. */
+    double totalPowerMw(Cycle now);
+
+    /** Integral of total link power in mW-cycles since t=0. */
+    double totalPowerIntegralMwCycles(Cycle now);
+
+    /** Power of the same system with every link at max rate, mW. */
+    double baselinePowerMw() const { return baselinePowerMw_; }
+
+    std::uint64_t packetsInjected() const { return packetsInjected_; }
+    std::uint64_t packetsEjected() const;
+    std::uint64_t flitsInjected() const;
+    std::uint64_t flitsEjected() const;
+
+    /** Flits anywhere in flight: source queues, buffers, links. */
+    std::uint64_t flitsInSystem() const;
+
+    const BitrateLevelTable &levels() const { return levels_; }
+
+  private:
+    ClusteredMesh mesh_;
+    BitrateLevelTable levels_;
+    std::vector<LinkSpec> specs_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<OpticalLink>> links_;
+    double baselinePowerMw_ = 0.0;
+    PacketId nextPacketId_ = 1;
+    std::uint64_t packetsInjected_ = 0;
+};
+
+} // namespace oenet
+
+#endif // OENET_NETWORK_NETWORK_HH

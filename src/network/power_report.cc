@@ -1,0 +1,93 @@
+#include "network/power_report.hh"
+
+#include <cstdio>
+
+namespace oenet {
+
+PowerReport
+makePowerReport(Network &net, Cycle now)
+{
+    PowerReport report;
+    report.at = now;
+    int max_level = net.levels().maxLevel();
+    for (std::size_t k = 0; k < report.byKind.size(); k++) {
+        report.byKind[k].kind = static_cast<LinkKind>(k);
+        report.byKind[k].levelHistogram.assign(
+            static_cast<std::size_t>(max_level + 1), 0);
+    }
+
+    for (std::size_t i = 0; i < net.numLinks(); i++) {
+        OpticalLink &link = net.link(i);
+        auto &kr =
+            report.byKind[static_cast<std::size_t>(link.kind())];
+        double p = link.powerMw(now);
+        kr.count++;
+        kr.powerMw += p;
+        kr.baselineMw += link.maxPowerMw();
+        kr.meanLevel += link.currentLevel();
+        kr.totalFlits += link.totalFlits();
+        kr.levelHistogram[static_cast<std::size_t>(
+            link.currentLevel())]++;
+        report.totalPowerMw += p;
+        report.baselinePowerMw += link.maxPowerMw();
+    }
+    for (auto &kr : report.byKind) {
+        if (kr.count > 0) {
+            kr.normalizedPower = kr.powerMw / kr.baselineMw;
+            kr.meanLevel /= kr.count;
+        }
+    }
+    if (report.baselinePowerMw > 0.0)
+        report.normalizedPower =
+            report.totalPowerMw / report.baselinePowerMw;
+    return report;
+}
+
+std::string
+PowerReport::toString() const
+{
+    char buf[256];
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "power @ cycle %llu: %.1f W of %.1f W baseline "
+                  "(%.3f)\n",
+                  static_cast<unsigned long long>(at),
+                  totalPowerMw / 1000.0, baselinePowerMw / 1000.0,
+                  normalizedPower);
+    out += buf;
+    for (const auto &kr : byKind) {
+        if (kr.count == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf),
+                      "  %-12s %4d links  %8.1f mW (%.3f of max)  "
+                      "mean level %.2f  levels [",
+                      linkKindName(kr.kind), kr.count, kr.powerMw,
+                      kr.normalizedPower, kr.meanLevel);
+        out += buf;
+        for (std::size_t i = 0; i < kr.levelHistogram.size(); i++) {
+            std::snprintf(buf, sizeof(buf), "%s%d", i ? " " : "",
+                          kr.levelHistogram[i]);
+            out += buf;
+        }
+        out += "]\n";
+    }
+    return out;
+}
+
+std::vector<LinkRow>
+collectLinkRows(Network &net, Cycle now)
+{
+    std::vector<LinkRow> rows;
+    rows.reserve(net.numLinks());
+    for (std::size_t i = 0; i < net.numLinks(); i++) {
+        OpticalLink &link = net.link(i);
+        rows.push_back(LinkRow{link.name(), link.kind(),
+                               link.currentLevel(),
+                               link.currentBitRateGbps(),
+                               link.powerMw(now), link.totalFlits(),
+                               link.numTransitions()});
+    }
+    return rows;
+}
+
+} // namespace oenet

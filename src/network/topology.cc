@@ -1,0 +1,83 @@
+#include "network/topology.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+int
+oppositeDir(int dir)
+{
+    switch (dir) {
+      case kDirEast:
+        return kDirWest;
+      case kDirWest:
+        return kDirEast;
+      case kDirNorth:
+        return kDirSouth;
+      case kDirSouth:
+        return kDirNorth;
+    }
+    panic("oppositeDir: bad direction %d", dir);
+}
+
+std::vector<LinkSpec>
+enumerateLinks(const ClusteredMesh &mesh)
+{
+    std::vector<LinkSpec> specs;
+    int c = mesh.nodesPerCluster();
+
+    // Injection links: node -> its rack router, input port = local idx.
+    for (int n = 0; n < mesh.numNodes(); n++) {
+        auto node = static_cast<NodeId>(n);
+        LinkSpec s;
+        s.kind = LinkKind::kInjection;
+        s.srcNode = node;
+        s.dstRouter = mesh.rackOf(node);
+        s.dstPort = mesh.localIndexOf(node);
+        s.name = "inj.n" + std::to_string(n);
+        specs.push_back(s);
+    }
+
+    // Ejection links: rack router output port = local idx -> node.
+    for (int n = 0; n < mesh.numNodes(); n++) {
+        auto node = static_cast<NodeId>(n);
+        LinkSpec s;
+        s.kind = LinkKind::kEjection;
+        s.srcRouter = mesh.rackOf(node);
+        s.srcPort = mesh.localIndexOf(node);
+        s.dstNode = node;
+        s.name = "ej.n" + std::to_string(n);
+        specs.push_back(s);
+    }
+
+    // Inter-router links, one per (rack, direction) that exists.
+    for (int r = 0; r < mesh.numRouters(); r++) {
+        int x = mesh.rackX(r);
+        int y = mesh.rackY(r);
+        for (int d = 0; d < kNumDirs; d++) {
+            if (!mesh.hasNeighbor(x, y, d))
+                continue;
+            LinkSpec s;
+            s.kind = LinkKind::kInterRouter;
+            s.srcRouter = r;
+            s.srcPort = c + d;
+            s.dstRouter = mesh.neighborRack(x, y, d);
+            s.dstPort = c + oppositeDir(d);
+            s.name = "rt.r" + std::to_string(r) + "." + meshDirName(d);
+            specs.push_back(s);
+        }
+    }
+    return specs;
+}
+
+int
+countLinks(const ClusteredMesh &mesh, LinkKind kind)
+{
+    int n = 0;
+    for (const auto &s : enumerateLinks(mesh))
+        if (s.kind == kind)
+            n++;
+    return n;
+}
+
+} // namespace oenet

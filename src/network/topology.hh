@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Link enumeration for the clustered-mesh system (Figs. 3-4).
+ *
+ * Every rack owns 20 transmitters (= 20 fibers from the light plant in
+ * the modulator scheme): 8 node injection links, 8 router ejection
+ * links, and up to 4 outgoing inter-router links (fewer on mesh edges).
+ * This module produces the canonical ordered list of LinkSpecs the
+ * Network materializes, so links have stable indices and names across
+ * tools.
+ */
+
+#ifndef OENET_NETWORK_TOPOLOGY_HH
+#define OENET_NETWORK_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+#include "link/link.hh"
+#include "router/routing.hh"
+
+namespace oenet {
+
+/** Static description of one unidirectional link. */
+struct LinkSpec
+{
+    LinkKind kind;
+    std::string name;
+
+    // Sender side: a node (injection) or a router output port.
+    NodeId srcNode = 0;  ///< valid for kInjection
+    int srcRouter = kInvalid;
+    int srcPort = kInvalid;
+
+    // Receiver side: a node (ejection) or a router input port.
+    NodeId dstNode = 0;  ///< valid for kEjection
+    int dstRouter = kInvalid;
+    int dstPort = kInvalid;
+};
+
+/** Enumerate all links of the system: injection links first (by node),
+ *  then ejection links (by node), then inter-router links (by source
+ *  rack, then direction E, W, N, S). */
+std::vector<LinkSpec> enumerateLinks(const ClusteredMesh &mesh);
+
+/** Count links of each kind. */
+int countLinks(const ClusteredMesh &mesh, LinkKind kind);
+
+/** Opposite mesh direction (east <-> west, north <-> south). */
+int oppositeDir(int dir);
+
+} // namespace oenet
+
+#endif // OENET_NETWORK_TOPOLOGY_HH

@@ -1,0 +1,64 @@
+#include "phy/bitrate_levels.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+BitrateLevelTable
+BitrateLevelTable::linear(double min_gbps, double max_gbps, int count,
+                          double vmax)
+{
+    if (count < 1)
+        fatal("BitrateLevelTable: need at least 1 level, got %d", count);
+    if (!(min_gbps > 0.0) || !(max_gbps >= min_gbps))
+        fatal("BitrateLevelTable: bad bit-rate range [%f, %f]", min_gbps,
+              max_gbps);
+    std::vector<BitrateLevel> levels;
+    levels.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; i++) {
+        double f = count == 1
+                       ? 1.0
+                       : static_cast<double>(i) / (count - 1);
+        double br = min_gbps + f * (max_gbps - min_gbps);
+        levels.push_back({br, vmax * br / max_gbps});
+    }
+    return BitrateLevelTable(std::move(levels));
+}
+
+BitrateLevelTable::BitrateLevelTable(std::vector<BitrateLevel> levels)
+    : levels_(std::move(levels))
+{
+    if (levels_.empty())
+        fatal("BitrateLevelTable: empty level set");
+    for (std::size_t i = 1; i < levels_.size(); i++) {
+        if (levels_[i].brGbps <= levels_[i - 1].brGbps)
+            fatal("BitrateLevelTable: levels must be strictly increasing");
+    }
+}
+
+const BitrateLevel &
+BitrateLevelTable::level(int i) const
+{
+    if (i < 0 || i >= numLevels())
+        panic("BitrateLevelTable: level %d out of range [0, %d)", i,
+              numLevels());
+    return levels_[static_cast<std::size_t>(i)];
+}
+
+int
+BitrateLevelTable::levelAtLeast(double br_gbps) const
+{
+    for (int i = 0; i < numLevels(); i++) {
+        if (levels_[static_cast<std::size_t>(i)].brGbps >= br_gbps)
+            return i;
+    }
+    return maxLevel();
+}
+
+double
+BitrateLevelTable::capacityFraction(int i) const
+{
+    return level(i).brGbps / maxBitRateGbps();
+}
+
+} // namespace oenet

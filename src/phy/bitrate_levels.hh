@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bit-rate / supply-voltage level tables (Section 3.2.1).
+ *
+ * A power-aware link runs at one of a small number of discrete bit-rate
+ * levels; the required supply voltage scales linearly with bit rate
+ * (1.8 V at 10 Gb/s down to 0.9 V at 5 Gb/s in the reference design).
+ * The paper's two evaluated configurations are 6 levels over 5–10 Gb/s
+ * and 6 levels over 3.3–10 Gb/s.
+ */
+
+#ifndef OENET_PHY_BITRATE_LEVELS_HH
+#define OENET_PHY_BITRATE_LEVELS_HH
+
+#include <vector>
+
+namespace oenet {
+
+/** One operating point of a power-aware link. */
+struct BitrateLevel
+{
+    double brGbps;   ///< link bit rate, Gb/s
+    double vddV;     ///< supply voltage for the scalable circuits, V
+};
+
+/**
+ * Ordered table of operating points, index 0 = slowest. All levels in a
+ * table share the same maximum bit rate / voltage (the last entry).
+ */
+class BitrateLevelTable
+{
+  public:
+    /** Build @p count levels with bit rate linear in [min, max] and
+     *  voltage linear with bit rate: V(br) = vmax * br / max. */
+    static BitrateLevelTable linear(double min_gbps, double max_gbps,
+                                    int count, double vmax = 1.8);
+
+    /** Build from explicit levels; must be sorted ascending in brGbps. */
+    explicit BitrateLevelTable(std::vector<BitrateLevel> levels);
+
+    int numLevels() const { return static_cast<int>(levels_.size()); }
+    const BitrateLevel &level(int i) const;
+    int maxLevel() const { return numLevels() - 1; }
+    double maxBitRateGbps() const { return levels_.back().brGbps; }
+    double minBitRateGbps() const { return levels_.front().brGbps; }
+    double maxVoltageV() const { return levels_.back().vddV; }
+
+    /** Smallest level whose bit rate is >= @p br_gbps (clamped). */
+    int levelAtLeast(double br_gbps) const;
+
+    /** Fraction of full capacity at level @p i: br_i / br_max. */
+    double capacityFraction(int i) const;
+
+  private:
+    std::vector<BitrateLevel> levels_;
+};
+
+} // namespace oenet
+
+#endif // OENET_PHY_BITRATE_LEVELS_HH

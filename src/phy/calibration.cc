@@ -1,0 +1,121 @@
+#include "phy/calibration.hh"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+LinkCalibration
+loadLinkCalibration(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("loadLinkCalibration: cannot open '%s'", path.c_str());
+
+    LinkCalibration cal;
+    std::vector<BitrateLevel> levels;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        lineno++;
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("%s:%d: expected key = value", path.c_str(), lineno);
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+
+        if (key == "level") {
+            std::istringstream ss(value);
+            BitrateLevel lv{};
+            if (!(ss >> lv.brGbps >> lv.vddV))
+                fatal("%s:%d: level expects '<br_gbps> <vdd_v>'",
+                      path.c_str(), lineno);
+            levels.push_back(lv);
+            continue;
+        }
+
+        char *end = nullptr;
+        double v = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0')
+            fatal("%s:%d: '%s' is not a number", path.c_str(), lineno,
+                  value.c_str());
+
+        if (key == "vcsel_mw") {
+            cal.power.vcselMw = v;
+        } else if (key == "vcsel_driver_mw") {
+            cal.power.vcselDriverMw = v;
+        } else if (key == "mod_driver_mw") {
+            cal.power.modDriverMw = v;
+        } else if (key == "tia_mw") {
+            cal.power.tiaMw = v;
+        } else if (key == "cdr_mw") {
+            cal.power.cdrMw = v;
+        } else if (key == "detector_mw") {
+            cal.power.detectorMw = v;
+        } else if (key == "vmax_v") {
+            cal.power.vmaxV = v;
+        } else if (key == "br_max_gbps") {
+            cal.power.brMaxGbps = v;
+        } else {
+            fatal("%s:%d: unknown calibration key '%s'", path.c_str(),
+                  lineno, key.c_str());
+        }
+    }
+
+    if (!levels.empty())
+        cal.levels = BitrateLevelTable(std::move(levels));
+    return cal;
+}
+
+void
+saveLinkCalibration(const std::string &path,
+                    const LinkCalibration &calibration)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("saveLinkCalibration: cannot open '%s'", path.c_str());
+    const auto &p = calibration.power;
+    out << "# oenet link calibration\n";
+    out << "vcsel_mw = " << p.vcselMw << "\n";
+    out << "vcsel_driver_mw = " << p.vcselDriverMw << "\n";
+    out << "mod_driver_mw = " << p.modDriverMw << "\n";
+    out << "tia_mw = " << p.tiaMw << "\n";
+    out << "cdr_mw = " << p.cdrMw << "\n";
+    out << "detector_mw = " << p.detectorMw << "\n";
+    out << "vmax_v = " << p.vmaxV << "\n";
+    out << "br_max_gbps = " << p.brMaxGbps << "\n";
+    if (calibration.levels) {
+        for (int i = 0; i < calibration.levels->numLevels(); i++) {
+            const auto &lv = calibration.levels->level(i);
+            out << "level = " << lv.brGbps << " " << lv.vddV << "\n";
+        }
+    }
+    if (!out)
+        fatal("saveLinkCalibration: write failure on '%s'",
+              path.c_str());
+}
+
+} // namespace oenet

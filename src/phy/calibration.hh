@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Link power calibration files.
+ *
+ * The paper closes by describing its next step: fabricate the link
+ * circuits in 0.18 um CMOS and feed measured characteristics back into
+ * the network simulator "in place of current models". This module is
+ * that feed-in path: a small key=value file format holding the
+ * whole-link calibration constants (LinkPowerParams) and, optionally,
+ * a measured bit-rate/voltage level table, so a test-chip
+ * characterization replaces the Table 2 defaults without recompiling.
+ *
+ * Format (one key=value per line, '#' comments):
+ *
+ *     # oenet link calibration
+ *     vcsel_mw = 30.0
+ *     vcsel_driver_mw = 10.0
+ *     mod_driver_mw = 40.0
+ *     tia_mw = 100.0
+ *     cdr_mw = 150.0
+ *     detector_mw = 1.25
+ *     vmax_v = 1.8
+ *     br_max_gbps = 10.0
+ *     # optional measured operating points, ascending bit rate:
+ *     level = 5.0 0.90
+ *     level = 6.1 1.12
+ *     ...
+ */
+
+#ifndef OENET_PHY_CALIBRATION_HH
+#define OENET_PHY_CALIBRATION_HH
+
+#include <optional>
+#include <string>
+
+#include "phy/bitrate_levels.hh"
+#include "phy/link_power.hh"
+
+namespace oenet {
+
+struct LinkCalibration
+{
+    LinkPowerParams power{};
+    /** Present when the file carries measured operating points. */
+    std::optional<BitrateLevelTable> levels;
+};
+
+/** Parse a calibration file; fatal() on I/O or format errors. */
+LinkCalibration loadLinkCalibration(const std::string &path);
+
+/** Write @p calibration in the canonical format. */
+void saveLinkCalibration(const std::string &path,
+                         const LinkCalibration &calibration);
+
+} // namespace oenet
+
+#endif // OENET_PHY_CALIBRATION_HH

@@ -1,0 +1,91 @@
+#include "phy/laser_source.hh"
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace oenet {
+
+double
+opticalLevelFraction(OpticalLevel level)
+{
+    switch (level) {
+      case OpticalLevel::kLow:
+        return 0.25;
+      case OpticalLevel::kMid:
+        return 0.5;
+      case OpticalLevel::kHigh:
+        return 1.0;
+    }
+    panic("opticalLevelFraction: bad level %d", static_cast<int>(level));
+}
+
+OpticalLevel
+requiredOpticalLevel(double br_gbps)
+{
+    if (br_gbps < 4.0)
+        return OpticalLevel::kLow;
+    if (br_gbps <= 6.0)
+        return OpticalLevel::kMid;
+    return OpticalLevel::kHigh;
+}
+
+double
+maxBitRateForLevel(OpticalLevel level)
+{
+    switch (level) {
+      case OpticalLevel::kLow:
+        return 4.0 - 1e-9;
+      case OpticalLevel::kMid:
+        return 6.0;
+      case OpticalLevel::kHigh:
+        return 10.0;
+    }
+    panic("maxBitRateForLevel: bad level %d", static_cast<int>(level));
+}
+
+LaserSource::LaserSource(const LaserSourceParams &params) : params_(params)
+{
+    if (params_.rackFanout < 1 || params_.fiberFanout < 1)
+        fatal("LaserSource: fanouts must be >= 1");
+    if (params_.outputPowerMw <= 0.0)
+        fatal("LaserSource: output power must be positive");
+}
+
+double
+LaserSource::perFiberPowerMw() const
+{
+    double p = params_.outputPowerMw;
+    p /= params_.rackFanout;
+    p = applyLossDb(p, params_.rackSplitLossDb);
+    p /= params_.fiberFanout;
+    p = applyLossDb(p, params_.fiberSplitLossDb);
+    return p;
+}
+
+double
+LaserSource::perFiberPowerMw(OpticalLevel level) const
+{
+    return perFiberPowerMw() * opticalLevelFraction(level);
+}
+
+Cycle
+LaserSource::attenuatorResponseCycles() const
+{
+    return microsToCycles(params_.attenuatorResponseUs);
+}
+
+int
+LaserSource::totalFibers() const
+{
+    return params_.rackFanout * params_.fiberFanout;
+}
+
+bool
+LaserSource::supports(OpticalLevel level, double required_mw,
+                      double path_loss_db) const
+{
+    return applyLossDb(perFiberPowerMw(level), path_loss_db) >=
+           required_mw;
+}
+
+} // namespace oenet

@@ -1,0 +1,67 @@
+#include "phy/link_power.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+const char *
+linkSchemeName(LinkScheme scheme)
+{
+    switch (scheme) {
+      case LinkScheme::kVcsel:
+        return "vcsel";
+      case LinkScheme::kModulator:
+        return "modulator";
+    }
+    panic("linkSchemeName: bad scheme %d", static_cast<int>(scheme));
+}
+
+LinkPowerModel::LinkPowerModel(LinkScheme scheme,
+                               const LinkPowerParams &params)
+    : scheme_(scheme), params_(params)
+{
+    if (params_.vmaxV <= 0.0 || params_.brMaxGbps <= 0.0)
+        fatal("LinkPowerModel: vmax and brMax must be positive");
+}
+
+LinkPowerModel::Breakdown
+LinkPowerModel::breakdown(double br_gbps, double vdd,
+                          double optical_scale) const
+{
+    const auto &p = params_;
+    double v = vdd / p.vmaxV;       // voltage fraction
+    double b = br_gbps / p.brMaxGbps; // bit-rate fraction
+
+    Breakdown d{};
+    if (scheme_ == LinkScheme::kVcsel) {
+        // Laser output tracks the driver supply in the VCSEL scheme;
+        // the detector budget is bias-dominated and stays flat.
+        d.txLaserMw = p.vcselMw * v;
+        d.txDriverMw = p.vcselDriverMw * v * v * b;
+        d.detectorMw = p.detectorMw;
+    } else {
+        d.txLaserMw = 0.0; // external laser is off-budget (Section 2.1.2)
+        d.txDriverMw = p.modDriverMw * b; // fixed driver supply
+        d.detectorMw = p.detectorMw * optical_scale;
+    }
+    d.tiaMw = p.tiaMw * v * b;
+    d.cdrMw = p.cdrMw * v * v * b;
+    d.totalMw = d.txLaserMw + d.txDriverMw + d.detectorMw + d.tiaMw +
+                d.cdrMw;
+    return d;
+}
+
+double
+LinkPowerModel::powerMw(double br_gbps, double vdd,
+                        double optical_scale) const
+{
+    return breakdown(br_gbps, vdd, optical_scale).totalMw;
+}
+
+double
+LinkPowerModel::maxPowerMw() const
+{
+    return powerMw(params_.brMaxGbps, params_.vmaxV, 1.0);
+}
+
+} // namespace oenet

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Whole-link power model used by the network simulator.
+ *
+ * The paper reduces the circuit detail of Section 2 to the per-component
+ * budget and scaling trends of Table 2 before simulating:
+ *
+ *     component        mW @ (10 Gb/s, 1.8 V)     scaling trend
+ *     VCSEL            30                        ~ Vdd
+ *     VCSEL driver     10                        Vdd^2 * BR
+ *     modulator driver 40                        BR        (fixed Vdd)
+ *     TIA              100                       Vdd * BR
+ *     CDR              150                       Vdd^2 * BR
+ *     photodetector    ~1 (we use 1.25)          ~ received optical power
+ *
+ * This class implements exactly that interface: a link's power as a
+ * function of (scheme, bit rate, supply voltage, optical scale). With
+ * the defaults a VCSEL link burns 291.25 mW at the full operating point
+ * and 61.25 mW at (5 Gb/s, 0.9 V) — the paper's quoted ~290 mW and
+ * 61.25 mW. Consistency of the trends against the full Eqs. 1-9
+ * component models is asserted by tests/phy/link_power_test.cc.
+ */
+
+#ifndef OENET_PHY_LINK_POWER_HH
+#define OENET_PHY_LINK_POWER_HH
+
+#include <string>
+
+namespace oenet {
+
+/** Which transmitter technology a link uses (Section 2.1). */
+enum class LinkScheme
+{
+    kVcsel,     ///< directly modulated VCSEL
+    kModulator, ///< external laser + MQW modulator
+};
+
+const char *linkSchemeName(LinkScheme scheme);
+
+/** Calibration constants for the whole-link model. */
+struct LinkPowerParams
+{
+    double vcselMw = 30.0;        ///< VCSEL at full drive
+    double vcselDriverMw = 10.0;  ///< VCSEL driver at (vmax, brMax)
+    double modDriverMw = 40.0;    ///< modulator driver at brMax
+    double tiaMw = 100.0;         ///< TIA at (vmax, brMax)
+    double cdrMw = 150.0;         ///< CDR at (vmax, brMax)
+    double detectorMw = 1.25;     ///< photodetector + bias at full light
+    double vmaxV = 1.8;           ///< full supply voltage
+    double brMaxGbps = 10.0;      ///< full bit rate
+};
+
+class LinkPowerModel
+{
+  public:
+    /** Per-component contributions at one operating point, in mW. */
+    struct Breakdown
+    {
+        double txLaserMw;   ///< VCSEL (VCSEL scheme) or 0 (modulator)
+        double txDriverMw;  ///< VCSEL driver or modulator driver
+        double detectorMw;
+        double tiaMw;
+        double cdrMw;
+        double totalMw;
+    };
+
+    LinkPowerModel(LinkScheme scheme, const LinkPowerParams &params = {});
+
+    /**
+     * Link power at an operating point.
+     *
+     * @param br_gbps        link bit rate
+     * @param vdd            supply voltage of the scalable circuits
+     * @param optical_scale  fraction of full optical power delivered
+     *                       (modulator scheme: VOA level; VCSEL scheme:
+     *                       implied by vdd and ignored)
+     */
+    double powerMw(double br_gbps, double vdd,
+                   double optical_scale = 1.0) const;
+
+    Breakdown breakdown(double br_gbps, double vdd,
+                        double optical_scale = 1.0) const;
+
+    /** Power at the full operating point (the non-power-aware cost). */
+    double maxPowerMw() const;
+
+    LinkScheme scheme() const { return scheme_; }
+    const LinkPowerParams &params() const { return params_; }
+
+  private:
+    LinkScheme scheme_;
+    LinkPowerParams params_;
+};
+
+} // namespace oenet
+
+#endif // OENET_PHY_LINK_POWER_HH

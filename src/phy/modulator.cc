@@ -1,0 +1,66 @@
+#include "phy/modulator.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+MqwModulator::MqwModulator(const MqwModulatorParams &params)
+    : params_(params)
+{
+    if (params_.contrastRatio <= 1.0)
+        fatal("MqwModulator: contrast ratio must exceed 1 (got %f)",
+              params_.contrastRatio);
+    if (params_.insertionLoss < 0.0 || params_.insertionLoss >= 1.0)
+        fatal("MqwModulator: insertion loss must be in [0,1) (got %f)",
+              params_.insertionLoss);
+}
+
+double
+MqwModulator::powerMw(double input_mw) const
+{
+    // Eq. 4: 0.5 * Rs * PI * [IL*(Vbias-Vdd) + (1 - (1-IL)/CR) * Vbias].
+    // Rs [A/W] * PI [mW] gives photocurrent in mA; times volts -> mW.
+    const auto &p = params_;
+    double on_term = p.insertionLoss * (p.biasVoltageV - p.vddV);
+    double off_term = (1.0 - (1.0 - p.insertionLoss) / p.contrastRatio) *
+                      p.biasVoltageV;
+    double power = 0.5 * p.responsivityAPerW * input_mw *
+                   (on_term + off_term);
+    // The "on" term can be slightly negative when Vdd > Vbias (energy
+    // returned to the supply); total dissipation is still positive for
+    // sane parameters, but clamp defensively.
+    return power > 0.0 ? power : 0.0;
+}
+
+double
+MqwModulator::onOutputMw(double input_mw) const
+{
+    return input_mw * (1.0 - params_.insertionLoss);
+}
+
+double
+MqwModulator::offOutputMw(double input_mw) const
+{
+    return onOutputMw(input_mw) / params_.contrastRatio;
+}
+
+double
+MqwModulator::averageOutputMw(double input_mw) const
+{
+    return (onOutputMw(input_mw) + offOutputMw(input_mw)) / 2.0;
+}
+
+ModulatorDriver::ModulatorDriver(const ModulatorDriverParams &params)
+    : params_(params)
+{
+}
+
+double
+ModulatorDriver::powerMw(double br_gbps) const
+{
+    const auto &p = params_;
+    return p.switchingActivity * p.loadCapacitancePf * p.vddV * p.vddV *
+           br_gbps;
+}
+
+} // namespace oenet

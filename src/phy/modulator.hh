@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Transmitter option (2): external laser with a multiple-quantum-well
+ * (MQW) electro-absorption modulator and its driver (Section 2.1.2,
+ * Eqs. 4-5).
+ *
+ * The modulator absorbs the incoming light for zeros ("off") and passes
+ * it for ones ("on"); insertion loss (IL) and contrast ratio (CR)
+ * characterize how much light survives each state. Absorbed light turns
+ * into dissipated electrical power (Eq. 4). The driver is an inverter
+ * chain whose supply voltage stays *fixed* under power control — scaling
+ * it would collapse the contrast ratio — so driver power scales only
+ * with bit rate (Eq. 5, Section 2.3).
+ *
+ * Defaults calibrate the driver to 40 mW at 10 Gb/s (Table 2).
+ */
+
+#ifndef OENET_PHY_MODULATOR_HH
+#define OENET_PHY_MODULATOR_HH
+
+namespace oenet {
+
+/** MQW electro-absorption modulator parameters. */
+struct MqwModulatorParams
+{
+    double responsivityAPerW = 0.8; ///< Rs: optical->current conversion
+    double insertionLoss = 0.2;     ///< IL: fraction lost in "on" state
+    double contrastRatio = 10.0;    ///< CR: on/off optical power ratio
+    double biasVoltageV = 2.0;      ///< Vbias applied to the diode
+    double vddV = 1.8;              ///< driver swing (fixed)
+};
+
+class MqwModulator
+{
+  public:
+    explicit MqwModulator(const MqwModulatorParams &params = {});
+
+    /** Eq. 4: average dissipated power (mW) for input optical power
+     *  @p input_mw, assuming equiprobable ones and zeros. */
+    double powerMw(double input_mw) const;
+
+    /** Optical power passed downstream in the "on" state (mW). */
+    double onOutputMw(double input_mw) const;
+
+    /** Optical power leaking downstream in the "off" state (mW). */
+    double offOutputMw(double input_mw) const;
+
+    /** Mean launched optical power over equiprobable bits (mW). */
+    double averageOutputMw(double input_mw) const;
+
+    const MqwModulatorParams &params() const { return params_; }
+
+  private:
+    MqwModulatorParams params_;
+};
+
+/** Inverter-chain driver for the MQW modulator (Eq. 5). */
+struct ModulatorDriverParams
+{
+    double switchingActivity = 0.5;           ///< alpha2
+    double loadCapacitancePf = 2.4691358025;  ///< C_md: driver+modulator
+    double vddV = 1.8;                        ///< fixed supply
+};
+
+class ModulatorDriver
+{
+  public:
+    explicit ModulatorDriver(const ModulatorDriverParams &params = {});
+
+    /** Eq. 5 at the fixed supply: alpha2 * C_md * Vdd^2 * BR, in mW. */
+    double powerMw(double br_gbps) const;
+
+    const ModulatorDriverParams &params() const { return params_; }
+
+  private:
+    ModulatorDriverParams params_;
+};
+
+} // namespace oenet
+
+#endif // OENET_PHY_MODULATOR_HH

@@ -1,0 +1,71 @@
+#include "phy/receiver.hh"
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace oenet {
+
+Photodetector::Photodetector(const PhotodetectorParams &params)
+    : params_(params)
+{
+    double nu = opticalFrequencyHz(params_.wavelengthNm);
+    responsivityAPerW_ = kElectronChargeC / (kPlanckJs * nu);
+}
+
+double
+Photodetector::requiredOpticalPowerMw(double br_gbps) const
+{
+    return params_.sensitivityMwAt10G * br_gbps / 10.0;
+}
+
+double
+Photodetector::powerMw(double received_mw) const
+{
+    // Eq. 6: Prec * (q/h nu) * Vbias * (CR+1)/(CR-1).
+    double cr = params_.contrastRatio;
+    return received_mw * responsivityAPerW_ * params_.biasVoltageV *
+           (cr + 1.0) / (cr - 1.0);
+}
+
+double
+Photodetector::photocurrentMa(double received_mw) const
+{
+    return received_mw * responsivityAPerW_;
+}
+
+Tia::Tia(const TiaParams &params) : params_(params)
+{
+    if (params_.feedbackOhm <= 0.0)
+        fatal("Tia: feedback impedance must be positive");
+}
+
+double
+Tia::biasCurrentMa(double br_max_gbps) const
+{
+    return params_.biasPerGbpsMa * br_max_gbps;
+}
+
+double
+Tia::powerMw(double br_max_gbps, double vdd) const
+{
+    return biasCurrentMa(br_max_gbps) * vdd;
+}
+
+double
+Tia::outputSwingMv(double ip_ma) const
+{
+    return ip_ma * params_.feedbackOhm;
+}
+
+Cdr::Cdr(const CdrParams &params) : params_(params)
+{
+}
+
+double
+Cdr::powerMw(double vdd, double br_gbps) const
+{
+    return params_.switchingActivity * params_.capacitancePf * vdd * vdd *
+           br_gbps;
+}
+
+} // namespace oenet

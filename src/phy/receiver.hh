@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Receiver-side components (Section 2.2): photodetector (Eq. 6),
+ * transimpedance amplifier (Eqs. 7-8), and clock/data recovery (Eq. 9).
+ *
+ * Power-control behaviour (Sections 2.2.2-2.2.3):
+ *  - the photodetector burns well under a milliwatt, so it carries no
+ *    control mechanism of its own;
+ *  - the TIA's bias current is sized for the maximum bit rate it must
+ *    admit, so when the link scales down, the bias (and with it power,
+ *    ~ Vdd * BR) scales too;
+ *  - the CDR is a mostly-digital PLL whose power goes as Vdd^2 * BR; on
+ *    any bit-rate change it loses lock and is unusable for a relock
+ *    period T_br (the link-disable window the network must absorb).
+ *
+ * Defaults are calibrated to Table 2: TIA 100 mW and CDR 150 mW at
+ * 10 Gb/s / 1.8 V.
+ */
+
+#ifndef OENET_PHY_RECEIVER_HH
+#define OENET_PHY_RECEIVER_HH
+
+#include "common/types.hh"
+
+namespace oenet {
+
+/** PIN/MSM photodetector parameters. */
+struct PhotodetectorParams
+{
+    double sensitivityMwAt10G = 0.025; ///< Prec for BER 1e-12 at 10 Gb/s
+    double biasVoltageV = 2.0;         ///< Vbias
+    double contrastRatio = 10.0;       ///< CR of the incoming signal
+    double wavelengthNm = 1550.0;      ///< carrier wavelength
+};
+
+class Photodetector
+{
+  public:
+    explicit Photodetector(const PhotodetectorParams &params = {});
+
+    /** Receiver sensitivity (mW) needed for BER 1e-12 at @p br_gbps;
+     *  scales linearly with bit rate. */
+    double requiredOpticalPowerMw(double br_gbps) const;
+
+    /** Eq. 6: dissipated power (mW) when receiving @p received_mw. */
+    double powerMw(double received_mw) const;
+
+    /** Mean photocurrent (mA) produced from @p received_mw. */
+    double photocurrentMa(double received_mw) const;
+
+    const PhotodetectorParams &params() const { return params_; }
+
+  private:
+    PhotodetectorParams params_;
+    double responsivityAPerW_; ///< q / (h*nu)
+};
+
+/** Transimpedance amplifier parameters. */
+struct TiaParams
+{
+    double biasPerGbpsMa = 5.5555555556; ///< c of Eq. 7, mA per Gb/s
+    double feedbackOhm = 2000.0;         ///< Rf
+    double vmaxV = 1.8;                  ///< supply at full rate
+};
+
+class Tia
+{
+  public:
+    explicit Tia(const TiaParams &params = {});
+
+    /** Eq. 7: bias current (mA) to support @p br_max_gbps. */
+    double biasCurrentMa(double br_max_gbps) const;
+
+    /** Eq. 8: power (mW) when biased for @p br_max_gbps at @p vdd. */
+    double powerMw(double br_max_gbps, double vdd) const;
+
+    /** Output swing (mV) for photocurrent @p ip_ma. */
+    double outputSwingMv(double ip_ma) const;
+
+    const TiaParams &params() const { return params_; }
+
+  private:
+    TiaParams params_;
+};
+
+/** Clock and data recovery parameters. */
+struct CdrParams
+{
+    double switchingActivity = 0.5;     ///< alpha3
+    double capacitancePf = 9.2592592593; ///< C_CDR
+    Cycle relockCycles = 20;            ///< T_br in router cycles
+};
+
+class Cdr
+{
+  public:
+    explicit Cdr(const CdrParams &params = {});
+
+    /** Eq. 9: alpha3 * C_CDR * Vdd^2 * BR, in mW. */
+    double powerMw(double vdd, double br_gbps) const;
+
+    /** Relock time after any bit-rate change (router cycles). */
+    Cycle relockCycles() const { return params_.relockCycles; }
+
+    const CdrParams &params() const { return params_; }
+
+  private:
+    CdrParams params_;
+};
+
+} // namespace oenet
+
+#endif // OENET_PHY_RECEIVER_HH

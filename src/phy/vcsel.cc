@@ -1,0 +1,64 @@
+#include "phy/vcsel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+Vcsel::Vcsel(const VcselParams &params) : params_(params)
+{
+    if (params_.biasMa < params_.thresholdMa)
+        warn("Vcsel: bias current %.3f mA below threshold %.3f mA; "
+             "turn-on will be slow in a real device",
+             params_.biasMa, params_.thresholdMa);
+}
+
+double
+Vcsel::emittedOpticalPowerMw(double i_ma) const
+{
+    double above = i_ma - params_.thresholdMa;
+    if (above <= 0.0)
+        return 0.0;
+    // S [W/A] * I [mA] = P [mW].
+    return params_.slopeWPerA * above;
+}
+
+double
+Vcsel::modulationCurrentMa(double vdd) const
+{
+    double scale = std::clamp(vdd / params_.vmaxV, 0.0, 1.0);
+    return params_.modulationMaxMa * scale;
+}
+
+double
+Vcsel::averagePowerMw(double vdd) const
+{
+    // Eq. 2: P = (Ibias + Im/2) * Vbias, Im scaled by supply voltage.
+    double i_avg = params_.biasMa + modulationCurrentMa(vdd) / 2.0;
+    return i_avg * params_.biasVoltageV;
+}
+
+double
+Vcsel::averageOpticalPowerMw(double vdd) const
+{
+    double im = modulationCurrentMa(vdd);
+    double one = emittedOpticalPowerMw(params_.biasMa + im);
+    double zero = emittedOpticalPowerMw(params_.biasMa);
+    return (one + zero) / 2.0;
+}
+
+VcselDriver::VcselDriver(const VcselDriverParams &params) : params_(params)
+{
+}
+
+double
+VcselDriver::powerMw(double vdd, double br_gbps) const
+{
+    // alpha [.] * C [pF] * V^2 [V^2] * BR [Gb/s]:
+    // 1e-12 F * V^2 * 1e9 /s = 1e-3 W = mW.
+    return params_.switchingActivity * params_.loadCapacitancePf * vdd *
+           vdd * br_gbps;
+}
+
+} // namespace oenet

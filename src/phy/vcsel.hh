@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Transmitter option (1): directly modulated VCSEL and its driver
+ * (Section 2.1.1, Eqs. 1-3).
+ *
+ * The VCSEL is biased just above its threshold current; the driver adds
+ * a modulation current Im for ones. Emitted optical power grows linearly
+ * with drive current above threshold (Eq. 1); electrical power is the
+ * average drive current times the bias voltage (Eq. 2). The inverter
+ * chain driver burns alpha * C * Vdd^2 * BR (Eq. 3). Under dynamic
+ * power control the modulation current scales with the driver supply
+ * voltage, so both the VCSEL's electrical power and its optical output
+ * track Vdd.
+ *
+ * Default parameters are calibrated so that at the full operating point
+ * (10 Gb/s, 1.8 V) the VCSEL dissipates 30 mW and the driver 10 mW,
+ * matching Table 2.
+ */
+
+#ifndef OENET_PHY_VCSEL_HH
+#define OENET_PHY_VCSEL_HH
+
+namespace oenet {
+
+/** Physical parameters of a VCSEL (oxide-aperture-confined class). */
+struct VcselParams
+{
+    double thresholdMa = 0.5;      ///< Ith: threshold current, mA
+    double biasMa = 0.5;           ///< Ibias: steady bias above use
+    double modulationMaxMa = 24.0; ///< Im at full supply voltage, mA
+    double slopeWPerA = 0.35;      ///< S: slope efficiency, W/A
+    double biasVoltageV = 2.4;     ///< Vbias across the diode, V
+    double vmaxV = 1.8;            ///< driver supply at full rate, V
+};
+
+class Vcsel
+{
+  public:
+    explicit Vcsel(const VcselParams &params = {});
+
+    /** Eq. 1: emitted optical power (mW) at drive current @p i_ma. */
+    double emittedOpticalPowerMw(double i_ma) const;
+
+    /** Modulation current at driver supply @p vdd (linear in Vdd). */
+    double modulationCurrentMa(double vdd) const;
+
+    /** Eq. 2: average electrical power (mW) assuming equiprobable bits,
+     *  with the modulation current set by @p vdd. */
+    double averagePowerMw(double vdd) const;
+
+    /** Mean optical power (mW) launched into the fiber at @p vdd,
+     *  averaging the one (Ibias+Im) and zero (Ibias) symbols. */
+    double averageOpticalPowerMw(double vdd) const;
+
+    const VcselParams &params() const { return params_; }
+
+  private:
+    VcselParams params_;
+};
+
+/** Inverter-chain driver for a directly modulated VCSEL (Eq. 3). */
+struct VcselDriverParams
+{
+    double switchingActivity = 0.5; ///< alpha1: P(bit transition)
+    double loadCapacitancePf = 0.6172839506; ///< C_LD: total switched cap
+};
+
+class VcselDriver
+{
+  public:
+    explicit VcselDriver(const VcselDriverParams &params = {});
+
+    /** Eq. 3: alpha1 * C_LD * Vdd^2 * BR, in mW (pF * V^2 * Gb/s). */
+    double powerMw(double vdd, double br_gbps) const;
+
+    const VcselDriverParams &params() const { return params_; }
+
+  private:
+    VcselDriverParams params_;
+};
+
+} // namespace oenet
+
+#endif // OENET_PHY_VCSEL_HH

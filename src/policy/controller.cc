@@ -1,0 +1,300 @@
+#include "policy/controller.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+const char *
+opticalModeName(OpticalMode mode)
+{
+    switch (mode) {
+      case OpticalMode::kFixed:
+        return "fixed";
+      case OpticalMode::kTriLevel:
+        return "tri-level";
+    }
+    panic("opticalModeName: bad mode");
+}
+
+const char *
+policyModeName(PolicyMode mode)
+{
+    switch (mode) {
+      case PolicyMode::kDvs:
+        return "dvs";
+      case PolicyMode::kProportional:
+        return "proportional";
+      case PolicyMode::kOnOff:
+        return "on-off";
+      case PolicyMode::kStatic:
+        return "static";
+    }
+    panic("policyModeName: bad mode");
+}
+
+LinkController::LinkController(OpticalLink &link,
+                               const OccupancyProvider *downstream,
+                               int down_port, const Params &params,
+                               std::function<int()> sender_backlog)
+    : link_(link), downstream_(downstream), downPort_(down_port),
+      params_(params), senderBacklog_(std::move(sender_backlog)),
+      policy_(params.policy), laser_(params.laser)
+{
+    if (downstream_ == nullptr)
+        fatal("LinkController(%s): no downstream occupancy provider",
+              link.name().c_str());
+    if (params_.minLevel < 0 ||
+        params_.minLevel > link.levels().maxLevel())
+        fatal("LinkController(%s): bad min level %d",
+              link.name().c_str(), params_.minLevel);
+}
+
+void
+LinkController::syncLaser(Cycle now)
+{
+    if (params_.opticalMode != OpticalMode::kTriLevel)
+        return;
+    if (laser_.advance(now))
+        link_.setOpticalScale(now, laser_.scale());
+}
+
+void
+LinkController::onWindow(Cycle now)
+{
+    // Sample this window's statistics.
+    double lu = link_.windowUtilization(now);
+    double occ = downstream_->occupancyIntegral(downPort_, now);
+    double bu = 0.0;
+    Cycle span = now - lastWindowStart_;
+    if (span > 0) {
+        double cap = static_cast<double>(
+            downstream_->bufferCapacity(downPort_));
+        bu = (occ - lastOccIntegral_) /
+             (static_cast<double>(span) * cap);
+    }
+    lastOccIntegral_ = occ;
+    lastWindowStart_ = now;
+    link_.beginWindow(now);
+
+    policy_.observe(lu);
+    syncLaser(now);
+    if (params_.opticalMode == OpticalMode::kTriLevel) {
+        // Observe the transition *target* rate, not the instantaneous
+        // wire rate: a P_dec granted against a mid-ramp reading could
+        // otherwise strand a fast link without light.
+        laser_.observeBitRate(
+            link_.levels().level(link_.currentLevel()).brGbps);
+    }
+
+    if (link_.transitionInProgress(now))
+        return;
+
+    LevelDecision decision = policy_.decide(bu);
+    // Sender-backlog escalation: queued demand the utilization metric
+    // cannot see forces an upgrade, and a still-draining backlog vetoes
+    // a downgrade (see Params for the rationale). The asymmetric pair
+    // prevents up/down oscillation on saturated links.
+    if (params_.senderBacklogEscalation && senderBacklog_) {
+        int backlog = senderBacklog_();
+        if (decision != LevelDecision::kUp &&
+            backlog >= params_.senderBacklogFlits) {
+            decision = LevelDecision::kUp;
+            backlogEscalations_++;
+        } else if (decision == LevelDecision::kDown &&
+                   backlog >= params_.senderBacklogFlits / 2) {
+            decision = LevelDecision::kHold;
+        }
+    }
+    int level = link_.currentLevel();
+    if (decision == LevelDecision::kUp &&
+        level < link_.levels().maxLevel()) {
+        int target = level + 1;
+        if (params_.opticalMode == OpticalMode::kTriLevel) {
+            double target_br = link_.levels().level(target).brGbps;
+            if (target_br > maxBitRateForLevel(laser_.guaranteedLevel())) {
+                // Not enough light for the faster rate: request more
+                // optical power and hold the electrical level
+                // (Section 3.3, P_inc semantics).
+                laser_.requestIncrease(now);
+                opticalStalls_++;
+                return;
+            }
+        }
+        link_.requestLevel(now, target);
+        decisionsUp_++;
+    } else if (decision == LevelDecision::kDown &&
+               level > params_.minLevel) {
+        link_.requestLevel(now, level - 1);
+        decisionsDown_++;
+    }
+}
+
+void
+LinkController::onLaserEpoch(Cycle now)
+{
+    if (params_.opticalMode != OpticalMode::kTriLevel)
+        return;
+    syncLaser(now);
+    // Fold in the level in force right now — the last window's sample
+    // may predate an upgrade decided in the same window.
+    laser_.observeBitRate(
+        link_.levels().level(link_.currentLevel()).brGbps);
+    laser_.epochDecision(now);
+}
+
+PolicyEngine::PolicyEngine(Kernel &kernel, Network &net,
+                           const Params &params)
+    : params_(params)
+{
+    switch (params_.mode) {
+      case PolicyMode::kDvs: {
+        for (std::size_t i = 0; i < net.numLinks(); i++) {
+            auto [provider, port] = net.downstreamOf(i);
+            const LinkSpec &spec = net.linkSpec(i);
+            std::function<int()> backlog;
+            if (spec.kind == LinkKind::kInjection) {
+                Node *node = &net.node(spec.srcNode);
+                backlog = [node]() {
+                    return static_cast<int>(node->sourceQueueFlits());
+                };
+            } else {
+                Router *router = &net.router(spec.srcRouter);
+                int src_port = spec.srcPort;
+                backlog = [router, src_port]() {
+                    return router->bufferedFor(src_port);
+                };
+            }
+            dvs_.push_back(std::make_unique<LinkController>(
+                net.link(i), provider, port, params_.link,
+                std::move(backlog)));
+        }
+        kernel.schedulePeriodic(params_.windowCycles,
+                                params_.windowCycles,
+                                [this](Cycle now) { onWindow(now); });
+        if (params_.link.opticalMode == OpticalMode::kTriLevel) {
+            Cycle epoch = params_.link.laser.decisionEpochCycles;
+            kernel.schedulePeriodic(epoch, epoch, [this](Cycle now) {
+                onLaserEpoch(now);
+            });
+        }
+        break;
+      }
+      case PolicyMode::kProportional: {
+        for (std::size_t i = 0; i < net.numLinks(); i++) {
+            const LinkSpec &spec = net.linkSpec(i);
+            std::function<int()> backlog;
+            if (spec.kind == LinkKind::kInjection) {
+                Node *node = &net.node(spec.srcNode);
+                backlog = [node]() {
+                    return static_cast<int>(node->sourceQueueFlits());
+                };
+            } else {
+                Router *router = &net.router(spec.srcRouter);
+                int src_port = spec.srcPort;
+                backlog = [router, src_port]() {
+                    return router->bufferedFor(src_port);
+                };
+            }
+            proportional_.push_back(
+                std::make_unique<ProportionalController>(
+                    net.link(i), params_.proportional,
+                    std::move(backlog)));
+        }
+        kernel.schedulePeriodic(params_.windowCycles,
+                                params_.windowCycles,
+                                [this](Cycle now) { onWindow(now); });
+        break;
+      }
+      case PolicyMode::kOnOff: {
+        for (std::size_t i = 0; i < net.numLinks(); i++) {
+            const LinkSpec &spec = net.linkSpec(i);
+            std::function<bool()> waiting;
+            if (spec.kind == LinkKind::kInjection) {
+                Node *node = &net.node(spec.srcNode);
+                waiting = [node]() {
+                    return node->sourceQueueFlits() > 0;
+                };
+            } else {
+                Router *router = &net.router(spec.srcRouter);
+                int port = spec.srcPort;
+                waiting = [router, port]() {
+                    return router->outputWaiting(port);
+                };
+            }
+            onOff_.push_back(std::make_unique<OnOffController>(
+                net.link(i), std::move(waiting), params_.onOff));
+        }
+        kernel.schedulePeriodic(params_.windowCycles,
+                                params_.windowCycles,
+                                [this](Cycle now) { onWindow(now); });
+        // Wake probing runs on a short sub-window cadence: waking only
+        // at window boundaries would add seconds of latency.
+        Cycle probe = params_.windowCycles / 10;
+        if (probe == 0)
+            probe = 1;
+        kernel.schedulePeriodic(probe, probe, [this](Cycle now) {
+            for (auto &c : onOff_)
+                c->maybeWake(now);
+        });
+        break;
+      }
+      case PolicyMode::kStatic: {
+        int level = params_.staticLevel;
+        for (std::size_t i = 0; i < net.numLinks(); i++) {
+            OpticalLink &link = net.link(i);
+            int target =
+                level == kInvalid ? link.levels().maxLevel() : level;
+            if (link.currentLevel() != target)
+                link.requestLevel(0, target);
+        }
+        break;
+      }
+    }
+}
+
+void
+PolicyEngine::onWindow(Cycle now)
+{
+    for (auto &c : dvs_)
+        c->onWindow(now);
+    for (auto &c : onOff_)
+        c->onWindow(now);
+    for (auto &c : proportional_)
+        c->onWindow(now);
+}
+
+void
+PolicyEngine::onLaserEpoch(Cycle now)
+{
+    for (auto &c : dvs_)
+        c->onLaserEpoch(now);
+}
+
+std::uint64_t
+PolicyEngine::totalDecisionsUp() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : dvs_)
+        n += c->decisionsUp();
+    return n;
+}
+
+std::uint64_t
+PolicyEngine::totalDecisionsDown() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : dvs_)
+        n += c->decisionsDown();
+    return n;
+}
+
+std::uint64_t
+PolicyEngine::totalOpticalStalls() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : dvs_)
+        n += c->opticalStalls();
+    return n;
+}
+
+} // namespace oenet

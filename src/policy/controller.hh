@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Per-link policy controllers and the network-wide PolicyEngine.
+ *
+ * A LinkController is the "policy controller" box of Fig. 4(b): it owns
+ * one link's HistoryDvsPolicy (and, in the tri-level modulator
+ * configuration, its LaserPowerState), samples L_u/B_u each window, and
+ * issues bit-rate transitions. The PolicyEngine instantiates one
+ * controller per link, drives them all from a single periodic kernel
+ * event at window boundaries (and a slower one at laser-decision
+ * epochs), and aggregates statistics.
+ *
+ * Alternative modes:
+ *  - kDvs       the paper's policy (default);
+ *  - kOnOff     on/off links (comparison/ablation);
+ *  - kStatic    pin every link at a fixed level (e.g. static 3.3 Gb/s
+ *               of Fig. 5(g)); no controller action after init.
+ */
+
+#ifndef OENET_POLICY_CONTROLLER_HH
+#define OENET_POLICY_CONTROLLER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "network/network.hh"
+#include "policy/history_dvs.hh"
+#include "policy/laser_controller.hh"
+#include "policy/on_off.hh"
+#include "policy/proportional.hh"
+
+namespace oenet {
+
+/** How optical power is provisioned in the modulator scheme. */
+enum class OpticalMode
+{
+    kFixed,    ///< single optical level (VOAs static)
+    kTriLevel, ///< P_low / P_mid / P_high tracking bit-rate bands
+};
+
+/** Which control policy runs on the links. */
+enum class PolicyMode
+{
+    kDvs,          ///< the paper's threshold stepper (default)
+    kProportional, ///< Shang'03-style proportional retargeting
+    kOnOff,        ///< links gated fully off when idle
+    kStatic,       ///< pinned at a fixed level
+};
+
+const char *opticalModeName(OpticalMode mode);
+const char *policyModeName(PolicyMode mode);
+
+/** DVS controller for one link. */
+class LinkController
+{
+  public:
+    struct Params
+    {
+        HistoryDvsParams policy{};
+        OpticalMode opticalMode = OpticalMode::kFixed;
+        LaserPowerState::Params laser{};
+        int minLevel = 0; ///< floor for down-scaling
+
+        /**
+         * Sender-backlog escalation. Utilization-only control has a
+         * collective failure mode under backpressure: a link throttled
+         * by its congested neighborhood *measures* low utilization and
+         * keeps scaling down, dragging the saturated region into a
+         * low-rate equilibrium. The sender's own buffers carry the
+         * missing demand signal, so when at least
+         * `senderBacklogFlits` flits are queued toward a link, its
+         * controller escalates one level regardless of measured L_u.
+         * Disable for the ablation bench.
+         */
+        bool senderBacklogEscalation = true;
+        int senderBacklogFlits = 8;
+    };
+
+    /** @param sender_backlog returns the flits queued at the sender
+     *  waiting for this link (router buffered flits toward the output
+     *  port, or the node's source queue); may be empty. */
+    LinkController(OpticalLink &link,
+                   const OccupancyProvider *downstream, int down_port,
+                   const Params &params,
+                   std::function<int()> sender_backlog = {});
+
+    /** Window-boundary hook: sample stats, decide, maybe transition. */
+    void onWindow(Cycle now);
+
+    /** Laser decision epoch hook (tri-level mode only). */
+    void onLaserEpoch(Cycle now);
+
+    OpticalLink &link() { return link_; }
+    const HistoryDvsPolicy &policy() const { return policy_; }
+    const LaserPowerState &laser() const { return laser_; }
+
+    std::uint64_t decisionsUp() const { return decisionsUp_; }
+    std::uint64_t decisionsDown() const { return decisionsDown_; }
+    std::uint64_t opticalStalls() const { return opticalStalls_; }
+    std::uint64_t backlogEscalations() const
+    {
+        return backlogEscalations_;
+    }
+
+  private:
+    void syncLaser(Cycle now);
+
+    OpticalLink &link_;
+    const OccupancyProvider *downstream_;
+    int downPort_;
+    Params params_;
+    std::function<int()> senderBacklog_;
+    HistoryDvsPolicy policy_;
+    LaserPowerState laser_;
+    double lastOccIntegral_ = 0.0;
+    Cycle lastWindowStart_ = 0;
+    std::uint64_t decisionsUp_ = 0;
+    std::uint64_t decisionsDown_ = 0;
+    std::uint64_t opticalStalls_ = 0;
+    std::uint64_t backlogEscalations_ = 0;
+};
+
+/** Drives all per-link controllers from the kernel clock. */
+class PolicyEngine
+{
+  public:
+    struct Params
+    {
+        PolicyMode mode = PolicyMode::kDvs;
+        Cycle windowCycles = 1000; ///< T_w
+        LinkController::Params link{};
+        OnOffController::Params onOff{};
+        ProportionalDvsParams proportional{};
+        int staticLevel = kInvalid; ///< for kStatic; default max
+    };
+
+    /** Creates controllers for every link of @p net and schedules the
+     *  periodic window/epoch events on @p kernel. */
+    PolicyEngine(Kernel &kernel, Network &net, const Params &params);
+
+    std::size_t numControllers() const
+    {
+        return dvs_.size() + onOff_.size() + proportional_.size();
+    }
+
+    const LinkController &dvsController(std::size_t i) const
+    {
+        return *dvs_.at(i);
+    }
+
+    /** Sum of up/down decisions across all DVS controllers. */
+    std::uint64_t totalDecisionsUp() const;
+    std::uint64_t totalDecisionsDown() const;
+    std::uint64_t totalOpticalStalls() const;
+
+    const Params &params() const { return params_; }
+
+  private:
+    void onWindow(Cycle now);
+    void onLaserEpoch(Cycle now);
+
+    Params params_;
+    std::vector<std::unique_ptr<LinkController>> dvs_;
+    std::vector<std::unique_ptr<OnOffController>> onOff_;
+    std::vector<std::unique_ptr<ProportionalController>> proportional_;
+};
+
+} // namespace oenet
+
+#endif // OENET_POLICY_CONTROLLER_HH

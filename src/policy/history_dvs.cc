@@ -1,0 +1,88 @@
+#include "policy/history_dvs.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+const char *
+levelDecisionName(LevelDecision decision)
+{
+    switch (decision) {
+      case LevelDecision::kHold:
+        return "hold";
+      case LevelDecision::kUp:
+        return "up";
+      case LevelDecision::kDown:
+        return "down";
+    }
+    panic("levelDecisionName: bad decision");
+}
+
+HistoryDvsPolicy::HistoryDvsPolicy(const HistoryDvsParams &params)
+    : params_(params)
+{
+    if (params_.slidingWindows < 1)
+        fatal("HistoryDvsPolicy: sliding window depth must be >= 1");
+    if (params_.thLowUncongested > params_.thHighUncongested ||
+        params_.thLowCongested > params_.thHighCongested)
+        fatal("HistoryDvsPolicy: T_L must not exceed T_H");
+    history_.assign(static_cast<std::size_t>(params_.slidingWindows),
+                    0.0);
+}
+
+void
+HistoryDvsPolicy::observe(double lu)
+{
+    history_[static_cast<std::size_t>(head_)] = lu;
+    head_ = (head_ + 1) % params_.slidingWindows;
+    if (count_ < params_.slidingWindows)
+        count_++;
+}
+
+double
+HistoryDvsPolicy::averageUtilization() const
+{
+    if (count_ == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (int i = 0; i < count_; i++)
+        sum += history_[static_cast<std::size_t>(
+            (head_ - 1 - i + params_.slidingWindows * 2) %
+            params_.slidingWindows)];
+    return sum / count_;
+}
+
+double
+HistoryDvsPolicy::lowThreshold(double bu) const
+{
+    return bu >= params_.buCongested ? params_.thLowCongested
+                                     : params_.thLowUncongested;
+}
+
+double
+HistoryDvsPolicy::highThreshold(double bu) const
+{
+    return bu >= params_.buCongested ? params_.thHighCongested
+                                     : params_.thHighUncongested;
+}
+
+LevelDecision
+HistoryDvsPolicy::decide(double bu) const
+{
+    double lu = averageUtilization();
+    if (lu > highThreshold(bu))
+        return LevelDecision::kUp;
+    if (lu < lowThreshold(bu))
+        return LevelDecision::kDown;
+    return LevelDecision::kHold;
+}
+
+void
+HistoryDvsPolicy::reset()
+{
+    std::fill(history_.begin(), history_.end(), 0.0);
+    head_ = 0;
+    count_ = 0;
+}
+
+} // namespace oenet

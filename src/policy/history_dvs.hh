@@ -1,0 +1,78 @@
+/**
+ * @file
+ * History-based DVS link policy (Section 3.3, after Shang et al.,
+ * HPCA 2003).
+ *
+ * Per link, hardware counters collect link utilization L_u and the
+ * downstream input-buffer utilization B_u over a window T_w. L_u is
+ * averaged over a sliding window of N past windows (Eq. 11) to filter
+ * short-term fluctuations. At each window boundary the averaged L_u is
+ * compared against thresholds (T_L, T_H) selected by congestion state:
+ * when B_u >= B_u,con the network is congested, queueing masks link
+ * latency, and the policy can scale more aggressively (Table 1):
+ *
+ *                      B_u < 0.5    B_u >= 0.5
+ *     T_L (step down)     0.4          0.6
+ *     T_H (step up)       0.6          0.7
+ *
+ * Decisions move the bit rate one level at a time.
+ */
+
+#ifndef OENET_POLICY_HISTORY_DVS_HH
+#define OENET_POLICY_HISTORY_DVS_HH
+
+#include <vector>
+
+namespace oenet {
+
+enum class LevelDecision
+{
+    kHold,
+    kUp,
+    kDown,
+};
+
+const char *levelDecisionName(LevelDecision decision);
+
+struct HistoryDvsParams
+{
+    double thLowUncongested = 0.4;
+    double thHighUncongested = 0.6;
+    double thLowCongested = 0.6;
+    double thHighCongested = 0.7;
+    double buCongested = 0.5; ///< B_u,con
+    int slidingWindows = 4;   ///< N of Eq. 11
+};
+
+class HistoryDvsPolicy
+{
+  public:
+    explicit HistoryDvsPolicy(const HistoryDvsParams &params = {});
+
+    /** Record one window's utilization sample (capacity-normalized). */
+    void observe(double lu);
+
+    /** Sliding average over the last N observations (Eq. 11). */
+    double averageUtilization() const;
+
+    /** Decide given the current window's buffer utilization. */
+    LevelDecision decide(double bu) const;
+
+    /** Thresholds in force for a given B_u. */
+    double lowThreshold(double bu) const;
+    double highThreshold(double bu) const;
+
+    void reset();
+
+    const HistoryDvsParams &params() const { return params_; }
+
+  private:
+    HistoryDvsParams params_;
+    std::vector<double> history_; ///< ring of the last N samples
+    int head_ = 0;
+    int count_ = 0;
+};
+
+} // namespace oenet
+
+#endif // OENET_POLICY_HISTORY_DVS_HH

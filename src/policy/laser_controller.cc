@@ -1,0 +1,64 @@
+#include "policy/laser_controller.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+LaserPowerState::LaserPowerState()
+    : LaserPowerState(Params{}, OpticalLevel::kHigh)
+{
+}
+
+LaserPowerState::LaserPowerState(const Params &params, OpticalLevel initial)
+    : params_(params), level_(initial)
+{
+    if (params_.responseCycles == 0)
+        warn("LaserPowerState: zero VOA response time");
+}
+
+bool
+LaserPowerState::advance(Cycle now)
+{
+    if (!pending_ || now < pendingReady_)
+        return false;
+    bool changed = pendingLevel_ != level_;
+    level_ = pendingLevel_;
+    pending_ = false;
+    return changed;
+}
+
+void
+LaserPowerState::requestIncrease(Cycle now)
+{
+    if (pending_ || level_ == OpticalLevel::kHigh)
+        return;
+    pending_ = true;
+    pendingLevel_ = static_cast<OpticalLevel>(static_cast<int>(level_) + 1);
+    pendingReady_ = now + params_.responseCycles;
+    increases_++;
+}
+
+void
+LaserPowerState::observeBitRate(double br_gbps)
+{
+    if (br_gbps > epochMaxBr_)
+        epochMaxBr_ = br_gbps;
+}
+
+void
+LaserPowerState::epochDecision(Cycle now)
+{
+    if (!pending_ && level_ != OpticalLevel::kLow) {
+        auto lower =
+            static_cast<OpticalLevel>(static_cast<int>(level_) - 1);
+        if (epochMaxBr_ <= maxBitRateForLevel(lower)) {
+            pending_ = true;
+            pendingLevel_ = lower;
+            pendingReady_ = now + params_.responseCycles;
+            decreases_++;
+        }
+    }
+    epochMaxBr_ = 0.0;
+}
+
+} // namespace oenet

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * External laser source controller (Section 3.3, modulator scheme with
+ * multiple optical power levels).
+ *
+ * The VOAs in the external laser chassis respond in ~100 us, so optical
+ * levels move on a far slower time scale than the electrical bit rate.
+ * Per fiber (link) the controller:
+ *
+ *  - P_inc: when the link policy wants a bit rate above what the
+ *    current optical level sustains, a raise request goes out
+ *    immediately; the electrical bit rate and voltage stay put until
+ *    the light arrives (one response time later), then the electrical
+ *    upgrade may proceed;
+ *  - P_dec: every decision epoch (200 us) the controller checks whether
+ *    the bit rate stayed low enough for the next level down during the
+ *    *entire* epoch; if so the optical power is halved.
+ */
+
+#ifndef OENET_POLICY_LASER_CONTROLLER_HH
+#define OENET_POLICY_LASER_CONTROLLER_HH
+
+#include "common/types.hh"
+#include "common/units.hh"
+#include "phy/laser_source.hh"
+
+namespace oenet {
+
+class LaserPowerState
+{
+  public:
+    struct Params
+    {
+        Cycle responseCycles = microsToCycles(100.0); ///< VOA response
+        Cycle decisionEpochCycles = microsToCycles(200.0); ///< P_dec epoch
+    };
+
+    LaserPowerState();
+    explicit LaserPowerState(const Params &params,
+                             OpticalLevel initial = OpticalLevel::kHigh);
+
+    /** Optical level currently delivered (after advance()). */
+    OpticalLevel level() const { return level_; }
+
+    /** Fraction of full optical power currently delivered. */
+    double scale() const { return opticalLevelFraction(level_); }
+
+    /** True while a VOA change is in flight. */
+    bool changePending() const { return pending_; }
+
+    /** The lowest optical level that may be in force now or once the
+     *  pending change lands — the level electrical upgrades must be
+     *  gated against so a scheduled P_dec cannot strand a fast link
+     *  without light. */
+    OpticalLevel guaranteedLevel() const
+    {
+        if (pending_ && static_cast<int>(pendingLevel_) <
+                            static_cast<int>(level_))
+            return pendingLevel_;
+        return level_;
+    }
+
+    /** Apply a pending change whose response time has elapsed.
+     *  @return true if the level changed. */
+    bool advance(Cycle now);
+
+    /** P_inc: request one level up; immediate dispatch, takes effect
+     *  one response time later. No-op if already at the top or a change
+     *  is pending. */
+    void requestIncrease(Cycle now);
+
+    /** Record the electrical bit rate seen during this epoch (called at
+     *  every policy window). */
+    void observeBitRate(double br_gbps);
+
+    /** P_dec evaluation at an epoch boundary: step the optical power
+     *  down iff the whole epoch's bit rates fit the next level down. */
+    void epochDecision(Cycle now);
+
+    std::uint64_t increases() const { return increases_; }
+    std::uint64_t decreases() const { return decreases_; }
+
+    const Params &params() const { return params_; }
+
+  private:
+    Params params_;
+    OpticalLevel level_;
+    bool pending_ = false;
+    OpticalLevel pendingLevel_ = OpticalLevel::kHigh;
+    Cycle pendingReady_ = 0;
+    double epochMaxBr_ = 0.0;
+    std::uint64_t increases_ = 0;
+    std::uint64_t decreases_ = 0;
+};
+
+} // namespace oenet
+
+#endif // OENET_POLICY_LASER_CONTROLLER_HH

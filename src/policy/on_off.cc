@@ -1,0 +1,47 @@
+#include "policy/on_off.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+OnOffController::OnOffController(OpticalLink &link,
+                                 std::function<bool()> waiting,
+                                 const Params &params)
+    : link_(link), waiting_(std::move(waiting)), params_(params)
+{
+    if (!waiting_)
+        fatal("OnOffController: missing waiting predicate");
+    HistoryDvsParams hp;
+    hp.slidingWindows = params_.slidingWindows;
+    luTracker_ = HistoryDvsPolicy(hp);
+}
+
+void
+OnOffController::onWindow(Cycle now)
+{
+    if (link_.isOff()) {
+        luTracker_.observe(0.0);
+        maybeWake(now);
+        return;
+    }
+    luTracker_.observe(link_.windowUtilization(now));
+    link_.beginWindow(now);
+    if (link_.transitionInProgress(now))
+        return;
+    if (luTracker_.averageUtilization() < params_.offThreshold &&
+        !waiting_()) {
+        link_.setOff(now, true);
+        sleeps_++;
+    }
+}
+
+void
+OnOffController::maybeWake(Cycle now)
+{
+    if (link_.isOff() && waiting_()) {
+        link_.setOff(now, false);
+        wakes_++;
+    }
+}
+
+} // namespace oenet

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * On/off link policy — the comparison point the paper cites as [26]
+ * (Soteriou & Peh, ICCD 2004): instead of scaling bit rate, links are
+ * turned completely off when idle and woken when traffic wants them.
+ *
+ * The controller turns a link off after its sliding-average utilization
+ * stays below an off-threshold, and wakes it as soon as the sender has
+ * work queued for it (probed through a caller-supplied predicate, since
+ * what "waiting work" means differs for router and node senders). Wakeup
+ * pays the CDR relock penalty, and the decision granularity is the same
+ * window T_w the DVS policy uses — so the two policies are directly
+ * comparable in the ablation bench.
+ */
+
+#ifndef OENET_POLICY_ON_OFF_HH
+#define OENET_POLICY_ON_OFF_HH
+
+#include <functional>
+
+#include "link/link.hh"
+#include "policy/history_dvs.hh"
+
+namespace oenet {
+
+class OnOffController
+{
+  public:
+    struct Params
+    {
+        double offThreshold = 0.05; ///< sliding L_u below this -> off
+        int slidingWindows = 4;
+    };
+
+    /** @param waiting returns true when the sender has flits queued for
+     *  this link (wake condition). */
+    OnOffController(OpticalLink &link, std::function<bool()> waiting,
+                    const Params &params);
+
+    /** Window-boundary hook (same cadence as the DVS policy). */
+    void onWindow(Cycle now);
+
+    /** Per-cycle fast path: wake as soon as work appears. Cheap —
+     *  a predicate call only while the link is off. */
+    void maybeWake(Cycle now);
+
+    std::uint64_t sleeps() const { return sleeps_; }
+    std::uint64_t wakes() const { return wakes_; }
+
+  private:
+    OpticalLink &link_;
+    std::function<bool()> waiting_;
+    Params params_;
+    HistoryDvsPolicy luTracker_; ///< reuse the sliding-average machinery
+    std::uint64_t sleeps_ = 0;
+    std::uint64_t wakes_ = 0;
+};
+
+} // namespace oenet
+
+#endif // OENET_POLICY_ON_OFF_HH

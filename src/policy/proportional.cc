@@ -1,0 +1,98 @@
+#include "policy/proportional.hh"
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace oenet {
+
+ProportionalDvsPolicy::ProportionalDvsPolicy(
+    const ProportionalDvsParams &params)
+    : params_(params)
+{
+    if (params_.slidingWindows < 1)
+        fatal("ProportionalDvsPolicy: sliding depth must be >= 1");
+    if (params_.targetUtilization <= 0.0 ||
+        params_.targetUtilization > 1.0)
+        fatal("ProportionalDvsPolicy: target utilization must be in "
+              "(0, 1]");
+    history_.assign(static_cast<std::size_t>(params_.slidingWindows),
+                    0.0);
+}
+
+void
+ProportionalDvsPolicy::observe(double flits_per_cycle)
+{
+    history_[static_cast<std::size_t>(head_)] = flits_per_cycle;
+    head_ = (head_ + 1) % params_.slidingWindows;
+    if (count_ < params_.slidingWindows)
+        count_++;
+}
+
+double
+ProportionalDvsPolicy::predictedDemand() const
+{
+    if (count_ == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (int i = 0; i < count_; i++)
+        sum += history_[static_cast<std::size_t>(
+            (head_ - 1 - i + 2 * params_.slidingWindows) %
+            params_.slidingWindows)];
+    return sum / count_ * params_.headroom;
+}
+
+int
+ProportionalDvsPolicy::chooseLevel(const BitrateLevelTable &levels) const
+{
+    double needed = predictedDemand() / params_.targetUtilization;
+    for (int i = 0; i < levels.numLevels(); i++) {
+        if (flitsPerCycle(levels.level(i).brGbps) >= needed)
+            return i;
+    }
+    return levels.maxLevel();
+}
+
+void
+ProportionalDvsPolicy::reset()
+{
+    std::fill(history_.begin(), history_.end(), 0.0);
+    head_ = 0;
+    count_ = 0;
+}
+
+ProportionalController::ProportionalController(
+    OpticalLink &link, const ProportionalDvsParams &params,
+    std::function<int()> sender_backlog)
+    : link_(link), policy_(params),
+      senderBacklog_(std::move(sender_backlog))
+{
+}
+
+void
+ProportionalController::onWindow(Cycle now)
+{
+    Cycle span = now - lastWindowStart_;
+    double flits_per_cycle =
+        span > 0 ? static_cast<double>(link_.windowFlits()) /
+                       static_cast<double>(span)
+                 : 0.0;
+    lastWindowStart_ = now;
+    link_.beginWindow(now);
+    policy_.observe(flits_per_cycle);
+
+    if (link_.transitionInProgress(now))
+        return;
+    int target = policy_.chooseLevel(link_.levels());
+    // Demand invisible to the throughput measurement (queued upstream)
+    // escalates the target, as in the threshold policy.
+    if (senderBacklog_ && senderBacklog_() > 0 &&
+        target <= link_.currentLevel())
+        target = std::min(link_.currentLevel() + 1,
+                          link_.levels().maxLevel());
+    if (target != link_.currentLevel()) {
+        link_.requestLevel(now, target);
+        retargets_++;
+    }
+}
+
+} // namespace oenet

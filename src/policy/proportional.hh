@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Proportional DVS policy — a design-space alternative to the paper's
+ * threshold stepper, closer to the original Shang et al. (HPCA 2003)
+ * formulation: predict near-future traffic from a sliding average of
+ * measured flits/cycle, then jump straight to the lowest bit-rate
+ * level whose capacity covers the prediction at a target utilization.
+ * One transition reaches any level (physically a single voltage ramp +
+ * relock), so the policy converges in one window where the stepper
+ * needs one window per level — at the cost of bigger mispredictions
+ * when traffic swings.
+ */
+
+#ifndef OENET_POLICY_PROPORTIONAL_HH
+#define OENET_POLICY_PROPORTIONAL_HH
+
+#include <functional>
+#include <vector>
+
+#include "link/link.hh"
+
+namespace oenet {
+
+struct ProportionalDvsParams
+{
+    double targetUtilization = 0.5; ///< provision capacity to this
+    double headroom = 1.0;          ///< extra multiplier on prediction
+    int slidingWindows = 4;
+};
+
+class ProportionalDvsPolicy
+{
+  public:
+    explicit ProportionalDvsPolicy(
+        const ProportionalDvsParams &params = {});
+
+    /** Record one window's absolute traffic (flits/cycle). */
+    void observe(double flits_per_cycle);
+
+    /** Sliding-average predicted demand, flits/cycle. */
+    double predictedDemand() const;
+
+    /** Lowest level of @p levels whose capacity covers the prediction
+     *  at the target utilization. */
+    int chooseLevel(const BitrateLevelTable &levels) const;
+
+    void reset();
+
+    const ProportionalDvsParams &params() const { return params_; }
+
+  private:
+    ProportionalDvsParams params_;
+    std::vector<double> history_;
+    int head_ = 0;
+    int count_ = 0;
+};
+
+/** Per-link controller driving a link with the proportional policy. */
+class ProportionalController
+{
+  public:
+    ProportionalController(OpticalLink &link,
+                           const ProportionalDvsParams &params,
+                           std::function<int()> sender_backlog = {});
+
+    void onWindow(Cycle now);
+
+    std::uint64_t retargets() const { return retargets_; }
+
+  private:
+    OpticalLink &link_;
+    ProportionalDvsPolicy policy_;
+    std::function<int()> senderBacklog_;
+    Cycle lastWindowStart_ = 0;
+    std::uint64_t retargets_ = 0;
+};
+
+} // namespace oenet
+
+#endif // OENET_POLICY_PROPORTIONAL_HH

@@ -1,0 +1,46 @@
+#include "router/allocators.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+RoundRobinArbiter::RoundRobinArbiter(int size) : size_(size)
+{
+    if (size < 0 || size > 64)
+        panic("RoundRobinArbiter: size %d out of [0, 64]", size);
+}
+
+void
+RoundRobinArbiter::resize(int size)
+{
+    if (size < 0 || size > 64)
+        panic("RoundRobinArbiter: size %d out of [0, 64]", size);
+    size_ = size;
+    next_ = 0;
+}
+
+int
+RoundRobinArbiter::peek(std::uint64_t requests) const
+{
+    if (requests == 0)
+        return -1;
+    if (size_ < 64 && (requests >> size_) != 0)
+        panic("RoundRobinArbiter: request bits beyond size %d", size_);
+    std::uint64_t rotated = requests >> next_;
+    if (rotated != 0)
+        return next_ + std::countr_zero(rotated);
+    return std::countr_zero(requests);
+}
+
+int
+RoundRobinArbiter::pick(std::uint64_t requests)
+{
+    int winner = peek(requests);
+    if (winner >= 0)
+        next_ = (winner + 1) % size_;
+    return winner;
+}
+
+} // namespace oenet

@@ -1,0 +1,43 @@
+#include "router/buffer.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+FlitFifo::FlitFifo(int capacity)
+    : ring_(static_cast<std::size_t>(capacity)), capacity_(capacity)
+{
+    if (capacity < 1)
+        panic("FlitFifo: capacity must be >= 1, got %d", capacity);
+}
+
+void
+FlitFifo::push(const Flit &flit)
+{
+    if (full())
+        panic("FlitFifo: overflow (capacity %d); credit protocol broken",
+              capacity_);
+    ring_[static_cast<std::size_t>((head_ + size_) % capacity_)] = flit;
+    size_++;
+}
+
+Flit
+FlitFifo::pop()
+{
+    if (empty())
+        panic("FlitFifo: underflow");
+    Flit flit = ring_[static_cast<std::size_t>(head_)];
+    head_ = (head_ + 1) % capacity_;
+    size_--;
+    return flit;
+}
+
+const Flit &
+FlitFifo::front() const
+{
+    if (empty())
+        panic("FlitFifo: front of empty FIFO");
+    return ring_[static_cast<std::size_t>(head_)];
+}
+
+} // namespace oenet

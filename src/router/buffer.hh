@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fixed-capacity flit FIFO backing one virtual channel's input buffer.
+ * Overflow and underflow are protocol violations (credit bugs), so they
+ * panic rather than degrade.
+ */
+
+#ifndef OENET_ROUTER_BUFFER_HH
+#define OENET_ROUTER_BUFFER_HH
+
+#include <vector>
+
+#include "router/flit.hh"
+
+namespace oenet {
+
+class FlitFifo
+{
+  public:
+    explicit FlitFifo(int capacity);
+
+    void push(const Flit &flit);
+    Flit pop();
+    const Flit &front() const;
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+    int size() const { return size_; }
+    int capacity() const { return capacity_; }
+    int freeSlots() const { return capacity_ - size_; }
+
+  private:
+    std::vector<Flit> ring_;
+    int capacity_;
+    int head_ = 0;
+    int size_ = 0;
+};
+
+} // namespace oenet
+
+#endif // OENET_ROUTER_BUFFER_HH

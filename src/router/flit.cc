@@ -1,0 +1,45 @@
+#include "router/flit.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+void
+flitizePacket(std::vector<Flit> &out, PacketId id, NodeId src, NodeId dst,
+              int len, Cycle created_at)
+{
+    if (len < 1)
+        panic("flitizePacket: packet length must be >= 1, got %d", len);
+    if (len > 0xFFFF)
+        panic("flitizePacket: packet length %d exceeds flit seq field",
+              len);
+    for (int i = 0; i < len; i++) {
+        Flit f;
+        f.packet = id;
+        f.src = src;
+        f.dst = dst;
+        f.createdAt = created_at;
+        f.seq = static_cast<std::uint16_t>(i);
+        f.len = static_cast<std::uint16_t>(len);
+        f.flags = 0;
+        if (i == 0)
+            f.flags |= Flit::kHeadFlag;
+        if (i == len - 1)
+            f.flags |= Flit::kTailFlag;
+        out.push_back(f);
+    }
+}
+
+const char *
+flitKindName(const Flit &flit)
+{
+    if (flit.isHead() && flit.isTail())
+        return "head+tail";
+    if (flit.isHead())
+        return "head";
+    if (flit.isTail())
+        return "tail";
+    return "body";
+}
+
+} // namespace oenet

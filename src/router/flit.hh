@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Flits and packet flitization.
+ *
+ * A flit (flow-control unit) is a fixed-size segment of a packet — 16
+ * bits of payload on the wire in the reference system. Routers and links
+ * operate purely on flits; packet identity is carried in every flit so
+ * latency accounting needs no side tables.
+ */
+
+#ifndef OENET_ROUTER_FLIT_HH
+#define OENET_ROUTER_FLIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace oenet {
+
+struct Flit
+{
+    static constexpr std::uint8_t kHeadFlag = 1;
+    static constexpr std::uint8_t kTailFlag = 2;
+
+    PacketId packet = 0;   ///< packet this flit belongs to
+    NodeId src = 0;        ///< source processing node
+    NodeId dst = 0;        ///< destination processing node
+    Cycle createdAt = 0;   ///< cycle the packet was created at the source
+    std::uint16_t seq = 0; ///< index of this flit within its packet
+    std::uint16_t len = 0; ///< total flits in the packet
+    std::uint8_t vc = 0;   ///< virtual channel on the current hop
+    std::uint8_t flags = 0;
+
+    bool isHead() const { return flags & kHeadFlag; }
+    bool isTail() const { return flags & kTailFlag; }
+};
+
+/**
+ * Append the @p len flits of one packet to @p out, with head/tail flags
+ * set (a single-flit packet is both head and tail).
+ */
+void flitizePacket(std::vector<Flit> &out, PacketId id, NodeId src,
+                   NodeId dst, int len, Cycle created_at);
+
+/** Human-readable summary for diagnostics. */
+const char *flitKindName(const Flit &flit);
+
+} // namespace oenet
+
+#endif // OENET_ROUTER_FLIT_HH

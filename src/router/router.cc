@@ -1,0 +1,427 @@
+#include "router/router.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+Router::Router(std::string name, int x, int y, const ClusteredMesh &mesh,
+               const Params &params)
+    : name_(std::move(name)), x_(x), y_(y), mesh_(mesh), params_(params)
+{
+    if (params_.numVcs < 1)
+        fatal("Router %s: need at least one VC", name_.c_str());
+    if (params_.bufferDepthPerPort < params_.numVcs)
+        fatal("Router %s: buffer depth %d cannot cover %d VCs",
+              name_.c_str(), params_.bufferDepthPerPort, params_.numVcs);
+    vcDepth_ = params_.bufferDepthPerPort / params_.numVcs;
+
+    int ports = mesh_.portsPerRouter();
+    if (ports > kMaxPorts || ports * params_.numVcs > 64)
+        fatal("Router %s: %d ports x %d VCs exceeds allocator masks",
+              name_.c_str(), ports, params_.numVcs);
+    inputs_.resize(static_cast<std::size_t>(ports));
+    outputs_.resize(static_cast<std::size_t>(ports));
+    saInputArb_.resize(static_cast<std::size_t>(ports));
+    saCandidateVc_.assign(static_cast<std::size_t>(ports), kInvalid);
+
+    for (int p = 0; p < ports; p++) {
+        auto &in = inputs_[static_cast<std::size_t>(p)];
+        in.vcs.reserve(static_cast<std::size_t>(params_.numVcs));
+        for (int v = 0; v < params_.numVcs; v++)
+            in.vcs.emplace_back(vcDepth_);
+        auto &out = outputs_[static_cast<std::size_t>(p)];
+        out.vcs.resize(static_cast<std::size_t>(params_.numVcs));
+        out.saArb.resize(ports);
+        out.vaArb.resize(ports * params_.numVcs);
+        saInputArb_[static_cast<std::size_t>(p)].resize(params_.numVcs);
+    }
+}
+
+void
+Router::connectInput(int port, OpticalLink *link, CreditSink *upstream,
+                     int upstream_port)
+{
+    if (port < 0 || port >= numPorts())
+        panic("Router %s: bad input port %d", name_.c_str(), port);
+    auto &in = inputs_[static_cast<std::size_t>(port)];
+    in.link = link;
+    in.upstream = upstream;
+    in.upstreamPort = upstream_port;
+}
+
+void
+Router::connectOutput(int port, OpticalLink *link, int downstream_vc_depth)
+{
+    if (port < 0 || port >= numPorts())
+        panic("Router %s: bad output port %d", name_.c_str(), port);
+    auto &out = outputs_[static_cast<std::size_t>(port)];
+    out.link = link;
+    for (auto &vc : out.vcs)
+        vc.credits = downstream_vc_depth;
+}
+
+void
+Router::returnCredit(int port, int vc, Cycle now)
+{
+    pendingCredits_.push_back(PendingCredit{port, vc, now + 1});
+}
+
+double
+Router::occupancyIntegral(int port, Cycle now) const
+{
+    return inputs_.at(static_cast<std::size_t>(port))
+        .occupancy.integral(now);
+}
+
+int
+Router::bufferCapacity(int) const
+{
+    return vcDepth_ * params_.numVcs;
+}
+
+int
+Router::inputOccupancy(int port) const
+{
+    const auto &in = inputs_.at(static_cast<std::size_t>(port));
+    int n = 0;
+    for (const auto &vc : in.vcs)
+        n += vc.buffer.size();
+    return n;
+}
+
+int
+Router::outputCredits(int port, int vc) const
+{
+    return outputs_.at(static_cast<std::size_t>(port))
+        .vcs.at(static_cast<std::size_t>(vc))
+        .credits;
+}
+
+bool
+Router::outputVcFree(int port, int vc) const
+{
+    return !outputs_.at(static_cast<std::size_t>(port))
+                .vcs.at(static_cast<std::size_t>(vc))
+                .allocated;
+}
+
+OpticalLink *
+Router::outputLink(int port) const
+{
+    return outputs_.at(static_cast<std::size_t>(port)).link;
+}
+
+OpticalLink *
+Router::inputLink(int port) const
+{
+    return inputs_.at(static_cast<std::size_t>(port)).link;
+}
+
+bool
+Router::outputWaiting(int port) const
+{
+    const auto &out = outputs_.at(static_cast<std::size_t>(port));
+    if (out.latchFull)
+        return true;
+    for (const auto &in : inputs_) {
+        for (const auto &ivc : in.vcs) {
+            if (ivc.outPort == port && !ivc.buffer.empty() &&
+                (ivc.state == VcState::kActive ||
+                 ivc.state == VcState::kVcAlloc))
+                return true;
+        }
+    }
+    return false;
+}
+
+int
+Router::bufferedFor(int port) const
+{
+    int n = 0;
+    for (const auto &in : inputs_) {
+        for (const auto &ivc : in.vcs) {
+            if (ivc.outPort == port)
+                n += ivc.buffer.size();
+        }
+    }
+    const auto &out = outputs_.at(static_cast<std::size_t>(port));
+    if (out.latchFull)
+        n++;
+    return n;
+}
+
+int
+Router::totalBufferedFlits() const
+{
+    int n = 0;
+    for (int p = 0; p < numPorts(); p++)
+        n += inputOccupancy(p);
+    for (const auto &out : outputs_)
+        n += out.latchFull ? 1 : 0;
+    return n;
+}
+
+void
+Router::applyCredits(Cycle now)
+{
+    std::size_t i = 0;
+    while (i < pendingCredits_.size()) {
+        const auto &pc = pendingCredits_[i];
+        if (pc.effective <= now) {
+            auto &state = outputs_[static_cast<std::size_t>(pc.port)]
+                              .vcs[static_cast<std::size_t>(pc.vc)];
+            state.credits++;
+            if (state.credits > vcDepth_)
+                panic("Router %s: credit overflow on output %d vc %d",
+                      name_.c_str(), pc.port, pc.vc);
+            pendingCredits_[i] = pendingCredits_.back();
+            pendingCredits_.pop_back();
+        } else {
+            i++;
+        }
+    }
+}
+
+void
+Router::stageSwitchTraversal(Cycle now)
+{
+    for (auto &out : outputs_) {
+        if (!out.latchFull)
+            continue;
+        if (out.link == nullptr)
+            panic("Router %s: latched flit on unconnected output",
+                  name_.c_str());
+        if (out.link->canAccept(now)) {
+            out.link->accept(now, out.latch);
+            out.latchFull = false;
+            latchCount_--;
+        }
+        // Otherwise the flit waits in the latch; SA skips this port.
+    }
+}
+
+void
+Router::stageSwitchAllocation(Cycle now)
+{
+    int ports = numPorts();
+    int vcs = params_.numVcs;
+
+    // Stage 1: each input port nominates one of its VCs. Requests per
+    // output port are accumulated as bit masks for stage 2.
+    std::uint64_t port_requests[kMaxPorts] = {};
+    bool any = false;
+    for (int p = 0; p < ports; p++) {
+        auto &in = inputs_[static_cast<std::size_t>(p)];
+        std::uint64_t req = 0;
+        for (int v = 0; v < vcs; v++) {
+            const auto &ivc = in.vcs[static_cast<std::size_t>(v)];
+            if (ivc.state != VcState::kActive || ivc.buffer.empty())
+                continue;
+            const auto &out =
+                outputs_[static_cast<std::size_t>(ivc.outPort)];
+            if (out.latchFull)
+                continue;
+            if (out.vcs[static_cast<std::size_t>(ivc.outVc)].credits <= 0)
+                continue;
+            req |= 1ull << v;
+        }
+        int winner =
+            req ? saInputArb_[static_cast<std::size_t>(p)].pick(req)
+                : kInvalid;
+        saCandidateVc_[static_cast<std::size_t>(p)] = winner;
+        if (winner != kInvalid) {
+            int q = in.vcs[static_cast<std::size_t>(winner)].outPort;
+            port_requests[q] |= 1ull << p;
+            any = true;
+        }
+    }
+    if (!any)
+        return;
+
+    // Stage 2: each output port picks among nominating input ports.
+    for (int q = 0; q < ports; q++) {
+        auto &out = outputs_[static_cast<std::size_t>(q)];
+        if (port_requests[q] == 0 || out.latchFull)
+            continue;
+        int p = out.saArb.pick(port_requests[q]);
+        int v = saCandidateVc_[static_cast<std::size_t>(p)];
+        auto &in = inputs_[static_cast<std::size_t>(p)];
+        auto &ivc = in.vcs[static_cast<std::size_t>(v)];
+
+        Flit flit = ivc.buffer.pop();
+        bufferedFlits_--;
+        in.occupancy.update(now, inputOccupancy(p));
+        flit.vc = static_cast<std::uint8_t>(ivc.outVc);
+        out.latch = flit;
+        out.latchFull = true;
+        latchCount_++;
+        out.vcs[static_cast<std::size_t>(ivc.outVc)].credits--;
+        flitsSwitched_++;
+
+        // Return a credit for the slot we just freed.
+        if (in.upstream != nullptr)
+            in.upstream->returnCredit(in.upstreamPort, v, now);
+
+        // This input port consumed its switch slot this cycle.
+        saCandidateVc_[static_cast<std::size_t>(p)] = kInvalid;
+
+        if (flit.isTail()) {
+            out.vcs[static_cast<std::size_t>(ivc.outVc)].allocated =
+                false;
+            ivc.outPort = kInvalid;
+            ivc.outVc = kInvalid;
+            if (ivc.buffer.empty()) {
+                ivc.state = VcState::kIdle;
+            } else {
+                if (!ivc.buffer.front().isHead())
+                    panic("Router %s: non-head after tail on in %d vc %d",
+                          name_.c_str(), p, v);
+                ivc.state = VcState::kRouting;
+                routingCount_++;
+            }
+        }
+    }
+}
+
+void
+Router::stageVcAllocation(Cycle now)
+{
+    (void)now;
+    int ports = numPorts();
+    int vcs = params_.numVcs;
+
+    // Collect requesting input VCs (flattened index p*vcs + v) per
+    // requested output port.
+    std::uint64_t requests[kMaxPorts] = {};
+    for (int p = 0; p < ports; p++) {
+        auto &in = inputs_[static_cast<std::size_t>(p)];
+        for (int v = 0; v < vcs; v++) {
+            const auto &ivc = in.vcs[static_cast<std::size_t>(v)];
+            if (ivc.state == VcState::kVcAlloc)
+                requests[ivc.outPort] |= 1ull << (p * vcs + v);
+        }
+    }
+
+    for (int q = 0; q < ports; q++) {
+        auto &out = outputs_[static_cast<std::size_t>(q)];
+        if (requests[q] == 0)
+            continue;
+
+        // Hand each free output VC to one requester, rotating fairly.
+        for (int ov = 0; ov < vcs; ov++) {
+            if (out.vcs[static_cast<std::size_t>(ov)].allocated)
+                continue;
+            int winner = out.vaArb.pick(requests[q]);
+            if (winner < 0)
+                break;
+            int p = winner / vcs;
+            int v = winner % vcs;
+            auto &ivc = inputs_[static_cast<std::size_t>(p)]
+                            .vcs[static_cast<std::size_t>(v)];
+            ivc.outVc = ov;
+            ivc.state = VcState::kActive;
+            vcAllocCount_--;
+            auto &ovc = out.vcs[static_cast<std::size_t>(ov)];
+            ovc.allocated = true;
+            ovc.ownerInPort = p;
+            ovc.ownerInVc = v;
+            requests[q] &= ~(1ull << winner);
+        }
+    }
+}
+
+int
+Router::selectRoute(NodeId dst)
+{
+    int candidates[2];
+    int n = mesh_.routeCandidates(params_.routing, x_, y_, dst,
+                                  candidates);
+    if (n == 1)
+        return candidates[0];
+    // Adaptive selection: prefer the productive direction with the
+    // most downstream credit (least congested), ties to the first.
+    int best = candidates[0];
+    int best_credits = -1;
+    for (int i = 0; i < n; i++) {
+        const auto &out =
+            outputs_[static_cast<std::size_t>(candidates[i])];
+        int credits = 0;
+        for (const auto &vc : out.vcs)
+            credits += vc.credits;
+        if (credits > best_credits) {
+            best_credits = credits;
+            best = candidates[i];
+        }
+    }
+    return best;
+}
+
+void
+Router::stageRouteComputation(Cycle now)
+{
+    (void)now;
+    for (auto &in : inputs_) {
+        for (auto &ivc : in.vcs) {
+            if (ivc.state != VcState::kRouting)
+                continue;
+            if (ivc.buffer.empty() || !ivc.buffer.front().isHead())
+                panic("Router %s: routing state without head flit",
+                      name_.c_str());
+            ivc.outPort = selectRoute(ivc.buffer.front().dst);
+            ivc.state = VcState::kVcAlloc;
+            routingCount_--;
+            vcAllocCount_++;
+        }
+    }
+}
+
+void
+Router::drainArrivals(Cycle now)
+{
+    for (int p = 0; p < numPorts(); p++) {
+        auto &in = inputs_[static_cast<std::size_t>(p)];
+        if (in.link == nullptr)
+            continue;
+        while (in.link->hasArrival(now)) {
+            Flit flit = in.link->popArrival(now);
+            int v = flit.vc;
+            if (v < 0 || v >= params_.numVcs)
+                panic("Router %s: flit with bad VC %d on input %d",
+                      name_.c_str(), v, p);
+            auto &ivc = in.vcs[static_cast<std::size_t>(v)];
+            if (ivc.buffer.full())
+                panic("Router %s: input %d vc %d overflow (credit bug)",
+                      name_.c_str(), p, v);
+            if (ivc.state == VcState::kIdle) {
+                if (!flit.isHead())
+                    panic("Router %s: body flit into idle in %d vc %d",
+                          name_.c_str(), p, v);
+                ivc.state = VcState::kRouting;
+                routingCount_++;
+            }
+            ivc.buffer.push(flit);
+            bufferedFlits_++;
+            in.occupancy.update(now, inputOccupancy(p));
+        }
+    }
+}
+
+void
+Router::tick(Cycle now)
+{
+    if (!pendingCredits_.empty())
+        applyCredits(now);
+    if (latchCount_ > 0)
+        stageSwitchTraversal(now);
+    if (bufferedFlits_ > 0)
+        stageSwitchAllocation(now);
+    if (vcAllocCount_ > 0)
+        stageVcAllocation(now);
+    if (routingCount_ > 0)
+        stageRouteComputation(now);
+    drainArrivals(now);
+}
+
+} // namespace oenet

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * 5-stage pipelined virtual-channel wormhole router (Section 3.1,
+ * Fig. 4(b)).
+ *
+ * Ports 0..C-1 are injection/ejection ports serving the C processing
+ * nodes of the rack; ports C..C+3 connect East/West/North/South
+ * neighbors. Each input port holds `bufferDepthPerPort` flits split
+ * evenly across `numVcs` virtual channels; flow control is credit-based.
+ *
+ * Pipeline stages, one cycle each:
+ *   RC  route computation      (head flit; XY dimension-order)
+ *   VA  VC allocation          (separable, round-robin)
+ *   SA  switch allocation      (input-first then output round-robin)
+ *   ST  switch traversal       (output latch -> link)
+ *   LT  link traversal         (modeled by OpticalLink)
+ *
+ * Within a tick the stages run downstream-first (ST, SA, VA, RC, then
+ * link arrivals are drained into the buffers) so a flit advances at most
+ * one stage per cycle. The router core runs at a fixed 625 MHz clock
+ * regardless of the attached links' bit rates (Section 3.1): clock
+ * domain crossing is inside OpticalLink, which simply refuses flits
+ * while serializing or retraining.
+ */
+
+#ifndef OENET_ROUTER_ROUTER_HH
+#define OENET_ROUTER_ROUTER_HH
+
+#include <string>
+#include <vector>
+
+#include "link/endpoints.hh"
+#include "link/link.hh"
+#include "router/allocators.hh"
+#include "router/buffer.hh"
+#include "router/routing.hh"
+#include "sim/kernel.hh"
+
+namespace oenet {
+
+class Router : public Ticking, public CreditSink, public OccupancyProvider
+{
+  public:
+    struct Params
+    {
+        int numVcs = 2;
+        int bufferDepthPerPort = 16; ///< flits, split across the VCs
+        RoutingAlgo routing = RoutingAlgo::kXY;
+    };
+
+    Router(std::string name, int x, int y, const ClusteredMesh &mesh,
+           const Params &params);
+
+    /** Attach the link feeding input @p port, along with the upstream
+     *  credit sink (sender) and the sender's output-port index. */
+    void connectInput(int port, OpticalLink *link, CreditSink *upstream,
+                      int upstream_port);
+
+    /** Attach the link driven by output @p port. @p downstream_vc_depth
+     *  is the per-VC buffer capacity at the far end (initial credits). */
+    void connectOutput(int port, OpticalLink *link,
+                       int downstream_vc_depth);
+
+    void tick(Cycle now) override;
+
+    // CreditSink: the downstream receiver of output @p port returns a
+    // credit for @p vc (applied at now+1).
+    void returnCredit(int port, int vc, Cycle now) override;
+
+    // OccupancyProvider over this router's *input* ports.
+    double occupancyIntegral(int port, Cycle now) const override;
+    int bufferCapacity(int port) const override;
+
+    // ------------------------------------------------------------------
+    // Introspection (tests, policy, stats)
+    // ------------------------------------------------------------------
+
+    int numPorts() const { return static_cast<int>(inputs_.size()); }
+    int numVcs() const { return params_.numVcs; }
+    int x() const { return x_; }
+    int y() const { return y_; }
+    const std::string &name() const { return name_; }
+
+    /** Flits currently buffered at input @p port (all VCs). */
+    int inputOccupancy(int port) const;
+
+    /** Credits available for (output port, vc). */
+    int outputCredits(int port, int vc) const;
+
+    /** True if output VC is unallocated. */
+    bool outputVcFree(int port, int vc) const;
+
+    OpticalLink *outputLink(int port) const;
+    OpticalLink *inputLink(int port) const;
+
+    std::uint64_t flitsSwitched() const { return flitsSwitched_; }
+
+    /** True if any flit is latched or routed toward output @p port
+     *  (the on/off policy's wake condition). */
+    bool outputWaiting(int port) const;
+
+    /** Flits buffered in this router that are routed toward output
+     *  @p port (the sender-side backlog the policy escalates on). */
+    int bufferedFor(int port) const;
+
+    /** Total flits buffered anywhere in this router (for drain tests). */
+    int totalBufferedFlits() const;
+
+  private:
+    enum class VcState
+    {
+        kIdle,
+        kRouting,
+        kVcAlloc,
+        kActive,
+    };
+
+    struct InputVc
+    {
+        FlitFifo buffer;
+        VcState state = VcState::kIdle;
+        int outPort = kInvalid;
+        int outVc = kInvalid;
+
+        explicit InputVc(int depth) : buffer(depth) {}
+    };
+
+    struct InputPort
+    {
+        OpticalLink *link = nullptr;
+        CreditSink *upstream = nullptr;
+        int upstreamPort = kInvalid;
+        std::vector<InputVc> vcs;
+        TimeWeighted occupancy;
+    };
+
+    struct OutputVcState
+    {
+        bool allocated = false;
+        int ownerInPort = kInvalid;
+        int ownerInVc = kInvalid;
+        int credits = 0;
+    };
+
+    struct OutputPort
+    {
+        OpticalLink *link = nullptr;
+        std::vector<OutputVcState> vcs;
+        bool latchFull = false;
+        Flit latch{};
+        RoundRobinArbiter saArb; ///< among input ports
+        RoundRobinArbiter vaArb; ///< among flattened input VCs
+    };
+
+    struct PendingCredit
+    {
+        int port;
+        int vc;
+        Cycle effective;
+    };
+
+    int selectRoute(NodeId dst);
+    void applyCredits(Cycle now);
+    void stageSwitchTraversal(Cycle now);
+    void stageSwitchAllocation(Cycle now);
+    void stageVcAllocation(Cycle now);
+    void stageRouteComputation(Cycle now);
+    void drainArrivals(Cycle now);
+
+    std::string name_;
+    int x_;
+    int y_;
+    const ClusteredMesh &mesh_;
+    Params params_;
+    int vcDepth_;
+
+    std::vector<InputPort> inputs_;
+    std::vector<OutputPort> outputs_;
+    std::vector<RoundRobinArbiter> saInputArb_; ///< per input port
+    std::vector<PendingCredit> pendingCredits_;
+
+    std::uint64_t flitsSwitched_ = 0;
+
+    // Fast-path occupancy counters: stages whose populations are zero
+    // are skipped entirely (the common case on an idle fabric).
+    int bufferedFlits_ = 0; ///< flits across all input buffers
+    int latchCount_ = 0;    ///< occupied output latches
+    int routingCount_ = 0;  ///< input VCs in kRouting
+    int vcAllocCount_ = 0;  ///< input VCs in kVcAlloc
+
+    /** Upper bound on ports (masks are 64-bit; VA flattens p*vcs+v). */
+    static constexpr int kMaxPorts = 32;
+
+    std::vector<int> saCandidateVc_; ///< per input port, winner VC or -1
+};
+
+} // namespace oenet
+
+#endif // OENET_ROUTER_ROUTER_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Topology addressing and routing for the clustered 2-D mesh
+ * (Section 3.1, Fig. 3(a)).
+ *
+ * The system is a meshX x meshY mesh of cluster routers; each router
+ * serves C processing nodes (C = 8 boards per rack). Node IDs are dense:
+ * node n lives in rack n / C at local index n % C. Router ports are
+ * numbered: 0..C-1 local injection/ejection, then East, West, North,
+ * South (ports 8-11 in the reference configuration).
+ *
+ * Routing is deterministic dimension-order (XY): correct X first, then
+ * Y, then eject at the local port — deadlock-free on the mesh without
+ * VC restrictions.
+ */
+
+#ifndef OENET_ROUTER_ROUTING_HH
+#define OENET_ROUTER_ROUTING_HH
+
+#include "common/types.hh"
+
+namespace oenet {
+
+/** Direction port offsets beyond the local ports. */
+enum MeshDir : int
+{
+    kDirEast = 0,
+    kDirWest = 1,
+    kDirNorth = 2,
+    kDirSouth = 3,
+    kNumDirs = 4,
+};
+
+const char *meshDirName(int dir);
+
+/** Routing algorithm for the inter-rack mesh. */
+enum class RoutingAlgo
+{
+    kXY,        ///< dimension order, X first (paper default)
+    kYX,        ///< dimension order, Y first
+    kWestFirst, ///< turn-model partially adaptive (Glass & Ni):
+                ///< west hops, if any, are taken first; all other
+                ///< productive directions may then be chosen freely
+};
+
+const char *routingAlgoName(RoutingAlgo algo);
+
+/** Addressing + XY routing for a clustered mesh. */
+class ClusteredMesh
+{
+  public:
+    ClusteredMesh(int mesh_x, int mesh_y, int nodes_per_cluster);
+
+    int meshX() const { return meshX_; }
+    int meshY() const { return meshY_; }
+    int nodesPerCluster() const { return clusterSize_; }
+    int numRouters() const { return meshX_ * meshY_; }
+    int numNodes() const { return numRouters() * clusterSize_; }
+    int portsPerRouter() const { return clusterSize_ + kNumDirs; }
+
+    int rackOf(NodeId node) const;
+    int localIndexOf(NodeId node) const;
+    int rackX(int rack) const { return rack % meshX_; }
+    int rackY(int rack) const { return rack / meshX_; }
+    int rackAt(int x, int y) const { return y * meshX_ + x; }
+    NodeId nodeAt(int rack, int local) const;
+
+    /** Port index for mesh direction @p dir (kDirEast etc.). */
+    int dirPort(int dir) const { return clusterSize_ + dir; }
+
+    /** True if the router at (x, y) has a neighbor in direction. */
+    bool hasNeighbor(int x, int y, int dir) const;
+
+    /** Rack index of the neighbor in @p dir. @pre hasNeighbor. */
+    int neighborRack(int x, int y, int dir) const;
+
+    /**
+     * XY route computation: output port at router (x, y) for a packet
+     * destined to @p dst. Local ejection ports win once the packet is
+     * in its destination rack.
+     */
+    int route(int x, int y, NodeId dst) const;
+
+    /** YX route computation (Y corrected first). */
+    int routeYx(int x, int y, NodeId dst) const;
+
+    /**
+     * Candidate output ports at (x, y) for @p dst under @p algo,
+     * written into @p out (size >= 2). Deterministic algorithms yield
+     * one candidate; west-first yields up to two productive
+     * directions once any westward hops are done.
+     * @return the number of candidates (>= 1).
+     */
+    int routeCandidates(RoutingAlgo algo, int x, int y, NodeId dst,
+                        int out[2]) const;
+
+    /** Minimal hop count (#routers visited) between two nodes. */
+    int hopCount(NodeId src, NodeId dst) const;
+
+  private:
+    int meshX_;
+    int meshY_;
+    int clusterSize_;
+};
+
+} // namespace oenet
+
+#endif // OENET_ROUTER_ROUTING_HH

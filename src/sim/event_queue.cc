@@ -1,0 +1,37 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+void
+EventQueue::schedule(Cycle when, Action action)
+{
+    if (when < lastRun_)
+        panic("EventQueue: scheduling into the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(lastRun_));
+    heap_.push(Entry{when, nextSeq_++, std::move(action)});
+}
+
+void
+EventQueue::runDue(Cycle now)
+{
+    lastRun_ = now;
+    while (!heap_.empty() && heap_.top().when <= now) {
+        // Copy out before pop so the action can schedule new events.
+        Action action = heap_.top().action;
+        heap_.pop();
+        action();
+    }
+}
+
+Cycle
+EventQueue::nextEventCycle() const
+{
+    return heap_.empty() ? kNeverCycle : heap_.top().when;
+}
+
+} // namespace oenet

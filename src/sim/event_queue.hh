@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Delta event queue for the cycle-driven kernel.
+ *
+ * The oenet kernel is cycle-driven for the data path (routers tick every
+ * cycle), but control actions that fire at sparse future times — voltage
+ * ramp completions, attenuator responses, policy epochs, trace
+ * injections — are scheduled here so nothing polls for them. Events
+ * scheduled for the same cycle fire in schedule order (a monotone
+ * sequence number breaks ties), which keeps runs deterministic.
+ */
+
+#ifndef OENET_SIM_EVENT_QUEUE_HH
+#define OENET_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace oenet {
+
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Schedule @p action to run at cycle @p when.
+     *  @pre when >= the cycle passed to the last runDue() call. */
+    void schedule(Cycle when, Action action);
+
+    /** Run every event due at or before @p now, in (cycle, order) order.
+     *  Events may schedule further events, including for @p now. */
+    void runDue(Cycle now);
+
+    /** Cycle of the earliest pending event, or kNeverCycle. */
+    Cycle nextEventCycle() const;
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Action action;
+    };
+
+    struct Later
+    {
+        bool operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+    Cycle lastRun_ = 0;
+};
+
+} // namespace oenet
+
+#endif // OENET_SIM_EVENT_QUEUE_HH

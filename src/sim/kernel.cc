@@ -1,0 +1,65 @@
+#include "sim/kernel.hh"
+
+#include <memory>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+void
+Kernel::addTicking(Ticking *component)
+{
+    if (!component)
+        panic("Kernel::addTicking: null component");
+    ticking_.push_back(component);
+}
+
+void
+Kernel::step()
+{
+    events_.runDue(now_);
+    for (Ticking *t : ticking_)
+        t->tick(now_);
+    now_++;
+}
+
+void
+Kernel::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; i++)
+        step();
+}
+
+void
+Kernel::schedule(Cycle when, EventQueue::Action action)
+{
+    events_.schedule(when, std::move(action));
+}
+
+void
+Kernel::schedulePeriodic(Cycle first, Cycle period,
+                         std::function<void(Cycle)> action)
+{
+    if (period == 0)
+        panic("Kernel::schedulePeriodic: zero period");
+    struct Repeater
+    {
+        Kernel *kernel;
+        Cycle period;
+        std::function<void(Cycle)> action;
+
+        void fire(Cycle when) const
+        {
+            action(when);
+            auto self = *this; // copy keeps the chain alive in the queue
+            kernel->events_.schedule(
+                when + period,
+                [self, next = when + period]() { self.fire(next); });
+        }
+    };
+    Repeater rep{this, period, std::move(action)};
+    events_.schedule(first, [rep, first]() { rep.fire(first); });
+}
+
+} // namespace oenet

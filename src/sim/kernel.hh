@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Simulation kernel: owns the current cycle, the event queue, and the
+ * ordered list of components ticked every cycle.
+ *
+ * Tick protocol per cycle t:
+ *   1. events due at t fire (control plane: policies, transitions,
+ *      scheduled injections);
+ *   2. every registered Ticking component's tick(t) runs, in
+ *      registration order.
+ *
+ * Cross-component interactions are time-tagged (link arrival cycles,
+ * credit return cycles), so results do not depend on registration order;
+ * the fixed order only pins down RNG-free determinism.
+ */
+
+#ifndef OENET_SIM_KERNEL_HH
+#define OENET_SIM_KERNEL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace oenet {
+
+/** Interface for components that need per-cycle processing. */
+class Ticking
+{
+  public:
+    virtual ~Ticking() = default;
+    virtual void tick(Cycle now) = 0;
+};
+
+class Kernel
+{
+  public:
+    Kernel() = default;
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /** Register a component; the kernel does not take ownership. */
+    void addTicking(Ticking *component);
+
+    /** Advance one cycle: fire due events, tick all components. */
+    void step();
+
+    /** Advance @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /** Schedule a one-shot action. */
+    void schedule(Cycle when, EventQueue::Action action);
+
+    /** Schedule @p action every @p period cycles starting at @p first. */
+    void schedulePeriodic(Cycle first, Cycle period,
+                          std::function<void(Cycle)> action);
+
+    Cycle now() const { return now_; }
+    EventQueue &events() { return events_; }
+
+  private:
+    Cycle now_ = 0;
+    EventQueue events_;
+    std::vector<Ticking *> ticking_;
+};
+
+} // namespace oenet
+
+#endif // OENET_SIM_KERNEL_HH

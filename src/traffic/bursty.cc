@@ -1,0 +1,164 @@
+#include "traffic/bursty.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+OnOffTraffic::OnOffTraffic(const Params &params)
+    : params_(params), arrivals_(params.seed)
+{
+    if (params_.numNodes < 2)
+        fatal("OnOffTraffic: need >= 2 nodes");
+    if (params_.meanBurstCycles <= 0.0 || params_.meanIdleCycles <= 0.0)
+        fatal("OnOffTraffic: period means must be positive");
+    // Start in the idle state with a random residual.
+    nextToggle_ = static_cast<Cycle>(
+        arrivals_.rng().exponential(params_.meanIdleCycles));
+}
+
+void
+OnOffTraffic::maybeToggle(Cycle now)
+{
+    while (now >= nextToggle_) {
+        on_ = !on_;
+        double mean = on_ ? params_.meanBurstCycles
+                          : params_.meanIdleCycles;
+        double len = arrivals_.rng().exponential(mean);
+        if (len < 1.0)
+            len = 1.0;
+        nextToggle_ += static_cast<Cycle>(len);
+    }
+}
+
+void
+OnOffTraffic::arrivals(Cycle now, std::vector<PacketDesc> &out)
+{
+    maybeToggle(now);
+    double rate = on_ ? params_.burstRate : params_.idleRate;
+    std::uint64_t k = arrivals_.draw(rate);
+    auto n = static_cast<std::uint64_t>(params_.numNodes);
+    for (std::uint64_t i = 0; i < k; i++) {
+        auto src = static_cast<NodeId>(arrivals_.rng().uniformInt(n));
+        NodeId dst;
+        do {
+            dst = static_cast<NodeId>(arrivals_.rng().uniformInt(n));
+        } while (dst == src);
+        out.push_back(PacketDesc{src, dst, params_.packetLen});
+    }
+}
+
+double
+OnOffTraffic::offeredRate(Cycle) const
+{
+    return on_ ? params_.burstRate : params_.idleRate;
+}
+
+double
+OnOffTraffic::meanRate() const
+{
+    double on_frac = params_.meanBurstCycles /
+                     (params_.meanBurstCycles + params_.meanIdleCycles);
+    return on_frac * params_.burstRate +
+           (1.0 - on_frac) * params_.idleRate;
+}
+
+SelfSimilarTraffic::SelfSimilarTraffic(const Params &params)
+    : params_(params), arrivals_(params.seed)
+{
+    if (params_.numNodes < 2)
+        fatal("SelfSimilarTraffic: need >= 2 nodes");
+    if (params_.numSources < 1)
+        fatal("SelfSimilarTraffic: need >= 1 source");
+    if (params_.alphaOn <= 1.0 || params_.alphaOff <= 1.0)
+        fatal("SelfSimilarTraffic: Pareto shapes must exceed 1 "
+              "(finite mean)");
+
+    // Long-run ON fraction per stream from the Pareto means
+    // E[X] = alpha*min/(alpha-1).
+    double mean_on = params_.alphaOn * params_.minOnCycles /
+                     (params_.alphaOn - 1.0);
+    double mean_off = params_.alphaOff * params_.minOffCycles /
+                      (params_.alphaOff - 1.0);
+    double on_frac = mean_on / (mean_on + mean_off);
+
+    // Choose the per-source ON rate so the aggregate long-run rate hits
+    // the target.
+    perSourceOnRate_ = params_.targetRate /
+                       (params_.numSources * on_frac);
+
+    streams_.resize(static_cast<std::size_t>(params_.numSources));
+    for (auto &s : streams_) {
+        s.on = arrivals_.rng().bernoulli(on_frac);
+        double len = paretoCycles(s.on ? params_.alphaOn
+                                       : params_.alphaOff,
+                                  s.on ? params_.minOnCycles
+                                       : params_.minOffCycles);
+        s.nextToggle = static_cast<Cycle>(len);
+    }
+}
+
+double
+SelfSimilarTraffic::paretoCycles(double alpha, double minimum)
+{
+    double u = arrivals_.rng().uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    double x = minimum / std::pow(u, 1.0 / alpha);
+    // Heavy tails are the point, but a single period longer than any
+    // plausible run only wedges a stream; cap at 100M cycles.
+    return x < 1e8 ? x : 1e8;
+}
+
+void
+SelfSimilarTraffic::advanceStreams(Cycle now)
+{
+    for (auto &s : streams_) {
+        while (now >= s.nextToggle) {
+            s.on = !s.on;
+            double len = paretoCycles(s.on ? params_.alphaOn
+                                           : params_.alphaOff,
+                                      s.on ? params_.minOnCycles
+                                           : params_.minOffCycles);
+            if (len < 1.0)
+                len = 1.0;
+            s.nextToggle += static_cast<Cycle>(len);
+        }
+    }
+}
+
+int
+SelfSimilarTraffic::activeSources() const
+{
+    int n = 0;
+    for (const auto &s : streams_)
+        if (s.on)
+            n++;
+    return n;
+}
+
+void
+SelfSimilarTraffic::arrivals(Cycle now, std::vector<PacketDesc> &out)
+{
+    advanceStreams(now);
+    double rate = perSourceOnRate_ * activeSources();
+    std::uint64_t k = arrivals_.draw(rate);
+    auto n = static_cast<std::uint64_t>(params_.numNodes);
+    for (std::uint64_t i = 0; i < k; i++) {
+        auto src = static_cast<NodeId>(arrivals_.rng().uniformInt(n));
+        NodeId dst;
+        do {
+            dst = static_cast<NodeId>(arrivals_.rng().uniformInt(n));
+        } while (dst == src);
+        out.push_back(PacketDesc{src, dst, params_.packetLen});
+    }
+}
+
+double
+SelfSimilarTraffic::offeredRate(Cycle) const
+{
+    return perSourceOnRate_ * activeSources();
+}
+
+} // namespace oenet

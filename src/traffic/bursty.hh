@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bursty traffic sources. The paper's motivation (Section 1) leans on
+ * the observation that real network traffic exhibits substantial
+ * temporal variance — citing Leland et al.'s self-similarity results —
+ * so the workload suite includes two burst models beyond the phase
+ * schedules:
+ *
+ *  - OnOffTraffic: a two-state Markov-modulated process (classic
+ *    IPP/MMPP): bursts at a high rate alternate with idle gaps, both
+ *    geometrically distributed. Simple, analytically transparent
+ *    burstiness at one time scale.
+ *
+ *  - SelfSimilarTraffic: the superposition of many independent on/off
+ *    sources whose ON and OFF period lengths are Pareto-distributed
+ *    (infinite variance for 1 < alpha < 2). Aggregating heavy-tailed
+ *    on/off sources is the standard constructive model of self-similar
+ *    traffic, producing burstiness across many time scales — the
+ *    hardest case for a windowed DVS policy.
+ */
+
+#ifndef OENET_TRAFFIC_BURSTY_HH
+#define OENET_TRAFFIC_BURSTY_HH
+
+#include <vector>
+
+#include "traffic/injection_process.hh"
+
+namespace oenet {
+
+/** Two-state Markov-modulated Poisson process. */
+class OnOffTraffic : public TrafficSource
+{
+  public:
+    struct Params
+    {
+        int numNodes = 512;
+        double burstRate = 4.0; ///< packets/cycle while ON
+        double idleRate = 0.05; ///< packets/cycle while OFF
+        double meanBurstCycles = 2000.0;
+        double meanIdleCycles = 6000.0;
+        int packetLen = 4;
+        std::uint64_t seed = 1;
+    };
+
+    explicit OnOffTraffic(const Params &params);
+
+    void arrivals(Cycle now, std::vector<PacketDesc> &out) override;
+    double offeredRate(Cycle now) const override;
+
+    bool inBurst() const { return on_; }
+
+    /** Long-run average rate implied by the parameters. */
+    double meanRate() const;
+
+  private:
+    void maybeToggle(Cycle now);
+
+    Params params_;
+    AggregateArrivals arrivals_;
+    bool on_ = false;
+    Cycle nextToggle_ = 0;
+};
+
+/** Aggregation of Pareto on/off sources (self-similar traffic). */
+class SelfSimilarTraffic : public TrafficSource
+{
+  public:
+    struct Params
+    {
+        int numNodes = 512;
+        int numSources = 64;    ///< independent on/off streams
+        double targetRate = 2.0; ///< long-run packets/cycle, aggregate
+        double alphaOn = 1.4;   ///< Pareto shape of ON periods
+        double alphaOff = 1.2;  ///< Pareto shape of OFF periods
+        double minOnCycles = 100.0;  ///< Pareto location of ON
+        double minOffCycles = 300.0; ///< Pareto location of OFF
+        int packetLen = 4;
+        std::uint64_t seed = 1;
+    };
+
+    explicit SelfSimilarTraffic(const Params &params);
+
+    void arrivals(Cycle now, std::vector<PacketDesc> &out) override;
+    double offeredRate(Cycle now) const override;
+
+    /** Number of sources currently in an ON period. */
+    int activeSources() const;
+
+    const Params &params() const { return params_; }
+
+  private:
+    struct Stream
+    {
+        bool on;
+        Cycle nextToggle;
+    };
+
+    double paretoCycles(double alpha, double minimum);
+    void advanceStreams(Cycle now);
+
+    Params params_;
+    AggregateArrivals arrivals_;
+    std::vector<Stream> streams_;
+    double perSourceOnRate_;
+};
+
+} // namespace oenet
+
+#endif // OENET_TRAFFIC_BURSTY_HH

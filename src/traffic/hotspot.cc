@@ -1,0 +1,84 @@
+#include "traffic/hotspot.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+std::vector<RatePhase>
+defaultHotspotSchedule(Cycle total_cycles)
+{
+    // Shaped after Fig. 6(a): plateaus with small steps (within one
+    // optical band) and large jumps (forcing band crossings), expressed
+    // as fractions of the total duration.
+    struct Seg
+    {
+        double at;   // fraction of total
+        double rate; // packets/cycle
+    };
+    static const Seg kSegments[] = {
+        {0.00, 0.6}, {0.10, 1.2}, {0.20, 3.6}, {0.30, 4.2},
+        {0.40, 2.4}, {0.50, 0.9}, {0.60, 4.5}, {0.70, 4.8},
+        {0.80, 1.5}, {0.90, 0.6},
+    };
+    std::vector<RatePhase> phases;
+    for (const Seg &s : kSegments) {
+        phases.push_back(RatePhase{
+            static_cast<Cycle>(s.at * static_cast<double>(total_cycles)),
+            s.rate});
+    }
+    return phases;
+}
+
+HotspotTraffic::HotspotTraffic(const Params &params)
+    : params_(params), arrivals_(params.seed)
+{
+    if (params_.numNodes < 2)
+        fatal("HotspotTraffic: need >= 2 nodes");
+    if (params_.phases.empty())
+        fatal("HotspotTraffic: empty phase schedule");
+    for (std::size_t i = 1; i < params_.phases.size(); i++) {
+        if (params_.phases[i].start <= params_.phases[i - 1].start)
+            fatal("HotspotTraffic: phase starts must increase");
+    }
+    if (params_.hotNode >= static_cast<NodeId>(params_.numNodes))
+        fatal("HotspotTraffic: hot node %u out of range",
+              params_.hotNode);
+    if (params_.hotWeight < 1)
+        fatal("HotspotTraffic: hot weight must be >= 1");
+}
+
+double
+HotspotTraffic::offeredRate(Cycle now) const
+{
+    // Walk the phase pointer monotonically (callers poll in time order;
+    // random access falls back to a scan from the start).
+    if (phaseIdx_ >= params_.phases.size() ||
+        params_.phases[phaseIdx_].start > now)
+        phaseIdx_ = 0;
+    while (phaseIdx_ + 1 < params_.phases.size() &&
+           params_.phases[phaseIdx_ + 1].start <= now)
+        phaseIdx_++;
+    if (params_.phases[phaseIdx_].start > now)
+        return 0.0; // before the first phase
+    return params_.phases[phaseIdx_].rate;
+}
+
+void
+HotspotTraffic::arrivals(Cycle now, std::vector<PacketDesc> &out)
+{
+    std::uint64_t k = arrivals_.draw(offeredRate(now));
+    auto n = static_cast<std::uint64_t>(params_.numNodes);
+    auto weighted = n + static_cast<std::uint64_t>(params_.hotWeight - 1);
+    for (std::uint64_t i = 0; i < k; i++) {
+        auto src = static_cast<NodeId>(arrivals_.rng().uniformInt(n));
+        NodeId dst;
+        do {
+            // Weighted pick: indices >= n alias onto the hot node.
+            std::uint64_t t = arrivals_.rng().uniformInt(weighted);
+            dst = t < n ? static_cast<NodeId>(t) : params_.hotNode;
+        } while (params_.excludeSelf && dst == src);
+        out.push_back(PacketDesc{src, dst, params_.packetLen});
+    }
+}
+
+} // namespace oenet

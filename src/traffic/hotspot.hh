@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Time-varying hot-spot traffic (Section 4.2, workload 2): the
+ * aggregate injection rate follows a phase schedule (temporal variance)
+ * and one hot node — node 4 in rack (3,5) in the paper — receives a
+ * multiple (4x) of everyone else's traffic (spatial variance). This is
+ * the stressor for the power-aware *circuit* mechanisms: every rate
+ * step exercises the transition machinery.
+ */
+
+#ifndef OENET_TRAFFIC_HOTSPOT_HH
+#define OENET_TRAFFIC_HOTSPOT_HH
+
+#include <vector>
+
+#include "traffic/injection_process.hh"
+
+namespace oenet {
+
+/** One segment of the rate schedule: @p rate holds from @p start until
+ *  the next phase's start. */
+struct RatePhase
+{
+    Cycle start;
+    double rate; ///< packets/cycle, network-wide
+};
+
+/** The paper's Fig. 6(a)-shaped schedule, compressed to fit
+ *  @p total_cycles: alternating low/medium/high plateaus with both
+ *  small steps (no optical-band crossing) and large jumps (band
+ *  crossing). */
+std::vector<RatePhase> defaultHotspotSchedule(Cycle total_cycles);
+
+class HotspotTraffic : public TrafficSource
+{
+  public:
+    struct Params
+    {
+        int numNodes = 512;
+        std::vector<RatePhase> phases;
+        NodeId hotNode = 348; ///< rack (3,5) local node 4 on 8x8/C=8
+        int hotWeight = 4;    ///< hot node draws 4x the others
+        int packetLen = 4;
+        std::uint64_t seed = 1;
+        bool excludeSelf = true;
+    };
+
+    explicit HotspotTraffic(const Params &params);
+
+    void arrivals(Cycle now, std::vector<PacketDesc> &out) override;
+    double offeredRate(Cycle now) const override;
+
+  private:
+    Params params_;
+    AggregateArrivals arrivals_;
+    mutable std::size_t phaseIdx_ = 0;
+};
+
+} // namespace oenet
+
+#endif // OENET_TRAFFIC_HOTSPOT_HH

@@ -1,0 +1,8 @@
+#include "traffic/injection_process.hh"
+
+// The interface is header-only today; this translation unit anchors the
+// TrafficSource vtable.
+
+namespace oenet {
+
+} // namespace oenet

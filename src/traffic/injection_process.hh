@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Traffic source interface and aggregate arrival process.
+ *
+ * A TrafficSource is polled once per cycle and appends the packets
+ * created that cycle. Sources that model open-loop offered load use the
+ * AggregateArrivals helper: the network-wide arrival count per cycle is
+ * Poisson with the configured mean (equivalent in the aggregate to
+ * independent per-node Bernoulli processes, but one RNG draw per cycle
+ * instead of one per node).
+ *
+ * Rates throughout are *network-wide packets per router cycle* — the
+ * unit the paper's figures use.
+ */
+
+#ifndef OENET_TRAFFIC_INJECTION_PROCESS_HH
+#define OENET_TRAFFIC_INJECTION_PROCESS_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace oenet {
+
+/** One packet to create. */
+struct PacketDesc
+{
+    NodeId src;
+    NodeId dst;
+    int len;
+};
+
+class TrafficSource
+{
+  public:
+    virtual ~TrafficSource() = default;
+
+    /** Append packets created at cycle @p now to @p out. */
+    virtual void arrivals(Cycle now, std::vector<PacketDesc> &out) = 0;
+
+    /** True once the source will never produce again (traces). */
+    virtual bool exhausted(Cycle now) const
+    {
+        (void)now;
+        return false;
+    }
+
+    /** Offered load at @p now, packets/cycle (for reporting). */
+    virtual double offeredRate(Cycle now) const = 0;
+};
+
+/** Poisson arrival counter at a (possibly time-varying) rate. */
+class AggregateArrivals
+{
+  public:
+    explicit AggregateArrivals(std::uint64_t seed) : rng_(seed) {}
+
+    /** Number of packets arriving in one cycle at @p rate pkts/cycle. */
+    std::uint64_t draw(double rate) { return rng_.poisson(rate); }
+
+    Rng &rng() { return rng_; }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace oenet
+
+#endif // OENET_TRAFFIC_INJECTION_PROCESS_HH

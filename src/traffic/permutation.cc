@@ -1,0 +1,132 @@
+#include "traffic/permutation.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+namespace {
+
+int
+log2Exact(int n)
+{
+    int bits = 0;
+    while ((1 << bits) < n)
+        bits++;
+    if ((1 << bits) != n)
+        fatal("permutation traffic: %d is not a power of two", n);
+    return bits;
+}
+
+} // namespace
+
+const char *
+permutationPatternName(PermutationPattern pattern)
+{
+    switch (pattern) {
+      case PermutationPattern::kTranspose:
+        return "transpose";
+      case PermutationPattern::kBitComplement:
+        return "bit-complement";
+      case PermutationPattern::kBitReverse:
+        return "bit-reverse";
+      case PermutationPattern::kShuffle:
+        return "shuffle";
+      case PermutationPattern::kTornado:
+        return "tornado";
+      case PermutationPattern::kNeighbor:
+        return "neighbor";
+    }
+    panic("permutationPatternName: bad pattern");
+}
+
+NodeId
+permutationDestination(PermutationPattern pattern, NodeId src,
+                       int num_nodes, int mesh_x, int mesh_y,
+                       int cluster_size)
+{
+    auto n = static_cast<std::uint32_t>(num_nodes);
+    switch (pattern) {
+      case PermutationPattern::kBitComplement:
+        return (~src) & (n - 1);
+      case PermutationPattern::kBitReverse: {
+        int bits = log2Exact(num_nodes);
+        std::uint32_t out = 0;
+        for (int b = 0; b < bits; b++)
+            if (src & (1u << b))
+                out |= 1u << (bits - 1 - b);
+        return out;
+      }
+      case PermutationPattern::kShuffle: {
+        int bits = log2Exact(num_nodes);
+        return ((src << 1) | (src >> (bits - 1))) & (n - 1);
+      }
+      case PermutationPattern::kTranspose: {
+        // Swap rack coordinates; keep the local index.
+        int c = cluster_size;
+        int rack = static_cast<int>(src) / c;
+        int local = static_cast<int>(src) % c;
+        int x = rack % mesh_x;
+        int y = rack / mesh_x;
+        if (mesh_x != mesh_y)
+            fatal("transpose traffic needs a square mesh");
+        int drack = x * mesh_x + y;
+        return static_cast<NodeId>(drack * c + local);
+      }
+      case PermutationPattern::kTornado: {
+        // Half-way around in X within the same row.
+        int c = cluster_size;
+        int rack = static_cast<int>(src) / c;
+        int local = static_cast<int>(src) % c;
+        int x = rack % mesh_x;
+        int y = rack / mesh_x;
+        int dx = (x + mesh_x / 2) % mesh_x;
+        (void)mesh_y;
+        return static_cast<NodeId>((y * mesh_x + dx) * c + local);
+      }
+      case PermutationPattern::kNeighbor: {
+        // East neighbor rack (wrapping), same local index.
+        int c = cluster_size;
+        int rack = static_cast<int>(src) / c;
+        int local = static_cast<int>(src) % c;
+        int x = rack % mesh_x;
+        int y = rack / mesh_x;
+        int dx = (x + 1) % mesh_x;
+        return static_cast<NodeId>((y * mesh_x + dx) * c + local);
+      }
+    }
+    panic("permutationDestination: bad pattern");
+}
+
+PermutationTraffic::PermutationTraffic(const Params &params)
+    : params_(params), arrivals_(params.seed)
+{
+    if (params_.numNodes < 2)
+        fatal("PermutationTraffic: need >= 2 nodes");
+    if (params_.meshX * params_.meshY * params_.clusterSize !=
+        params_.numNodes)
+        fatal("PermutationTraffic: geometry does not match node count");
+}
+
+void
+PermutationTraffic::arrivals(Cycle, std::vector<PacketDesc> &out)
+{
+    std::uint64_t k = arrivals_.draw(params_.rate);
+    auto n = static_cast<std::uint64_t>(params_.numNodes);
+    for (std::uint64_t i = 0; i < k; i++) {
+        auto src = static_cast<NodeId>(arrivals_.rng().uniformInt(n));
+        NodeId dst = permutationDestination(
+            params_.pattern, src, params_.numNodes, params_.meshX,
+            params_.meshY, params_.clusterSize);
+        if (dst == src)
+            continue; // fixed points of the permutation inject nothing
+        out.push_back(PacketDesc{src, dst, params_.packetLen});
+    }
+}
+
+double
+PermutationTraffic::offeredRate(Cycle) const
+{
+    return params_.rate;
+}
+
+} // namespace oenet

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Classic permutation traffic patterns (transpose, bit-complement,
+ * bit-reverse, shuffle, tornado, nearest-neighbor). Not part of the
+ * paper's evaluation, but standard fare for a mesh simulator and used by
+ * the extension/ablation benches to probe spatially skewed loads.
+ */
+
+#ifndef OENET_TRAFFIC_PERMUTATION_HH
+#define OENET_TRAFFIC_PERMUTATION_HH
+
+#include "traffic/injection_process.hh"
+
+namespace oenet {
+
+enum class PermutationPattern
+{
+    kTranspose,
+    kBitComplement,
+    kBitReverse,
+    kShuffle,
+    kTornado,
+    kNeighbor,
+};
+
+const char *permutationPatternName(PermutationPattern pattern);
+
+/** Destination of @p src under @p pattern, for an N-node system laid
+ *  out on a meshX x meshY mesh of clusters of size C. N must be a power
+ *  of two for the bit-oriented patterns. */
+NodeId permutationDestination(PermutationPattern pattern, NodeId src,
+                              int num_nodes, int mesh_x, int mesh_y,
+                              int cluster_size);
+
+class PermutationTraffic : public TrafficSource
+{
+  public:
+    struct Params
+    {
+        PermutationPattern pattern = PermutationPattern::kTranspose;
+        int numNodes = 512;
+        int meshX = 8;
+        int meshY = 8;
+        int clusterSize = 8;
+        double rate = 1.0; ///< packets/cycle, network-wide
+        int packetLen = 4;
+        std::uint64_t seed = 1;
+    };
+
+    explicit PermutationTraffic(const Params &params);
+
+    void arrivals(Cycle now, std::vector<PacketDesc> &out) override;
+    double offeredRate(Cycle now) const override;
+
+  private:
+    Params params_;
+    AggregateArrivals arrivals_;
+};
+
+} // namespace oenet
+
+#endif // OENET_TRAFFIC_PERMUTATION_HH

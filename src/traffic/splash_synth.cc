@@ -1,0 +1,138 @@
+#include "traffic/splash_synth.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Deterministic per-segment hash for Radix's spiky alternation. */
+std::uint64_t
+segmentHash(std::uint64_t seg)
+{
+    std::uint64_t x = seg + 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+double
+fftRate(double f)
+{
+    // Two broad transpose humps per run over a light compute floor.
+    double wave = std::sin(2.0 * kPi * 2.0 * f);
+    double hump = wave > 0.0 ? wave * wave * wave * wave : 0.0;
+    return 0.02 + 0.40 * hump;
+}
+
+double
+luRate(double f, Cycle t, Cycle duration)
+{
+    // Eight factorization fronts; each ramps up then collapses. The
+    // peak drifts downward as the remaining matrix shrinks.
+    constexpr int kFronts = 8;
+    double front_len = static_cast<double>(duration) / kFronts;
+    auto front = static_cast<int>(f * kFronts);
+    if (front >= kFronts)
+        front = kFronts - 1;
+    double pos = (static_cast<double>(t) -
+                  front * front_len) / front_len; // 0..1 within front
+    double peak = 0.38 - 0.02 * front;
+    double ramp = pos < 0.7 ? pos / 0.7 : (1.0 - pos) / 0.3;
+    return 0.03 + peak * (ramp < 0.0 ? 0.0 : ramp);
+}
+
+double
+radixRate(Cycle t, Cycle duration)
+{
+    // Segments alternating pseudo-randomly between quiet counting and
+    // intense key exchange. Segment length scales with the trace so
+    // compressed traces keep the paper's ratio of burst length to the
+    // policy's adaptation time.
+    Cycle seg_len = duration / 80;
+    if (seg_len < 2000)
+        seg_len = 2000;
+    std::uint64_t seg = t / seg_len;
+    std::uint64_t h = segmentHash(seg);
+    bool burst = (h & 3) != 0 ? ((h >> 2) & 1) : true; // ~50/50-ish
+    double jitter =
+        static_cast<double>((h >> 8) & 0xFF) / 255.0; // [0,1]
+    return burst ? 0.28 + 0.16 * jitter : 0.02 + 0.05 * jitter;
+}
+
+} // namespace
+
+const char *
+splashKindName(SplashKind kind)
+{
+    switch (kind) {
+      case SplashKind::kFft:
+        return "fft";
+      case SplashKind::kLu:
+        return "lu";
+      case SplashKind::kRadix:
+        return "radix";
+    }
+    panic("splashKindName: bad kind");
+}
+
+double
+splashRateAt(SplashKind kind, Cycle t, Cycle duration, double scale)
+{
+    if (duration == 0)
+        panic("splashRateAt: zero duration");
+    if (t >= duration)
+        return 0.0;
+    double f = static_cast<double>(t) / static_cast<double>(duration);
+    double rate;
+    switch (kind) {
+      case SplashKind::kFft:
+        rate = fftRate(f);
+        break;
+      case SplashKind::kLu:
+        rate = luRate(f, t, duration);
+        break;
+      case SplashKind::kRadix:
+        rate = radixRate(t, duration);
+        break;
+      default:
+        panic("splashRateAt: bad kind");
+    }
+    return rate * scale;
+}
+
+TraceData
+generateSplashTrace(const SplashSynthParams &params)
+{
+    if (params.numNodes < 2)
+        fatal("generateSplashTrace: need >= 2 nodes");
+    if (params.longFrac < 0.0 || params.longFrac > 1.0)
+        fatal("generateSplashTrace: bad long-packet fraction");
+
+    Rng rng(params.seed);
+    TraceData trace;
+    auto n = static_cast<std::uint64_t>(params.numNodes);
+    for (Cycle t = 0; t < params.duration; t++) {
+        double rate = splashRateAt(params.kind, t, params.duration,
+                                   params.rateScale);
+        std::uint64_t k = rng.poisson(rate);
+        for (std::uint64_t i = 0; i < k; i++) {
+            auto src = static_cast<NodeId>(rng.uniformInt(n));
+            NodeId dst;
+            do {
+                dst = static_cast<NodeId>(rng.uniformInt(n));
+            } while (dst == src);
+            int len = rng.bernoulli(params.longFrac) ? params.longLen
+                                                     : params.shortLen;
+            trace.push_back(TraceRecord{
+                t, src, dst, static_cast<std::uint16_t>(len)});
+        }
+    }
+    return trace;
+}
+
+} // namespace oenet

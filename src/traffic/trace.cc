@@ -1,0 +1,145 @@
+#include "traffic/trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+namespace {
+constexpr const char *kMagic = "oenet-trace-v1";
+}
+
+void
+saveTrace(const std::string &path, const TraceData &trace)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("saveTrace: cannot open '%s'", path.c_str());
+    out << kMagic << "\n";
+    for (const auto &r : trace) {
+        out << r.cycle << ' ' << r.src << ' ' << r.dst << ' ' << r.len
+            << '\n';
+    }
+    if (!out)
+        fatal("saveTrace: write failure on '%s'", path.c_str());
+}
+
+TraceData
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("loadTrace: cannot open '%s'", path.c_str());
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic)
+        fatal("loadTrace: '%s' is not an oenet trace (bad magic)",
+              path.c_str());
+    TraceData trace;
+    int lineno = 1;
+    while (std::getline(in, line)) {
+        lineno++;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        unsigned long long cycle;
+        unsigned long src, dst, len;
+        if (!(ss >> cycle >> src >> dst >> len))
+            fatal("loadTrace: %s:%d: bad record '%s'", path.c_str(),
+                  lineno, line.c_str());
+        trace.push_back(TraceRecord{static_cast<Cycle>(cycle),
+                                    static_cast<NodeId>(src),
+                                    static_cast<NodeId>(dst),
+                                    static_cast<std::uint16_t>(len)});
+    }
+    for (std::size_t i = 1; i < trace.size(); i++) {
+        if (trace[i].cycle < trace[i - 1].cycle)
+            fatal("loadTrace: '%s' is not sorted by cycle at record %zu",
+                  path.c_str(), i);
+    }
+    return trace;
+}
+
+void
+validateTrace(const TraceData &trace, int num_nodes)
+{
+    for (std::size_t i = 0; i < trace.size(); i++) {
+        const auto &r = trace[i];
+        if (i > 0 && r.cycle < trace[i - 1].cycle)
+            panic("trace record %zu out of order", i);
+        if (r.src >= static_cast<NodeId>(num_nodes) ||
+            r.dst >= static_cast<NodeId>(num_nodes))
+            panic("trace record %zu: endpoint out of range", i);
+        if (r.len < 1)
+            panic("trace record %zu: zero-length packet", i);
+    }
+}
+
+std::vector<double>
+traceRateTimeline(const TraceData &trace, Cycle bin)
+{
+    if (bin == 0)
+        panic("traceRateTimeline: zero bin size");
+    if (trace.empty())
+        return {};
+    Cycle span = trace.back().cycle + 1;
+    std::size_t bins = static_cast<std::size_t>((span + bin - 1) / bin);
+    std::vector<double> timeline(bins, 0.0);
+    for (const auto &r : trace)
+        timeline[static_cast<std::size_t>(r.cycle / bin)] += 1.0;
+    for (auto &v : timeline)
+        v /= static_cast<double>(bin);
+    return timeline;
+}
+
+double
+traceMeanPacketLen(const TraceData &trace)
+{
+    if (trace.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : trace)
+        sum += r.len;
+    return sum / static_cast<double>(trace.size());
+}
+
+TraceSource::TraceSource(const TraceData &trace) : trace_(trace)
+{
+}
+
+void
+TraceSource::arrivals(Cycle now, std::vector<PacketDesc> &out)
+{
+    while (next_ < trace_.size() && trace_[next_].cycle <= now) {
+        const auto &r = trace_[next_];
+        out.push_back(PacketDesc{r.src, r.dst, r.len});
+        next_++;
+    }
+}
+
+bool
+TraceSource::exhausted(Cycle) const
+{
+    return next_ >= trace_.size();
+}
+
+double
+TraceSource::offeredRate(Cycle now) const
+{
+    // Local estimate over a 1k-cycle look-behind window.
+    constexpr Cycle kWindow = 1000;
+    Cycle lo = now > kWindow ? now - kWindow : 0;
+    // next_ points past all records <= now; walk back.
+    std::size_t i = next_;
+    std::uint64_t count = 0;
+    while (i > 0 && trace_[i - 1].cycle >= lo) {
+        count++;
+        i--;
+    }
+    return static_cast<double>(count) / static_cast<double>(kWindow);
+}
+
+} // namespace oenet

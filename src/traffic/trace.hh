@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Packet trace format: an ordered list of (cycle, src, dst, len)
+ * records, with a plain-text file representation so traces can be
+ * captured, shipped, and replayed. The SPLASH-2 workloads of Section
+ * 4.3.3 are replayed through this path.
+ *
+ * File format (one record per line, '#' comments):
+ *     oenet-trace-v1
+ *     <cycle> <src> <dst> <len>
+ */
+
+#ifndef OENET_TRAFFIC_TRACE_HH
+#define OENET_TRAFFIC_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "traffic/injection_process.hh"
+
+namespace oenet {
+
+struct TraceRecord
+{
+    Cycle cycle;
+    NodeId src;
+    NodeId dst;
+    std::uint16_t len;
+};
+
+using TraceData = std::vector<TraceRecord>;
+
+/** Write @p trace to @p path; fatal() on I/O failure. */
+void saveTrace(const std::string &path, const TraceData &trace);
+
+/** Load a trace; fatal() on I/O or format errors. Records must be
+ *  sorted by cycle (verified). */
+TraceData loadTrace(const std::string &path);
+
+/** Verify ordering + bounds; panic on violations. */
+void validateTrace(const TraceData &trace, int num_nodes);
+
+/** Aggregate injection rate of @p trace binned every @p bin cycles:
+ *  element i = packets per cycle in [i*bin, (i+1)*bin). */
+std::vector<double> traceRateTimeline(const TraceData &trace, Cycle bin);
+
+/** Mean packet length over the trace (flits). */
+double traceMeanPacketLen(const TraceData &trace);
+
+/** Replays a TraceData. Does not own the data. */
+class TraceSource : public TrafficSource
+{
+  public:
+    /** @param trace must stay alive and sorted by cycle. */
+    explicit TraceSource(const TraceData &trace);
+
+    void arrivals(Cycle now, std::vector<PacketDesc> &out) override;
+    bool exhausted(Cycle now) const override;
+    double offeredRate(Cycle now) const override;
+
+  private:
+    const TraceData &trace_;
+    std::size_t next_ = 0;
+};
+
+} // namespace oenet
+
+#endif // OENET_TRAFFIC_TRACE_HH

@@ -1,0 +1,40 @@
+#include "traffic/uniform.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+UniformRandomTraffic::UniformRandomTraffic(const Params &params)
+    : params_(params), arrivals_(params.seed)
+{
+    if (params_.numNodes < 2)
+        fatal("UniformRandomTraffic: need >= 2 nodes");
+    if (params_.rate < 0.0)
+        fatal("UniformRandomTraffic: negative rate");
+    if (params_.packetLen < 1)
+        fatal("UniformRandomTraffic: bad packet length %d",
+              params_.packetLen);
+}
+
+void
+UniformRandomTraffic::arrivals(Cycle, std::vector<PacketDesc> &out)
+{
+    std::uint64_t k = arrivals_.draw(params_.rate);
+    auto n = static_cast<std::uint64_t>(params_.numNodes);
+    for (std::uint64_t i = 0; i < k; i++) {
+        auto src = static_cast<NodeId>(arrivals_.rng().uniformInt(n));
+        NodeId dst;
+        do {
+            dst = static_cast<NodeId>(arrivals_.rng().uniformInt(n));
+        } while (params_.excludeSelf && dst == src);
+        out.push_back(PacketDesc{src, dst, params_.packetLen});
+    }
+}
+
+double
+UniformRandomTraffic::offeredRate(Cycle) const
+{
+    return params_.rate;
+}
+
+} // namespace oenet

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Uniform random traffic (Section 4.2, workload 1): every node sends to
+ * every other node with equal probability at a constant aggregate
+ * injection rate. The constant rate is the worst case for a power-aware
+ * policy — no variance means no scaling headroom — which is exactly why
+ * the paper uses it to stress the controllers.
+ */
+
+#ifndef OENET_TRAFFIC_UNIFORM_HH
+#define OENET_TRAFFIC_UNIFORM_HH
+
+#include "traffic/injection_process.hh"
+
+namespace oenet {
+
+class UniformRandomTraffic : public TrafficSource
+{
+  public:
+    struct Params
+    {
+        int numNodes = 512;
+        double rate = 1.0; ///< packets/cycle, network-wide
+        int packetLen = 4;
+        std::uint64_t seed = 1;
+        bool excludeSelf = true;
+    };
+
+    explicit UniformRandomTraffic(const Params &params);
+
+    void arrivals(Cycle now, std::vector<PacketDesc> &out) override;
+    double offeredRate(Cycle now) const override;
+
+  private:
+    Params params_;
+    AggregateArrivals arrivals_;
+};
+
+} // namespace oenet
+
+#endif // OENET_TRAFFIC_UNIFORM_HH

@@ -1,0 +1,62 @@
+/** @file Tests for CSV emission. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hh"
+
+using namespace oenet;
+
+namespace {
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+TEST(CsvQuote, PassThroughPlain)
+{
+    EXPECT_EQ(csvQuote("hello"), "hello");
+    EXPECT_EQ(csvQuote("1.5"), "1.5");
+}
+
+TEST(CsvQuote, QuotesCommas)
+{
+    EXPECT_EQ(csvQuote("a,b"), "\"a,b\"");
+}
+
+TEST(CsvQuote, EscapesQuotes)
+{
+    EXPECT_EQ(csvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, HeaderAndRows)
+{
+    std::string path = testing::TempDir() + "/oenet_csv_test.csv";
+    {
+        CsvWriter w(path);
+        w.header({"a", "b"});
+        w.row({"1", "x"});
+        w.rowNumeric({2.5, 3.0}, 1);
+        EXPECT_EQ(w.rowCount(), 2u);
+    }
+    EXPECT_EQ(readAll(path), "a,b\n1,x\n2.5,3.0\n");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, PathAccessor)
+{
+    std::string path = testing::TempDir() + "/oenet_csv_test2.csv";
+    CsvWriter w(path);
+    EXPECT_EQ(w.path(), path);
+    std::remove(path.c_str());
+}

@@ -1,0 +1,191 @@
+/** @file Unit and statistical tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+using namespace oenet;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (a.next() == b.next())
+            same++;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ReseedResets)
+{
+    Rng a(7);
+    std::uint64_t first = a.next();
+    a.next();
+    a.seed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; i++) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; i++) {
+        double u = rng.uniform(-3.0, 7.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(13);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; i++)
+        seen.insert(rng.uniformInt(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntOneAlwaysZero)
+{
+    Rng rng(15);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(rng.uniformInt(1), 0u);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; i++) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        if (rng.bernoulli(0.3))
+            hits++;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(21);
+    double p = 0.1;
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; i++)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean of geometric (failures before success) is (1-p)/p = 9.
+    EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.3);
+}
+
+TEST(Rng, GeometricCertainSuccessIsZero)
+{
+    Rng rng(23);
+    EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(25);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; i++)
+        sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, PoissonZeroMean)
+{
+    Rng rng(27);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonSmallMean)
+{
+    Rng rng(29);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        sum += static_cast<double>(rng.poisson(2.5));
+    EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox)
+{
+    Rng rng(31);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++)
+        sum += static_cast<double>(rng.poisson(50.0));
+    EXPECT_NEAR(sum / n, 50.0, 0.5);
+}
+
+TEST(Rng, PoissonVarianceMatchesMean)
+{
+    Rng rng(33);
+    const double mean = 4.0;
+    const int n = 100000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < n; i++) {
+        auto k = static_cast<double>(rng.poisson(mean));
+        sum += k;
+        sum2 += k * k;
+    }
+    double m = sum / n;
+    double var = sum2 / n - m * m;
+    EXPECT_NEAR(var, mean, 0.15);
+}
+
+TEST(Rng, JumpProducesIndependentStream)
+{
+    Rng a(42);
+    Rng b(42);
+    b.jump();
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (a.next() == b.next())
+            same++;
+    EXPECT_LT(same, 5);
+}

@@ -1,0 +1,152 @@
+/** @file Tests for the statistics primitives. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace oenet;
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanAndVariance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Histogram, BinsAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.0);
+    h.add(0.999);
+    h.add(5.0);
+    h.add(9.999);
+    EXPECT_EQ(h.bin(0), 2u);
+    EXPECT_EQ(h.bin(5), 1u);
+    EXPECT_EQ(h.bin(9), 1u);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-0.5);
+    h.add(1.0); // hi edge is exclusive
+    h.add(99.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, QuantileUniformFill)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; i++)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.95), 95.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, QuantileEmptyIsZero)
+{
+    Histogram h(0.0, 1.0, 10);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, BinEdgesConsistent)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binHi(0), 12.0);
+    EXPECT_DOUBLE_EQ(h.binLo(4), 18.0);
+    EXPECT_DOUBLE_EQ(h.binHi(4), 20.0);
+}
+
+TEST(TimeSeries, AddAndMean)
+{
+    TimeSeries ts;
+    EXPECT_TRUE(ts.empty());
+    ts.add(0, 1.0);
+    ts.add(10, 3.0);
+    EXPECT_EQ(ts.samples().size(), 2u);
+    EXPECT_DOUBLE_EQ(ts.mean(), 2.0);
+}
+
+TEST(TimeWeighted, ConstantSignal)
+{
+    TimeWeighted tw(5.0);
+    EXPECT_DOUBLE_EQ(tw.integral(10), 50.0);
+    EXPECT_DOUBLE_EQ(tw.average(10), 5.0);
+}
+
+TEST(TimeWeighted, PiecewiseIntegral)
+{
+    TimeWeighted tw(1.0);
+    tw.update(10, 3.0); // [0,10): 1.0 -> 10
+    tw.update(20, 0.0); // [10,20): 3.0 -> 30
+    EXPECT_DOUBLE_EQ(tw.integral(20), 40.0);
+    EXPECT_DOUBLE_EQ(tw.integral(25), 40.0); // zero afterwards
+    EXPECT_DOUBLE_EQ(tw.average(20), 2.0);
+}
+
+TEST(TimeWeighted, UpdateAtSameCycleReplacesValue)
+{
+    TimeWeighted tw(1.0);
+    tw.update(10, 2.0);
+    tw.update(10, 7.0);
+    EXPECT_DOUBLE_EQ(tw.value(), 7.0);
+    EXPECT_DOUBLE_EQ(tw.integral(11), 10.0 + 7.0);
+}
+
+TEST(TimeWeighted, ResetRestartsIntegration)
+{
+    TimeWeighted tw(2.0);
+    tw.update(10, 4.0);
+    tw.reset(10);
+    EXPECT_DOUBLE_EQ(tw.integral(15), 20.0);
+    EXPECT_DOUBLE_EQ(tw.average(15), 4.0);
+}
+
+TEST(TimeWeighted, AverageBeforeAnyTime)
+{
+    TimeWeighted tw(3.0);
+    EXPECT_DOUBLE_EQ(tw.average(0), 3.0);
+}
+
+TEST(FormatDouble, Precision)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(1.0, 0), "1");
+}

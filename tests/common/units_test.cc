@@ -1,0 +1,61 @@
+/** @file Tests for the unit conversion helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+using namespace oenet;
+
+TEST(Units, FlitsPerCycleAtFullRateIsOne)
+{
+    // 10 Gb/s, 16-bit flits, 625 MHz: exactly one flit per cycle.
+    EXPECT_DOUBLE_EQ(flitsPerCycle(10.0), 1.0);
+}
+
+TEST(Units, FlitsPerCycleScalesLinearly)
+{
+    EXPECT_DOUBLE_EQ(flitsPerCycle(5.0), 0.5);
+    EXPECT_NEAR(flitsPerCycle(3.3), 0.33, 1e-12);
+}
+
+TEST(Units, CyclesPerFlitIsInverse)
+{
+    EXPECT_DOUBLE_EQ(cyclesPerFlit(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(cyclesPerFlit(5.0), 2.0);
+}
+
+TEST(Units, MicrosToCycles)
+{
+    // 625 cycles per microsecond.
+    EXPECT_EQ(microsToCycles(1.0), 625u);
+    EXPECT_EQ(microsToCycles(100.0), 62500u);
+    EXPECT_EQ(microsToCycles(200.0), 125000u);
+}
+
+TEST(Units, CyclesToMicrosRoundTrip)
+{
+    EXPECT_NEAR(cyclesToMicros(microsToCycles(100.0)), 100.0, 0.01);
+}
+
+TEST(Units, DbmConversions)
+{
+    EXPECT_NEAR(dbmToMw(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(dbmToMw(10.0), 10.0, 1e-9);
+    EXPECT_NEAR(mwToDbm(1.0), 0.0, 1e-12);
+    EXPECT_NEAR(mwToDbm(dbmToMw(-3.0)), -3.0, 1e-9);
+}
+
+TEST(Units, ApplyLossDb)
+{
+    EXPECT_NEAR(applyLossDb(100.0, 3.0103), 50.0, 0.01);
+    EXPECT_NEAR(applyLossDb(1.0, 0.0), 1.0, 1e-12);
+    // The paper's example: 0 dB through 1:16 splitting with 12 dB total
+    // loss leaves -12 dB.
+    EXPECT_NEAR(mwToDbm(applyLossDb(1.0, 12.0)), -12.0, 1e-9);
+}
+
+TEST(Units, OpticalFrequencyAt1550nm)
+{
+    // ~193.4 THz.
+    EXPECT_NEAR(opticalFrequencyHz(1550.0) / 1e12, 193.4, 0.1);
+}

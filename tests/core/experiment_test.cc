@@ -1,0 +1,154 @@
+/** @file Tests for the experiment protocol and sweep drivers. */
+
+#include <gtest/gtest.h>
+
+#include "core/sweeps.hh"
+
+using namespace oenet;
+
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig c;
+    c.meshX = 2;
+    c.meshY = 2;
+    c.clusterSize = 2;
+    c.windowCycles = 200;
+    return c;
+}
+
+RunProtocol
+quickProtocol()
+{
+    RunProtocol p;
+    p.warmup = 2000;
+    p.measure = 6000;
+    p.drainLimit = 20000;
+    return p;
+}
+
+} // namespace
+
+TEST(Experiment, MakeTrafficBuildsEachKind)
+{
+    SystemConfig cfg = smallConfig();
+    EXPECT_NE(makeTraffic(TrafficSpec::uniform(1.0), cfg), nullptr);
+    EXPECT_NE(makeTraffic(
+                  TrafficSpec::hotspot({{0, 1.0}, {100, 2.0}}), cfg),
+              nullptr);
+    TraceData trace = {{0, 0, 1, 4}};
+    EXPECT_NE(makeTraffic(TrafficSpec::traceReplay(trace), cfg),
+              nullptr);
+    TrafficSpec perm;
+    perm.kind = TrafficSpec::Kind::kPermutation;
+    perm.pattern = PermutationPattern::kBitComplement;
+    perm.rate = 0.5;
+    EXPECT_NE(makeTraffic(perm, cfg), nullptr);
+}
+
+TEST(Experiment, HotspotSpecUsesConfiguredHotNode)
+{
+    SystemConfig cfg = smallConfig();
+    TrafficSpec spec = TrafficSpec::hotspot({{0, 1.0}});
+    spec.hotNode = 3;
+    auto src = makeTraffic(spec, cfg);
+    std::vector<PacketDesc> out;
+    for (Cycle t = 0; t < 2000; t++)
+        src->arrivals(t, out);
+    int hot = 0;
+    for (const auto &d : out)
+        if (d.dst == 3u)
+            hot++;
+    // Weight 4 among 8 nodes: expect well above the 1/8 uniform share.
+    EXPECT_GT(static_cast<double>(hot) / out.size(), 0.2);
+}
+
+TEST(Experiment, RunExperimentProducesSaneMetrics)
+{
+    RunMetrics m = runExperiment(smallConfig(),
+                                 TrafficSpec::uniform(0.3, 4, 9),
+                                 quickProtocol());
+    EXPECT_GT(m.packetsMeasured, 500u);
+    EXPECT_TRUE(m.drained);
+    EXPECT_GT(m.avgLatency, 0.0);
+    EXPECT_GT(m.normalizedPower, 0.0);
+    EXPECT_LT(m.normalizedPower, 1.0);
+}
+
+TEST(Experiment, ZeroLoadLatencyIsSmall)
+{
+    double z = zeroLoadLatency(smallConfig(), 4);
+    EXPECT_GT(z, 10.0);
+    EXPECT_LT(z, 100.0);
+}
+
+TEST(Experiment, BaselineConfigDisablesPolicy)
+{
+    SystemConfig cfg = smallConfig();
+    SystemConfig base = baselineConfig(cfg);
+    EXPECT_TRUE(cfg.powerAware);
+    EXPECT_FALSE(base.powerAware);
+    EXPECT_EQ(base.meshX, cfg.meshX);
+}
+
+TEST(Experiment, PairedRunNormalizes)
+{
+    PairedResult r = runPaired(smallConfig(),
+                               TrafficSpec::uniform(0.3, 4, 9),
+                               quickProtocol());
+    EXPECT_NEAR(r.baseline.normalizedPower, 1.0, 1e-9);
+    EXPECT_LT(r.normalized.powerRatio, 1.0);
+    EXPECT_GE(r.normalized.latencyRatio, 0.9);
+    EXPECT_NEAR(r.normalized.plpRatio,
+                r.normalized.latencyRatio * r.normalized.powerRatio,
+                1e-9);
+}
+
+TEST(Experiment, FindSaturationRateBrackets)
+{
+    // On the tiny 2x2x2 mesh with 4-flit packets, saturation sits well
+    // below 2 pkts/cycle and above 0.2.
+    SystemConfig cfg = baselineConfig(smallConfig());
+    RunProtocol p = quickProtocol();
+    double sat = findSaturationRate(cfg, 4, 3.0, p);
+    EXPECT_GT(sat, 0.2);
+    EXPECT_LT(sat, 2.5);
+}
+
+TEST(Experiment, TimelineCapturesSeries)
+{
+    SystemConfig cfg = smallConfig();
+    TrafficSpec spec =
+        TrafficSpec::hotspot({{0, 0.1}, {3000, 1.0}, {6000, 0.1}});
+    TimelineResult r = runTimeline(cfg, spec, 9000, 1000);
+    ASSERT_EQ(r.normalizedPower.size(), 9u);
+    ASSERT_EQ(r.offeredRate.size(), 9u);
+    // Offered rate tracks the schedule.
+    EXPECT_LT(r.offeredRate[0], 0.4);
+    EXPECT_GT(r.offeredRate[4], 0.6);
+    EXPECT_LT(r.offeredRate[8], 0.4);
+    // Power is within physical bounds.
+    for (double p : r.normalizedPower) {
+        EXPECT_GT(p, 0.0);
+        EXPECT_LE(p, 1.01);
+    }
+}
+
+TEST(Experiment, TraceReplayThroughSystem)
+{
+    SystemConfig cfg = smallConfig();
+    TraceData trace;
+    for (Cycle t = 0; t < 500; t += 5)
+        trace.push_back({t, static_cast<NodeId>(t % 8),
+                         static_cast<NodeId>((t + 3) % 8), 4});
+    RunProtocol p;
+    p.warmup = 0;
+    p.measure = 600;
+    p.drainLimit = 5000;
+    RunMetrics m =
+        runExperiment(cfg, TrafficSpec::traceReplay(trace), p);
+    EXPECT_EQ(m.packetsMeasured, trace.size());
+    EXPECT_TRUE(m.drained);
+}

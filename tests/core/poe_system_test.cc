@@ -1,0 +1,143 @@
+/** @file Tests for the assembled PoeSystem and its measurement logic. */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+using namespace oenet;
+
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig c;
+    c.meshX = 2;
+    c.meshY = 2;
+    c.clusterSize = 2;
+    c.windowCycles = 200;
+    return c;
+}
+
+std::unique_ptr<TrafficSource>
+uniform(double rate, const SystemConfig &cfg, std::uint64_t seed = 1)
+{
+    return makeTraffic(TrafficSpec::uniform(rate, 4, seed), cfg);
+}
+
+} // namespace
+
+TEST(PoeSystem, RunsWithoutTraffic)
+{
+    PoeSystem sys(smallConfig());
+    sys.run(1000);
+    EXPECT_EQ(sys.now(), 1000u);
+    EXPECT_EQ(sys.network().packetsInjected(), 0u);
+}
+
+TEST(PoeSystem, MeasurementCountsOnlyWindowPackets)
+{
+    SystemConfig cfg = smallConfig();
+    PoeSystem sys(cfg);
+    sys.setTraffic(uniform(0.5, cfg));
+    sys.run(2000); // pre-measurement traffic
+    sys.startMeasurement();
+    sys.run(4000);
+    sys.stopMeasurement();
+    ASSERT_TRUE(sys.awaitDrain(10000));
+    RunMetrics m = sys.metrics();
+    EXPECT_NEAR(static_cast<double>(m.packetsMeasured), 0.5 * 4000,
+                200.0);
+    EXPECT_LT(m.packetsMeasured, sys.network().packetsInjected());
+    EXPECT_TRUE(m.drained);
+}
+
+TEST(PoeSystem, LatencyIncludesSourceQueueing)
+{
+    SystemConfig cfg = smallConfig();
+    PoeSystem sys(cfg);
+    sys.setTraffic(uniform(0.05, cfg));
+    sys.startMeasurement();
+    sys.run(5000);
+    sys.stopMeasurement();
+    sys.awaitDrain(5000);
+    RunMetrics m = sys.metrics();
+    ASSERT_GT(m.packetsMeasured, 0u);
+    // Zero-load-ish latency: a handful of pipeline stages per hop plus
+    // serialization; must be well above the single-hop minimum and
+    // bounded.
+    EXPECT_GT(m.avgLatency, 10.0);
+    EXPECT_LT(m.avgLatency, 200.0);
+    EXPECT_LE(m.p50Latency, m.p95Latency);
+    EXPECT_LE(m.p95Latency, m.maxLatency);
+}
+
+TEST(PoeSystem, PowerMeasurementWindowed)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.powerAware = false;
+    PoeSystem sys(cfg);
+    sys.setTraffic(uniform(0.2, cfg));
+    sys.run(500);
+    sys.startMeasurement();
+    sys.run(1000);
+    sys.stopMeasurement();
+    RunMetrics m = sys.metrics();
+    // Non-power-aware: measured power equals the baseline exactly.
+    EXPECT_NEAR(m.avgPowerMw, m.baselinePowerMw, 1e-6);
+    EXPECT_NEAR(m.normalizedPower, 1.0, 1e-9);
+    EXPECT_EQ(m.measuredCycles, 1000u);
+}
+
+TEST(PoeSystem, PowerAwareIdleSavesPower)
+{
+    SystemConfig cfg = smallConfig();
+    PoeSystem sys(cfg);
+    sys.run(8000); // policy settles everything at minimum
+    sys.startMeasurement();
+    sys.run(2000);
+    sys.stopMeasurement();
+    RunMetrics m = sys.metrics();
+    EXPECT_LT(m.normalizedPower, 0.25);
+    EXPECT_GT(m.normalizedPower, 0.05);
+}
+
+TEST(PoeSystem, ThroughputReflectsDelivery)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.powerAware = false;
+    PoeSystem sys(cfg);
+    sys.setTraffic(uniform(0.5, cfg));
+    sys.run(2000);
+    sys.startMeasurement();
+    sys.run(5000);
+    sys.stopMeasurement();
+    sys.awaitDrain(5000);
+    RunMetrics m = sys.metrics();
+    // 0.5 pkts/cycle * 4 flits = 2 flits/cycle through the fabric.
+    EXPECT_NEAR(m.throughputFlitsPerCycle, 2.0, 0.3);
+    EXPECT_NEAR(m.offeredRate, 0.5, 0.1);
+}
+
+TEST(PoeSystem, MetricsSummaryNonEmpty)
+{
+    PoeSystem sys(smallConfig());
+    sys.startMeasurement();
+    sys.run(100);
+    sys.stopMeasurement();
+    EXPECT_FALSE(sys.metrics().summary().empty());
+}
+
+TEST(PoeSystem, NormalizeAgainstBaseline)
+{
+    RunMetrics pa;
+    pa.avgLatency = 60.0;
+    pa.avgPowerMw = 100.0;
+    RunMetrics base;
+    base.avgLatency = 40.0;
+    base.avgPowerMw = 400.0;
+    NormalizedMetrics n = normalizeAgainst(pa, base);
+    EXPECT_DOUBLE_EQ(n.latencyRatio, 1.5);
+    EXPECT_DOUBLE_EQ(n.powerRatio, 0.25);
+    EXPECT_DOUBLE_EQ(n.plpRatio, 0.375);
+}

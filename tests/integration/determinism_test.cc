@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproducibility: identical configuration and seed must give
+ * bit-identical results — the property every debugging and sweep
+ * workflow in this repo leans on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sweeps.hh"
+
+using namespace oenet;
+
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig c;
+    c.meshX = 2;
+    c.meshY = 2;
+    c.clusterSize = 2;
+    c.windowCycles = 200;
+    return c;
+}
+
+RunMetrics
+once(std::uint64_t seed)
+{
+    RunProtocol p;
+    p.warmup = 2000;
+    p.measure = 8000;
+    return runExperiment(smallConfig(),
+                         TrafficSpec::uniform(0.6, 4, seed), p);
+}
+
+} // namespace
+
+TEST(Determinism, IdenticalSeedsIdenticalResults)
+{
+    RunMetrics a = once(42);
+    RunMetrics b = once(42);
+    EXPECT_EQ(a.packetsMeasured, b.packetsMeasured);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_DOUBLE_EQ(a.avgPowerMw, b.avgPowerMw);
+    EXPECT_EQ(a.transitions, b.transitions);
+    EXPECT_EQ(a.packetsInjected, b.packetsInjected);
+}
+
+TEST(Determinism, DifferentSeedsDifferentTraffic)
+{
+    RunMetrics a = once(1);
+    RunMetrics b = once(2);
+    EXPECT_NE(a.packetsMeasured, b.packetsMeasured);
+}
+
+TEST(Determinism, TimelineReproducible)
+{
+    SystemConfig cfg = smallConfig();
+    TrafficSpec spec = TrafficSpec::hotspot({{0, 0.2}, {2000, 0.8}});
+    TimelineResult a = runTimeline(cfg, spec, 6000, 1000);
+    TimelineResult b = runTimeline(cfg, spec, 6000, 1000);
+    ASSERT_EQ(a.normalizedPower.size(), b.normalizedPower.size());
+    for (std::size_t i = 0; i < a.normalizedPower.size(); i++) {
+        EXPECT_DOUBLE_EQ(a.normalizedPower[i], b.normalizedPower[i]);
+        EXPECT_DOUBLE_EQ(a.offeredRate[i], b.offeredRate[i]);
+    }
+}
+
+TEST(Determinism, SplashTraceRunsReproducible)
+{
+    SystemConfig cfg = smallConfig();
+    SplashSynthParams sp;
+    sp.kind = SplashKind::kRadix;
+    sp.numNodes = cfg.numNodes();
+    sp.duration = 8000;
+    sp.seed = 99;
+    TraceData trace = generateSplashTrace(sp);
+    RunProtocol p;
+    p.warmup = 0;
+    p.measure = 8000;
+    RunMetrics a =
+        runExperiment(cfg, TrafficSpec::traceReplay(trace), p);
+    RunMetrics b =
+        runExperiment(cfg, TrafficSpec::traceReplay(trace), p);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_DOUBLE_EQ(a.avgPowerMw, b.avgPowerMw);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * End-to-end tests at the paper's full 64-rack scale: delivery,
+ * latency sanity, and the headline power-saving behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sweeps.hh"
+
+using namespace oenet;
+
+TEST(EndToEnd, FullScaleLightLoadDeliversEverything)
+{
+    SystemConfig cfg; // 8x8x8 paper system
+    PoeSystem sys(cfg);
+    sys.setTraffic(makeTraffic(TrafficSpec::uniform(0.5, 4, 1), cfg));
+    sys.run(3000);
+    sys.startMeasurement();
+    sys.run(10000);
+    sys.stopMeasurement();
+    sys.setTraffic(nullptr); // stop the source before draining
+    ASSERT_TRUE(sys.awaitDrain(30000));
+    sys.run(5000);
+    RunMetrics m = sys.metrics();
+    EXPECT_GT(m.packetsMeasured, 4000u);
+    EXPECT_TRUE(m.drained);
+    EXPECT_EQ(sys.network().flitsInSystem(), 0u);
+}
+
+TEST(EndToEnd, PowerAwareSavesSubstantiallyAtLightLoad)
+{
+    // The headline claim: > 75% power saving on low-variance light
+    // traffic with bounded latency cost.
+    SystemConfig cfg;
+    RunProtocol p;
+    p.warmup = 15000;
+    p.measure = 30000;
+    PairedResult r =
+        runPaired(cfg, TrafficSpec::uniform(1.25, 4, 2), p);
+    EXPECT_LT(r.normalized.powerRatio, 0.30);
+    EXPECT_LT(r.normalized.latencyRatio, 2.0);
+    EXPECT_GT(r.normalized.latencyRatio, 0.95);
+}
+
+TEST(EndToEnd, VcselSchemeSlightlyBeatsModulator)
+{
+    // Fig. 6(d): VCSEL power-aware links scale with V^2*BR on the
+    // transmitter and so save a bit more.
+    RunProtocol p;
+    p.warmup = 12000;
+    p.measure = 20000;
+    SystemConfig mod;
+    mod.scheme = LinkScheme::kModulator;
+    SystemConfig vcsel;
+    vcsel.scheme = LinkScheme::kVcsel;
+    TrafficSpec spec = TrafficSpec::uniform(2.0, 4, 3);
+    PairedResult rm = runPaired(mod, spec, p);
+    PairedResult rv = runPaired(vcsel, spec, p);
+    EXPECT_LT(rv.normalized.powerRatio, rm.normalized.powerRatio);
+}
+
+TEST(EndToEnd, HotspotScheduleTracked)
+{
+    // The network must follow rate swings: power in the quiet phase is
+    // clearly below power in the busy phase.
+    SystemConfig cfg;
+    cfg.windowCycles = 1000;
+    TrafficSpec spec = TrafficSpec::hotspot(
+        {{0, 0.3}, {20000, 4.0}, {40000, 0.3}}, 4, 4);
+    // Measurement starts after an 8k warmup, so bins are offset by
+    // 8000 cycles against the phase schedule: bin 0 = [8k,13k) quiet,
+    // bin 4 = [28k,33k) deep inside the busy phase, bin 10 = [58k,63k)
+    // well after the back-off.
+    TimelineResult r = runTimeline(cfg, spec, 60000, 5000, 8000);
+    ASSERT_EQ(r.normalizedPower.size(), 12u);
+    double quiet = r.normalizedPower[0];
+    double busy = r.normalizedPower[4];
+    double quiet2 = r.normalizedPower[10];
+    // Most links are lightly-used injection/ejection fibers that stay
+    // at the bottom rate throughout, so the aggregate swing is modest
+    // but must be clearly present and reversible.
+    EXPECT_GT(busy, quiet * 1.12);
+    EXPECT_LT(quiet2, busy * 0.95);
+}
+
+TEST(EndToEnd, SaturationThroughputNotHurtBy5To10Range)
+{
+    // Fig. 5(g): the 5-10 Gb/s power-aware network saturates with the
+    // non-power-aware one (we check it sustains the same heavy load).
+    RunProtocol p;
+    p.warmup = 10000;
+    p.measure = 20000;
+    SystemConfig pa;
+    SystemConfig base = baselineConfig(pa);
+    double rate = 4.0;
+    RunMetrics mp =
+        runExperiment(pa, TrafficSpec::uniform(rate, 4, 5), p);
+    RunMetrics mb =
+        runExperiment(base, TrafficSpec::uniform(rate, 4, 5), p);
+    // Table 1's congestion-adaptive thresholds deliberately hold lower
+    // bit rates when queueing masks the latency, so the power-aware
+    // network gives up a modest slice of deep-saturation throughput;
+    // the paper's Fig. 5(g) shows the same saturation point within
+    // reading accuracy. Require at least 80%.
+    EXPECT_GT(mp.throughputFlitsPerCycle,
+              0.80 * mb.throughputFlitsPerCycle);
+}

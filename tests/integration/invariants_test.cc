@@ -1,0 +1,164 @@
+/**
+ * @file
+ * System invariants under stress: flit conservation across bit-rate
+ * transitions, credit sanity, power bounds, and optical-band safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sweeps.hh"
+
+using namespace oenet;
+
+namespace {
+
+SystemConfig
+stressConfig()
+{
+    // Small mesh + tiny window = maximal transition churn.
+    SystemConfig c;
+    c.meshX = 3;
+    c.meshY = 3;
+    c.clusterSize = 2;
+    c.windowCycles = 100;
+    c.policy.slidingWindows = 1;
+    return c;
+}
+
+} // namespace
+
+TEST(Invariants, NoFlitLossAcrossManyTransitions)
+{
+    SystemConfig cfg = stressConfig();
+    PoeSystem sys(cfg);
+    // Strongly oscillating load forces constant up/down transitions.
+    std::vector<RatePhase> phases;
+    for (Cycle t = 0; t < 40000; t += 2000)
+        phases.push_back({t, (t / 2000) % 2 == 0 ? 0.05 : 0.6});
+    TrafficSpec spec = TrafficSpec::hotspot(phases, 4, 7);
+    spec.hotNode = 5;
+    sys.setTraffic(makeTraffic(spec, cfg));
+    sys.startMeasurement();
+    sys.run(42000);
+    sys.stopMeasurement();
+    sys.setTraffic(nullptr); // stop the source so the fabric can empty
+    ASSERT_TRUE(sys.awaitDrain(120000));
+
+    Network &net = sys.network();
+    EXPECT_EQ(net.flitsInjected(), net.flitsEjected());
+    EXPECT_EQ(net.flitsInSystem(), 0u);
+    // The policy must actually have exercised transitions.
+    RunMetrics m = sys.metrics();
+    EXPECT_GT(m.transitions, 50u);
+}
+
+TEST(Invariants, PowerAlwaysWithinPhysicalBounds)
+{
+    SystemConfig cfg = stressConfig();
+    PoeSystem sys(cfg);
+    sys.setTraffic(makeTraffic(
+        TrafficSpec::hotspot({{0, 0.1}, {5000, 1.0}, {10000, 0.1}}, 4,
+                             8),
+        cfg));
+    double min_power = 1e18, max_power = 0.0;
+    for (int i = 0; i < 150; i++) {
+        sys.run(100);
+        double p = sys.normalizedPowerNow();
+        min_power = std::min(min_power, p);
+        max_power = std::max(max_power, p);
+    }
+    EXPECT_GT(min_power, 0.0);
+    EXPECT_LE(max_power, 1.0 + 1e-9);
+}
+
+TEST(Invariants, LinkLevelsAlwaysWithinTable)
+{
+    SystemConfig cfg = stressConfig();
+    PoeSystem sys(cfg);
+    sys.setTraffic(makeTraffic(TrafficSpec::uniform(0.8, 4, 9), cfg));
+    for (int i = 0; i < 100; i++) {
+        sys.run(200);
+        Network &net = sys.network();
+        for (std::size_t l = 0; l < net.numLinks(); l++) {
+            int level = net.link(l).currentLevel();
+            EXPECT_GE(level, 0);
+            EXPECT_LE(level, net.levels().maxLevel());
+        }
+    }
+}
+
+TEST(Invariants, TriLevelNeverRunsFasterThanLight)
+{
+    SystemConfig cfg = stressConfig();
+    cfg.scheme = LinkScheme::kModulator;
+    cfg.opticalMode = OpticalMode::kTriLevel;
+    cfg.laser.responseCycles = 1000;
+    cfg.laser.decisionEpochCycles = 2000;
+    PoeSystem sys(cfg);
+    std::vector<RatePhase> phases;
+    for (Cycle t = 0; t < 60000; t += 3000)
+        phases.push_back({t, (t / 3000) % 2 == 0 ? 0.05 : 1.2});
+    TrafficSpec spec = TrafficSpec::hotspot(phases, 4, 10);
+    spec.hotNode = 3;
+    sys.setTraffic(makeTraffic(spec, cfg));
+    for (int i = 0; i < 300; i++) {
+        sys.run(200);
+        Network &net = sys.network();
+        for (std::size_t l = 0; l < net.numLinks(); l++) {
+            OpticalLink &link = net.link(l);
+            double scale = link.opticalScale();
+            OpticalLevel level = scale >= 0.99
+                                     ? OpticalLevel::kHigh
+                                     : (scale >= 0.49
+                                            ? OpticalLevel::kMid
+                                            : OpticalLevel::kLow);
+            EXPECT_LE(link.currentBitRateGbps(),
+                      maxBitRateForLevel(level) + 1e-9)
+                << link.name() << " at " << sys.now();
+        }
+    }
+}
+
+TEST(Invariants, DrainAfterSourceStops)
+{
+    // Whatever the policy state, stopping the source must empty the
+    // network (no livelock from transitions).
+    SystemConfig cfg = stressConfig();
+    PoeSystem sys(cfg);
+    sys.setTraffic(makeTraffic(TrafficSpec::uniform(1.2, 8, 11), cfg));
+    sys.startMeasurement();
+    sys.run(15000);
+    sys.stopMeasurement();
+    sys.setTraffic(nullptr);
+    sys.run(30000);
+    EXPECT_EQ(sys.network().flitsInSystem(), 0u);
+}
+
+TEST(Invariants, OnOffNeverLosesFlits)
+{
+    SystemConfig cfg = stressConfig();
+    cfg.policyMode = PolicyMode::kOnOff;
+    PoeSystem sys(cfg);
+    std::vector<RatePhase> phases;
+    for (Cycle t = 0; t < 30000; t += 3000)
+        phases.push_back({t, (t / 3000) % 2 == 0 ? 0.0 : 0.8});
+    // Rate 0 phases let links sleep; bursts must wake them without
+    // losing anything.
+    TrafficSpec spec = TrafficSpec::hotspot(
+        [&] {
+            // HotspotTraffic requires positive-rate schedule entries;
+            // use a tiny epsilon for the quiet phases.
+            for (auto &ph : phases)
+                if (ph.rate == 0.0)
+                    ph.rate = 0.001;
+            return phases;
+        }(),
+        4, 12);
+    spec.hotNode = 1;
+    sys.setTraffic(makeTraffic(spec, cfg));
+    sys.run(32000);
+    sys.setTraffic(nullptr);
+    sys.run(20000);
+    Network &net = sys.network();
+    EXPECT_EQ(net.flitsInjected(), net.flitsEjected());
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Parameterized property sweeps: the fabric must deliver every flit
+ * and settle cleanly across router microarchitectures (VC counts,
+ * buffer depths), bit-rate ranges, schemes, and policies — the
+ * combinations a user of the library is most likely to configure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/sweeps.hh"
+
+using namespace oenet;
+
+namespace {
+
+SystemConfig
+baseConfig()
+{
+    SystemConfig c;
+    c.meshX = 2;
+    c.meshY = 2;
+    c.clusterSize = 2;
+    c.windowCycles = 200;
+    return c;
+}
+
+/** Run a fixed load and assert conservation + drain. */
+void
+checkDelivery(SystemConfig cfg, double rate = 0.4)
+{
+    PoeSystem sys(cfg);
+    sys.setTraffic(makeTraffic(TrafficSpec::uniform(rate, 4, 21), cfg));
+    sys.startMeasurement();
+    sys.run(8000);
+    sys.stopMeasurement();
+    sys.setTraffic(nullptr);
+    ASSERT_TRUE(sys.awaitDrain(40000));
+    sys.run(2000);
+    Network &net = sys.network();
+    EXPECT_EQ(net.flitsInjected(), net.flitsEjected());
+    EXPECT_EQ(net.flitsInSystem(), 0u);
+    EXPECT_GT(sys.metrics().packetsMeasured, 500u);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Router microarchitecture sweep: (numVcs, bufferDepthPerPort).
+// ---------------------------------------------------------------------
+
+class RouterGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(RouterGeometrySweep, DeliversAndDrains)
+{
+    SystemConfig cfg = baseConfig();
+    cfg.numVcs = std::get<0>(GetParam());
+    cfg.bufferDepthPerPort = std::get<1>(GetParam());
+    checkDelivery(cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RouterGeometrySweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(8, 16, 32)));
+
+// ---------------------------------------------------------------------
+// Link configuration sweep: (scheme, brMin, levels).
+// ---------------------------------------------------------------------
+
+class LinkConfigSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>>
+{
+};
+
+TEST_P(LinkConfigSweep, DeliversAndDrains)
+{
+    SystemConfig cfg = baseConfig();
+    cfg.scheme = std::get<0>(GetParam()) == 0 ? LinkScheme::kVcsel
+                                              : LinkScheme::kModulator;
+    cfg.brMinGbps = std::get<1>(GetParam());
+    cfg.numLevels = std::get<2>(GetParam());
+    checkDelivery(cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LinkConfigs, LinkConfigSweep,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(3.3, 5.0),
+                       ::testing::Values(2, 4, 6)));
+
+// ---------------------------------------------------------------------
+// Policy sweep across packet sizes.
+// ---------------------------------------------------------------------
+
+class PolicyPacketSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(PolicyPacketSweep, DeliversAndDrains)
+{
+    SystemConfig cfg = baseConfig();
+    switch (std::get<0>(GetParam())) {
+      case 0:
+        cfg.policyMode = PolicyMode::kDvs;
+        break;
+      case 1:
+        cfg.policyMode = PolicyMode::kProportional;
+        break;
+      case 2:
+        cfg.policyMode = PolicyMode::kOnOff;
+        break;
+      case 3:
+        cfg.policyMode = PolicyMode::kStatic;
+        cfg.staticLevel = 0;
+        break;
+    }
+    int packet_len = std::get<1>(GetParam());
+
+    PoeSystem sys(cfg);
+    sys.setTraffic(makeTraffic(
+        TrafficSpec::uniform(0.2, packet_len, 23), cfg));
+    sys.startMeasurement();
+    sys.run(8000);
+    sys.stopMeasurement();
+    sys.setTraffic(nullptr);
+    ASSERT_TRUE(sys.awaitDrain(60000));
+    sys.run(2000);
+    Network &net = sys.network();
+    EXPECT_EQ(net.flitsInjected(), net.flitsEjected());
+    EXPECT_EQ(net.flitsInSystem(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicyPacketSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1, 4, 16, 48)));
+
+// ---------------------------------------------------------------------
+// Transition-delay sweep: extreme T_br / T_v must never lose flits.
+// ---------------------------------------------------------------------
+
+class TransitionDelaySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(TransitionDelaySweep, DeliversAndDrains)
+{
+    SystemConfig cfg = baseConfig();
+    cfg.freqTransitionCycles =
+        static_cast<Cycle>(std::get<0>(GetParam()));
+    cfg.voltTransitionCycles =
+        static_cast<Cycle>(std::get<1>(GetParam()));
+    cfg.windowCycles = 150; // transition churn
+    checkDelivery(cfg, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Delays, TransitionDelaySweep,
+    ::testing::Combine(::testing::Values(0, 20, 200),
+                       ::testing::Values(0, 100, 500)));
+
+// ---------------------------------------------------------------------
+// Mesh shape sweep, including non-square and single-row meshes.
+// ---------------------------------------------------------------------
+
+class MeshShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(MeshShapeSweep, DeliversAndDrains)
+{
+    SystemConfig cfg = baseConfig();
+    cfg.meshX = std::get<0>(GetParam());
+    cfg.meshY = std::get<1>(GetParam());
+    cfg.clusterSize = std::get<2>(GetParam());
+    checkDelivery(cfg, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MeshShapeSweep,
+    ::testing::Values(std::make_tuple(1, 1, 4),
+                      std::make_tuple(4, 1, 2),
+                      std::make_tuple(1, 4, 2),
+                      std::make_tuple(3, 2, 3),
+                      std::make_tuple(4, 4, 1),
+                      std::make_tuple(2, 2, 8)));

@@ -1,0 +1,103 @@
+/** @file Tests for the network power/utilization reporting. */
+
+#include <gtest/gtest.h>
+
+#include "network/power_report.hh"
+
+using namespace oenet;
+
+namespace {
+
+Network::Params
+smallParams()
+{
+    Network::Params p;
+    p.meshX = 2;
+    p.meshY = 2;
+    p.nodesPerCluster = 2;
+    return p;
+}
+
+} // namespace
+
+TEST(PowerReport, CountsMatchTopology)
+{
+    Kernel kernel;
+    Network net(kernel, smallParams());
+    PowerReport r = makePowerReport(net, 0);
+    EXPECT_EQ(r.forKind(LinkKind::kInjection).count, 8);
+    EXPECT_EQ(r.forKind(LinkKind::kEjection).count, 8);
+    EXPECT_EQ(r.forKind(LinkKind::kInterRouter).count, 8);
+}
+
+TEST(PowerReport, AllAtMaxEqualsBaseline)
+{
+    Kernel kernel;
+    Network net(kernel, smallParams());
+    PowerReport r = makePowerReport(net, 0);
+    EXPECT_NEAR(r.totalPowerMw, r.baselinePowerMw, 1e-6);
+    EXPECT_NEAR(r.normalizedPower, 1.0, 1e-9);
+    for (const auto &kr : r.byKind) {
+        EXPECT_NEAR(kr.normalizedPower, 1.0, 1e-9);
+        EXPECT_DOUBLE_EQ(kr.meanLevel, 5.0);
+        // All links sit in the top-level bin.
+        EXPECT_EQ(kr.levelHistogram.back(), kr.count);
+    }
+}
+
+TEST(PowerReport, ReflectsScaledLinks)
+{
+    Kernel kernel;
+    Network net(kernel, smallParams());
+    // Scale all injection links to the bottom.
+    for (std::size_t i = 0; i < net.numLinks(); i++) {
+        if (net.linkSpec(i).kind == LinkKind::kInjection)
+            net.link(i).requestLevel(0, 0);
+    }
+    kernel.run(200); // let transitions finish
+    PowerReport r = makePowerReport(net, kernel.now());
+    const auto &inj = r.forKind(LinkKind::kInjection);
+    EXPECT_LT(inj.normalizedPower, 0.3);
+    EXPECT_DOUBLE_EQ(inj.meanLevel, 0.0);
+    EXPECT_EQ(inj.levelHistogram.front(), inj.count);
+    EXPECT_NEAR(r.forKind(LinkKind::kEjection).normalizedPower, 1.0,
+                1e-9);
+    EXPECT_LT(r.normalizedPower, 1.0);
+}
+
+TEST(PowerReport, TotalsAreSumOfKinds)
+{
+    Kernel kernel;
+    Network net(kernel, smallParams());
+    net.link(0).requestLevel(0, 2);
+    kernel.run(300);
+    PowerReport r = makePowerReport(net, kernel.now());
+    double sum = 0.0;
+    for (const auto &kr : r.byKind)
+        sum += kr.powerMw;
+    EXPECT_NEAR(sum, r.totalPowerMw, 1e-6);
+}
+
+TEST(PowerReport, ToStringMentionsEveryKind)
+{
+    Kernel kernel;
+    Network net(kernel, smallParams());
+    std::string s = makePowerReport(net, 0).toString();
+    EXPECT_NE(s.find("injection"), std::string::npos);
+    EXPECT_NE(s.find("ejection"), std::string::npos);
+    EXPECT_NE(s.find("inter-router"), std::string::npos);
+}
+
+TEST(PowerReport, LinkRowsCoverAllLinks)
+{
+    Kernel kernel;
+    Network net(kernel, smallParams());
+    auto rows = collectLinkRows(net, 0);
+    ASSERT_EQ(rows.size(), net.numLinks());
+    for (std::size_t i = 0; i < rows.size(); i++) {
+        EXPECT_EQ(rows[i].name, net.link(i).name());
+        EXPECT_EQ(rows[i].level, 5);
+        EXPECT_DOUBLE_EQ(rows[i].brGbps, 10.0);
+        EXPECT_GT(rows[i].powerMw, 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+/** @file Tests for system link enumeration. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "network/topology.hh"
+
+using namespace oenet;
+
+TEST(Topology, OppositeDirections)
+{
+    EXPECT_EQ(oppositeDir(kDirEast), kDirWest);
+    EXPECT_EQ(oppositeDir(kDirWest), kDirEast);
+    EXPECT_EQ(oppositeDir(kDirNorth), kDirSouth);
+    EXPECT_EQ(oppositeDir(kDirSouth), kDirNorth);
+}
+
+TEST(Topology, PaperSystemLinkCounts)
+{
+    // 8x8 mesh, 8 nodes per rack: 512 injection + 512 ejection +
+    // 2*2*(7*8) = 224 inter-router unidirectional links.
+    ClusteredMesh m(8, 8, 8);
+    EXPECT_EQ(countLinks(m, LinkKind::kInjection), 512);
+    EXPECT_EQ(countLinks(m, LinkKind::kEjection), 512);
+    EXPECT_EQ(countLinks(m, LinkKind::kInterRouter), 224);
+    EXPECT_EQ(enumerateLinks(m).size(), 1248u);
+}
+
+TEST(Topology, InteriorRackOwnsTwentyTransmitters)
+{
+    // Fig. 3(b)/4(a): 20 fibers per rack = 8 injection + 8 ejection +
+    // 4 outgoing inter-router (interior rack).
+    ClusteredMesh m(8, 8, 8);
+    auto specs = enumerateLinks(m);
+    int rack = m.rackAt(3, 3); // interior
+    int tx = 0;
+    for (const auto &s : specs) {
+        if (s.kind == LinkKind::kInjection &&
+            m.rackOf(s.srcNode) == rack)
+            tx++;
+        if ((s.kind == LinkKind::kEjection ||
+             s.kind == LinkKind::kInterRouter) &&
+            s.srcRouter == rack)
+            tx++;
+    }
+    EXPECT_EQ(tx, 20);
+}
+
+TEST(Topology, CornerRackHasEighteenTransmitters)
+{
+    ClusteredMesh m(8, 8, 8);
+    auto specs = enumerateLinks(m);
+    int tx = 0;
+    for (const auto &s : specs) {
+        if (s.kind == LinkKind::kInjection && m.rackOf(s.srcNode) == 0)
+            tx++;
+        if ((s.kind == LinkKind::kEjection ||
+             s.kind == LinkKind::kInterRouter) &&
+            s.srcRouter == 0)
+            tx++;
+    }
+    EXPECT_EQ(tx, 18); // 8 + 8 + 2 (east, south only)
+}
+
+TEST(Topology, InjectionWiring)
+{
+    ClusteredMesh m(2, 2, 2);
+    auto specs = enumerateLinks(m);
+    const LinkSpec &s = specs[3]; // injection link of node 3
+    EXPECT_EQ(s.kind, LinkKind::kInjection);
+    EXPECT_EQ(s.srcNode, 3u);
+    EXPECT_EQ(s.dstRouter, 1);
+    EXPECT_EQ(s.dstPort, 1);
+}
+
+TEST(Topology, InterRouterPortsArePaired)
+{
+    // An east link out of (x,y) must land on the west input port of
+    // (x+1,y), and so on.
+    ClusteredMesh m(4, 4, 4);
+    for (const auto &s : enumerateLinks(m)) {
+        if (s.kind != LinkKind::kInterRouter)
+            continue;
+        int src_dir = s.srcPort - m.nodesPerCluster();
+        int dst_dir = s.dstPort - m.nodesPerCluster();
+        EXPECT_EQ(dst_dir, oppositeDir(src_dir)) << s.name;
+        EXPECT_EQ(s.dstRouter,
+                  m.neighborRack(m.rackX(s.srcRouter),
+                                 m.rackY(s.srcRouter), src_dir))
+            << s.name;
+    }
+}
+
+TEST(Topology, NamesAreUnique)
+{
+    ClusteredMesh m(4, 4, 4);
+    std::set<std::string> names;
+    for (const auto &s : enumerateLinks(m))
+        EXPECT_TRUE(names.insert(s.name).second) << s.name;
+}
+
+TEST(Topology, EveryRouterPortConnectedAtMostOnce)
+{
+    ClusteredMesh m(8, 8, 8);
+    std::set<std::pair<int, int>> in_ports, out_ports;
+    for (const auto &s : enumerateLinks(m)) {
+        if (s.dstRouter != kInvalid)
+            EXPECT_TRUE(
+                in_ports.insert({s.dstRouter, s.dstPort}).second)
+                << s.name;
+        if (s.srcRouter != kInvalid)
+            EXPECT_TRUE(
+                out_ports.insert({s.srcRouter, s.srcPort}).second)
+                << s.name;
+    }
+}

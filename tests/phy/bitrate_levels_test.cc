@@ -1,0 +1,77 @@
+/** @file Tests for bit-rate/voltage level tables. */
+
+#include <gtest/gtest.h>
+
+#include "phy/bitrate_levels.hh"
+
+using namespace oenet;
+
+TEST(BitrateLevels, PaperDefaultSixLevels)
+{
+    // Section 4.1: 6 levels over 5-10 Gb/s, 1.8 V at the top, 0.9 V at
+    // the bottom (voltage linear in rate).
+    auto t = BitrateLevelTable::linear(5.0, 10.0, 6);
+    ASSERT_EQ(t.numLevels(), 6);
+    EXPECT_DOUBLE_EQ(t.level(0).brGbps, 5.0);
+    EXPECT_DOUBLE_EQ(t.level(5).brGbps, 10.0);
+    EXPECT_DOUBLE_EQ(t.level(0).vddV, 0.9);
+    EXPECT_DOUBLE_EQ(t.level(5).vddV, 1.8);
+    EXPECT_DOUBLE_EQ(t.level(2).brGbps, 7.0);
+    EXPECT_NEAR(t.level(2).vddV, 1.8 * 0.7, 1e-12);
+}
+
+TEST(BitrateLevels, AlternativeRange)
+{
+    auto t = BitrateLevelTable::linear(3.3, 10.0, 6);
+    EXPECT_DOUBLE_EQ(t.minBitRateGbps(), 3.3);
+    EXPECT_DOUBLE_EQ(t.maxBitRateGbps(), 10.0);
+    EXPECT_NEAR(t.level(0).vddV, 1.8 * 0.33, 1e-12);
+}
+
+TEST(BitrateLevels, StrictlyIncreasing)
+{
+    auto t = BitrateLevelTable::linear(5.0, 10.0, 6);
+    for (int i = 1; i < t.numLevels(); i++) {
+        EXPECT_GT(t.level(i).brGbps, t.level(i - 1).brGbps);
+        EXPECT_GT(t.level(i).vddV, t.level(i - 1).vddV);
+    }
+}
+
+TEST(BitrateLevels, SingleLevelTable)
+{
+    auto t = BitrateLevelTable::linear(10.0, 10.0, 1);
+    EXPECT_EQ(t.numLevels(), 1);
+    EXPECT_DOUBLE_EQ(t.level(0).brGbps, 10.0);
+    EXPECT_DOUBLE_EQ(t.level(0).vddV, 1.8);
+}
+
+TEST(BitrateLevels, LevelAtLeast)
+{
+    auto t = BitrateLevelTable::linear(5.0, 10.0, 6);
+    EXPECT_EQ(t.levelAtLeast(4.0), 0);
+    EXPECT_EQ(t.levelAtLeast(5.0), 0);
+    EXPECT_EQ(t.levelAtLeast(5.1), 1);
+    EXPECT_EQ(t.levelAtLeast(10.0), 5);
+    EXPECT_EQ(t.levelAtLeast(99.0), 5); // clamps
+}
+
+TEST(BitrateLevels, CapacityFraction)
+{
+    auto t = BitrateLevelTable::linear(5.0, 10.0, 6);
+    EXPECT_DOUBLE_EQ(t.capacityFraction(5), 1.0);
+    EXPECT_DOUBLE_EQ(t.capacityFraction(0), 0.5);
+}
+
+TEST(BitrateLevels, ExplicitConstructionValidates)
+{
+    std::vector<BitrateLevel> good{{1.0, 0.5}, {2.0, 1.0}};
+    BitrateLevelTable t(good);
+    EXPECT_EQ(t.numLevels(), 2);
+}
+
+TEST(BitrateLevelsDeath, OutOfRangeLevelPanics)
+{
+    auto t = BitrateLevelTable::linear(5.0, 10.0, 6);
+    EXPECT_DEATH((void)t.level(6), "range");
+    EXPECT_DEATH((void)t.level(-1), "range");
+}

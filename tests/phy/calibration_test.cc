@@ -1,0 +1,114 @@
+/** @file Tests for the calibration file feed-in path. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "phy/calibration.hh"
+
+using namespace oenet;
+
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+} // namespace
+
+TEST(Calibration, RoundTripDefaults)
+{
+    std::string path = tempPath("oenet_cal_defaults.cal");
+    LinkCalibration cal;
+    saveLinkCalibration(path, cal);
+    LinkCalibration loaded = loadLinkCalibration(path);
+    EXPECT_DOUBLE_EQ(loaded.power.vcselMw, cal.power.vcselMw);
+    EXPECT_DOUBLE_EQ(loaded.power.tiaMw, cal.power.tiaMw);
+    EXPECT_DOUBLE_EQ(loaded.power.cdrMw, cal.power.cdrMw);
+    EXPECT_DOUBLE_EQ(loaded.power.vmaxV, cal.power.vmaxV);
+    EXPECT_FALSE(loaded.levels.has_value());
+    std::remove(path.c_str());
+}
+
+TEST(Calibration, RoundTripWithMeasuredLevels)
+{
+    std::string path = tempPath("oenet_cal_levels.cal");
+    LinkCalibration cal;
+    cal.power.cdrMw = 120.0;
+    cal.levels = BitrateLevelTable(
+        {{4.8, 0.85}, {7.2, 1.3}, {9.6, 1.75}});
+    saveLinkCalibration(path, cal);
+    LinkCalibration loaded = loadLinkCalibration(path);
+    EXPECT_DOUBLE_EQ(loaded.power.cdrMw, 120.0);
+    ASSERT_TRUE(loaded.levels.has_value());
+    EXPECT_EQ(loaded.levels->numLevels(), 3);
+    EXPECT_DOUBLE_EQ(loaded.levels->level(1).brGbps, 7.2);
+    EXPECT_DOUBLE_EQ(loaded.levels->level(1).vddV, 1.3);
+    std::remove(path.c_str());
+}
+
+TEST(Calibration, ParsesCommentsAndWhitespace)
+{
+    std::string path = tempPath("oenet_cal_comments.cal");
+    {
+        std::ofstream out(path);
+        out << "# measured on chip 7\n";
+        out << "\n";
+        out << "  tia_mw =  88.5  # bench supply 1.8 V\n";
+        out << "level = 5.0 0.9\n";
+        out << "level = 10.0 1.8\n";
+    }
+    LinkCalibration cal = loadLinkCalibration(path);
+    EXPECT_DOUBLE_EQ(cal.power.tiaMw, 88.5);
+    ASSERT_TRUE(cal.levels.has_value());
+    EXPECT_EQ(cal.levels->numLevels(), 2);
+    std::remove(path.c_str());
+}
+
+TEST(Calibration, LoadedParamsDriveLinkPowerModel)
+{
+    std::string path = tempPath("oenet_cal_model.cal");
+    {
+        std::ofstream out(path);
+        out << "vcsel_mw = 20\nvcsel_driver_mw = 8\n"
+            << "tia_mw = 90\ncdr_mw = 130\ndetector_mw = 1\n"
+            << "mod_driver_mw = 35\nvmax_v = 1.8\nbr_max_gbps = 10\n";
+    }
+    LinkCalibration cal = loadLinkCalibration(path);
+    LinkPowerModel model(LinkScheme::kVcsel, cal.power);
+    EXPECT_NEAR(model.maxPowerMw(), 20 + 8 + 90 + 130 + 1, 1e-9);
+    std::remove(path.c_str());
+}
+
+TEST(CalibrationDeath, UnknownKeyFatal)
+{
+    std::string path = tempPath("oenet_cal_bad.cal");
+    {
+        std::ofstream out(path);
+        out << "flux_capacitor_mw = 3\n";
+    }
+    EXPECT_EXIT((void)loadLinkCalibration(path),
+                ::testing::ExitedWithCode(1), "unknown");
+    std::remove(path.c_str());
+}
+
+TEST(CalibrationDeath, MalformedLevelFatal)
+{
+    std::string path = tempPath("oenet_cal_badlevel.cal");
+    {
+        std::ofstream out(path);
+        out << "level = 5.0\n";
+    }
+    EXPECT_EXIT((void)loadLinkCalibration(path),
+                ::testing::ExitedWithCode(1), "level");
+    std::remove(path.c_str());
+}
+
+TEST(CalibrationDeath, MissingFileFatal)
+{
+    EXPECT_EXIT((void)loadLinkCalibration("/nonexistent/file.cal"),
+                ::testing::ExitedWithCode(1), "open");
+}

@@ -1,0 +1,92 @@
+/** @file Tests for the external laser plant and optical level bands. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "phy/laser_source.hh"
+
+using namespace oenet;
+
+TEST(OpticalLevels, FractionsHalveDownward)
+{
+    // Section 3.2.2: P_low = 0.5 P_mid, P_mid = 0.5 P_high.
+    EXPECT_DOUBLE_EQ(opticalLevelFraction(OpticalLevel::kHigh), 1.0);
+    EXPECT_DOUBLE_EQ(opticalLevelFraction(OpticalLevel::kMid), 0.5);
+    EXPECT_DOUBLE_EQ(opticalLevelFraction(OpticalLevel::kLow), 0.25);
+}
+
+TEST(OpticalLevels, BandMapping)
+{
+    // <4 Gb/s low, 4-6 mid, 6-10 high.
+    EXPECT_EQ(requiredOpticalLevel(3.3), OpticalLevel::kLow);
+    EXPECT_EQ(requiredOpticalLevel(3.99), OpticalLevel::kLow);
+    EXPECT_EQ(requiredOpticalLevel(4.0), OpticalLevel::kMid);
+    EXPECT_EQ(requiredOpticalLevel(6.0), OpticalLevel::kMid);
+    EXPECT_EQ(requiredOpticalLevel(6.01), OpticalLevel::kHigh);
+    EXPECT_EQ(requiredOpticalLevel(10.0), OpticalLevel::kHigh);
+}
+
+TEST(OpticalLevels, BandCeilingsConsistentWithMapping)
+{
+    for (OpticalLevel level :
+         {OpticalLevel::kLow, OpticalLevel::kMid, OpticalLevel::kHigh}) {
+        EXPECT_EQ(requiredOpticalLevel(maxBitRateForLevel(level)), level);
+    }
+}
+
+TEST(LaserSource, SplitsAcrossAllFibers)
+{
+    LaserSource src;
+    EXPECT_EQ(src.totalFibers(), 64 * 20);
+    EXPECT_GT(src.perFiberPowerMw(), 0.0);
+}
+
+TEST(LaserSource, PerFiberPowerAccountsForSplitAndLoss)
+{
+    LaserSourceParams p;
+    p.outputPowerMw = 1280.0;
+    p.rackFanout = 64;
+    p.fiberFanout = 20;
+    p.rackSplitLossDb = 0.0;
+    p.fiberSplitLossDb = 0.0;
+    LaserSource src(p);
+    EXPECT_NEAR(src.perFiberPowerMw(), 1.0, 1e-9);
+
+    p.rackSplitLossDb = 3.0103; // halves the power
+    LaserSource lossy(p);
+    EXPECT_NEAR(lossy.perFiberPowerMw(), 0.5, 1e-4);
+}
+
+TEST(LaserSource, LevelScalesDeliveredPower)
+{
+    LaserSource src;
+    double full = src.perFiberPowerMw(OpticalLevel::kHigh);
+    EXPECT_NEAR(src.perFiberPowerMw(OpticalLevel::kMid), full / 2, 1e-9);
+    EXPECT_NEAR(src.perFiberPowerMw(OpticalLevel::kLow), full / 4, 1e-9);
+}
+
+TEST(LaserSource, ResponseTimeIs100Microseconds)
+{
+    LaserSource src;
+    EXPECT_EQ(src.attenuatorResponseCycles(), microsToCycles(100.0));
+    EXPECT_EQ(src.attenuatorResponseCycles(), 62500u);
+}
+
+TEST(LaserSource, DefaultPlantCoversReceiverSensitivity)
+{
+    // The shipped defaults must deliver the 25 uW a 10 Gb/s receiver
+    // needs even at the lowest optical level, after a 6 dB path.
+    LaserSource src;
+    EXPECT_TRUE(src.supports(OpticalLevel::kLow, 0.025, 6.0));
+}
+
+TEST(LaserSource, SupportsReflectsPathLoss)
+{
+    LaserSourceParams p;
+    p.outputPowerMw = 64.0 * 20.0 * 0.1; // 0.1 mW per fiber, lossless
+    p.rackSplitLossDb = 0.0;
+    p.fiberSplitLossDb = 0.0;
+    LaserSource src(p);
+    EXPECT_TRUE(src.supports(OpticalLevel::kHigh, 0.05, 3.0));
+    EXPECT_FALSE(src.supports(OpticalLevel::kHigh, 0.05, 10.0));
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests pinning the whole-link power model to Table 2 and to the
+ * paper's headline numbers (~290 mW at full rate, 61.25 mW for a
+ * 5 Gb/s VCSEL link, ~80% savings), plus consistency between the trend
+ * model and the Eqs. 1-9 component models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "phy/link_power.hh"
+#include "phy/modulator.hh"
+#include "phy/receiver.hh"
+#include "phy/vcsel.hh"
+
+using namespace oenet;
+
+TEST(LinkPower, VcselLinkAtFullRateMatchesPaper)
+{
+    LinkPowerModel m(LinkScheme::kVcsel);
+    auto d = m.breakdown(10.0, 1.8);
+    EXPECT_NEAR(d.txLaserMw, 30.0, 1e-9);
+    EXPECT_NEAR(d.txDriverMw, 10.0, 1e-9);
+    EXPECT_NEAR(d.tiaMw, 100.0, 1e-9);
+    EXPECT_NEAR(d.cdrMw, 150.0, 1e-9);
+    // "approximately 40 mW" transmitter, "approximately 250 mW"
+    // receiver, "a total of 290 mW per link".
+    EXPECT_NEAR(d.txLaserMw + d.txDriverMw, 40.0, 1e-9);
+    EXPECT_NEAR(d.detectorMw + d.tiaMw + d.cdrMw, 250.0, 1.5);
+    EXPECT_NEAR(d.totalMw, 290.0, 1.5);
+}
+
+TEST(LinkPower, VcselLinkAtFiveGbpsIs61mw)
+{
+    // Section 4.1: "this lowers link power consumption to 61.25 mW at
+    // 5 Gb/s for a VCSEL-based link".
+    LinkPowerModel m(LinkScheme::kVcsel);
+    EXPECT_NEAR(m.powerMw(5.0, 0.9), 61.25, 1e-6);
+}
+
+TEST(LinkPower, VcselSavingsAboutEightyPercent)
+{
+    LinkPowerModel m(LinkScheme::kVcsel);
+    double saving = 1.0 - m.powerMw(5.0, 0.9) / m.maxPowerMw();
+    EXPECT_GT(saving, 0.75);
+    EXPECT_LT(saving, 0.85);
+}
+
+TEST(LinkPower, ModulatorLinkAtFullRate)
+{
+    LinkPowerModel m(LinkScheme::kModulator);
+    auto d = m.breakdown(10.0, 1.8);
+    EXPECT_DOUBLE_EQ(d.txLaserMw, 0.0); // external laser off-budget
+    EXPECT_NEAR(d.txDriverMw, 40.0, 1e-9);
+    EXPECT_NEAR(d.totalMw, 290.0, 1.5);
+}
+
+TEST(LinkPower, ModulatorDriverDoesNotScaleWithVoltage)
+{
+    // Section 2.3: the modulator driver's supply is fixed.
+    LinkPowerModel m(LinkScheme::kModulator);
+    auto full = m.breakdown(10.0, 1.8);
+    auto lowv = m.breakdown(10.0, 0.9);
+    EXPECT_DOUBLE_EQ(full.txDriverMw, lowv.txDriverMw);
+}
+
+TEST(LinkPower, VcselSchemeBeatsModulatorWhenScaled)
+{
+    // Section 4.3.2 / Fig. 6(d): the VCSEL link's driver scales with
+    // V^2*BR while the modulator driver only scales with BR, so scaled
+    // down the VCSEL link draws less.
+    LinkPowerModel v(LinkScheme::kVcsel);
+    LinkPowerModel m(LinkScheme::kModulator);
+    EXPECT_LT(v.powerMw(5.0, 0.9), m.powerMw(5.0, 0.9));
+    // At full rate both are essentially equal.
+    EXPECT_NEAR(v.maxPowerMw(), m.maxPowerMw(), 1.0);
+}
+
+TEST(LinkPower, OpticalScaleAffectsOnlyModulatorDetector)
+{
+    LinkPowerModel m(LinkScheme::kModulator);
+    auto full = m.breakdown(5.0, 0.9, 1.0);
+    auto dim = m.breakdown(5.0, 0.9, 0.25);
+    EXPECT_LT(dim.detectorMw, full.detectorMw);
+    EXPECT_DOUBLE_EQ(dim.txDriverMw, full.txDriverMw);
+    EXPECT_DOUBLE_EQ(dim.tiaMw, full.tiaMw);
+}
+
+TEST(LinkPower, MonotonicInBitRateAndVoltage)
+{
+    for (LinkScheme scheme :
+         {LinkScheme::kVcsel, LinkScheme::kModulator}) {
+        LinkPowerModel m(scheme);
+        double prev = 0.0;
+        for (int i = 0; i < 6; i++) {
+            double br = 5.0 + i;
+            double v = 1.8 * br / 10.0;
+            double p = m.powerMw(br, v);
+            EXPECT_GT(p, prev) << linkSchemeName(scheme) << " level "
+                               << i;
+            prev = p;
+        }
+    }
+}
+
+TEST(LinkPower, TrendModelConsistentWithComponentEquations)
+{
+    // The trend-based network model must track the physical Eqs. 1-9
+    // component models across the operating range (within ~12%: the
+    // VCSEL's bias floor is the only structural difference).
+    LinkPowerModel trend(LinkScheme::kVcsel);
+    Vcsel vcsel;
+    VcselDriver driver;
+    Tia tia;
+    Cdr cdr;
+    for (double br : {5.0, 6.0, 7.0, 8.0, 9.0, 10.0}) {
+        double v = 1.8 * br / 10.0;
+        double physical = vcsel.averagePowerMw(v) +
+                          driver.powerMw(v, br) + tia.powerMw(br, v) +
+                          cdr.powerMw(v, br);
+        double modeled = trend.powerMw(br, v) -
+                         trend.breakdown(br, v).detectorMw;
+        EXPECT_NEAR(modeled / physical, 1.0, 0.12) << "at " << br;
+    }
+}
+
+TEST(LinkPower, SchemeNames)
+{
+    EXPECT_STREQ(linkSchemeName(LinkScheme::kVcsel), "vcsel");
+    EXPECT_STREQ(linkSchemeName(LinkScheme::kModulator), "modulator");
+}

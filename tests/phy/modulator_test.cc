@@ -1,0 +1,80 @@
+/** @file Tests for the MQW modulator and its driver (Eqs. 4-5). */
+
+#include <gtest/gtest.h>
+
+#include "phy/modulator.hh"
+
+using namespace oenet;
+
+TEST(MqwModulator, PowerProportionalToInputLight)
+{
+    // Eq. 4 is linear in PI.
+    MqwModulator m;
+    double p1 = m.powerMw(1.0);
+    double p2 = m.powerMw(2.0);
+    EXPECT_GT(p1, 0.0);
+    EXPECT_NEAR(p2, 2.0 * p1, 1e-12);
+}
+
+TEST(MqwModulator, MatchesEquationFour)
+{
+    MqwModulatorParams p;
+    p.responsivityAPerW = 0.8;
+    p.insertionLoss = 0.2;
+    p.contrastRatio = 10.0;
+    p.biasVoltageV = 2.0;
+    p.vddV = 1.8;
+    MqwModulator m(p);
+    double pi = 1.0; // mW
+    double expected = 0.5 * 0.8 * pi *
+                      (0.2 * (2.0 - 1.8) +
+                       (1.0 - (1.0 - 0.2) / 10.0) * 2.0);
+    EXPECT_NEAR(m.powerMw(pi), expected, 1e-12);
+}
+
+TEST(MqwModulator, OnStatePassesMostLight)
+{
+    MqwModulator m;
+    double in = 1.0;
+    EXPECT_NEAR(m.onOutputMw(in), 1.0 - m.params().insertionLoss, 1e-12);
+    EXPECT_GT(m.onOutputMw(in), m.offOutputMw(in));
+}
+
+TEST(MqwModulator, ContrastRatioHolds)
+{
+    MqwModulator m;
+    double in = 2.0;
+    EXPECT_NEAR(m.onOutputMw(in) / m.offOutputMw(in),
+                m.params().contrastRatio, 1e-9);
+}
+
+TEST(MqwModulator, AverageOutputBetweenOnAndOff)
+{
+    MqwModulator m;
+    double avg = m.averageOutputMw(1.0);
+    EXPECT_GT(avg, m.offOutputMw(1.0));
+    EXPECT_LT(avg, m.onOutputMw(1.0));
+}
+
+TEST(MqwModulatorDeath, RejectsContrastBelowOne)
+{
+    MqwModulatorParams p;
+    p.contrastRatio = 0.5;
+    EXPECT_DEATH(MqwModulator m(p), "contrast");
+}
+
+TEST(ModulatorDriver, Table2PowerAtFullRate)
+{
+    // 40 mW at 10 Gb/s (Table 2).
+    ModulatorDriver d;
+    EXPECT_NEAR(d.powerMw(10.0), 40.0, 1e-9);
+}
+
+TEST(ModulatorDriver, LinearInBitRateOnly)
+{
+    // Eq. 5 with Vdd fixed (Section 2.3): P ~ BR.
+    ModulatorDriver d;
+    EXPECT_NEAR(d.powerMw(5.0), 20.0, 1e-9);
+    EXPECT_NEAR(d.powerMw(3.3), 13.2, 1e-9);
+    EXPECT_NEAR(d.powerMw(0.0), 0.0, 1e-12);
+}

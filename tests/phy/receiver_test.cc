@@ -1,0 +1,101 @@
+/** @file Tests for the receiver chain: detector, TIA, CDR (Eqs. 6-9). */
+
+#include <gtest/gtest.h>
+
+#include "phy/receiver.hh"
+
+using namespace oenet;
+
+TEST(Photodetector, SensitivityScalesWithBitRate)
+{
+    Photodetector d;
+    // 25 uW at 10 Gb/s per Section 2.1.2.
+    EXPECT_NEAR(d.requiredOpticalPowerMw(10.0), 0.025, 1e-12);
+    EXPECT_NEAR(d.requiredOpticalPowerMw(5.0), 0.0125, 1e-12);
+}
+
+TEST(Photodetector, PowerUnderOneMilliwatt)
+{
+    // Section 2.2.1: detector power is < 1 mW at sensitivity-level
+    // input — the reason it gets no dedicated power control.
+    Photodetector d;
+    EXPECT_LT(d.powerMw(d.requiredOpticalPowerMw(10.0)), 1.0);
+    EXPECT_GT(d.powerMw(d.requiredOpticalPowerMw(10.0)), 0.0);
+}
+
+TEST(Photodetector, PowerLinearInReceivedLight)
+{
+    Photodetector d;
+    EXPECT_NEAR(d.powerMw(0.2), 2.0 * d.powerMw(0.1), 1e-12);
+}
+
+TEST(Photodetector, ContrastRatioFactor)
+{
+    // Eq. 6 carries (CR+1)/(CR-1): lower contrast -> more dissipation.
+    PhotodetectorParams lo;
+    lo.contrastRatio = 2.0;
+    PhotodetectorParams hi;
+    hi.contrastRatio = 100.0;
+    EXPECT_GT(Photodetector(lo).powerMw(0.1),
+              Photodetector(hi).powerMw(0.1));
+}
+
+TEST(Photodetector, ResponsivityNearTheoretical)
+{
+    // q/(h*nu) at 1550 nm is ~1.25 A/W.
+    Photodetector d;
+    EXPECT_NEAR(d.photocurrentMa(1.0), 1.25, 0.01);
+}
+
+TEST(Tia, Table2PowerAtFullOperatingPoint)
+{
+    // 100 mW at (10 Gb/s, 1.8 V) (Table 2).
+    Tia t;
+    EXPECT_NEAR(t.powerMw(10.0, 1.8), 100.0, 1e-6);
+}
+
+TEST(Tia, BiasCurrentLinearInMaxRate)
+{
+    // Eq. 7: Ibias = c * BRmax.
+    Tia t;
+    EXPECT_NEAR(t.biasCurrentMa(10.0), 2.0 * t.biasCurrentMa(5.0),
+                1e-9);
+}
+
+TEST(Tia, PowerScalesWithVddTimesBr)
+{
+    // Eq. 8 trend: Vdd * BR.
+    Tia t;
+    EXPECT_NEAR(t.powerMw(5.0, 0.9), 25.0, 1e-6);
+}
+
+TEST(Tia, OutputSwing)
+{
+    Tia t;
+    // Ip * Rf: 0.05 mA * 2000 ohm = 100 mV.
+    EXPECT_NEAR(t.outputSwingMv(0.05), 100.0, 1e-9);
+}
+
+TEST(Cdr, Table2PowerAtFullOperatingPoint)
+{
+    // 150 mW at (1.8 V, 10 Gb/s) (Table 2).
+    Cdr c;
+    EXPECT_NEAR(c.powerMw(1.8, 10.0), 150.0, 1e-6);
+}
+
+TEST(Cdr, QuadraticVoltageLinearRate)
+{
+    // Eq. 9 trend: Vdd^2 * BR.
+    Cdr c;
+    EXPECT_NEAR(c.powerMw(0.9, 10.0), 150.0 / 4.0, 1e-6);
+    EXPECT_NEAR(c.powerMw(1.8, 5.0), 75.0, 1e-6);
+    EXPECT_NEAR(c.powerMw(0.9, 5.0), 150.0 / 8.0, 1e-6);
+}
+
+TEST(Cdr, RelockTimeIsTwentyCycles)
+{
+    // Section 4.1: links disabled 20 network cycles after a bit-rate
+    // transition for CDR relock.
+    Cdr c;
+    EXPECT_EQ(c.relockCycles(), 20u);
+}

@@ -1,0 +1,90 @@
+/** @file Tests for the VCSEL transmitter models (Eqs. 1-3, Table 2). */
+
+#include <gtest/gtest.h>
+
+#include "phy/vcsel.hh"
+
+using namespace oenet;
+
+TEST(Vcsel, NoEmissionBelowThreshold)
+{
+    Vcsel v;
+    EXPECT_DOUBLE_EQ(v.emittedOpticalPowerMw(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(
+        v.emittedOpticalPowerMw(v.params().thresholdMa), 0.0);
+}
+
+TEST(Vcsel, EmissionLinearAboveThreshold)
+{
+    // Eq. 1: Pe = S * (I - Ith).
+    Vcsel v;
+    double s = v.params().slopeWPerA;
+    double ith = v.params().thresholdMa;
+    EXPECT_NEAR(v.emittedOpticalPowerMw(ith + 10.0), s * 10.0, 1e-12);
+    EXPECT_NEAR(v.emittedOpticalPowerMw(ith + 20.0), s * 20.0, 1e-12);
+}
+
+TEST(Vcsel, Table2PowerAtFullOperatingPoint)
+{
+    // 30 mW at the full driver supply (Table 2).
+    Vcsel v;
+    EXPECT_NEAR(v.averagePowerMw(1.8), 30.0, 1e-9);
+}
+
+TEST(Vcsel, PowerTracksSupplyVoltage)
+{
+    // Eq. 2 with Im ~ Vdd: scaling trend ~ Vdd (Table 2). The small
+    // bias-current floor keeps it slightly above exact proportionality.
+    Vcsel v;
+    double full = v.averagePowerMw(1.8);
+    double half = v.averagePowerMw(0.9);
+    EXPECT_LT(half, 0.6 * full);
+    EXPECT_GT(half, 0.45 * full);
+}
+
+TEST(Vcsel, ModulationCurrentClampsAtVmax)
+{
+    Vcsel v;
+    EXPECT_DOUBLE_EQ(v.modulationCurrentMa(2.5),
+                     v.params().modulationMaxMa);
+    EXPECT_DOUBLE_EQ(v.modulationCurrentMa(-1.0), 0.0);
+}
+
+TEST(Vcsel, OpticalOutputScalesWithSupply)
+{
+    Vcsel v;
+    double full = v.averageOpticalPowerMw(1.8);
+    double half = v.averageOpticalPowerMw(0.9);
+    EXPECT_GT(full, 0.0);
+    EXPECT_LT(half, full);
+    // Roughly halved light at half drive.
+    EXPECT_NEAR(half / full, 0.5, 0.1);
+}
+
+TEST(VcselDriver, Table2PowerAtFullOperatingPoint)
+{
+    // 10 mW at (1.8 V, 10 Gb/s) (Table 2).
+    VcselDriver d;
+    EXPECT_NEAR(d.powerMw(1.8, 10.0), 10.0, 1e-9);
+}
+
+TEST(VcselDriver, QuadraticInVoltage)
+{
+    // Eq. 3: P ~ Vdd^2 * BR.
+    VcselDriver d;
+    EXPECT_NEAR(d.powerMw(0.9, 10.0), 2.5, 1e-9);
+}
+
+TEST(VcselDriver, LinearInBitRate)
+{
+    VcselDriver d;
+    EXPECT_NEAR(d.powerMw(1.8, 5.0), 5.0, 1e-9);
+    EXPECT_NEAR(d.powerMw(1.8, 0.0), 0.0, 1e-12);
+}
+
+TEST(VcselDriver, CombinedScaling)
+{
+    // Half voltage and half rate: 1/8 of full power.
+    VcselDriver d;
+    EXPECT_NEAR(d.powerMw(0.9, 5.0), 10.0 / 8.0, 1e-9);
+}

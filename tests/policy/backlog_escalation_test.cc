@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the sender-backlog escalation stabilizer: utilization-only
+ * control collapses into a low-rate equilibrium under backpressure
+ * (a throttled link measures low L_u and keeps scaling down); the
+ * backlog signal must pull saturated regions back up to full rate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sweeps.hh"
+
+using namespace oenet;
+
+namespace {
+
+RunMetrics
+saturatedRun(bool escalation)
+{
+    SystemConfig cfg; // full 64-rack system
+    cfg.senderBacklogEscalation = escalation;
+    RunProtocol p;
+    p.warmup = 15000;
+    p.measure = 20000;
+    p.drainLimit = 1; // open-loop: report delivered throughput
+    return runExperiment(cfg, TrafficSpec::uniform(4.5, 4, 5), p);
+}
+
+} // namespace
+
+TEST(BacklogEscalation, RestoresSaturationThroughput)
+{
+    SystemConfig base;
+    base.powerAware = false;
+    RunProtocol p;
+    p.warmup = 15000;
+    p.measure = 20000;
+    p.drainLimit = 1;
+    RunMetrics mb =
+        runExperiment(base, TrafficSpec::uniform(4.5, 4, 5), p);
+
+    RunMetrics with = saturatedRun(true);
+    EXPECT_GT(with.throughputFlitsPerCycle,
+              0.93 * mb.throughputFlitsPerCycle);
+}
+
+TEST(BacklogEscalation, AblationShowsTheFailureMode)
+{
+    // Without the stabilizer the power-aware fabric must deliver
+    // measurably less at saturation — this documents the failure mode
+    // the signal exists to fix (and guards against the escalation
+    // silently becoming a no-op).
+    RunMetrics with = saturatedRun(true);
+    RunMetrics without = saturatedRun(false);
+    EXPECT_GT(with.throughputFlitsPerCycle,
+              1.05 * without.throughputFlitsPerCycle);
+}
+
+TEST(BacklogEscalation, NoEffectAtLightLoad)
+{
+    // At light load the backlog never builds, so the escalation must
+    // not disturb the power floor.
+    SystemConfig on;
+    SystemConfig off;
+    off.senderBacklogEscalation = false;
+    RunProtocol p;
+    p.warmup = 15000;
+    p.measure = 15000;
+    RunMetrics m_on =
+        runExperiment(on, TrafficSpec::uniform(1.25, 4, 6), p);
+    RunMetrics m_off =
+        runExperiment(off, TrafficSpec::uniform(1.25, 4, 6), p);
+    EXPECT_NEAR(m_on.normalizedPower, m_off.normalizedPower, 0.01);
+}

@@ -1,0 +1,194 @@
+/** @file System-level tests for LinkController and PolicyEngine. */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+using namespace oenet;
+
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig c;
+    c.meshX = 2;
+    c.meshY = 2;
+    c.clusterSize = 2;
+    c.windowCycles = 200;
+    return c;
+}
+
+} // namespace
+
+TEST(PolicyEngine, IdleNetworkScalesToMinimum)
+{
+    SystemConfig cfg = smallConfig();
+    PoeSystem sys(cfg);
+    sys.run(10000); // many windows, no traffic
+    Network &net = sys.network();
+    for (std::size_t i = 0; i < net.numLinks(); i++)
+        EXPECT_EQ(net.link(i).currentLevel(), 0)
+            << net.link(i).name();
+    EXPECT_LT(sys.normalizedPowerNow(), 0.25);
+}
+
+TEST(PolicyEngine, NonPowerAwareStaysAtMax)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.powerAware = false;
+    PoeSystem sys(cfg);
+    sys.run(5000);
+    Network &net = sys.network();
+    for (std::size_t i = 0; i < net.numLinks(); i++)
+        EXPECT_EQ(net.link(i).currentLevel(), 5);
+    EXPECT_NEAR(sys.normalizedPowerNow(), 1.0, 1e-9);
+}
+
+TEST(PolicyEngine, StaticModePinsRequestedLevel)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.policyMode = PolicyMode::kStatic;
+    cfg.staticLevel = 0;
+    cfg.voltTransitionCycles = 0;
+    cfg.freqTransitionCycles = 0;
+    PoeSystem sys(cfg);
+    sys.run(1000);
+    Network &net = sys.network();
+    for (std::size_t i = 0; i < net.numLinks(); i++)
+        EXPECT_EQ(net.link(i).currentLevel(), 0);
+}
+
+TEST(PolicyEngine, DvsUpscalesUnderSustainedLoad)
+{
+    SystemConfig cfg = smallConfig();
+    PoeSystem sys(cfg);
+    sys.run(5000); // settle at the bottom
+    Network &net = sys.network();
+    ASSERT_EQ(net.link(0).currentLevel(), 0);
+
+    // Saturate node 0 -> node 7 (crosses the mesh).
+    sys.setTraffic(std::make_unique<UniformRandomTraffic>(
+        [] {
+            UniformRandomTraffic::Params p;
+            p.numNodes = 8;
+            p.rate = 2.0;
+            p.packetLen = 8;
+            p.seed = 2;
+            return p;
+        }()));
+    sys.run(20000);
+
+    // Under that load the fabric must have climbed well above the
+    // bottom level on busy links and drawn more power than idle.
+    int above = 0;
+    for (std::size_t i = 0; i < net.numLinks(); i++)
+        if (net.link(i).currentLevel() > 0)
+            above++;
+    EXPECT_GT(above, 4);
+    ASSERT_NE(sys.engine(), nullptr);
+    EXPECT_GT(sys.engine()->totalDecisionsUp(), 0u);
+}
+
+TEST(PolicyEngine, OnOffModeSleepsIdleLinks)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.policyMode = PolicyMode::kOnOff;
+    PoeSystem sys(cfg);
+    sys.run(5000);
+    Network &net = sys.network();
+    int off = 0;
+    for (std::size_t i = 0; i < net.numLinks(); i++)
+        if (net.link(i).isOff())
+            off++;
+    EXPECT_EQ(off, static_cast<int>(net.numLinks()));
+    EXPECT_LT(sys.normalizedPowerNow(), 0.05);
+}
+
+TEST(PolicyEngine, OnOffDeliversTrafficAfterWake)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.policyMode = PolicyMode::kOnOff;
+    PoeSystem sys(cfg);
+    sys.run(5000); // everything asleep
+    sys.setTraffic(std::make_unique<UniformRandomTraffic>(
+        [] {
+            UniformRandomTraffic::Params p;
+            p.numNodes = 8;
+            p.rate = 0.2;
+            p.seed = 3;
+            return p;
+        }()));
+    sys.startMeasurement();
+    sys.run(10000);
+    sys.stopMeasurement();
+    EXPECT_TRUE(sys.awaitDrain(20000));
+    RunMetrics m = sys.metrics();
+    EXPECT_GT(m.packetsMeasured, 100u);
+    EXPECT_TRUE(m.drained);
+}
+
+TEST(PolicyEngine, TriLevelOpticalDimsWhenIdle)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.scheme = LinkScheme::kModulator;
+    cfg.opticalMode = OpticalMode::kTriLevel;
+    cfg.laser.responseCycles = 200;
+    cfg.laser.decisionEpochCycles = 1000;
+    PoeSystem sys(cfg);
+    sys.run(20000);
+    Network &net = sys.network();
+    // Idle: electrical at 5 Gb/s fits the mid band; optical must have
+    // stepped down at least once on every link.
+    for (std::size_t i = 0; i < net.numLinks(); i++)
+        EXPECT_LT(net.link(i).opticalScale(), 1.0)
+            << net.link(i).name();
+}
+
+TEST(PolicyEngine, OpticalGateHoldsElectricalUpgrade)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.scheme = LinkScheme::kModulator;
+    cfg.opticalMode = OpticalMode::kTriLevel;
+    cfg.laser.responseCycles = 5000; // slow VOA: stalls visible
+    cfg.laser.decisionEpochCycles = 2000;
+    PoeSystem sys(cfg);
+    sys.run(20000); // settle: low rate, dimmed optics
+
+    sys.setTraffic(std::make_unique<UniformRandomTraffic>(
+        [] {
+            UniformRandomTraffic::Params p;
+            p.numNodes = 8;
+            p.rate = 2.0;
+            p.packetLen = 8;
+            p.seed = 4;
+            return p;
+        }()));
+    sys.run(40000);
+    ASSERT_NE(sys.engine(), nullptr);
+    // Some upgrades had to wait for light.
+    EXPECT_GT(sys.engine()->totalOpticalStalls(), 0u);
+
+    // Invariant: electrical bit rate never exceeds the optical band.
+    Network &net = sys.network();
+    for (std::size_t i = 0; i < net.numLinks(); i++) {
+        OpticalLink &link = net.link(i);
+        OpticalLevel level =
+            link.opticalScale() >= 1.0
+                ? OpticalLevel::kHigh
+                : (link.opticalScale() >= 0.5 ? OpticalLevel::kMid
+                                              : OpticalLevel::kLow);
+        EXPECT_LE(link.currentBitRateGbps(),
+                  maxBitRateForLevel(level) + 1e-9)
+            << link.name();
+    }
+}
+
+TEST(PolicyEngine, ModeNames)
+{
+    EXPECT_STREQ(policyModeName(PolicyMode::kDvs), "dvs");
+    EXPECT_STREQ(policyModeName(PolicyMode::kOnOff), "on-off");
+    EXPECT_STREQ(policyModeName(PolicyMode::kStatic), "static");
+    EXPECT_STREQ(opticalModeName(OpticalMode::kFixed), "fixed");
+    EXPECT_STREQ(opticalModeName(OpticalMode::kTriLevel), "tri-level");
+}

@@ -1,0 +1,124 @@
+/** @file Tests for the history-based DVS policy (Table 1, Eq. 11). */
+
+#include <gtest/gtest.h>
+
+#include "policy/history_dvs.hh"
+
+using namespace oenet;
+
+TEST(HistoryDvs, Table1Defaults)
+{
+    HistoryDvsPolicy p;
+    EXPECT_DOUBLE_EQ(p.lowThreshold(0.0), 0.4);
+    EXPECT_DOUBLE_EQ(p.highThreshold(0.0), 0.6);
+    EXPECT_DOUBLE_EQ(p.lowThreshold(0.5), 0.6); // B_u,con = 0.5
+    EXPECT_DOUBLE_EQ(p.highThreshold(0.5), 0.7);
+    EXPECT_DOUBLE_EQ(p.lowThreshold(0.8), 0.6);
+    EXPECT_DOUBLE_EQ(p.highThreshold(0.8), 0.7);
+}
+
+TEST(HistoryDvs, DecisionAgainstThresholds)
+{
+    HistoryDvsPolicy p;
+    p.observe(0.9);
+    EXPECT_EQ(p.decide(0.0), LevelDecision::kUp);
+    p.reset();
+    p.observe(0.1);
+    EXPECT_EQ(p.decide(0.0), LevelDecision::kDown);
+    p.reset();
+    p.observe(0.5);
+    EXPECT_EQ(p.decide(0.0), LevelDecision::kHold);
+}
+
+TEST(HistoryDvs, CongestionMakesPolicyMoreAggressive)
+{
+    // Lu = 0.65: uncongested -> Up (0.65 > 0.6); congested -> Hold
+    // (0.6 <= 0.65 <= 0.7), i.e. congestion masks latency so the
+    // policy holds the lower rate.
+    HistoryDvsPolicy p;
+    p.observe(0.65);
+    EXPECT_EQ(p.decide(0.0), LevelDecision::kUp);
+    EXPECT_EQ(p.decide(0.6), LevelDecision::kHold);
+
+    p.reset();
+    p.observe(0.55);
+    EXPECT_EQ(p.decide(0.0), LevelDecision::kHold);
+    EXPECT_EQ(p.decide(0.6), LevelDecision::kDown);
+}
+
+TEST(HistoryDvs, SlidingAverageSmoothsSpikes)
+{
+    // Eq. 11: a single-window spike must not trigger an upgrade when
+    // the average stays below T_H.
+    HistoryDvsParams params;
+    params.slidingWindows = 4;
+    HistoryDvsPolicy p(params);
+    p.observe(0.1);
+    p.observe(0.1);
+    p.observe(0.1);
+    p.observe(0.9); // spike
+    EXPECT_NEAR(p.averageUtilization(), 0.3, 1e-12);
+    EXPECT_EQ(p.decide(0.0), LevelDecision::kDown);
+}
+
+TEST(HistoryDvs, AverageUsesOnlyLastN)
+{
+    HistoryDvsParams params;
+    params.slidingWindows = 2;
+    HistoryDvsPolicy p(params);
+    p.observe(1.0);
+    p.observe(0.0);
+    p.observe(0.0);
+    EXPECT_DOUBLE_EQ(p.averageUtilization(), 0.0);
+}
+
+TEST(HistoryDvs, PartialHistoryAverages)
+{
+    HistoryDvsParams params;
+    params.slidingWindows = 4;
+    HistoryDvsPolicy p(params);
+    p.observe(0.8);
+    EXPECT_DOUBLE_EQ(p.averageUtilization(), 0.8);
+    p.observe(0.4);
+    EXPECT_DOUBLE_EQ(p.averageUtilization(), 0.6);
+}
+
+TEST(HistoryDvs, EmptyHistoryIsZero)
+{
+    HistoryDvsPolicy p;
+    EXPECT_DOUBLE_EQ(p.averageUtilization(), 0.0);
+    EXPECT_EQ(p.decide(0.0), LevelDecision::kDown);
+}
+
+TEST(HistoryDvs, ResetClearsHistory)
+{
+    HistoryDvsPolicy p;
+    p.observe(1.0);
+    p.reset();
+    EXPECT_DOUBLE_EQ(p.averageUtilization(), 0.0);
+}
+
+TEST(HistoryDvs, ThresholdBoundaryIsExclusive)
+{
+    // Exactly at a threshold: hold (decide uses strict comparisons).
+    HistoryDvsPolicy p;
+    p.observe(0.6);
+    EXPECT_EQ(p.decide(0.0), LevelDecision::kHold);
+    p.reset();
+    p.observe(0.4);
+    EXPECT_EQ(p.decide(0.0), LevelDecision::kHold);
+}
+
+TEST(HistoryDvs, DecisionNames)
+{
+    EXPECT_STREQ(levelDecisionName(LevelDecision::kUp), "up");
+    EXPECT_STREQ(levelDecisionName(LevelDecision::kDown), "down");
+    EXPECT_STREQ(levelDecisionName(LevelDecision::kHold), "hold");
+}
+
+TEST(HistoryDvsDeath, BadParamsFatal)
+{
+    HistoryDvsParams p;
+    p.slidingWindows = 0;
+    EXPECT_DEATH(HistoryDvsPolicy policy(p), "sliding");
+}

@@ -1,0 +1,119 @@
+/** @file Tests for the external-laser-source controller semantics. */
+
+#include <gtest/gtest.h>
+
+#include "policy/laser_controller.hh"
+
+using namespace oenet;
+
+namespace {
+
+LaserPowerState::Params
+fastParams()
+{
+    LaserPowerState::Params p;
+    p.responseCycles = 100;
+    p.decisionEpochCycles = 500;
+    return p;
+}
+
+} // namespace
+
+TEST(LaserPowerState, DefaultsMatchPaper)
+{
+    LaserPowerState s;
+    // 100 us response, 200 us decision epoch at 625 MHz.
+    EXPECT_EQ(s.params().responseCycles, 62500u);
+    EXPECT_EQ(s.params().decisionEpochCycles, 125000u);
+    EXPECT_EQ(s.level(), OpticalLevel::kHigh);
+    EXPECT_DOUBLE_EQ(s.scale(), 1.0);
+}
+
+TEST(LaserPowerState, IncreaseFromTopIsNoOp)
+{
+    LaserPowerState s(fastParams());
+    s.requestIncrease(0);
+    EXPECT_FALSE(s.changePending());
+}
+
+TEST(LaserPowerState, DecreaseAfterQuietEpoch)
+{
+    LaserPowerState s(fastParams());
+    s.observeBitRate(5.5); // fits the mid band (<= 6 Gb/s)
+    s.epochDecision(500);
+    EXPECT_TRUE(s.changePending());
+    EXPECT_FALSE(s.advance(599)); // response not elapsed
+    EXPECT_TRUE(s.advance(600));
+    EXPECT_EQ(s.level(), OpticalLevel::kMid);
+    EXPECT_DOUBLE_EQ(s.scale(), 0.5);
+    EXPECT_EQ(s.decreases(), 1u);
+}
+
+TEST(LaserPowerState, NoDecreaseWhenEpochSawHighRate)
+{
+    LaserPowerState s(fastParams());
+    s.observeBitRate(5.0);
+    s.observeBitRate(9.0); // one fast window blocks P_dec
+    s.epochDecision(500);
+    EXPECT_FALSE(s.changePending());
+}
+
+TEST(LaserPowerState, EpochTrackerResets)
+{
+    LaserPowerState s(fastParams());
+    s.observeBitRate(9.0);
+    s.epochDecision(500); // no decrease; resets the max tracker
+    s.observeBitRate(5.0);
+    s.epochDecision(1000);
+    EXPECT_TRUE(s.changePending());
+}
+
+TEST(LaserPowerState, IncreaseIsImmediateDispatch)
+{
+    LaserPowerState s(fastParams(), OpticalLevel::kLow);
+    s.requestIncrease(50);
+    EXPECT_TRUE(s.changePending());
+    EXPECT_EQ(s.level(), OpticalLevel::kLow); // light not there yet
+    EXPECT_TRUE(s.advance(150));
+    EXPECT_EQ(s.level(), OpticalLevel::kMid);
+    EXPECT_EQ(s.increases(), 1u);
+}
+
+TEST(LaserPowerState, NoDoubleRequestWhilePending)
+{
+    LaserPowerState s(fastParams(), OpticalLevel::kLow);
+    s.requestIncrease(0);
+    s.requestIncrease(10); // ignored
+    EXPECT_EQ(s.increases(), 1u);
+    s.advance(100);
+    EXPECT_EQ(s.level(), OpticalLevel::kMid);
+}
+
+TEST(LaserPowerState, StepsAreOneLevelAtATime)
+{
+    LaserPowerState s(fastParams(), OpticalLevel::kLow);
+    s.requestIncrease(0);
+    s.advance(100);
+    EXPECT_EQ(s.level(), OpticalLevel::kMid);
+    s.requestIncrease(200);
+    s.advance(300);
+    EXPECT_EQ(s.level(), OpticalLevel::kHigh);
+}
+
+TEST(LaserPowerState, NoDecreaseBelowLow)
+{
+    LaserPowerState s(fastParams(), OpticalLevel::kLow);
+    s.observeBitRate(3.3);
+    s.epochDecision(500);
+    EXPECT_FALSE(s.changePending());
+}
+
+TEST(LaserPowerState, DecreaseBlockedWhilePending)
+{
+    LaserPowerState s(fastParams(), OpticalLevel::kLow);
+    s.requestIncrease(0);
+    s.observeBitRate(3.3);
+    s.epochDecision(10); // increase pending: no P_dec
+    s.advance(100);
+    EXPECT_EQ(s.level(), OpticalLevel::kMid);
+}

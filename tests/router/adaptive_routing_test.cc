@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the routing-algorithm extension: YX dimension order and
+ * the west-first partially adaptive turn model, including turn-model
+ * safety (west is never a later hop) and full-system delivery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sweeps.hh"
+#include "router/routing.hh"
+
+using namespace oenet;
+
+TEST(RoutingAlgo, Names)
+{
+    EXPECT_STREQ(routingAlgoName(RoutingAlgo::kXY), "xy");
+    EXPECT_STREQ(routingAlgoName(RoutingAlgo::kYX), "yx");
+    EXPECT_STREQ(routingAlgoName(RoutingAlgo::kWestFirst),
+                 "west-first");
+}
+
+TEST(RoutingAlgo, YxCorrectsYFirst)
+{
+    ClusteredMesh m(8, 8, 8);
+    NodeId dst = m.nodeAt(m.rackAt(5, 6), 0);
+    EXPECT_EQ(m.routeYx(2, 3, dst), m.dirPort(kDirSouth));
+    EXPECT_EQ(m.routeYx(2, 6, dst), m.dirPort(kDirEast));
+    EXPECT_EQ(m.routeYx(5, 6, dst), 0);
+}
+
+TEST(RoutingAlgo, WestFirstGoesWestAlone)
+{
+    ClusteredMesh m(8, 8, 8);
+    int out[2];
+    // Destination west and south: only west is permitted.
+    NodeId dst = m.nodeAt(m.rackAt(1, 6), 0);
+    int n = m.routeCandidates(RoutingAlgo::kWestFirst, 4, 3, dst, out);
+    ASSERT_EQ(n, 1);
+    EXPECT_EQ(out[0], m.dirPort(kDirWest));
+}
+
+TEST(RoutingAlgo, WestFirstAdaptiveEastAndVertical)
+{
+    ClusteredMesh m(8, 8, 8);
+    int out[2];
+    // Destination east and south: both productive ports offered.
+    NodeId dst = m.nodeAt(m.rackAt(6, 6), 0);
+    int n = m.routeCandidates(RoutingAlgo::kWestFirst, 4, 3, dst, out);
+    ASSERT_EQ(n, 2);
+    EXPECT_EQ(out[0], m.dirPort(kDirEast));
+    EXPECT_EQ(out[1], m.dirPort(kDirSouth));
+}
+
+TEST(RoutingAlgo, WestFirstSingleDimensionCases)
+{
+    ClusteredMesh m(8, 8, 8);
+    int out[2];
+    // Pure east.
+    NodeId east = m.nodeAt(m.rackAt(6, 3), 0);
+    EXPECT_EQ(m.routeCandidates(RoutingAlgo::kWestFirst, 4, 3, east,
+                                out),
+              1);
+    EXPECT_EQ(out[0], m.dirPort(kDirEast));
+    // Pure north.
+    NodeId north = m.nodeAt(m.rackAt(4, 1), 0);
+    EXPECT_EQ(m.routeCandidates(RoutingAlgo::kWestFirst, 4, 3, north,
+                                out),
+              1);
+    EXPECT_EQ(out[0], m.dirPort(kDirNorth));
+    // Local.
+    NodeId local = m.nodeAt(m.rackAt(4, 3), 5);
+    EXPECT_EQ(m.routeCandidates(RoutingAlgo::kWestFirst, 4, 3, local,
+                                out),
+              1);
+    EXPECT_EQ(out[0], 5);
+}
+
+TEST(RoutingAlgo, DeterministicAlgosMatchDedicatedFunctions)
+{
+    ClusteredMesh m(4, 4, 2);
+    int out[2];
+    for (NodeId dst = 0; dst < static_cast<NodeId>(m.numNodes());
+         dst++) {
+        for (int x = 0; x < 4; x++) {
+            for (int y = 0; y < 4; y++) {
+                EXPECT_EQ(m.routeCandidates(RoutingAlgo::kXY, x, y,
+                                            dst, out),
+                          1);
+                EXPECT_EQ(out[0], m.route(x, y, dst));
+                EXPECT_EQ(m.routeCandidates(RoutingAlgo::kYX, x, y,
+                                            dst, out),
+                          1);
+                EXPECT_EQ(out[0], m.routeYx(x, y, dst));
+            }
+        }
+    }
+}
+
+/** Walk every (position, dst) pair and confirm candidates are always
+ *  productive (reduce the distance) and never point west after a
+ *  non-west hop could have been taken — turn-model safety. */
+TEST(RoutingAlgo, WestFirstCandidatesAlwaysProductive)
+{
+    ClusteredMesh m(6, 5, 2);
+    int out[2];
+    for (NodeId dst = 0; dst < static_cast<NodeId>(m.numNodes());
+         dst++) {
+        int drack = m.rackOf(dst);
+        for (int x = 0; x < m.meshX(); x++) {
+            for (int y = 0; y < m.meshY(); y++) {
+                int n = m.routeCandidates(RoutingAlgo::kWestFirst, x,
+                                          y, dst, out);
+                ASSERT_GE(n, 1);
+                ASSERT_LE(n, 2);
+                for (int i = 0; i < n; i++) {
+                    if (out[i] < m.nodesPerCluster()) {
+                        EXPECT_EQ(m.rackAt(x, y), drack);
+                        continue;
+                    }
+                    int dir = out[i] - m.nodesPerCluster();
+                    ASSERT_TRUE(m.hasNeighbor(x, y, dir));
+                    int next = m.neighborRack(x, y, dir);
+                    // Distance strictly decreases: minimal routing.
+                    int before = std::abs(m.rackX(drack) - x) +
+                                 std::abs(m.rackY(drack) - y);
+                    int after =
+                        std::abs(m.rackX(drack) - m.rackX(next)) +
+                        std::abs(m.rackY(drack) - m.rackY(next));
+                    EXPECT_EQ(after, before - 1);
+                    // West only appears when dst is strictly west.
+                    if (dir == kDirWest) {
+                        EXPECT_LT(m.rackX(drack), x);
+                        EXPECT_EQ(n, 1); // and then it travels alone
+                    }
+                }
+            }
+        }
+    }
+}
+
+class RoutingAlgoSystemSweep
+    : public ::testing::TestWithParam<RoutingAlgo>
+{
+};
+
+TEST_P(RoutingAlgoSystemSweep, FullSystemDeliversAndDrains)
+{
+    SystemConfig cfg;
+    cfg.meshX = 3;
+    cfg.meshY = 3;
+    cfg.clusterSize = 2;
+    cfg.routing = GetParam();
+    cfg.windowCycles = 200;
+    PoeSystem sys(cfg);
+    sys.setTraffic(makeTraffic(TrafficSpec::uniform(0.5, 4, 29), cfg));
+    sys.startMeasurement();
+    sys.run(10000);
+    sys.stopMeasurement();
+    sys.setTraffic(nullptr);
+    ASSERT_TRUE(sys.awaitDrain(60000));
+    sys.run(2000);
+    Network &net = sys.network();
+    EXPECT_EQ(net.flitsInjected(), net.flitsEjected());
+    EXPECT_EQ(net.flitsInSystem(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, RoutingAlgoSystemSweep,
+                         ::testing::Values(RoutingAlgo::kXY,
+                                           RoutingAlgo::kYX,
+                                           RoutingAlgo::kWestFirst));
+
+TEST(RoutingAlgo, WestFirstSurvivesTransposeStress)
+{
+    // Transpose concentrates traffic on the diagonal; the adaptive
+    // algorithm must stay deadlock-free and deliver everything.
+    SystemConfig cfg;
+    cfg.meshX = 4;
+    cfg.meshY = 4;
+    cfg.clusterSize = 2;
+    cfg.routing = RoutingAlgo::kWestFirst;
+    PoeSystem sys(cfg);
+    TrafficSpec spec;
+    spec.kind = TrafficSpec::Kind::kPermutation;
+    spec.pattern = PermutationPattern::kTranspose;
+    spec.rate = 1.5;
+    spec.seed = 31;
+    sys.setTraffic(makeTraffic(spec, cfg));
+    sys.run(20000);
+    sys.setTraffic(nullptr);
+    sys.run(40000);
+    Network &net = sys.network();
+    EXPECT_EQ(net.flitsInjected(), net.flitsEjected());
+    EXPECT_EQ(net.flitsInSystem(), 0u);
+}

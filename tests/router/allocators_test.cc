@@ -1,0 +1,98 @@
+/** @file Tests for the round-robin arbiter. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "router/allocators.hh"
+
+using namespace oenet;
+
+TEST(RoundRobinArbiter, NoRequestsNoGrant)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.pick(0), -1);
+    EXPECT_EQ(arb.peek(0), -1);
+}
+
+TEST(RoundRobinArbiter, SingleRequesterWins)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.pick(0b0100), 2);
+    EXPECT_EQ(arb.pick(0b0100), 2); // keeps winning if alone
+}
+
+TEST(RoundRobinArbiter, RotatesAmongPersistentRequesters)
+{
+    RoundRobinArbiter arb(4);
+    std::uint64_t all = 0b1111;
+    EXPECT_EQ(arb.pick(all), 0);
+    EXPECT_EQ(arb.pick(all), 1);
+    EXPECT_EQ(arb.pick(all), 2);
+    EXPECT_EQ(arb.pick(all), 3);
+    EXPECT_EQ(arb.pick(all), 0);
+}
+
+TEST(RoundRobinArbiter, SkipsNonRequesters)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.pick(0b1010), 1);
+    EXPECT_EQ(arb.pick(0b1010), 3);
+    EXPECT_EQ(arb.pick(0b1010), 1);
+}
+
+TEST(RoundRobinArbiter, PeekDoesNotRotate)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.peek(0b1111), 0);
+    EXPECT_EQ(arb.peek(0b1111), 0);
+    EXPECT_EQ(arb.pick(0b1111), 0);
+    EXPECT_EQ(arb.peek(0b1111), 1);
+}
+
+TEST(RoundRobinArbiter, WrapAroundPriority)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.pick(0b1000), 3);
+    // Priority wrapped past the top: bit 0 is next.
+    EXPECT_EQ(arb.pick(0b1001), 0);
+}
+
+TEST(RoundRobinArbiter, FairnessOverManyRounds)
+{
+    RoundRobinArbiter arb(8);
+    std::map<int, int> wins;
+    std::uint64_t req = 0b10110101;
+    for (int i = 0; i < 800; i++)
+        wins[arb.pick(req)]++;
+    // Five requesters share 800 grants: each gets 160.
+    for (int idx : {0, 2, 4, 5, 7})
+        EXPECT_EQ(wins[idx], 160) << "requester " << idx;
+}
+
+TEST(RoundRobinArbiter, ResizeResetsPriority)
+{
+    RoundRobinArbiter arb(4);
+    arb.pick(0b1111);
+    arb.resize(2);
+    EXPECT_EQ(arb.size(), 2);
+    EXPECT_EQ(arb.pick(0b11), 0);
+}
+
+TEST(RoundRobinArbiter, FullWidth64)
+{
+    RoundRobinArbiter arb(64);
+    EXPECT_EQ(arb.pick(1ull << 63), 63);
+    EXPECT_EQ(arb.pick(1ull), 0);
+}
+
+TEST(RoundRobinArbiterDeath, RequestBeyondSizePanics)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_DEATH((void)arb.peek(0b10000), "beyond");
+}
+
+TEST(RoundRobinArbiterDeath, BadSizePanics)
+{
+    EXPECT_DEATH(RoundRobinArbiter arb(65), "size");
+}

@@ -1,0 +1,96 @@
+/** @file Tests for the per-VC flit FIFO. */
+
+#include <gtest/gtest.h>
+
+#include "router/buffer.hh"
+
+using namespace oenet;
+
+namespace {
+
+Flit
+numbered(int seq)
+{
+    Flit f;
+    f.seq = static_cast<std::uint16_t>(seq);
+    return f;
+}
+
+} // namespace
+
+TEST(FlitFifo, StartsEmpty)
+{
+    FlitFifo f(8);
+    EXPECT_TRUE(f.empty());
+    EXPECT_FALSE(f.full());
+    EXPECT_EQ(f.size(), 0);
+    EXPECT_EQ(f.capacity(), 8);
+    EXPECT_EQ(f.freeSlots(), 8);
+}
+
+TEST(FlitFifo, FifoOrder)
+{
+    FlitFifo f(4);
+    for (int i = 0; i < 4; i++)
+        f.push(numbered(i));
+    EXPECT_TRUE(f.full());
+    for (int i = 0; i < 4; i++)
+        EXPECT_EQ(f.pop().seq, i);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(FlitFifo, FrontDoesNotPop)
+{
+    FlitFifo f(4);
+    f.push(numbered(42));
+    EXPECT_EQ(f.front().seq, 42);
+    EXPECT_EQ(f.size(), 1);
+}
+
+TEST(FlitFifo, WrapsAround)
+{
+    FlitFifo f(3);
+    for (int round = 0; round < 10; round++) {
+        f.push(numbered(round));
+        EXPECT_EQ(f.pop().seq, round);
+    }
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(FlitFifo, InterleavedPushPop)
+{
+    FlitFifo f(4);
+    f.push(numbered(0));
+    f.push(numbered(1));
+    EXPECT_EQ(f.pop().seq, 0);
+    f.push(numbered(2));
+    f.push(numbered(3));
+    f.push(numbered(4));
+    EXPECT_TRUE(f.full());
+    for (int i = 1; i <= 4; i++)
+        EXPECT_EQ(f.pop().seq, i);
+}
+
+TEST(FlitFifoDeath, OverflowPanics)
+{
+    FlitFifo f(1);
+    f.push(numbered(0));
+    EXPECT_DEATH(f.push(numbered(1)), "overflow");
+}
+
+TEST(FlitFifoDeath, UnderflowPanics)
+{
+    FlitFifo f(1);
+    EXPECT_DEATH((void)f.pop(), "underflow");
+}
+
+TEST(FlitFifoDeath, FrontOfEmptyPanics)
+{
+    FlitFifo f(1);
+    EXPECT_DEATH((void)f.front(), "empty");
+}
+
+TEST(FlitFifoDeath, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(FlitFifo f(0), "capacity");
+}

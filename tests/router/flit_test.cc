@@ -1,0 +1,70 @@
+/** @file Tests for flits and packet flitization. */
+
+#include <gtest/gtest.h>
+
+#include "router/flit.hh"
+
+using namespace oenet;
+
+TEST(Flit, FlitizeSetsHeadAndTail)
+{
+    std::vector<Flit> flits;
+    flitizePacket(flits, 7, 1, 2, 4, 100);
+    ASSERT_EQ(flits.size(), 4u);
+    EXPECT_TRUE(flits[0].isHead());
+    EXPECT_FALSE(flits[0].isTail());
+    EXPECT_FALSE(flits[1].isHead());
+    EXPECT_FALSE(flits[2].isTail());
+    EXPECT_TRUE(flits[3].isTail());
+    EXPECT_FALSE(flits[3].isHead());
+}
+
+TEST(Flit, SingleFlitPacketIsHeadAndTail)
+{
+    std::vector<Flit> flits;
+    flitizePacket(flits, 1, 0, 1, 1, 0);
+    ASSERT_EQ(flits.size(), 1u);
+    EXPECT_TRUE(flits[0].isHead());
+    EXPECT_TRUE(flits[0].isTail());
+}
+
+TEST(Flit, MetadataCarriedInEveryFlit)
+{
+    std::vector<Flit> flits;
+    flitizePacket(flits, 99, 3, 5, 3, 1234);
+    for (std::size_t i = 0; i < flits.size(); i++) {
+        EXPECT_EQ(flits[i].packet, 99u);
+        EXPECT_EQ(flits[i].src, 3u);
+        EXPECT_EQ(flits[i].dst, 5u);
+        EXPECT_EQ(flits[i].createdAt, 1234u);
+        EXPECT_EQ(flits[i].seq, i);
+        EXPECT_EQ(flits[i].len, 3u);
+    }
+}
+
+TEST(Flit, AppendsWithoutClearing)
+{
+    std::vector<Flit> flits;
+    flitizePacket(flits, 1, 0, 1, 2, 0);
+    flitizePacket(flits, 2, 0, 1, 2, 0);
+    EXPECT_EQ(flits.size(), 4u);
+    EXPECT_EQ(flits[2].packet, 2u);
+}
+
+TEST(Flit, KindNames)
+{
+    std::vector<Flit> flits;
+    flitizePacket(flits, 1, 0, 1, 3, 0);
+    EXPECT_STREQ(flitKindName(flits[0]), "head");
+    EXPECT_STREQ(flitKindName(flits[1]), "body");
+    EXPECT_STREQ(flitKindName(flits[2]), "tail");
+    std::vector<Flit> single;
+    flitizePacket(single, 2, 0, 1, 1, 0);
+    EXPECT_STREQ(flitKindName(single[0]), "head+tail");
+}
+
+TEST(FlitDeath, ZeroLengthPanics)
+{
+    std::vector<Flit> flits;
+    EXPECT_DEATH(flitizePacket(flits, 1, 0, 1, 0, 0), "length");
+}

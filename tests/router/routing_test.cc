@@ -1,0 +1,140 @@
+/** @file Tests for clustered-mesh addressing and XY routing. */
+
+#include <gtest/gtest.h>
+
+#include "router/routing.hh"
+
+using namespace oenet;
+
+TEST(ClusteredMesh, PaperGeometry)
+{
+    ClusteredMesh m(8, 8, 8);
+    EXPECT_EQ(m.numRouters(), 64);
+    EXPECT_EQ(m.numNodes(), 512);
+    EXPECT_EQ(m.portsPerRouter(), 12);
+}
+
+TEST(ClusteredMesh, NodeAddressing)
+{
+    ClusteredMesh m(8, 8, 8);
+    EXPECT_EQ(m.rackOf(0), 0);
+    EXPECT_EQ(m.rackOf(7), 0);
+    EXPECT_EQ(m.rackOf(8), 1);
+    EXPECT_EQ(m.localIndexOf(13), 5);
+    EXPECT_EQ(m.nodeAt(43, 4), 348u); // rack (3,5) node 4: the hot node
+    EXPECT_EQ(m.rackX(43), 3);
+    EXPECT_EQ(m.rackY(43), 5);
+    EXPECT_EQ(m.rackAt(3, 5), 43);
+}
+
+TEST(ClusteredMesh, NeighborEdges)
+{
+    ClusteredMesh m(8, 8, 8);
+    EXPECT_FALSE(m.hasNeighbor(0, 0, kDirWest));
+    EXPECT_FALSE(m.hasNeighbor(0, 0, kDirNorth));
+    EXPECT_TRUE(m.hasNeighbor(0, 0, kDirEast));
+    EXPECT_TRUE(m.hasNeighbor(0, 0, kDirSouth));
+    EXPECT_FALSE(m.hasNeighbor(7, 7, kDirEast));
+    EXPECT_FALSE(m.hasNeighbor(7, 7, kDirSouth));
+}
+
+TEST(ClusteredMesh, NeighborRacks)
+{
+    ClusteredMesh m(8, 8, 8);
+    EXPECT_EQ(m.neighborRack(3, 5, kDirEast), m.rackAt(4, 5));
+    EXPECT_EQ(m.neighborRack(3, 5, kDirWest), m.rackAt(2, 5));
+    EXPECT_EQ(m.neighborRack(3, 5, kDirNorth), m.rackAt(3, 4));
+    EXPECT_EQ(m.neighborRack(3, 5, kDirSouth), m.rackAt(3, 6));
+}
+
+TEST(ClusteredMesh, RouteLocalEjection)
+{
+    ClusteredMesh m(8, 8, 8);
+    // Destination in this rack: local port = local index.
+    NodeId dst = m.nodeAt(m.rackAt(2, 3), 5);
+    EXPECT_EQ(m.route(2, 3, dst), 5);
+}
+
+TEST(ClusteredMesh, RouteXBeforeY)
+{
+    ClusteredMesh m(8, 8, 8);
+    // Destination east and south: X corrected first.
+    NodeId dst = m.nodeAt(m.rackAt(5, 6), 0);
+    EXPECT_EQ(m.route(2, 3, dst), m.dirPort(kDirEast));
+    // Once X matches, go south.
+    EXPECT_EQ(m.route(5, 3, dst), m.dirPort(kDirSouth));
+}
+
+TEST(ClusteredMesh, RouteAllDirections)
+{
+    ClusteredMesh m(8, 8, 8);
+    EXPECT_EQ(m.route(4, 4, m.nodeAt(m.rackAt(6, 4), 0)),
+              m.dirPort(kDirEast));
+    EXPECT_EQ(m.route(4, 4, m.nodeAt(m.rackAt(1, 4), 0)),
+              m.dirPort(kDirWest));
+    EXPECT_EQ(m.route(4, 4, m.nodeAt(m.rackAt(4, 1), 0)),
+              m.dirPort(kDirNorth));
+    EXPECT_EQ(m.route(4, 4, m.nodeAt(m.rackAt(4, 7), 0)),
+              m.dirPort(kDirSouth));
+}
+
+TEST(ClusteredMesh, HopCount)
+{
+    ClusteredMesh m(8, 8, 8);
+    // Same rack: one router visited.
+    EXPECT_EQ(m.hopCount(0, 1), 1);
+    // Corner to corner: 7 + 7 + 1 routers.
+    EXPECT_EQ(m.hopCount(m.nodeAt(m.rackAt(0, 0), 0),
+                         m.nodeAt(m.rackAt(7, 7), 0)),
+              15);
+}
+
+TEST(MeshDir, Names)
+{
+    EXPECT_STREQ(meshDirName(kDirEast), "east");
+    EXPECT_STREQ(meshDirName(kDirWest), "west");
+    EXPECT_STREQ(meshDirName(kDirNorth), "north");
+    EXPECT_STREQ(meshDirName(kDirSouth), "south");
+}
+
+/**
+ * Property: XY routing delivers every (src, dst) pair. Walk the route
+ * hop by hop from the source rack and confirm arrival at the
+ * destination's local port within the mesh diameter.
+ */
+class XyDeliveryProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(XyDeliveryProperty, EveryPairDelivers)
+{
+    ClusteredMesh m(4, 4, 4);
+    auto src = static_cast<NodeId>(GetParam());
+    for (NodeId dst = 0; dst < static_cast<NodeId>(m.numNodes());
+         dst++) {
+        int x = m.rackX(m.rackOf(src));
+        int y = m.rackY(m.rackOf(src));
+        int hops = 0;
+        for (;;) {
+            int port = m.route(x, y, dst);
+            if (port < m.nodesPerCluster()) {
+                EXPECT_EQ(port, m.localIndexOf(dst));
+                break;
+            }
+            int dir = port - m.nodesPerCluster();
+            ASSERT_TRUE(m.hasNeighbor(x, y, dir))
+                << "route walked off the mesh";
+            int rack = m.neighborRack(x, y, dir);
+            x = m.rackX(rack);
+            y = m.rackY(rack);
+            hops++;
+            ASSERT_LE(hops, m.meshX() + m.meshY())
+                << "route did not converge";
+        }
+        EXPECT_EQ(hops,
+                  m.hopCount(src, dst) - 1); // minimal (XY is minimal)
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSources, XyDeliveryProperty,
+                         ::testing::Range(0, 64));

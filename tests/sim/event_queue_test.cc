@@ -1,0 +1,91 @@
+/** @file Tests for the delta event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace oenet;
+
+TEST(EventQueue, EmptyQueue)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextEventCycle(), kNeverCycle);
+    q.runDue(100); // no-op
+}
+
+TEST(EventQueue, FiresAtScheduledCycle)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { fired++; });
+    q.runDue(9);
+    EXPECT_EQ(fired, 0);
+    q.runDue(10);
+    EXPECT_EQ(fired, 1);
+    q.runDue(11);
+    EXPECT_EQ(fired, 1); // one-shot
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runDue(30);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameCycleFifoOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; i++)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.runDue(7);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleForSameCycle)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&] {
+        fired++;
+        q.schedule(5, [&] { fired++; });
+    });
+    q.runDue(5);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsMayScheduleFuture)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] { q.schedule(3, [&] { fired++; }); });
+    q.runDue(2);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(q.nextEventCycle(), 3u);
+    q.runDue(3);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, NextEventCycle)
+{
+    EventQueue q;
+    q.schedule(42, [] {});
+    q.schedule(17, [] {});
+    EXPECT_EQ(q.nextEventCycle(), 17u);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue q;
+    q.runDue(100);
+    EXPECT_DEATH(q.schedule(50, [] {}), "past");
+}

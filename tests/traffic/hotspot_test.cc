@@ -1,0 +1,119 @@
+/** @file Tests for time-varying hot-spot traffic. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "traffic/hotspot.hh"
+
+using namespace oenet;
+
+namespace {
+
+HotspotTraffic::Params
+params()
+{
+    HotspotTraffic::Params p;
+    p.numNodes = 64;
+    p.phases = {{0, 0.5}, {1000, 2.0}, {2000, 0.25}};
+    p.hotNode = 10;
+    p.hotWeight = 4;
+    p.packetLen = 4;
+    p.seed = 3;
+    return p;
+}
+
+} // namespace
+
+TEST(HotspotTraffic, FollowsPhaseSchedule)
+{
+    HotspotTraffic src(params());
+    EXPECT_DOUBLE_EQ(src.offeredRate(0), 0.5);
+    EXPECT_DOUBLE_EQ(src.offeredRate(999), 0.5);
+    EXPECT_DOUBLE_EQ(src.offeredRate(1000), 2.0);
+    EXPECT_DOUBLE_EQ(src.offeredRate(1999), 2.0);
+    EXPECT_DOUBLE_EQ(src.offeredRate(2000), 0.25);
+    EXPECT_DOUBLE_EQ(src.offeredRate(99999), 0.25);
+}
+
+TEST(HotspotTraffic, RandomAccessRateQueries)
+{
+    HotspotTraffic src(params());
+    EXPECT_DOUBLE_EQ(src.offeredRate(2500), 0.25);
+    EXPECT_DOUBLE_EQ(src.offeredRate(100), 0.5); // rewinds correctly
+}
+
+TEST(HotspotTraffic, RealizedRatesTrackSchedule)
+{
+    HotspotTraffic src(params());
+    std::vector<PacketDesc> phase1, phase2;
+    for (Cycle t = 0; t < 1000; t++)
+        src.arrivals(t, phase1);
+    for (Cycle t = 1000; t < 2000; t++)
+        src.arrivals(t, phase2);
+    EXPECT_NEAR(static_cast<double>(phase1.size()) / 1000, 0.5, 0.1);
+    EXPECT_NEAR(static_cast<double>(phase2.size()) / 1000, 2.0, 0.2);
+}
+
+TEST(HotspotTraffic, HotNodeReceivesAboutFourTimesTraffic)
+{
+    auto p = params();
+    p.phases = {{0, 4.0}};
+    HotspotTraffic src(p);
+    std::vector<PacketDesc> out;
+    for (Cycle t = 0; t < 20000; t++)
+        src.arrivals(t, out);
+    std::map<NodeId, int> hist;
+    for (const auto &d : out)
+        hist[d.dst]++;
+    double other_mean = 0.0;
+    int others = 0;
+    for (const auto &kv : hist) {
+        if (kv.first != p.hotNode) {
+            other_mean += kv.second;
+            others++;
+        }
+    }
+    other_mean /= others;
+    EXPECT_NEAR(hist[p.hotNode] / other_mean, 4.0, 0.5);
+}
+
+TEST(HotspotTraffic, DefaultScheduleShape)
+{
+    auto phases = defaultHotspotSchedule(100000);
+    ASSERT_GE(phases.size(), 5u);
+    EXPECT_EQ(phases.front().start, 0u);
+    for (std::size_t i = 1; i < phases.size(); i++)
+        EXPECT_GT(phases[i].start, phases[i - 1].start);
+    // Contains both quiet and intense phases.
+    double lo = 1e9, hi = 0.0;
+    for (const auto &ph : phases) {
+        lo = std::min(lo, ph.rate);
+        hi = std::max(hi, ph.rate);
+    }
+    EXPECT_LT(lo, 1.0);
+    EXPECT_GT(hi, 4.0);
+}
+
+TEST(HotspotTraffic, PaperHotNodeIsRack35Node4)
+{
+    HotspotTraffic::Params p;
+    p.phases = {{0, 1.0}};
+    HotspotTraffic src(p);
+    // 8x8 mesh, 8/cluster: rack (3,5) is rack 43, node 4 -> 348.
+    EXPECT_EQ(p.hotNode, 348u);
+}
+
+TEST(HotspotTrafficDeath, EmptyScheduleFatal)
+{
+    HotspotTraffic::Params p;
+    p.phases = {};
+    EXPECT_DEATH(HotspotTraffic src(p), "phase");
+}
+
+TEST(HotspotTrafficDeath, NonIncreasingScheduleFatal)
+{
+    HotspotTraffic::Params p;
+    p.phases = {{0, 1.0}, {0, 2.0}};
+    EXPECT_DEATH(HotspotTraffic src(p), "increase");
+}

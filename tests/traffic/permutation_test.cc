@@ -1,0 +1,124 @@
+/** @file Tests for permutation traffic patterns. */
+
+#include <gtest/gtest.h>
+
+#include "traffic/permutation.hh"
+
+using namespace oenet;
+
+TEST(Permutation, BitComplement)
+{
+    EXPECT_EQ(permutationDestination(PermutationPattern::kBitComplement,
+                                     0, 64, 4, 4, 4),
+              63u);
+    EXPECT_EQ(permutationDestination(PermutationPattern::kBitComplement,
+                                     0b101010, 64, 4, 4, 4),
+              0b010101u);
+}
+
+TEST(Permutation, BitReverse)
+{
+    // 64 nodes = 6 bits: 0b000001 -> 0b100000.
+    EXPECT_EQ(permutationDestination(PermutationPattern::kBitReverse, 1,
+                                     64, 4, 4, 4),
+              32u);
+    EXPECT_EQ(permutationDestination(PermutationPattern::kBitReverse,
+                                     0b110100, 64, 4, 4, 4),
+              0b001011u);
+}
+
+TEST(Permutation, Shuffle)
+{
+    // Rotate left: 0b100000 -> 0b000001.
+    EXPECT_EQ(permutationDestination(PermutationPattern::kShuffle, 32,
+                                     64, 4, 4, 4),
+              1u);
+    EXPECT_EQ(permutationDestination(PermutationPattern::kShuffle, 3,
+                                     64, 4, 4, 4),
+              6u);
+}
+
+TEST(Permutation, TransposeSwapsRackCoordinates)
+{
+    // 4x4 mesh, 4 per cluster. Node in rack (1,2) local 3.
+    int rack = 2 * 4 + 1;
+    auto src = static_cast<NodeId>(rack * 4 + 3);
+    // Destination rack (2,1) local 3.
+    int drack = 1 * 4 + 2;
+    EXPECT_EQ(permutationDestination(PermutationPattern::kTranspose, src,
+                                     64, 4, 4, 4),
+              static_cast<NodeId>(drack * 4 + 3));
+}
+
+TEST(Permutation, TransposeDiagonalIsFixedPoint)
+{
+    int rack = 2 * 4 + 2;
+    auto src = static_cast<NodeId>(rack * 4 + 1);
+    EXPECT_EQ(permutationDestination(PermutationPattern::kTranspose, src,
+                                     64, 4, 4, 4),
+              src);
+}
+
+TEST(Permutation, TornadoHalfwayInX)
+{
+    // From rack (0,1) to rack (2,1) on a 4-wide mesh.
+    auto src = static_cast<NodeId>((1 * 4 + 0) * 4 + 2);
+    EXPECT_EQ(permutationDestination(PermutationPattern::kTornado, src,
+                                     64, 4, 4, 4),
+              static_cast<NodeId>((1 * 4 + 2) * 4 + 2));
+}
+
+TEST(Permutation, NeighborWrapsEast)
+{
+    auto src = static_cast<NodeId>((0 * 4 + 3) * 4 + 0); // rack (3,0)
+    EXPECT_EQ(permutationDestination(PermutationPattern::kNeighbor, src,
+                                     64, 4, 4, 4),
+              static_cast<NodeId>((0 * 4 + 0) * 4 + 0)); // rack (0,0)
+}
+
+TEST(Permutation, AllPatternsArePermutations)
+{
+    // Injectivity check over all nodes (bit patterns need power of 2).
+    for (auto pat :
+         {PermutationPattern::kBitComplement,
+          PermutationPattern::kBitReverse, PermutationPattern::kShuffle,
+          PermutationPattern::kTranspose, PermutationPattern::kTornado,
+          PermutationPattern::kNeighbor}) {
+        std::vector<bool> hit(64, false);
+        for (NodeId s = 0; s < 64; s++) {
+            NodeId d = permutationDestination(pat, s, 64, 4, 4, 4);
+            ASSERT_LT(d, 64u) << permutationPatternName(pat);
+            EXPECT_FALSE(hit[d]) << permutationPatternName(pat)
+                                 << " collides at " << d;
+            hit[d] = true;
+        }
+    }
+}
+
+TEST(Permutation, SourceGeneratesOnlyPatternPairs)
+{
+    PermutationTraffic::Params p;
+    p.pattern = PermutationPattern::kBitComplement;
+    p.numNodes = 64;
+    p.meshX = 4;
+    p.meshY = 4;
+    p.clusterSize = 4;
+    p.rate = 1.0;
+    PermutationTraffic src(p);
+    std::vector<PacketDesc> out;
+    for (Cycle t = 0; t < 2000; t++)
+        src.arrivals(t, out);
+    ASSERT_GT(out.size(), 100u);
+    for (const auto &d : out)
+        EXPECT_EQ(d.dst, permutationDestination(
+                             PermutationPattern::kBitComplement, d.src,
+                             64, 4, 4, 4));
+}
+
+TEST(Permutation, Names)
+{
+    EXPECT_STREQ(permutationPatternName(PermutationPattern::kTranspose),
+                 "transpose");
+    EXPECT_STREQ(permutationPatternName(PermutationPattern::kTornado),
+                 "tornado");
+}

@@ -1,0 +1,136 @@
+/** @file Tests for the synthetic SPLASH-2-like trace generators. */
+
+#include <gtest/gtest.h>
+
+#include "traffic/splash_synth.hh"
+
+using namespace oenet;
+
+namespace {
+
+SplashSynthParams
+params(SplashKind kind)
+{
+    SplashSynthParams p;
+    p.kind = kind;
+    p.numNodes = 64;
+    p.duration = 60000;
+    p.seed = 5;
+    return p;
+}
+
+} // namespace
+
+TEST(SplashSynth, Names)
+{
+    EXPECT_STREQ(splashKindName(SplashKind::kFft), "fft");
+    EXPECT_STREQ(splashKindName(SplashKind::kLu), "lu");
+    EXPECT_STREQ(splashKindName(SplashKind::kRadix), "radix");
+}
+
+TEST(SplashSynth, TracesAreSortedAndValid)
+{
+    for (auto kind :
+         {SplashKind::kFft, SplashKind::kLu, SplashKind::kRadix}) {
+        auto trace = generateSplashTrace(params(kind));
+        ASSERT_FALSE(trace.empty()) << splashKindName(kind);
+        validateTrace(trace, 64);
+        EXPECT_LT(trace.back().cycle, 60000u);
+    }
+}
+
+TEST(SplashSynth, MeanPacketLengthIs48Flits)
+{
+    // RSIM traces in the paper average 48 flits per packet.
+    auto trace = generateSplashTrace(params(SplashKind::kFft));
+    EXPECT_NEAR(traceMeanPacketLen(trace), 48.0, 2.0);
+}
+
+TEST(SplashSynth, BimodalLengths)
+{
+    auto p = params(SplashKind::kLu);
+    auto trace = generateSplashTrace(p);
+    for (const auto &r : trace)
+        EXPECT_TRUE(r.len == p.shortLen || r.len == p.longLen);
+}
+
+TEST(SplashSynth, DeterministicForSeed)
+{
+    auto a = generateSplashTrace(params(SplashKind::kRadix));
+    auto b = generateSplashTrace(params(SplashKind::kRadix));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].cycle, b[i].cycle);
+        EXPECT_EQ(a[i].src, b[i].src);
+        EXPECT_EQ(a[i].dst, b[i].dst);
+    }
+}
+
+TEST(SplashSynth, RateProfilesHaveTemporalVariance)
+{
+    // Each profile must swing by at least 4x between trough and peak —
+    // that variance is what the power-aware policy exploits.
+    for (auto kind :
+         {SplashKind::kFft, SplashKind::kLu, SplashKind::kRadix}) {
+        double lo = 1e9, hi = 0.0;
+        for (Cycle t = 0; t < 60000; t += 100) {
+            double r = splashRateAt(kind, t, 60000, 1.0);
+            lo = std::min(lo, r);
+            hi = std::max(hi, r);
+        }
+        EXPECT_GT(hi / lo, 4.0) << splashKindName(kind);
+        EXPECT_GT(lo, 0.0) << splashKindName(kind);
+    }
+}
+
+TEST(SplashSynth, FftHasLongSmoothWaves)
+{
+    // FFT's profile changes slowly: adjacent samples are close.
+    Cycle duration = 100000;
+    double max_step = 0.0;
+    for (Cycle t = 100; t < duration; t += 100) {
+        double a = splashRateAt(SplashKind::kFft, t - 100, duration, 1.0);
+        double b = splashRateAt(SplashKind::kFft, t, duration, 1.0);
+        max_step = std::max(max_step, std::abs(b - a));
+    }
+    EXPECT_LT(max_step, 0.05);
+}
+
+TEST(SplashSynth, RadixIsSpiky)
+{
+    // Radix jumps between quiet and burst segments: the largest
+    // adjacent-sample step is big.
+    Cycle duration = 100000;
+    double max_step = 0.0;
+    for (Cycle t = 100; t < duration; t += 100) {
+        double a =
+            splashRateAt(SplashKind::kRadix, t - 100, duration, 1.0);
+        double b = splashRateAt(SplashKind::kRadix, t, duration, 1.0);
+        max_step = std::max(max_step, std::abs(b - a));
+    }
+    EXPECT_GT(max_step, 0.15);
+}
+
+TEST(SplashSynth, RateScaleMultiplies)
+{
+    double base = splashRateAt(SplashKind::kFft, 5000, 60000, 1.0);
+    double scaled = splashRateAt(SplashKind::kFft, 5000, 60000, 2.0);
+    EXPECT_NEAR(scaled, 2.0 * base, 1e-12);
+}
+
+TEST(SplashSynth, RealizedRateMatchesProfile)
+{
+    auto p = params(SplashKind::kFft);
+    auto trace = generateSplashTrace(p);
+    // Compare realized arrivals against the analytic profile integral.
+    double expected = 0.0;
+    for (Cycle t = 0; t < p.duration; t++)
+        expected += splashRateAt(p.kind, t, p.duration, p.rateScale);
+    EXPECT_NEAR(static_cast<double>(trace.size()) / expected, 1.0, 0.05);
+}
+
+TEST(SplashSynth, ZeroAfterDuration)
+{
+    EXPECT_DOUBLE_EQ(splashRateAt(SplashKind::kLu, 60000, 60000, 1.0),
+                     0.0);
+}

@@ -1,0 +1,118 @@
+/** @file Tests for trace I/O and replay. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "traffic/trace.hh"
+
+using namespace oenet;
+
+namespace {
+
+TraceData
+sampleTrace()
+{
+    return {
+        {0, 1, 2, 4},
+        {0, 3, 4, 8},
+        {5, 2, 1, 4},
+        {100, 0, 7, 48},
+    };
+}
+
+} // namespace
+
+TEST(TraceIo, RoundTrip)
+{
+    std::string path = testing::TempDir() + "/oenet_trace_test.trc";
+    TraceData trace = sampleTrace();
+    saveTrace(path, trace);
+    TraceData loaded = loadTrace(path);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); i++) {
+        EXPECT_EQ(loaded[i].cycle, trace[i].cycle);
+        EXPECT_EQ(loaded[i].src, trace[i].src);
+        EXPECT_EQ(loaded[i].dst, trace[i].dst);
+        EXPECT_EQ(loaded[i].len, trace[i].len);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ValidateAcceptsGoodTrace)
+{
+    TraceData trace = sampleTrace();
+    validateTrace(trace, 8); // must not panic
+}
+
+TEST(TraceIoDeath, ValidateRejectsOutOfRangeNode)
+{
+    TraceData trace = sampleTrace();
+    EXPECT_DEATH(validateTrace(trace, 4), "range");
+}
+
+TEST(TraceIoDeath, ValidateRejectsUnsorted)
+{
+    TraceData trace = {{10, 0, 1, 1}, {5, 0, 1, 1}};
+    EXPECT_DEATH(validateTrace(trace, 8), "order");
+}
+
+TEST(TraceSource, ReplaysAtRecordedCycles)
+{
+    TraceData trace = sampleTrace();
+    TraceSource src(trace);
+    std::vector<PacketDesc> out;
+    src.arrivals(0, out);
+    EXPECT_EQ(out.size(), 2u);
+    src.arrivals(4, out);
+    EXPECT_EQ(out.size(), 2u);
+    src.arrivals(5, out);
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_FALSE(src.exhausted(5));
+    src.arrivals(100, out);
+    EXPECT_EQ(out.size(), 4u);
+    EXPECT_TRUE(src.exhausted(100));
+}
+
+TEST(TraceSource, SkippedCyclesStillDeliverBacklog)
+{
+    TraceData trace = sampleTrace();
+    TraceSource src(trace);
+    std::vector<PacketDesc> out;
+    src.arrivals(1000, out); // jump past everything
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(TraceTimeline, BinsRates)
+{
+    TraceData trace = {
+        {0, 0, 1, 1}, {1, 0, 1, 1}, {2, 0, 1, 1}, {10, 0, 1, 1},
+    };
+    auto timeline = traceRateTimeline(trace, 10);
+    ASSERT_EQ(timeline.size(), 2u);
+    EXPECT_DOUBLE_EQ(timeline[0], 0.3);
+    EXPECT_DOUBLE_EQ(timeline[1], 0.1);
+}
+
+TEST(TraceTimeline, EmptyTrace)
+{
+    EXPECT_TRUE(traceRateTimeline({}, 10).empty());
+    EXPECT_DOUBLE_EQ(traceMeanPacketLen({}), 0.0);
+}
+
+TEST(TraceStats, MeanPacketLen)
+{
+    EXPECT_DOUBLE_EQ(traceMeanPacketLen(sampleTrace()), 16.0);
+}
+
+TEST(TraceIoDeath, LoadRejectsBadMagic)
+{
+    std::string path = testing::TempDir() + "/oenet_bad_trace.trc";
+    {
+        std::ofstream out(path);
+        out << "not-a-trace\n";
+    }
+    EXPECT_DEATH((void)loadTrace(path), "magic");
+    std::remove(path.c_str());
+}

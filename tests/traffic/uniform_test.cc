@@ -1,0 +1,105 @@
+/** @file Tests for uniform random traffic. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "traffic/uniform.hh"
+
+using namespace oenet;
+
+namespace {
+
+UniformRandomTraffic::Params
+params(double rate, int nodes = 64)
+{
+    UniformRandomTraffic::Params p;
+    p.numNodes = nodes;
+    p.rate = rate;
+    p.packetLen = 4;
+    p.seed = 11;
+    return p;
+}
+
+} // namespace
+
+TEST(UniformTraffic, RateMatchesLongRunAverage)
+{
+    UniformRandomTraffic src(params(1.5));
+    std::vector<PacketDesc> out;
+    const Cycle n = 50000;
+    for (Cycle t = 0; t < n; t++)
+        src.arrivals(t, out);
+    EXPECT_NEAR(static_cast<double>(out.size()) / n, 1.5, 0.05);
+}
+
+TEST(UniformTraffic, ZeroRateProducesNothing)
+{
+    UniformRandomTraffic src(params(0.0));
+    std::vector<PacketDesc> out;
+    for (Cycle t = 0; t < 1000; t++)
+        src.arrivals(t, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(UniformTraffic, NoSelfTraffic)
+{
+    UniformRandomTraffic src(params(2.0));
+    std::vector<PacketDesc> out;
+    for (Cycle t = 0; t < 5000; t++)
+        src.arrivals(t, out);
+    for (const auto &p : out)
+        EXPECT_NE(p.src, p.dst);
+}
+
+TEST(UniformTraffic, DestinationsCoverAllNodes)
+{
+    UniformRandomTraffic src(params(2.0, 16));
+    std::vector<PacketDesc> out;
+    for (Cycle t = 0; t < 5000; t++)
+        src.arrivals(t, out);
+    std::map<NodeId, int> hist;
+    for (const auto &p : out)
+        hist[p.dst]++;
+    EXPECT_EQ(hist.size(), 16u);
+    // Roughly uniform: every node within 3x of the mean share.
+    double mean = static_cast<double>(out.size()) / 16.0;
+    for (const auto &kv : hist) {
+        EXPECT_GT(kv.second, mean / 3.0);
+        EXPECT_LT(kv.second, mean * 3.0);
+    }
+}
+
+TEST(UniformTraffic, PacketLengthApplied)
+{
+    auto p = params(1.0);
+    p.packetLen = 48;
+    UniformRandomTraffic src(p);
+    std::vector<PacketDesc> out;
+    for (Cycle t = 0; t < 100; t++)
+        src.arrivals(t, out);
+    for (const auto &d : out)
+        EXPECT_EQ(d.len, 48);
+}
+
+TEST(UniformTraffic, DeterministicForSeed)
+{
+    UniformRandomTraffic a(params(1.0)), b(params(1.0));
+    std::vector<PacketDesc> oa, ob;
+    for (Cycle t = 0; t < 1000; t++) {
+        a.arrivals(t, oa);
+        b.arrivals(t, ob);
+    }
+    ASSERT_EQ(oa.size(), ob.size());
+    for (std::size_t i = 0; i < oa.size(); i++) {
+        EXPECT_EQ(oa[i].src, ob[i].src);
+        EXPECT_EQ(oa[i].dst, ob[i].dst);
+    }
+}
+
+TEST(UniformTraffic, OfferedRateReported)
+{
+    UniformRandomTraffic src(params(2.5));
+    EXPECT_DOUBLE_EQ(src.offeredRate(0), 2.5);
+    EXPECT_FALSE(src.exhausted(1000000));
+}
