@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hotspot.dir/fig6_hotspot.cc.o"
+  "CMakeFiles/bench_fig6_hotspot.dir/fig6_hotspot.cc.o.d"
+  "bench_fig6_hotspot"
+  "bench_fig6_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

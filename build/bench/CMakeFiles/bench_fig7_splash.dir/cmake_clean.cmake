@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_splash.dir/fig7_splash.cc.o"
+  "CMakeFiles/bench_fig7_splash.dir/fig7_splash.cc.o.d"
+  "bench_fig7_splash"
+  "bench_fig7_splash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_splash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_splash_summary.dir/table3_splash_summary.cc.o"
+  "CMakeFiles/bench_table3_splash_summary.dir/table3_splash_summary.cc.o.d"
+  "bench_table3_splash_summary"
+  "bench_table3_splash_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_splash_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_stress.dir/bursty_stress.cpp.o"
+  "CMakeFiles/bursty_stress.dir/bursty_stress.cpp.o.d"
+  "bursty_stress"
+  "bursty_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_adaptation.dir/hotspot_adaptation.cpp.o"
+  "CMakeFiles/hotspot_adaptation.dir/hotspot_adaptation.cpp.o.d"
+  "hotspot_adaptation"
+  "hotspot_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

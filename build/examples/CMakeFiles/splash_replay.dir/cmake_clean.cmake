@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_replay.dir/splash_replay.cpp.o"
+  "CMakeFiles/splash_replay.dir/splash_replay.cpp.o.d"
+  "splash_replay"
+  "splash_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

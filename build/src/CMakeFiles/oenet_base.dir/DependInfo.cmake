@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/oenet_base.dir/common/config.cc.o" "gcc" "src/CMakeFiles/oenet_base.dir/common/config.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/oenet_base.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/oenet_base.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/oenet_base.dir/common/log.cc.o" "gcc" "src/CMakeFiles/oenet_base.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/oenet_base.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/oenet_base.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/oenet_base.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/oenet_base.dir/common/stats.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/oenet_base.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/oenet_base.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/kernel.cc" "src/CMakeFiles/oenet_base.dir/sim/kernel.cc.o" "gcc" "src/CMakeFiles/oenet_base.dir/sim/kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oenet_base.dir/common/config.cc.o"
+  "CMakeFiles/oenet_base.dir/common/config.cc.o.d"
+  "CMakeFiles/oenet_base.dir/common/csv.cc.o"
+  "CMakeFiles/oenet_base.dir/common/csv.cc.o.d"
+  "CMakeFiles/oenet_base.dir/common/log.cc.o"
+  "CMakeFiles/oenet_base.dir/common/log.cc.o.d"
+  "CMakeFiles/oenet_base.dir/common/rng.cc.o"
+  "CMakeFiles/oenet_base.dir/common/rng.cc.o.d"
+  "CMakeFiles/oenet_base.dir/common/stats.cc.o"
+  "CMakeFiles/oenet_base.dir/common/stats.cc.o.d"
+  "CMakeFiles/oenet_base.dir/sim/event_queue.cc.o"
+  "CMakeFiles/oenet_base.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/oenet_base.dir/sim/kernel.cc.o"
+  "CMakeFiles/oenet_base.dir/sim/kernel.cc.o.d"
+  "liboenet_base.a"
+  "liboenet_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oenet_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

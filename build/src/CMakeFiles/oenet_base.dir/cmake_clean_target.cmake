@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboenet_base.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/oenet_core.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/oenet_core.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/oenet_core.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/oenet_core.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/poe_system.cc" "src/CMakeFiles/oenet_core.dir/core/poe_system.cc.o" "gcc" "src/CMakeFiles/oenet_core.dir/core/poe_system.cc.o.d"
+  "/root/repo/src/core/sweeps.cc" "src/CMakeFiles/oenet_core.dir/core/sweeps.cc.o" "gcc" "src/CMakeFiles/oenet_core.dir/core/sweeps.cc.o.d"
+  "/root/repo/src/core/system_config.cc" "src/CMakeFiles/oenet_core.dir/core/system_config.cc.o" "gcc" "src/CMakeFiles/oenet_core.dir/core/system_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oenet_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oenet_core.dir/core/experiment.cc.o"
+  "CMakeFiles/oenet_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/oenet_core.dir/core/metrics.cc.o"
+  "CMakeFiles/oenet_core.dir/core/metrics.cc.o.d"
+  "CMakeFiles/oenet_core.dir/core/poe_system.cc.o"
+  "CMakeFiles/oenet_core.dir/core/poe_system.cc.o.d"
+  "CMakeFiles/oenet_core.dir/core/sweeps.cc.o"
+  "CMakeFiles/oenet_core.dir/core/sweeps.cc.o.d"
+  "CMakeFiles/oenet_core.dir/core/system_config.cc.o"
+  "CMakeFiles/oenet_core.dir/core/system_config.cc.o.d"
+  "liboenet_core.a"
+  "liboenet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oenet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

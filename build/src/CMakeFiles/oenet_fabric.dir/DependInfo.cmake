@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/link/link.cc" "src/CMakeFiles/oenet_fabric.dir/link/link.cc.o" "gcc" "src/CMakeFiles/oenet_fabric.dir/link/link.cc.o.d"
+  "/root/repo/src/network/network.cc" "src/CMakeFiles/oenet_fabric.dir/network/network.cc.o" "gcc" "src/CMakeFiles/oenet_fabric.dir/network/network.cc.o.d"
+  "/root/repo/src/network/node.cc" "src/CMakeFiles/oenet_fabric.dir/network/node.cc.o" "gcc" "src/CMakeFiles/oenet_fabric.dir/network/node.cc.o.d"
+  "/root/repo/src/network/power_report.cc" "src/CMakeFiles/oenet_fabric.dir/network/power_report.cc.o" "gcc" "src/CMakeFiles/oenet_fabric.dir/network/power_report.cc.o.d"
+  "/root/repo/src/network/topology.cc" "src/CMakeFiles/oenet_fabric.dir/network/topology.cc.o" "gcc" "src/CMakeFiles/oenet_fabric.dir/network/topology.cc.o.d"
+  "/root/repo/src/router/allocators.cc" "src/CMakeFiles/oenet_fabric.dir/router/allocators.cc.o" "gcc" "src/CMakeFiles/oenet_fabric.dir/router/allocators.cc.o.d"
+  "/root/repo/src/router/buffer.cc" "src/CMakeFiles/oenet_fabric.dir/router/buffer.cc.o" "gcc" "src/CMakeFiles/oenet_fabric.dir/router/buffer.cc.o.d"
+  "/root/repo/src/router/flit.cc" "src/CMakeFiles/oenet_fabric.dir/router/flit.cc.o" "gcc" "src/CMakeFiles/oenet_fabric.dir/router/flit.cc.o.d"
+  "/root/repo/src/router/router.cc" "src/CMakeFiles/oenet_fabric.dir/router/router.cc.o" "gcc" "src/CMakeFiles/oenet_fabric.dir/router/router.cc.o.d"
+  "/root/repo/src/router/routing.cc" "src/CMakeFiles/oenet_fabric.dir/router/routing.cc.o" "gcc" "src/CMakeFiles/oenet_fabric.dir/router/routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oenet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oenet_fabric.dir/link/link.cc.o"
+  "CMakeFiles/oenet_fabric.dir/link/link.cc.o.d"
+  "CMakeFiles/oenet_fabric.dir/network/network.cc.o"
+  "CMakeFiles/oenet_fabric.dir/network/network.cc.o.d"
+  "CMakeFiles/oenet_fabric.dir/network/node.cc.o"
+  "CMakeFiles/oenet_fabric.dir/network/node.cc.o.d"
+  "CMakeFiles/oenet_fabric.dir/network/power_report.cc.o"
+  "CMakeFiles/oenet_fabric.dir/network/power_report.cc.o.d"
+  "CMakeFiles/oenet_fabric.dir/network/topology.cc.o"
+  "CMakeFiles/oenet_fabric.dir/network/topology.cc.o.d"
+  "CMakeFiles/oenet_fabric.dir/router/allocators.cc.o"
+  "CMakeFiles/oenet_fabric.dir/router/allocators.cc.o.d"
+  "CMakeFiles/oenet_fabric.dir/router/buffer.cc.o"
+  "CMakeFiles/oenet_fabric.dir/router/buffer.cc.o.d"
+  "CMakeFiles/oenet_fabric.dir/router/flit.cc.o"
+  "CMakeFiles/oenet_fabric.dir/router/flit.cc.o.d"
+  "CMakeFiles/oenet_fabric.dir/router/router.cc.o"
+  "CMakeFiles/oenet_fabric.dir/router/router.cc.o.d"
+  "CMakeFiles/oenet_fabric.dir/router/routing.cc.o"
+  "CMakeFiles/oenet_fabric.dir/router/routing.cc.o.d"
+  "liboenet_fabric.a"
+  "liboenet_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oenet_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

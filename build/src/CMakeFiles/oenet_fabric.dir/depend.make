@@ -1,0 +1,2 @@
+# Empty dependencies file for oenet_fabric.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/bitrate_levels.cc" "src/CMakeFiles/oenet_phy.dir/phy/bitrate_levels.cc.o" "gcc" "src/CMakeFiles/oenet_phy.dir/phy/bitrate_levels.cc.o.d"
+  "/root/repo/src/phy/calibration.cc" "src/CMakeFiles/oenet_phy.dir/phy/calibration.cc.o" "gcc" "src/CMakeFiles/oenet_phy.dir/phy/calibration.cc.o.d"
+  "/root/repo/src/phy/laser_source.cc" "src/CMakeFiles/oenet_phy.dir/phy/laser_source.cc.o" "gcc" "src/CMakeFiles/oenet_phy.dir/phy/laser_source.cc.o.d"
+  "/root/repo/src/phy/link_power.cc" "src/CMakeFiles/oenet_phy.dir/phy/link_power.cc.o" "gcc" "src/CMakeFiles/oenet_phy.dir/phy/link_power.cc.o.d"
+  "/root/repo/src/phy/modulator.cc" "src/CMakeFiles/oenet_phy.dir/phy/modulator.cc.o" "gcc" "src/CMakeFiles/oenet_phy.dir/phy/modulator.cc.o.d"
+  "/root/repo/src/phy/receiver.cc" "src/CMakeFiles/oenet_phy.dir/phy/receiver.cc.o" "gcc" "src/CMakeFiles/oenet_phy.dir/phy/receiver.cc.o.d"
+  "/root/repo/src/phy/vcsel.cc" "src/CMakeFiles/oenet_phy.dir/phy/vcsel.cc.o" "gcc" "src/CMakeFiles/oenet_phy.dir/phy/vcsel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oenet_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oenet_phy.dir/phy/bitrate_levels.cc.o"
+  "CMakeFiles/oenet_phy.dir/phy/bitrate_levels.cc.o.d"
+  "CMakeFiles/oenet_phy.dir/phy/calibration.cc.o"
+  "CMakeFiles/oenet_phy.dir/phy/calibration.cc.o.d"
+  "CMakeFiles/oenet_phy.dir/phy/laser_source.cc.o"
+  "CMakeFiles/oenet_phy.dir/phy/laser_source.cc.o.d"
+  "CMakeFiles/oenet_phy.dir/phy/link_power.cc.o"
+  "CMakeFiles/oenet_phy.dir/phy/link_power.cc.o.d"
+  "CMakeFiles/oenet_phy.dir/phy/modulator.cc.o"
+  "CMakeFiles/oenet_phy.dir/phy/modulator.cc.o.d"
+  "CMakeFiles/oenet_phy.dir/phy/receiver.cc.o"
+  "CMakeFiles/oenet_phy.dir/phy/receiver.cc.o.d"
+  "CMakeFiles/oenet_phy.dir/phy/vcsel.cc.o"
+  "CMakeFiles/oenet_phy.dir/phy/vcsel.cc.o.d"
+  "liboenet_phy.a"
+  "liboenet_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oenet_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/controller.cc" "src/CMakeFiles/oenet_policy.dir/policy/controller.cc.o" "gcc" "src/CMakeFiles/oenet_policy.dir/policy/controller.cc.o.d"
+  "/root/repo/src/policy/history_dvs.cc" "src/CMakeFiles/oenet_policy.dir/policy/history_dvs.cc.o" "gcc" "src/CMakeFiles/oenet_policy.dir/policy/history_dvs.cc.o.d"
+  "/root/repo/src/policy/laser_controller.cc" "src/CMakeFiles/oenet_policy.dir/policy/laser_controller.cc.o" "gcc" "src/CMakeFiles/oenet_policy.dir/policy/laser_controller.cc.o.d"
+  "/root/repo/src/policy/on_off.cc" "src/CMakeFiles/oenet_policy.dir/policy/on_off.cc.o" "gcc" "src/CMakeFiles/oenet_policy.dir/policy/on_off.cc.o.d"
+  "/root/repo/src/policy/proportional.cc" "src/CMakeFiles/oenet_policy.dir/policy/proportional.cc.o" "gcc" "src/CMakeFiles/oenet_policy.dir/policy/proportional.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oenet_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

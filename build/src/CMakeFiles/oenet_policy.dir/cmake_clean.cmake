@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oenet_policy.dir/policy/controller.cc.o"
+  "CMakeFiles/oenet_policy.dir/policy/controller.cc.o.d"
+  "CMakeFiles/oenet_policy.dir/policy/history_dvs.cc.o"
+  "CMakeFiles/oenet_policy.dir/policy/history_dvs.cc.o.d"
+  "CMakeFiles/oenet_policy.dir/policy/laser_controller.cc.o"
+  "CMakeFiles/oenet_policy.dir/policy/laser_controller.cc.o.d"
+  "CMakeFiles/oenet_policy.dir/policy/on_off.cc.o"
+  "CMakeFiles/oenet_policy.dir/policy/on_off.cc.o.d"
+  "CMakeFiles/oenet_policy.dir/policy/proportional.cc.o"
+  "CMakeFiles/oenet_policy.dir/policy/proportional.cc.o.d"
+  "liboenet_policy.a"
+  "liboenet_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oenet_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

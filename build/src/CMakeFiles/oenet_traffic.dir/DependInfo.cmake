@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/bursty.cc" "src/CMakeFiles/oenet_traffic.dir/traffic/bursty.cc.o" "gcc" "src/CMakeFiles/oenet_traffic.dir/traffic/bursty.cc.o.d"
+  "/root/repo/src/traffic/hotspot.cc" "src/CMakeFiles/oenet_traffic.dir/traffic/hotspot.cc.o" "gcc" "src/CMakeFiles/oenet_traffic.dir/traffic/hotspot.cc.o.d"
+  "/root/repo/src/traffic/injection_process.cc" "src/CMakeFiles/oenet_traffic.dir/traffic/injection_process.cc.o" "gcc" "src/CMakeFiles/oenet_traffic.dir/traffic/injection_process.cc.o.d"
+  "/root/repo/src/traffic/permutation.cc" "src/CMakeFiles/oenet_traffic.dir/traffic/permutation.cc.o" "gcc" "src/CMakeFiles/oenet_traffic.dir/traffic/permutation.cc.o.d"
+  "/root/repo/src/traffic/splash_synth.cc" "src/CMakeFiles/oenet_traffic.dir/traffic/splash_synth.cc.o" "gcc" "src/CMakeFiles/oenet_traffic.dir/traffic/splash_synth.cc.o.d"
+  "/root/repo/src/traffic/trace.cc" "src/CMakeFiles/oenet_traffic.dir/traffic/trace.cc.o" "gcc" "src/CMakeFiles/oenet_traffic.dir/traffic/trace.cc.o.d"
+  "/root/repo/src/traffic/uniform.cc" "src/CMakeFiles/oenet_traffic.dir/traffic/uniform.cc.o" "gcc" "src/CMakeFiles/oenet_traffic.dir/traffic/uniform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oenet_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oenet_traffic.dir/traffic/bursty.cc.o"
+  "CMakeFiles/oenet_traffic.dir/traffic/bursty.cc.o.d"
+  "CMakeFiles/oenet_traffic.dir/traffic/hotspot.cc.o"
+  "CMakeFiles/oenet_traffic.dir/traffic/hotspot.cc.o.d"
+  "CMakeFiles/oenet_traffic.dir/traffic/injection_process.cc.o"
+  "CMakeFiles/oenet_traffic.dir/traffic/injection_process.cc.o.d"
+  "CMakeFiles/oenet_traffic.dir/traffic/permutation.cc.o"
+  "CMakeFiles/oenet_traffic.dir/traffic/permutation.cc.o.d"
+  "CMakeFiles/oenet_traffic.dir/traffic/splash_synth.cc.o"
+  "CMakeFiles/oenet_traffic.dir/traffic/splash_synth.cc.o.d"
+  "CMakeFiles/oenet_traffic.dir/traffic/trace.cc.o"
+  "CMakeFiles/oenet_traffic.dir/traffic/trace.cc.o.d"
+  "CMakeFiles/oenet_traffic.dir/traffic/uniform.cc.o"
+  "CMakeFiles/oenet_traffic.dir/traffic/uniform.cc.o.d"
+  "liboenet_traffic.a"
+  "liboenet_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oenet_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

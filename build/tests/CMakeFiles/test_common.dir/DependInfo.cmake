@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/config_test.cc" "tests/CMakeFiles/test_common.dir/common/config_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/config_test.cc.o.d"
+  "/root/repo/tests/common/csv_test.cc" "tests/CMakeFiles/test_common.dir/common/csv_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/csv_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/test_common.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/test_common.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/units_test.cc" "tests/CMakeFiles/test_common.dir/common/units_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/units_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

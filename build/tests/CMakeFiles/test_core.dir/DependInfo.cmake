@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/config_file_test.cc" "tests/CMakeFiles/test_core.dir/core/config_file_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/config_file_test.cc.o.d"
+  "/root/repo/tests/core/experiment_test.cc" "tests/CMakeFiles/test_core.dir/core/experiment_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/experiment_test.cc.o.d"
+  "/root/repo/tests/core/poe_system_test.cc" "tests/CMakeFiles/test_core.dir/core/poe_system_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/poe_system_test.cc.o.d"
+  "/root/repo/tests/core/system_config_test.cc" "tests/CMakeFiles/test_core.dir/core/system_config_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/system_config_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

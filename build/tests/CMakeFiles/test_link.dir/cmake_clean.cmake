@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link.dir/link/link_property_test.cc.o"
+  "CMakeFiles/test_link.dir/link/link_property_test.cc.o.d"
+  "CMakeFiles/test_link.dir/link/link_test.cc.o"
+  "CMakeFiles/test_link.dir/link/link_test.cc.o.d"
+  "CMakeFiles/test_link.dir/link/link_transition_test.cc.o"
+  "CMakeFiles/test_link.dir/link/link_transition_test.cc.o.d"
+  "test_link"
+  "test_link.pdb"
+  "test_link[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network.dir/network/network_test.cc.o"
+  "CMakeFiles/test_network.dir/network/network_test.cc.o.d"
+  "CMakeFiles/test_network.dir/network/node_test.cc.o"
+  "CMakeFiles/test_network.dir/network/node_test.cc.o.d"
+  "CMakeFiles/test_network.dir/network/power_report_test.cc.o"
+  "CMakeFiles/test_network.dir/network/power_report_test.cc.o.d"
+  "CMakeFiles/test_network.dir/network/topology_test.cc.o"
+  "CMakeFiles/test_network.dir/network/topology_test.cc.o.d"
+  "test_network"
+  "test_network.pdb"
+  "test_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy/bitrate_levels_test.cc" "tests/CMakeFiles/test_phy.dir/phy/bitrate_levels_test.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/bitrate_levels_test.cc.o.d"
+  "/root/repo/tests/phy/calibration_test.cc" "tests/CMakeFiles/test_phy.dir/phy/calibration_test.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/calibration_test.cc.o.d"
+  "/root/repo/tests/phy/laser_source_test.cc" "tests/CMakeFiles/test_phy.dir/phy/laser_source_test.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/laser_source_test.cc.o.d"
+  "/root/repo/tests/phy/link_power_test.cc" "tests/CMakeFiles/test_phy.dir/phy/link_power_test.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/link_power_test.cc.o.d"
+  "/root/repo/tests/phy/modulator_test.cc" "tests/CMakeFiles/test_phy.dir/phy/modulator_test.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/modulator_test.cc.o.d"
+  "/root/repo/tests/phy/receiver_test.cc" "tests/CMakeFiles/test_phy.dir/phy/receiver_test.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/receiver_test.cc.o.d"
+  "/root/repo/tests/phy/vcsel_test.cc" "tests/CMakeFiles/test_phy.dir/phy/vcsel_test.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/vcsel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy.dir/phy/bitrate_levels_test.cc.o"
+  "CMakeFiles/test_phy.dir/phy/bitrate_levels_test.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/calibration_test.cc.o"
+  "CMakeFiles/test_phy.dir/phy/calibration_test.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/laser_source_test.cc.o"
+  "CMakeFiles/test_phy.dir/phy/laser_source_test.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/link_power_test.cc.o"
+  "CMakeFiles/test_phy.dir/phy/link_power_test.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/modulator_test.cc.o"
+  "CMakeFiles/test_phy.dir/phy/modulator_test.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/receiver_test.cc.o"
+  "CMakeFiles/test_phy.dir/phy/receiver_test.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/vcsel_test.cc.o"
+  "CMakeFiles/test_phy.dir/phy/vcsel_test.cc.o.d"
+  "test_phy"
+  "test_phy.pdb"
+  "test_phy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

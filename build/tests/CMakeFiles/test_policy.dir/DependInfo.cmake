@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/policy/backlog_escalation_test.cc" "tests/CMakeFiles/test_policy.dir/policy/backlog_escalation_test.cc.o" "gcc" "tests/CMakeFiles/test_policy.dir/policy/backlog_escalation_test.cc.o.d"
+  "/root/repo/tests/policy/controller_test.cc" "tests/CMakeFiles/test_policy.dir/policy/controller_test.cc.o" "gcc" "tests/CMakeFiles/test_policy.dir/policy/controller_test.cc.o.d"
+  "/root/repo/tests/policy/history_dvs_test.cc" "tests/CMakeFiles/test_policy.dir/policy/history_dvs_test.cc.o" "gcc" "tests/CMakeFiles/test_policy.dir/policy/history_dvs_test.cc.o.d"
+  "/root/repo/tests/policy/laser_controller_test.cc" "tests/CMakeFiles/test_policy.dir/policy/laser_controller_test.cc.o" "gcc" "tests/CMakeFiles/test_policy.dir/policy/laser_controller_test.cc.o.d"
+  "/root/repo/tests/policy/on_off_test.cc" "tests/CMakeFiles/test_policy.dir/policy/on_off_test.cc.o" "gcc" "tests/CMakeFiles/test_policy.dir/policy/on_off_test.cc.o.d"
+  "/root/repo/tests/policy/proportional_test.cc" "tests/CMakeFiles/test_policy.dir/policy/proportional_test.cc.o" "gcc" "tests/CMakeFiles/test_policy.dir/policy/proportional_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy.dir/policy/backlog_escalation_test.cc.o"
+  "CMakeFiles/test_policy.dir/policy/backlog_escalation_test.cc.o.d"
+  "CMakeFiles/test_policy.dir/policy/controller_test.cc.o"
+  "CMakeFiles/test_policy.dir/policy/controller_test.cc.o.d"
+  "CMakeFiles/test_policy.dir/policy/history_dvs_test.cc.o"
+  "CMakeFiles/test_policy.dir/policy/history_dvs_test.cc.o.d"
+  "CMakeFiles/test_policy.dir/policy/laser_controller_test.cc.o"
+  "CMakeFiles/test_policy.dir/policy/laser_controller_test.cc.o.d"
+  "CMakeFiles/test_policy.dir/policy/on_off_test.cc.o"
+  "CMakeFiles/test_policy.dir/policy/on_off_test.cc.o.d"
+  "CMakeFiles/test_policy.dir/policy/proportional_test.cc.o"
+  "CMakeFiles/test_policy.dir/policy/proportional_test.cc.o.d"
+  "test_policy"
+  "test_policy.pdb"
+  "test_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

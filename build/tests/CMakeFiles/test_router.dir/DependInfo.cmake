@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/router/adaptive_routing_test.cc" "tests/CMakeFiles/test_router.dir/router/adaptive_routing_test.cc.o" "gcc" "tests/CMakeFiles/test_router.dir/router/adaptive_routing_test.cc.o.d"
+  "/root/repo/tests/router/allocators_test.cc" "tests/CMakeFiles/test_router.dir/router/allocators_test.cc.o" "gcc" "tests/CMakeFiles/test_router.dir/router/allocators_test.cc.o.d"
+  "/root/repo/tests/router/buffer_test.cc" "tests/CMakeFiles/test_router.dir/router/buffer_test.cc.o" "gcc" "tests/CMakeFiles/test_router.dir/router/buffer_test.cc.o.d"
+  "/root/repo/tests/router/flit_test.cc" "tests/CMakeFiles/test_router.dir/router/flit_test.cc.o" "gcc" "tests/CMakeFiles/test_router.dir/router/flit_test.cc.o.d"
+  "/root/repo/tests/router/router_pipeline_test.cc" "tests/CMakeFiles/test_router.dir/router/router_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/test_router.dir/router/router_pipeline_test.cc.o.d"
+  "/root/repo/tests/router/router_stress_test.cc" "tests/CMakeFiles/test_router.dir/router/router_stress_test.cc.o" "gcc" "tests/CMakeFiles/test_router.dir/router/router_stress_test.cc.o.d"
+  "/root/repo/tests/router/routing_test.cc" "tests/CMakeFiles/test_router.dir/router/routing_test.cc.o" "gcc" "tests/CMakeFiles/test_router.dir/router/routing_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

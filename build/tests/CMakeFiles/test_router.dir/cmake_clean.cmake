@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router.dir/router/adaptive_routing_test.cc.o"
+  "CMakeFiles/test_router.dir/router/adaptive_routing_test.cc.o.d"
+  "CMakeFiles/test_router.dir/router/allocators_test.cc.o"
+  "CMakeFiles/test_router.dir/router/allocators_test.cc.o.d"
+  "CMakeFiles/test_router.dir/router/buffer_test.cc.o"
+  "CMakeFiles/test_router.dir/router/buffer_test.cc.o.d"
+  "CMakeFiles/test_router.dir/router/flit_test.cc.o"
+  "CMakeFiles/test_router.dir/router/flit_test.cc.o.d"
+  "CMakeFiles/test_router.dir/router/router_pipeline_test.cc.o"
+  "CMakeFiles/test_router.dir/router/router_pipeline_test.cc.o.d"
+  "CMakeFiles/test_router.dir/router/router_stress_test.cc.o"
+  "CMakeFiles/test_router.dir/router/router_stress_test.cc.o.d"
+  "CMakeFiles/test_router.dir/router/routing_test.cc.o"
+  "CMakeFiles/test_router.dir/router/routing_test.cc.o.d"
+  "test_router"
+  "test_router.pdb"
+  "test_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/traffic/bursty_test.cc" "tests/CMakeFiles/test_traffic.dir/traffic/bursty_test.cc.o" "gcc" "tests/CMakeFiles/test_traffic.dir/traffic/bursty_test.cc.o.d"
+  "/root/repo/tests/traffic/hotspot_test.cc" "tests/CMakeFiles/test_traffic.dir/traffic/hotspot_test.cc.o" "gcc" "tests/CMakeFiles/test_traffic.dir/traffic/hotspot_test.cc.o.d"
+  "/root/repo/tests/traffic/permutation_test.cc" "tests/CMakeFiles/test_traffic.dir/traffic/permutation_test.cc.o" "gcc" "tests/CMakeFiles/test_traffic.dir/traffic/permutation_test.cc.o.d"
+  "/root/repo/tests/traffic/splash_synth_test.cc" "tests/CMakeFiles/test_traffic.dir/traffic/splash_synth_test.cc.o" "gcc" "tests/CMakeFiles/test_traffic.dir/traffic/splash_synth_test.cc.o.d"
+  "/root/repo/tests/traffic/trace_test.cc" "tests/CMakeFiles/test_traffic.dir/traffic/trace_test.cc.o" "gcc" "tests/CMakeFiles/test_traffic.dir/traffic/trace_test.cc.o.d"
+  "/root/repo/tests/traffic/uniform_test.cc" "tests/CMakeFiles/test_traffic.dir/traffic/uniform_test.cc.o" "gcc" "tests/CMakeFiles/test_traffic.dir/traffic/uniform_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oenet_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic.dir/traffic/bursty_test.cc.o"
+  "CMakeFiles/test_traffic.dir/traffic/bursty_test.cc.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/hotspot_test.cc.o"
+  "CMakeFiles/test_traffic.dir/traffic/hotspot_test.cc.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/permutation_test.cc.o"
+  "CMakeFiles/test_traffic.dir/traffic/permutation_test.cc.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/splash_synth_test.cc.o"
+  "CMakeFiles/test_traffic.dir/traffic/splash_synth_test.cc.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/trace_test.cc.o"
+  "CMakeFiles/test_traffic.dir/traffic/trace_test.cc.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/uniform_test.cc.o"
+  "CMakeFiles/test_traffic.dir/traffic/uniform_test.cc.o.d"
+  "test_traffic"
+  "test_traffic.pdb"
+  "test_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

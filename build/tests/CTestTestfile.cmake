@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_phy[1]_include.cmake")
+include("/root/repo/build/tests/test_link[1]_include.cmake")
+include("/root/repo/build/tests/test_router[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic[1]_include.cmake")
+include("/root/repo/build/tests/test_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
