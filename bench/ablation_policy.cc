@@ -9,34 +9,29 @@
  *     design that must disable the link for the whole T_v + T_br;
  *  4. the DVS policy vs. on/off links (Soteriou-Peh-style) vs. static
  *     minimum rate.
+ *
+ * Every case (and the shared baseline) is one sweep point; all carry
+ * seedKey 0, i.e. the identical hot-spot traffic, so the ratios
+ * isolate the design choice.
  */
 
 #include "bench_util.hh"
-#include "core/sweeps.hh"
 
 using namespace oenet;
 using namespace oenet::bench;
 
-namespace {
-
-constexpr Cycle kTotal = 250000;
-
-RunMetrics
-runCase(const SystemConfig &cfg, const TrafficSpec &spec)
-{
-    RunProtocol protocol;
-    protocol.warmup = 10000;
-    protocol.measure = kTotal;
-    protocol.drainLimit = 60000;
-    return runExperiment(cfg, spec, protocol);
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv, 71);
     banner("Ablations", "policy design choices on the hot-spot trace");
+
+    const Cycle kTotal = args.smoke ? 50000 : 250000;
+
+    RunProtocol protocol;
+    protocol.warmup = args.smoke ? 2000 : 10000;
+    protocol.measure = kTotal;
+    protocol.drainLimit = args.smoke ? 20000 : 60000;
 
     // The default schedule's 4.8 pkt/cycle plateau sits at the edge of
     // saturation where ratios explode and hide the ablation contrasts;
@@ -45,108 +40,123 @@ main()
         defaultHotspotSchedule(kTotal + 20000);
     for (auto &ph : phases)
         ph.rate *= 0.7;
-    TrafficSpec spec = TrafficSpec::hotspot(std::move(phases), 4, 71);
+    TrafficSpec spec = TrafficSpec::hotspot(std::move(phases), 4);
 
-    SystemConfig base;
-    base.powerAware = false;
-    RunMetrics baseline = runCase(base, spec);
-
-    auto report = [&](Table &t, const char *name,
-                      const SystemConfig &cfg) {
-        RunMetrics m = runCase(cfg, spec);
-        NormalizedMetrics n = normalizeAgainst(m, baseline);
-        t.row({name, formatDouble(n.latencyRatio, 3),
-               formatDouble(n.powerRatio, 3),
-               formatDouble(n.plpRatio, 3),
-               formatDouble(static_cast<double>(m.transitions), 0)});
-        std::printf("  %s done\n", name);
+    struct Case
+    {
+        const char *group;
+        std::string name;
+        SystemConfig config;
     };
+    std::vector<Case> cases;
 
     {
-        Table t("Ablation 1: sliding-window depth N (Eq. 11)",
-                "ablation_sliding_depth.csv",
-                {"N", "latency_x", "power_x", "plp_x", "transitions"});
-        for (int n : {1, 2, 4, 8}) {
-            SystemConfig cfg;
-            cfg.policy.slidingWindows = n;
-            report(t, std::to_string(n).c_str(), cfg);
-        }
-        t.print();
+        SystemConfig base;
+        base.powerAware = false;
+        cases.push_back({"baseline", "non_pa", base});
     }
-
+    for (int n : {1, 2, 4, 8}) {
+        SystemConfig cfg;
+        cfg.policy.slidingWindows = n;
+        cases.push_back({"sliding_depth", std::to_string(n), cfg});
+    }
     {
-        Table t("Ablation 2: congestion-adaptive vs fixed thresholds",
-                "ablation_congestion_thresholds.csv",
-                {"variant", "latency_x", "power_x", "plp_x",
-                 "transitions"});
         SystemConfig adaptive; // Table 1 defaults
-        report(t, "table1_adaptive", adaptive);
+        cases.push_back({"thresholds", "table1_adaptive", adaptive});
         SystemConfig fixed;
         fixed.policy.thLowCongested = fixed.policy.thLowUncongested;
         fixed.policy.thHighCongested = fixed.policy.thHighUncongested;
-        report(t, "fixed_0.4_0.6", fixed);
-        t.print();
+        cases.push_back({"thresholds", "fixed_0.4_0.6", fixed});
     }
-
     {
-        Table t("Ablation 3: transition ordering",
-                "ablation_transition_ordering.csv",
-                {"variant", "latency_x", "power_x", "plp_x",
-                 "transitions"});
         SystemConfig ordered; // voltage ramps while link runs
-        report(t, "voltage_first", ordered);
+        cases.push_back({"ordering", "voltage_first", ordered});
         SystemConfig pessimistic;
         // A design without the ordering trick: the link is dead for
         // the full voltage + frequency transition.
         pessimistic.voltTransitionCycles = 0;
         pessimistic.freqTransitionCycles = 120;
-        report(t, "disable_120cyc", pessimistic);
-        t.print();
+        cases.push_back({"ordering", "disable_120cyc", pessimistic});
     }
-
     {
-        Table t("Ablation 4: sender-backlog escalation (saturation "
-                "stabilizer)",
-                "ablation_backlog_escalation.csv",
-                {"variant", "latency_x", "power_x", "plp_x",
-                 "transitions"});
         SystemConfig on; // default
-        report(t, "escalation_on", on);
+        cases.push_back({"escalation", "escalation_on", on});
         SystemConfig off;
         off.senderBacklogEscalation = false;
-        report(t, "escalation_off", off);
-        t.print();
+        cases.push_back({"escalation", "escalation_off", off});
     }
-
-    {
-        Table t("Ablation 6: routing algorithm",
-                "ablation_routing.csv",
-                {"routing", "latency_x", "power_x", "plp_x",
-                 "transitions"});
-        for (auto algo : {RoutingAlgo::kXY, RoutingAlgo::kYX,
-                          RoutingAlgo::kWestFirst}) {
-            SystemConfig cfg;
-            cfg.routing = algo;
-            report(t, routingAlgoName(algo), cfg);
-        }
-        t.print();
+    for (auto algo : {RoutingAlgo::kXY, RoutingAlgo::kYX,
+                      RoutingAlgo::kWestFirst}) {
+        SystemConfig cfg;
+        cfg.routing = algo;
+        cases.push_back({"routing", routingAlgoName(algo), cfg});
     }
-
     {
-        Table t("Ablation 5: policy family",
-                "ablation_policy_family.csv",
-                {"policy", "latency_x", "power_x", "plp_x",
-                 "transitions"});
         SystemConfig dvs;
-        report(t, "history_dvs", dvs);
+        cases.push_back({"policy_family", "history_dvs", dvs});
         SystemConfig onoff;
         onoff.policyMode = PolicyMode::kOnOff;
-        report(t, "on_off", onoff);
+        cases.push_back({"policy_family", "on_off", onoff});
         SystemConfig static_min;
         static_min.policyMode = PolicyMode::kStatic;
         static_min.staticLevel = 0;
-        report(t, "static_min", static_min);
-        t.print();
+        cases.push_back({"policy_family", "static_min", static_min});
     }
+
+    std::vector<SweepPoint> points;
+    for (const Case &c : cases) {
+        SweepPoint p;
+        p.label = std::string(c.group) + "/" + c.name;
+        p.config = c.config;
+        p.spec = spec;
+        p.protocol = protocol;
+        p.seedKey = 0; // every case sees the identical traffic
+        points.push_back(std::move(p));
+    }
+
+    SweepRunner runner(runnerOptions(args));
+    SweepReport report = runner.run(points);
+    printReport(report);
+
+    const RunMetrics &baseline = report.outcomes[0].metrics;
+    auto emitGroup = [&](const char *group, const char *title,
+                         const char *csv, const char *key_col) {
+        Table t(title, csv,
+                {key_col, "latency_x", "power_x", "plp_x",
+                 "transitions"});
+        for (std::size_t i = 0; i < cases.size(); i++) {
+            if (std::strcmp(cases[i].group, group) != 0)
+                continue;
+            const RunMetrics &m = report.outcomes[i].metrics;
+            NormalizedMetrics n = normalizeAgainst(m, baseline);
+            t.row({cases[i].name, formatDouble(n.latencyRatio, 3),
+                   formatDouble(n.powerRatio, 3),
+                   formatDouble(n.plpRatio, 3),
+                   formatDouble(static_cast<double>(m.transitions),
+                                0)});
+        }
+        t.print();
+    };
+
+    emitGroup("sliding_depth",
+              "Ablation 1: sliding-window depth N (Eq. 11)",
+              "ablation_sliding_depth.csv", "N");
+    emitGroup("thresholds",
+              "Ablation 2: congestion-adaptive vs fixed thresholds",
+              "ablation_congestion_thresholds.csv", "variant");
+    emitGroup("ordering", "Ablation 3: transition ordering",
+              "ablation_transition_ordering.csv", "variant");
+    emitGroup("escalation",
+              "Ablation 4: sender-backlog escalation (saturation "
+              "stabilizer)",
+              "ablation_backlog_escalation.csv", "variant");
+    emitGroup("policy_family", "Ablation 5: policy family",
+              "ablation_policy_family.csv", "policy");
+    emitGroup("routing", "Ablation 6: routing algorithm",
+              "ablation_routing.csv", "routing");
+
+    writeSweepManifest("ablation_manifest.json", "ablation_policy",
+                       args.seed, report.outcomes);
+    std::printf("   (manifest: ablation_manifest.json)\n");
     return 0;
 }

@@ -9,13 +9,100 @@
 #define OENET_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/csv.hh"
+#include "common/log.hh"
+#include "common/parallel.hh"
 #include "common/stats.hh"
+#include "core/sweep_runner.hh"
 
 namespace oenet::bench {
+
+/** Command line shared by every figure bench. */
+struct BenchArgs
+{
+    int jobs = 0;            ///< --jobs N; 0 = hardware concurrency
+    std::uint64_t seed = 1;  ///< --seed S; base seed for the sweep
+    bool smoke = false;      ///< --smoke; tiny CI-sized run
+    bool quiet = false;      ///< --quiet; suppress per-point progress
+};
+
+/** Parse --jobs / --seed / --smoke / --quiet / --help. Exits on
+ *  --help or an unknown flag. @p default_seed is the bench's
+ *  historical seed, kept as the default so unflagged runs stay
+ *  reproducible across sessions. */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
+{
+    BenchArgs args;
+    args.seed = default_seed;
+    for (int i = 1; i < argc; i++) {
+        const char *a = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s: %s needs a value", argv[0], a);
+            return argv[++i];
+        };
+        if (std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "-j") == 0) {
+            args.jobs = std::atoi(value());
+        } else if (std::strcmp(a, "--seed") == 0) {
+            args.seed = std::strtoull(value(), nullptr, 10);
+        } else if (std::strcmp(a, "--smoke") == 0) {
+            args.smoke = true;
+        } else if (std::strcmp(a, "--quiet") == 0) {
+            args.quiet = true;
+        } else if (std::strcmp(a, "--help") == 0 ||
+                   std::strcmp(a, "-h") == 0) {
+            std::printf(
+                "usage: %s [--jobs N] [--seed S] [--smoke] [--quiet]\n"
+                "  --jobs N   worker threads (default: hardware "
+                "concurrency, %d here;\n"
+                "             1 = serial; results identical at any N)\n"
+                "  --seed S   base seed for derived per-point streams\n"
+                "  --smoke    tiny run for CI (fewer points, short "
+                "protocol)\n"
+                "  --quiet    no per-point progress lines\n",
+                argv[0], hardwareJobs());
+            std::exit(0);
+        } else {
+            fatal("%s: unknown flag '%s' (try --help)", argv[0], a);
+        }
+    }
+    return args;
+}
+
+/** Runner options wired to the standard progress printer. */
+inline SweepRunner::Options
+runnerOptions(const BenchArgs &args)
+{
+    SweepRunner::Options opts;
+    opts.jobs = args.jobs;
+    opts.baseSeed = args.seed;
+    if (!args.quiet) {
+        opts.progress = [](const SweepOutcome &o, std::size_t done,
+                           std::size_t total) {
+            std::printf("  [%zu/%zu] %s (%.1fs)\n", done, total,
+                        o.label.c_str(), o.wallMs / 1000.0);
+            std::fflush(stdout);
+        };
+    }
+    return opts;
+}
+
+/** One-line runner telemetry: threads, wall time, speedup. */
+inline void
+printReport(const SweepReport &report)
+{
+    std::printf("sweep: %zu points on %d thread%s in %.1fs "
+                "(points sum %.1fs, speedup %.2fx)\n",
+                report.outcomes.size(), report.jobs,
+                report.jobs == 1 ? "" : "s", report.wallMs / 1000.0,
+                report.pointWallMs.sum() / 1000.0, report.speedup());
+}
 
 /** Column-aligned table that mirrors itself into a CSV file. */
 class Table

@@ -9,36 +9,69 @@
  * latency, less power — most visibly at the medium rate; at light load
  * the network pins at the bottom anyway, and at saturation queueing
  * masks the extra link delay.
+ *
+ * The three baselines and all threshold variants run as one sweep;
+ * every point at rate i carries seedKey i so each variant is
+ * normalized against a baseline that saw the identical traffic.
  */
 
 #include "bench_util.hh"
-#include "core/sweeps.hh"
 
 using namespace oenet;
 using namespace oenet::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv, 23);
     banner("Fig. 5(d)(e)(f)",
            "latency / power / power-latency product vs. average link "
            "utilization threshold (T_H - T_L = 0.1)");
 
-    const std::vector<double> avg_thresholds = {0.35, 0.45, 0.55, 0.65};
+    const std::vector<double> avg_thresholds =
+        args.smoke ? std::vector<double>{0.45, 0.65}
+                   : std::vector<double>{0.35, 0.45, 0.55, 0.65};
     const std::vector<double> rates = {1.25, 3.3, 5.05};
 
     RunProtocol protocol;
-    protocol.warmup = 15000;
-    protocol.measure = 30000;
-    protocol.drainLimit = 30000;
+    protocol.warmup = args.smoke ? 2000 : 15000;
+    protocol.measure = args.smoke ? 5000 : 30000;
+    protocol.drainLimit = args.smoke ? 5000 : 30000;
 
-    std::vector<RunMetrics> baselines;
-    for (double rate : rates) {
-        SystemConfig base;
-        base.powerAware = false;
-        baselines.push_back(runExperiment(
-            base, TrafficSpec::uniform(rate, 4, 23), protocol));
+    // Point layout: one baseline per rate, then thresholds x rates.
+    std::vector<SweepPoint> points;
+    for (std::size_t i = 0; i < rates.size(); i++) {
+        SweepPoint p;
+        p.label = "baseline/rate=" + formatDouble(rates[i], 2);
+        p.params = {{"rate", rates[i]}};
+        p.config.powerAware = false;
+        p.spec = TrafficSpec::uniform(rates[i], 4);
+        p.protocol = protocol;
+        p.seedKey = i;
+        points.push_back(std::move(p));
     }
+    for (double th : avg_thresholds) {
+        for (std::size_t i = 0; i < rates.size(); i++) {
+            SweepPoint p;
+            p.label = "thresh=" + formatDouble(th, 2) +
+                      "/rate=" + formatDouble(rates[i], 2);
+            p.params = {{"avg_thresh", th}, {"rate", rates[i]}};
+            // T_L = th - 0.05, T_H = th + 0.05; keep the congested
+            // set's offset from Table 1 (+0.2 low, +0.1 high).
+            p.config.policy.thLowUncongested = th - 0.05;
+            p.config.policy.thHighUncongested = th + 0.05;
+            p.config.policy.thLowCongested = th + 0.15;
+            p.config.policy.thHighCongested = th + 0.25;
+            p.spec = TrafficSpec::uniform(rates[i], 4);
+            p.protocol = protocol;
+            p.seedKey = i;
+            points.push_back(std::move(p));
+        }
+    }
+
+    SweepRunner runner(runnerOptions(args));
+    SweepReport report = runner.run(points);
+    printReport(report);
 
     Table lat("Fig 5(d): normalized latency vs threshold",
               "fig5d_latency_vs_threshold.csv",
@@ -50,19 +83,14 @@ main()
               "fig5f_plp_vs_threshold.csv",
               {"avg_thresh", "rate1.25", "rate3.3", "rate5.05"});
 
-    for (double th : avg_thresholds) {
+    for (std::size_t ti = 0; ti < avg_thresholds.size(); ti++) {
+        double th = avg_thresholds[ti];
         std::vector<double> lrow{th}, prow{th}, plprow{th};
         for (std::size_t i = 0; i < rates.size(); i++) {
-            SystemConfig cfg;
-            // T_L = th - 0.05, T_H = th + 0.05; keep the congested
-            // set's offset from Table 1 (+0.2 low, +0.1 high).
-            cfg.policy.thLowUncongested = th - 0.05;
-            cfg.policy.thHighUncongested = th + 0.05;
-            cfg.policy.thLowCongested = th + 0.15;
-            cfg.policy.thHighCongested = th + 0.25;
-            RunMetrics m = runExperiment(
-                cfg, TrafficSpec::uniform(rates[i], 4, 23), protocol);
-            NormalizedMetrics n = normalizeAgainst(m, baselines[i]);
+            const RunMetrics &baseline = report.outcomes[i].metrics;
+            const RunMetrics &m =
+                report.outcomes[rates.size() * (1 + ti) + i].metrics;
+            NormalizedMetrics n = normalizeAgainst(m, baseline);
             lrow.push_back(n.latencyRatio);
             prow.push_back(n.powerRatio);
             plprow.push_back(n.plpRatio);
@@ -74,6 +102,12 @@ main()
     lat.print();
     pwr.print();
     plp.print();
+
+    writeSweepManifest("fig5def_manifest.json", "fig5_threshold_sweep",
+                       args.seed, report.outcomes);
+    writeSweepManifestCsv("fig5def_manifest.csv", report.outcomes);
+    std::printf("   (manifest: fig5def_manifest.json / .csv)\n");
+
     std::printf("\npaper choice: average threshold 0.5 balances "
                 "power-performance; 0.6 buys more savings at higher "
                 "latency.\n");

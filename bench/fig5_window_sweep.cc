@@ -11,37 +11,65 @@
  * very long windows under load (policy too slow); shorter windows burn
  * more power except at light load where the whole fabric just pins at
  * the bottom rate; T_w around 1000 cycles is the sweet spot.
+ *
+ * One sweep over {baseline, windows} x rates; seedKey = rate index so
+ * each window variant is normalized against a baseline that saw the
+ * identical traffic.
  */
 
 #include "bench_util.hh"
-#include "core/sweeps.hh"
 
 using namespace oenet;
 using namespace oenet::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv, 17);
     banner("Fig. 5(a)(b)(c)",
            "latency / power / power-latency product vs. policy window "
            "size T_w (uniform random, modulator links)");
 
-    const std::vector<Cycle> windows = {100, 300, 1000, 3000, 10000};
+    const std::vector<Cycle> windows =
+        args.smoke ? std::vector<Cycle>{300, 3000}
+                   : std::vector<Cycle>{100, 300, 1000, 3000, 10000};
     const std::vector<double> rates = {1.25, 3.3, 5.0};
 
     RunProtocol protocol;
-    protocol.warmup = 15000;
-    protocol.measure = 30000;
-    protocol.drainLimit = 30000;
+    protocol.warmup = args.smoke ? 2000 : 15000;
+    protocol.measure = args.smoke ? 5000 : 30000;
+    protocol.drainLimit = args.smoke ? 5000 : 30000;
 
-    // One baseline (non-power-aware) run per rate.
-    std::vector<RunMetrics> baselines;
-    for (double rate : rates) {
-        SystemConfig base;
-        base.powerAware = false;
-        baselines.push_back(runExperiment(
-            base, TrafficSpec::uniform(rate, 4, 17), protocol));
+    // Point layout: one baseline per rate, then windows x rates.
+    std::vector<SweepPoint> points;
+    for (std::size_t i = 0; i < rates.size(); i++) {
+        SweepPoint p;
+        p.label = "baseline/rate=" + formatDouble(rates[i], 2);
+        p.params = {{"rate", rates[i]}};
+        p.config.powerAware = false;
+        p.spec = TrafficSpec::uniform(rates[i], 4);
+        p.protocol = protocol;
+        p.seedKey = i;
+        points.push_back(std::move(p));
     }
+    for (Cycle w : windows) {
+        for (std::size_t i = 0; i < rates.size(); i++) {
+            SweepPoint p;
+            p.label = "window=" + std::to_string(w) +
+                      "/rate=" + formatDouble(rates[i], 2);
+            p.params = {{"window", static_cast<double>(w)},
+                        {"rate", rates[i]}};
+            p.config.windowCycles = w;
+            p.spec = TrafficSpec::uniform(rates[i], 4);
+            p.protocol = protocol;
+            p.seedKey = i;
+            points.push_back(std::move(p));
+        }
+    }
+
+    SweepRunner runner(runnerOptions(args));
+    SweepReport report = runner.run(points);
+    printReport(report);
 
     Table lat("Fig 5(a): normalized latency vs T_w",
               "fig5a_latency_vs_window.csv",
@@ -53,16 +81,14 @@ main()
               "fig5c_plp_vs_window.csv",
               {"window", "rate1.25", "rate3.3", "rate5.0"});
 
-    for (Cycle w : windows) {
-        std::vector<double> lrow{static_cast<double>(w)};
-        std::vector<double> prow{static_cast<double>(w)};
-        std::vector<double> plprow{static_cast<double>(w)};
+    for (std::size_t wi = 0; wi < windows.size(); wi++) {
+        std::vector<double> lrow{static_cast<double>(windows[wi])};
+        std::vector<double> prow = lrow, plprow = lrow;
         for (std::size_t i = 0; i < rates.size(); i++) {
-            SystemConfig cfg;
-            cfg.windowCycles = w;
-            RunMetrics m = runExperiment(
-                cfg, TrafficSpec::uniform(rates[i], 4, 17), protocol);
-            NormalizedMetrics n = normalizeAgainst(m, baselines[i]);
+            const RunMetrics &baseline = report.outcomes[i].metrics;
+            const RunMetrics &m =
+                report.outcomes[rates.size() * (1 + wi) + i].metrics;
+            NormalizedMetrics n = normalizeAgainst(m, baseline);
             lrow.push_back(n.latencyRatio);
             prow.push_back(n.powerRatio);
             plprow.push_back(n.plpRatio);
@@ -74,6 +100,12 @@ main()
     lat.print();
     pwr.print();
     plp.print();
+
+    writeSweepManifest("fig5abc_manifest.json", "fig5_window_sweep",
+                       args.seed, report.outcomes);
+    writeSweepManifestCsv("fig5abc_manifest.csv", report.outcomes);
+    std::printf("   (manifest: fig5abc_manifest.json / .csv)\n");
+
     std::printf("\npaper shape: worst latency at T_w=100; higher power "
                 "for short windows except at 1.25 pkt/cyc; T_w~1000 "
                 "balances both.\n");

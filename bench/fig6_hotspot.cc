@@ -15,35 +15,29 @@
  *
  * The paper's trace spans ~1.5M cycles; we compress the same plateau
  * pattern into 300k cycles (documented in EXPERIMENTS.md).
+ *
+ * The seven configurations run as one timeline sweep; they all carry
+ * seedKey 0, i.e. the identical traffic stream, so the curves differ
+ * only by configuration.
  */
 
 #include "bench_util.hh"
-#include "core/sweeps.hh"
 
 using namespace oenet;
 using namespace oenet::bench;
 
-namespace {
-
-constexpr Cycle kTotal = 300000;
-constexpr Cycle kBin = 10000;
-
-TimelineResult
-runCase(SystemConfig cfg, const TrafficSpec &spec)
-{
-    return runTimeline(cfg, spec, kTotal, kBin);
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv, 41);
     banner("Fig. 6", "time-varying hot-spot trace: transition-delay "
                      "ablation, optical levels, scheme comparison");
 
+    const Cycle kTotal = args.smoke ? 60000 : 300000;
+    const Cycle kBin = args.smoke ? 5000 : 10000;
+
     TrafficSpec spec =
-        TrafficSpec::hotspot(defaultHotspotSchedule(kTotal), 4, 41);
+        TrafficSpec::hotspot(defaultHotspotSchedule(kTotal), 4);
 
     // (a) the schedule.
     {
@@ -55,7 +49,6 @@ main()
         t.print();
     }
 
-    // Shared runs.
     SystemConfig base;
     base.powerAware = false;
     SystemConfig mod; // T_v=100, T_br=20 (defaults)
@@ -77,22 +70,41 @@ main()
     SystemConfig vcsel = mod;
     vcsel.scheme = LinkScheme::kVcsel;
 
-    std::printf("running 7 configurations over %llu cycles each...\n",
-                static_cast<unsigned long long>(kTotal));
-    TimelineResult r_base = runCase(base, spec);
-    std::printf("  non-power-aware done\n");
-    TimelineResult r_mod = runCase(mod, spec);
-    std::printf("  power-aware (Tv=100, Tbr=20) done\n");
-    TimelineResult r_no_tv = runCase(no_tv, spec);
-    std::printf("  Tv=0 done\n");
-    TimelineResult r_no_tbr = runCase(no_tbr, spec);
-    std::printf("  Tbr=0 done\n");
-    TimelineResult r_no_delays = runCase(no_delays, spec);
-    std::printf("  Tv=Tbr=0 done\n");
-    TimelineResult r_tri = runCase(tri, spec);
-    std::printf("  tri-level optical done\n");
-    TimelineResult r_vcsel = runCase(vcsel, spec);
-    std::printf("  vcsel done\n");
+    const struct
+    {
+        const char *name;
+        const SystemConfig *config;
+    } cases[] = {
+        {"non_pa", &base},     {"pa", &mod},
+        {"pa_tv0", &no_tv},    {"pa_tbr0", &no_tbr},
+        {"pa_no_delays", &no_delays}, {"tri_level", &tri},
+        {"vcsel", &vcsel},
+    };
+
+    std::vector<TimelinePoint> points;
+    for (const auto &c : cases) {
+        TimelinePoint p;
+        p.label = c.name;
+        p.config = *c.config;
+        p.spec = spec;
+        p.total = kTotal;
+        p.bin = kBin;
+        p.seedKey = 0; // all cases see the identical traffic stream
+        points.push_back(std::move(p));
+    }
+
+    std::printf("running %zu configurations over %llu cycles each...\n",
+                points.size(), static_cast<unsigned long long>(kTotal));
+    SweepRunner runner(runnerOptions(args));
+    std::vector<TimelineOutcome> outcomes = runTimelines(runner, points);
+
+    const TimelineResult &r_base = outcomes[0].timeline;
+    const TimelineResult &r_mod = outcomes[1].timeline;
+    const TimelineResult &r_no_tv = outcomes[2].timeline;
+    const TimelineResult &r_no_tbr = outcomes[3].timeline;
+    const TimelineResult &r_no_delays = outcomes[4].timeline;
+    const TimelineResult &r_tri = outcomes[5].timeline;
+    const TimelineResult &r_vcsel = outcomes[6].timeline;
 
     // (b) latency vs time, transition-delay ablation.
     {
@@ -159,5 +171,9 @@ main()
                     r_vcsel.metrics.normalizedPower,
                     r_tri.metrics.normalizedPower);
     }
+
+    writeSweepManifest("fig6_manifest.json", "fig6_hotspot", args.seed,
+                       timelineRollups(outcomes));
+    std::printf("   (manifest: fig6_manifest.json)\n");
     return 0;
 }

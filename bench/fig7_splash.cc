@@ -10,43 +10,61 @@
  * Expected shape: the power curve tracks the injection-rate curve but
  * smoother — the sliding-window policy filters small fluctuations —
  * and FFT (slow waves) is tracked best.
+ *
+ * The three traces are generated up front (the trace IS the workload;
+ * its generator seed is fixed, not tied to --seed) and replayed as one
+ * timeline sweep across the worker pool.
  */
 
 #include "bench_util.hh"
-#include "core/sweeps.hh"
 
 using namespace oenet;
 using namespace oenet::bench;
 
-namespace {
-
-constexpr Cycle kDuration = 1200000; ///< near the paper's trace span
-constexpr Cycle kBin = 40000;
-constexpr double kRateScale = 0.25;
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv, 61);
     banner("Fig. 7", "SPLASH-2 traces (synthetic): injection rate and "
                      "normalized power over time");
 
-    for (auto kind :
-         {SplashKind::kFft, SplashKind::kLu, SplashKind::kRadix}) {
+    const Cycle kDuration =
+        args.smoke ? 120000 : 1200000; ///< near the paper's trace span
+    const Cycle kBin = args.smoke ? 10000 : 40000;
+    constexpr double kRateScale = 0.25;
+
+    const SplashKind kinds[] = {SplashKind::kFft, SplashKind::kLu,
+                                SplashKind::kRadix};
+
+    // Generate all traces before the sweep; TrafficSpec::traceReplay
+    // keeps a pointer, so they must stay alive for the whole run.
+    std::vector<TraceData> traces;
+    traces.reserve(std::size(kinds));
+    std::vector<TimelinePoint> points;
+    for (SplashKind kind : kinds) {
         SplashSynthParams sp;
         sp.kind = kind;
         sp.numNodes = 512;
         sp.duration = kDuration;
         sp.rateScale = kRateScale;
         sp.seed = 61;
-        TraceData trace = generateSplashTrace(sp);
+        traces.push_back(generateSplashTrace(sp));
 
-        SystemConfig cfg; // modulator, paper defaults
-        TimelineResult r = runTimeline(
-            cfg, TrafficSpec::traceReplay(trace), kDuration, kBin);
+        TimelinePoint p;
+        p.label = splashKindName(kind);
+        p.config = SystemConfig{}; // modulator, paper defaults
+        p.spec = TrafficSpec::traceReplay(traces.back());
+        p.total = kDuration;
+        p.bin = kBin;
+        points.push_back(std::move(p));
+    }
 
-        std::string name = splashKindName(kind);
+    SweepRunner runner(runnerOptions(args));
+    std::vector<TimelineOutcome> outcomes = runTimelines(runner, points);
+
+    for (std::size_t k = 0; k < outcomes.size(); k++) {
+        const TimelineResult &r = outcomes[k].timeline;
+        std::string name = splashKindName(kinds[k]);
         Table t("Fig 7 (" + name + "): injection rate and normalized "
                 "power over time",
                 "fig7_" + name + "_timeline.csv",
@@ -60,8 +78,12 @@ main()
         t.print();
         std::printf("   %s: mean packet %.1f flits, %zu packets, "
                     "run-average power %.3f of baseline\n",
-                    name.c_str(), traceMeanPacketLen(trace),
-                    trace.size(), r.metrics.normalizedPower);
+                    name.c_str(), traceMeanPacketLen(traces[k]),
+                    traces[k].size(), r.metrics.normalizedPower);
     }
+
+    writeSweepManifest("fig7_manifest.json", "fig7_splash", args.seed,
+                       timelineRollups(outcomes));
+    std::printf("   (manifest: fig7_manifest.json)\n");
     return 0;
 }

@@ -19,8 +19,12 @@ using namespace oenet;
 using namespace oenet::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Analytical tables only — no simulation, so --jobs/--seed have
+    // nothing to act on; parsed anyway so the CLI matches the other
+    // benches.
+    parseBenchArgs(argc, argv, 1);
     banner("Table 2", "Power consumption and scaling trends of the "
                       "link components");
 

@@ -7,26 +7,26 @@
  * Paper values: latency x1.08 / 1.50 / 1.60; power x0.22 / 0.25 /
  * 0.23; PLP x0.24 / 0.38 / 0.37 — i.e. > 75% power saving at < 2x
  * latency, with FFT's slow phases tracked nearly for free.
+ *
+ * The paired runs are flattened into one sweep of six points (power-
+ * aware + baseline per trace); each pair shares a seedKey so the
+ * normalization compares runs over the identical traffic, exactly as
+ * runPaired() did serially.
  */
 
 #include "bench_util.hh"
-#include "core/sweeps.hh"
 
 using namespace oenet;
 using namespace oenet::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv, 61);
     banner("Table 3", "power-performance on SPLASH-2 traces, "
                       "normalized to the non-power-aware network");
 
-    constexpr Cycle kDuration = 1200000;
-
-    Table t("Table 3: normalized power-performance",
-            "table3_splash_summary.csv",
-            {"trace", "latency_ratio", "power_ratio", "plp_ratio",
-             "paper_latency", "paper_power", "paper_plp"});
+    const Cycle kDuration = args.smoke ? 120000 : 1200000;
 
     struct PaperRow
     {
@@ -39,35 +39,69 @@ main()
         {SplashKind::kRadix, 1.60, 0.23, 0.37},
     };
 
-    for (const auto &row : rows) {
+    RunProtocol protocol;
+    protocol.warmup = 0;
+    protocol.measure = kDuration;
+    protocol.drainLimit = args.smoke ? 60000 : 300000;
+
+    std::vector<TraceData> traces;
+    traces.reserve(std::size(rows));
+    std::vector<SweepPoint> points;
+    for (std::size_t k = 0; k < std::size(rows); k++) {
         SplashSynthParams sp;
-        sp.kind = row.kind;
+        sp.kind = rows[k].kind;
         sp.numNodes = 512;
         sp.duration = kDuration;
         sp.rateScale = 0.25;
         sp.seed = 61;
-        TraceData trace = generateSplashTrace(sp);
-
-        RunProtocol protocol;
-        protocol.warmup = 0;
-        protocol.measure = kDuration;
-        protocol.drainLimit = 300000;
+        traces.push_back(generateSplashTrace(sp));
 
         SystemConfig cfg; // modulator defaults
-        PairedResult r = runPaired(
-            cfg, TrafficSpec::traceReplay(trace), protocol);
+        SweepPoint pa;
+        pa.label = std::string(splashKindName(rows[k].kind)) + "/pa";
+        pa.config = cfg;
+        pa.spec = TrafficSpec::traceReplay(traces.back());
+        pa.protocol = protocol;
+        pa.seedKey = k;
 
-        t.row({splashKindName(row.kind),
-               formatDouble(r.normalized.latencyRatio, 2),
-               formatDouble(r.normalized.powerRatio, 2),
-               formatDouble(r.normalized.plpRatio, 2),
-               formatDouble(row.lat, 2), formatDouble(row.pwr, 2),
-               formatDouble(row.plp, 2)});
-        std::printf("  %s done (pa lat %.1f cyc, base lat %.1f cyc)\n",
-                    splashKindName(row.kind),
-                    r.powerAware.avgLatency, r.baseline.avgLatency);
+        SweepPoint base = pa;
+        base.label =
+            std::string(splashKindName(rows[k].kind)) + "/baseline";
+        base.config = baselineConfig(cfg);
+
+        points.push_back(std::move(pa));
+        points.push_back(std::move(base));
+    }
+
+    SweepRunner runner(runnerOptions(args));
+    SweepReport report = runner.run(points);
+    printReport(report);
+
+    Table t("Table 3: normalized power-performance",
+            "table3_splash_summary.csv",
+            {"trace", "latency_ratio", "power_ratio", "plp_ratio",
+             "paper_latency", "paper_power", "paper_plp"});
+    for (std::size_t k = 0; k < std::size(rows); k++) {
+        const RunMetrics &pa = report.outcomes[2 * k].metrics;
+        const RunMetrics &base = report.outcomes[2 * k + 1].metrics;
+        NormalizedMetrics n = normalizeAgainst(pa, base);
+        t.row({splashKindName(rows[k].kind),
+               formatDouble(n.latencyRatio, 2),
+               formatDouble(n.powerRatio, 2),
+               formatDouble(n.plpRatio, 2),
+               formatDouble(rows[k].lat, 2),
+               formatDouble(rows[k].pwr, 2),
+               formatDouble(rows[k].plp, 2)});
+        std::printf("  %s: pa lat %.1f cyc, base lat %.1f cyc\n",
+                    splashKindName(rows[k].kind), pa.avgLatency,
+                    base.avgLatency);
     }
     t.print();
+
+    writeSweepManifest("table3_manifest.json", "table3_splash_summary",
+                       args.seed, report.outcomes);
+    std::printf("   (manifest: table3_manifest.json)\n");
+
     std::printf("\npaper headline: >75%% average power saving, <2x "
                 "latency, >60%% PLP saving.\n");
     return 0;

@@ -18,6 +18,15 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
+/** Stateless splitmix64 finalizer (full-avalanche 64-bit mix). */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 std::uint64_t
 rotl(std::uint64_t x, int k)
 {
@@ -143,6 +152,18 @@ Rng::poisson(double mean)
                std::cos(2.0 * 3.14159265358979323846 * u2);
     double v = mean + std::sqrt(mean) * z + 0.5;
     return v < 0.0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+std::uint64_t
+deriveStreamSeed(std::uint64_t base, std::uint64_t index)
+{
+    // Mix base and index through independent finalizer passes before
+    // combining, so (base+1, index) and (base, index+1) cannot collide
+    // the way a linear combination would. The rotation decorrelates the
+    // two hash images; the final pass restores full avalanche.
+    std::uint64_t a = mix64(base ^ 0x6A09E667F3BCC909ull);
+    std::uint64_t b = mix64(index + 0x9E3779B97F4A7C15ull);
+    return mix64(a ^ rotl(b, 23));
 }
 
 void

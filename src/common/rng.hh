@@ -67,6 +67,18 @@ class Rng
     std::uint64_t s_[4];
 };
 
+/**
+ * Derive the seed of an indexed substream from a base seed:
+ * seed = hash(base, index) through two decorrelated splitmix64-style
+ * finalizer passes. Used by the sweep runner to give every sweep point
+ * its own independent stream that depends only on (base seed, point
+ * index) — never on thread count, scheduling, or execution order — so
+ * sweeps are bit-identical at any --jobs value. Distinct indices under
+ * the same base, and the same index under distinct bases, yield
+ * unrelated seeds.
+ */
+std::uint64_t deriveStreamSeed(std::uint64_t base, std::uint64_t index);
+
 } // namespace oenet
 
 #endif // OENET_COMMON_RNG_HH

@@ -30,6 +30,28 @@ RunningStat::reset()
     *this = RunningStat();
 }
 
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    std::size_t n = n_ + other.n_;
+    double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) /
+                           static_cast<double>(n);
+    mean_ += delta * static_cast<double>(other.n_) /
+             static_cast<double>(n);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    n_ = n;
+}
+
 double
 RunningStat::variance() const
 {
@@ -64,6 +86,22 @@ Histogram::add(double x)
             i = bins_.size() - 1; // floating-point edge
         bins_[i]++;
     }
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.lo_ != lo_ || other.hi_ != hi_ ||
+        other.bins_.size() != bins_.size())
+        panic("Histogram::merge: layout mismatch ([%f, %f) x %zu vs "
+              "[%f, %f) x %zu)",
+              lo_, hi_, bins_.size(), other.lo_, other.hi_,
+              other.bins_.size());
+    for (std::size_t i = 0; i < bins_.size(); i++)
+        bins_[i] += other.bins_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    count_ += other.count_;
 }
 
 void

@@ -28,6 +28,12 @@ class RunningStat
     void add(double x);
     void reset();
 
+    /** Fold @p other into this accumulator as if every sample it saw
+     *  had been add()ed here (Chan et al. parallel combination — the
+     *  join step for per-worker accumulators in parallel sweeps). The
+     *  result is order-independent up to floating-point rounding. */
+    void merge(const RunningStat &other);
+
     std::size_t count() const { return n_; }
     double mean() const { return n_ ? mean_ : 0.0; }
     double variance() const;
@@ -53,6 +59,10 @@ class Histogram
 
     void add(double x);
     void reset();
+
+    /** Fold @p other (same lo/hi/bin layout; panics otherwise) into
+     *  this histogram — the join step for per-worker histograms. */
+    void merge(const Histogram &other);
 
     std::size_t count() const { return count_; }
     std::size_t bin(std::size_t i) const { return bins_.at(i); }

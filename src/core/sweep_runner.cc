@@ -1,0 +1,316 @@
+#include "core/sweep_runner.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+#include "common/csv.hh"
+#include "common/log.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+
+namespace oenet {
+
+namespace {
+
+double
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+/** Shortest round-trip decimal form, deterministic across runs. */
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/** The manifest's metrics fields, in one place so the JSON and CSV
+ *  writers cannot drift apart. */
+std::vector<std::pair<const char *, double>>
+metricsFields(const RunMetrics &m)
+{
+    return {
+        {"avg_latency", m.avgLatency},
+        {"p50_latency", m.p50Latency},
+        {"p95_latency", m.p95Latency},
+        {"max_latency", m.maxLatency},
+        {"packets_measured", static_cast<double>(m.packetsMeasured)},
+        {"avg_power_mw", m.avgPowerMw},
+        {"baseline_power_mw", m.baselinePowerMw},
+        {"normalized_power", m.normalizedPower},
+        {"power_latency_product", m.powerLatencyProduct},
+        {"throughput_flits_per_cycle", m.throughputFlitsPerCycle},
+        {"offered_rate", m.offeredRate},
+        {"packets_injected", static_cast<double>(m.packetsInjected)},
+        {"packets_ejected", static_cast<double>(m.packetsEjected)},
+        {"drained", m.drained ? 1.0 : 0.0},
+        {"transitions", static_cast<double>(m.transitions)},
+        {"decisions_up", static_cast<double>(m.decisionsUp)},
+        {"decisions_down", static_cast<double>(m.decisionsDown)},
+        {"optical_stalls", static_cast<double>(m.opticalStalls)},
+        {"measured_cycles", static_cast<double>(m.measuredCycles)},
+    };
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(Options options) : options_(std::move(options))
+{
+}
+
+std::uint64_t
+SweepRunner::pointSeed(const SweepPoint &point, std::size_t index) const
+{
+    std::uint64_t key = point.seedKey == kSeedKeyFromIndex
+                            ? static_cast<std::uint64_t>(index)
+                            : point.seedKey;
+    return deriveStreamSeed(options_.baseSeed, key);
+}
+
+SweepReport
+SweepRunner::run(const std::vector<SweepPoint> &points) const
+{
+    return run(points,
+               [](const SweepPoint &point, std::uint64_t) -> RunMetrics {
+                   return runExperiment(point.config, point.spec,
+                                        point.protocol);
+               });
+}
+
+SweepReport
+SweepRunner::run(const std::vector<SweepPoint> &points,
+                 const PointFn &fn) const
+{
+    SweepReport report;
+    report.jobs = effectiveJobs(options_.jobs, points.size());
+    report.outcomes.resize(points.size());
+
+    auto sweepStart = std::chrono::steady_clock::now();
+    std::vector<RunningStat> workerWallMs(
+        static_cast<std::size_t>(report.jobs));
+    std::mutex progressMutex;
+    std::size_t done = 0;
+
+    parallelFor(
+        points.size(), report.jobs,
+        [&](std::size_t i, int worker) {
+            const SweepPoint &point = points[i];
+            std::uint64_t seed = pointSeed(point, i);
+
+            SweepPoint staged = point;
+            if (options_.reseedSpecs)
+                staged.spec.seed = seed;
+
+            auto pointStart = std::chrono::steady_clock::now();
+            RunMetrics metrics = fn(staged, seed);
+            double wallMs = elapsedMs(pointStart);
+
+            SweepOutcome &out = report.outcomes[i];
+            out.index = i;
+            out.label = point.label;
+            out.params = point.params;
+            out.seed = seed;
+            out.metrics = metrics;
+            out.wallMs = wallMs;
+            workerWallMs[static_cast<std::size_t>(worker)].add(wallMs);
+
+            if (options_.progress) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                done++;
+                options_.progress(out, done, points.size());
+            }
+        });
+
+    report.wallMs = elapsedMs(sweepStart);
+    for (const RunningStat &w : workerWallMs)
+        report.pointWallMs.merge(w);
+    return report;
+}
+
+std::vector<TimelineOutcome>
+runTimelines(const SweepRunner &runner,
+             const std::vector<TimelinePoint> &points)
+{
+    const SweepRunner::Options &opts = runner.options();
+    std::vector<TimelineOutcome> outcomes(points.size());
+    std::mutex progressMutex;
+    std::size_t done = 0;
+
+    parallelFor(
+        points.size(), effectiveJobs(opts.jobs, points.size()),
+        [&](std::size_t i, int) {
+            const TimelinePoint &point = points[i];
+            std::uint64_t key = point.seedKey == kSeedKeyFromIndex
+                                    ? static_cast<std::uint64_t>(i)
+                                    : point.seedKey;
+            std::uint64_t seed = deriveStreamSeed(opts.baseSeed, key);
+
+            TrafficSpec spec = point.spec;
+            if (opts.reseedSpecs)
+                spec.seed = seed;
+
+            auto start = std::chrono::steady_clock::now();
+            TimelineResult timeline =
+                runTimeline(point.config, spec, point.total, point.bin,
+                            point.warmup);
+            double wallMs = elapsedMs(start);
+
+            TimelineOutcome &out = outcomes[i];
+            out.index = i;
+            out.label = point.label;
+            out.seed = seed;
+            out.timeline = std::move(timeline);
+            out.wallMs = wallMs;
+
+            if (opts.progress) {
+                SweepOutcome progress;
+                progress.index = i;
+                progress.label = point.label;
+                progress.seed = seed;
+                progress.metrics = out.timeline.metrics;
+                progress.wallMs = wallMs;
+                std::lock_guard<std::mutex> lock(progressMutex);
+                done++;
+                opts.progress(progress, done, points.size());
+            }
+        });
+
+    return outcomes;
+}
+
+std::vector<SweepOutcome>
+timelineRollups(const std::vector<TimelineOutcome> &outcomes)
+{
+    std::vector<SweepOutcome> rollups;
+    rollups.reserve(outcomes.size());
+    for (const TimelineOutcome &t : outcomes) {
+        SweepOutcome o;
+        o.index = t.index;
+        o.label = t.label;
+        o.seed = t.seed;
+        o.metrics = t.timeline.metrics;
+        o.wallMs = t.wallMs;
+        rollups.push_back(std::move(o));
+    }
+    return rollups;
+}
+
+std::string
+sweepManifestJson(const std::string &sweep_name, std::uint64_t base_seed,
+                  const std::vector<SweepOutcome> &outcomes)
+{
+    std::string out = "{\n";
+    out += "  \"sweep\": " + jsonString(sweep_name) + ",\n";
+    out += "  \"base_seed\": " + std::to_string(base_seed) + ",\n";
+    out += "  \"points\": " + std::to_string(outcomes.size()) + ",\n";
+    out += "  \"results\": [\n";
+    for (std::size_t i = 0; i < outcomes.size(); i++) {
+        const SweepOutcome &o = outcomes[i];
+        out += "    {\"index\": " + std::to_string(o.index);
+        out += ", \"label\": " + jsonString(o.label);
+        out += ", \"seed\": " + std::to_string(o.seed);
+        out += ", \"params\": {";
+        for (std::size_t p = 0; p < o.params.size(); p++) {
+            if (p > 0)
+                out += ", ";
+            out += jsonString(o.params[p].first) + ": " +
+                   jsonNumber(o.params[p].second);
+        }
+        out += "}, \"metrics\": {";
+        auto fields = metricsFields(o.metrics);
+        for (std::size_t f = 0; f < fields.size(); f++) {
+            if (f > 0)
+                out += ", ";
+            out += jsonString(fields[f].first) + ": " +
+                   jsonNumber(fields[f].second);
+        }
+        out += "}}";
+        out += i + 1 < outcomes.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+void
+writeSweepManifest(const std::string &path, const std::string &sweep_name,
+                   std::uint64_t base_seed,
+                   const std::vector<SweepOutcome> &outcomes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("writeSweepManifest: cannot open '%s'", path.c_str());
+    out << sweepManifestJson(sweep_name, base_seed, outcomes);
+    if (!out)
+        fatal("writeSweepManifest: write to '%s' failed", path.c_str());
+}
+
+void
+writeSweepManifestCsv(const std::string &path,
+                      const std::vector<SweepOutcome> &outcomes)
+{
+    CsvWriter csv(path);
+    std::vector<std::string> header = {"index", "label", "seed"};
+    std::vector<std::string> paramKeys;
+    if (!outcomes.empty()) {
+        for (const auto &kv : outcomes.front().params)
+            paramKeys.push_back(kv.first);
+    }
+    for (const auto &k : paramKeys)
+        header.push_back(k);
+    for (const auto &kv : metricsFields(RunMetrics{}))
+        header.push_back(kv.first);
+    csv.header(header);
+
+    for (const SweepOutcome &o : outcomes) {
+        std::vector<std::string> row = {std::to_string(o.index), o.label,
+                                        std::to_string(o.seed)};
+        for (const auto &key : paramKeys) {
+            std::string cell;
+            for (const auto &kv : o.params) {
+                if (kv.first == key) {
+                    cell = jsonNumber(kv.second);
+                    break;
+                }
+            }
+            row.push_back(cell);
+        }
+        for (const auto &kv : metricsFields(o.metrics))
+            row.push_back(jsonNumber(kv.second));
+        csv.row(row);
+    }
+}
+
+} // namespace oenet

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * SweepRunner — the parallel sweep-execution engine behind the
+ * benchmark harness.
+ *
+ * Every evaluation artifact of the paper (Figs. 5-7, Tables 2-3) is a
+ * sweep of *independent* simulations: each point is a self-contained
+ * (SystemConfig, TrafficSpec, RunProtocol) triple that builds its own
+ * PoeSystem and shares nothing with its neighbours. The runner shards
+ * those points across a worker pool while keeping results bit-identical
+ * at any thread count:
+ *
+ *  - every point draws its traffic seed from
+ *    deriveStreamSeed(baseSeed, seedKey) — a pure function of the sweep
+ *    parameters, never of scheduling (points that must share a common
+ *    random stream, e.g. a power-aware run and the baseline it is
+ *    normalized against, set the same seedKey);
+ *  - workers claim point *indices* from an atomic counter but write
+ *    results into a pre-sized slot per point and accumulate run
+ *    statistics into per-worker accumulators merged at join — there is
+ *    no shared mutable state between in-flight points;
+ *  - --jobs 1 runs the points inline on the calling thread, exactly
+ *    the pre-runner serial behavior.
+ *
+ * The manifest (JSON or CSV) records per point: parameters, the derived
+ * seed, and the full metrics record. Wall-clock times are kept in the
+ * in-memory SweepOutcome/SweepReport for operator feedback but are
+ * deliberately excluded from manifests, which must be byte-identical
+ * for identical (points, baseSeed) at any --jobs value.
+ */
+
+#ifndef OENET_CORE_SWEEP_RUNNER_HH
+#define OENET_CORE_SWEEP_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sweeps.hh"
+
+namespace oenet {
+
+/** seedKey sentinel: derive from the point's position in the sweep. */
+inline constexpr std::uint64_t kSeedKeyFromIndex = ~0ull;
+
+/** One self-contained simulation in a sweep. */
+struct SweepPoint
+{
+    /** Human-readable identity, e.g. "rate=2.0/pa_5to10". */
+    std::string label;
+
+    /** Numeric parameters this point varies, for the manifest. */
+    std::vector<std::pair<std::string, double>> params;
+
+    SystemConfig config;
+    TrafficSpec spec;
+    RunProtocol protocol;
+
+    /** Points with equal seedKey get the same derived stream — use for
+     *  common-random-number pairs (a run and its baseline). Default:
+     *  the point's index, i.e. an independent stream per point. */
+    std::uint64_t seedKey = kSeedKeyFromIndex;
+};
+
+/** Structured result record for one executed sweep point. */
+struct SweepOutcome
+{
+    std::size_t index = 0;
+    std::string label;
+    std::vector<std::pair<std::string, double>> params;
+    std::uint64_t seed = 0; ///< derived stream seed actually used
+    RunMetrics metrics;
+    double wallMs = 0.0; ///< informational; never written to manifests
+};
+
+/** A whole executed sweep: per-point outcomes plus runner telemetry. */
+struct SweepReport
+{
+    std::vector<SweepOutcome> outcomes;
+    int jobs = 1;          ///< worker threads actually used
+    double wallMs = 0.0;   ///< whole-sweep wall time
+    RunningStat pointWallMs; ///< per-point wall times (merged at join)
+
+    /** Serial-equivalent time / actual time (1.0 when jobs == 1). */
+    double speedup() const
+    {
+        return wallMs > 0.0 ? pointWallMs.sum() / wallMs : 0.0;
+    }
+};
+
+class SweepRunner
+{
+  public:
+    /** Called after each point completes; @p done counts finished
+     *  points (1-based). Serialized by the runner — no locking needed
+     *  inside. Completion order is scheduling-dependent; anything
+     *  deterministic must come from SweepReport, not from here. */
+    using ProgressFn = std::function<void(
+        const SweepOutcome &outcome, std::size_t done, std::size_t total)>;
+
+    /** Custom per-point body: receives the point and its derived seed,
+     *  returns the metrics to record. */
+    using PointFn = std::function<RunMetrics(const SweepPoint &point,
+                                             std::uint64_t seed)>;
+
+    struct Options
+    {
+        int jobs = 0; ///< worker threads; <= 0 means hardware concurrency
+        std::uint64_t baseSeed = 1;
+        /** When true (default), each point's TrafficSpec::seed is
+         *  replaced with the derived stream seed. Set false to honor
+         *  the seeds already baked into the specs. */
+        bool reseedSpecs = true;
+        ProgressFn progress;
+    };
+
+    SweepRunner() = default;
+    explicit SweepRunner(Options options);
+
+    /** Run every point through the standard warmup/measure/drain
+     *  experiment protocol. */
+    SweepReport run(const std::vector<SweepPoint> &points) const;
+
+    /** Run every point through @p fn (e.g. a paired or custom run). */
+    SweepReport run(const std::vector<SweepPoint> &points,
+                    const PointFn &fn) const;
+
+    /** Seed the point at @p index will be given. */
+    std::uint64_t pointSeed(const SweepPoint &point,
+                            std::size_t index) const;
+
+    const Options &options() const { return options_; }
+
+  private:
+    Options options_;
+};
+
+// ---------------------------------------------------------------------
+// Timeline sweeps (Figs. 6-7): per-point time series instead of a
+// single metrics rollup.
+// ---------------------------------------------------------------------
+
+struct TimelinePoint
+{
+    std::string label;
+    SystemConfig config;
+    TrafficSpec spec;
+    Cycle total = 0;
+    Cycle bin = 0;
+    Cycle warmup = 0;
+    std::uint64_t seedKey = kSeedKeyFromIndex;
+};
+
+struct TimelineOutcome
+{
+    std::size_t index = 0;
+    std::string label;
+    std::uint64_t seed = 0;
+    TimelineResult timeline;
+    double wallMs = 0.0;
+};
+
+/** Shard timeline captures across the runner's worker pool; same
+ *  determinism contract as SweepRunner::run. */
+std::vector<TimelineOutcome>
+runTimelines(const SweepRunner &runner,
+             const std::vector<TimelinePoint> &points);
+
+// ---------------------------------------------------------------------
+// Manifests
+// ---------------------------------------------------------------------
+
+/** Render the sweep manifest as deterministic JSON: sweep name, base
+ *  seed, and per point {index, label, params, seed, metrics}. Byte-
+ *  identical for identical outcomes regardless of thread count. */
+std::string sweepManifestJson(const std::string &sweep_name,
+                              std::uint64_t base_seed,
+                              const std::vector<SweepOutcome> &outcomes);
+
+/** Write sweepManifestJson() to @p path; fatal() on I/O failure. */
+void writeSweepManifest(const std::string &path,
+                        const std::string &sweep_name,
+                        std::uint64_t base_seed,
+                        const std::vector<SweepOutcome> &outcomes);
+
+/** Write the same records as CSV (param columns from the first point;
+ *  one metrics column per RunMetrics field). */
+void writeSweepManifestCsv(const std::string &path,
+                           const std::vector<SweepOutcome> &outcomes);
+
+/** Adapt timeline outcomes (their whole-run rollups) to the manifest
+ *  writers. */
+std::vector<SweepOutcome>
+timelineRollups(const std::vector<TimelineOutcome> &outcomes);
+
+} // namespace oenet
+
+#endif // OENET_CORE_SWEEP_RUNNER_HH

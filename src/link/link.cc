@@ -151,7 +151,7 @@ OpticalLink::canAcceptSlow(Cycle now)
     advance(now);
     if (!enabledNow() || inflightCount_ >= kInflightCap)
         return false;
-    return static_cast<double>(now) >= nextFree_ - 1e-9;
+    return static_cast<double>(now) + 1.0 > nextFree_ + 1e-9;
 }
 
 void
@@ -162,14 +162,17 @@ OpticalLink::accept(Cycle now, const Flit &flit)
         panic("OpticalLink %s: accept while disabled", name_.c_str());
     if (inflightCount_ >= kInflightCap)
         panic("OpticalLink %s: in-flight ring overflow", name_.c_str());
-    if (static_cast<double>(now) < nextFree_ - 1e-9)
+    if (static_cast<double>(now) + 1.0 <= nextFree_ + 1e-9)
         panic("OpticalLink %s: accept while serializing", name_.c_str());
 
+    // Serialization begins the instant the transmitter frees up, which
+    // may fall fractionally inside this cycle; keeping the fraction is
+    // what makes the saturated rate equal the level's bit rate.
     double cpf = cyclesPerFlit(currentBitRateGbps());
     nextFree_ = std::max(nextFree_, static_cast<double>(now)) + cpf;
 
-    Cycle arrives = now + params_.propagationCycles +
-                    static_cast<Cycle>(std::ceil(cpf - 1e-9));
+    Cycle arrives = params_.propagationCycles +
+                    static_cast<Cycle>(std::ceil(nextFree_ - 1e-9));
     if (arrives <= lastArrival_)
         arrives = lastArrival_ + 1;
     lastArrival_ = arrives;

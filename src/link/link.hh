@@ -76,13 +76,16 @@ class OpticalLink
     // Data path: sender side
     // ------------------------------------------------------------------
 
-    /** True if the sender may hand over one flit this cycle.
-     *  Inline fast path: a stable link needs no state-machine walk. */
+    /** True if the sender may hand over one flit this cycle. The flit
+     *  is accepted as soon as the transmitter frees up *within* cycle
+     *  [now, now+1), so fractional serialization credit carries across
+     *  cycles and the saturated rate matches the level's bit rate
+     *  exactly. Inline fast path: a stable link needs no state walk. */
     bool canAccept(Cycle now)
     {
         if (phase_ == Phase::kStable) {
             return inflightCount_ < kInflightCap &&
-                   static_cast<double>(now) >= nextFree_ - 1e-9;
+                   static_cast<double>(now) + 1.0 > nextFree_ + 1e-9;
         }
         return canAcceptSlow(now);
     }

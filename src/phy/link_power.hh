@@ -17,8 +17,22 @@
  * function of (scheme, bit rate, supply voltage, optical scale). With
  * the defaults a VCSEL link burns 291.25 mW at the full operating point
  * and 61.25 mW at (5 Gb/s, 0.9 V) — the paper's quoted ~290 mW and
- * 61.25 mW. Consistency of the trends against the full Eqs. 1-9
- * component models is asserted by tests/phy/link_power_test.cc.
+ * 61.25 mW.
+ *
+ * Each trend row summarizes one of the paper's component equations,
+ * implemented in full elsewhere in src/phy/:
+ *
+ *     VCSEL            Eqs. 1-2  (vcsel.hh)
+ *     VCSEL driver     Eq. 3     (vcsel.hh)
+ *     MQW modulator    Eq. 4     (modulator.hh)
+ *     modulator driver Eq. 5     (modulator.hh)
+ *     photodetector    Eq. 6     (receiver.hh)
+ *     TIA              Eqs. 7-8  (receiver.hh)
+ *     CDR              Eq. 9     (receiver.hh)
+ *
+ * Consistency of the trends against those full component models is
+ * asserted by tests/phy/link_power_test.cc and cross-checked by
+ * bench_table2_link_power.
  */
 
 #ifndef OENET_PHY_LINK_POWER_HH

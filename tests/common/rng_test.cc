@@ -189,3 +189,45 @@ TEST(Rng, JumpProducesIndependentStream)
             same++;
     EXPECT_LT(same, 5);
 }
+
+TEST(DeriveStreamSeed, PureFunctionOfInputs)
+{
+    EXPECT_EQ(deriveStreamSeed(1, 0), deriveStreamSeed(1, 0));
+    EXPECT_EQ(deriveStreamSeed(77, 12345), deriveStreamSeed(77, 12345));
+}
+
+TEST(DeriveStreamSeed, DistinctAcrossIndices)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 10000; i++)
+        seen.insert(deriveStreamSeed(1, i));
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(DeriveStreamSeed, DistinctAcrossBases)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t base = 0; base < 10000; base++)
+        seen.insert(deriveStreamSeed(base, 3));
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(DeriveStreamSeed, BaseAndIndexNotInterchangeable)
+{
+    // A linear combination like base + index would make (2, 3) and
+    // (3, 2) collide; the mixed derivation must not.
+    EXPECT_NE(deriveStreamSeed(2, 3), deriveStreamSeed(3, 2));
+    EXPECT_NE(deriveStreamSeed(2, 3), deriveStreamSeed(1, 4));
+}
+
+TEST(DeriveStreamSeed, StreamsAreDecorrelated)
+{
+    // Adjacent derived seeds must drive Rng to unrelated outputs.
+    Rng a(deriveStreamSeed(9, 0));
+    Rng b(deriveStreamSeed(9, 1));
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (a.next() == b.next())
+            same++;
+    EXPECT_LT(same, 5);
+}

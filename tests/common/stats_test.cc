@@ -150,3 +150,81 @@ TEST(FormatDouble, Precision)
     EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
     EXPECT_EQ(formatDouble(1.0, 0), "1");
 }
+
+TEST(RunningStatMerge, MatchesSerialAccumulation)
+{
+    // Split one sample stream across two accumulators; the merge must
+    // reproduce the single-accumulator result (Chan et al.).
+    RunningStat serial, left, right;
+    const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0, -1.5};
+    int i = 0;
+    for (double x : xs) {
+        serial.add(x);
+        (i++ % 2 ? right : left).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), serial.count());
+    EXPECT_DOUBLE_EQ(left.sum(), serial.sum());
+    EXPECT_DOUBLE_EQ(left.min(), serial.min());
+    EXPECT_DOUBLE_EQ(left.max(), serial.max());
+    EXPECT_NEAR(left.mean(), serial.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), serial.variance(), 1e-12);
+}
+
+TEST(RunningStatMerge, EmptyIsIdentity)
+{
+    RunningStat s, empty;
+    s.add(3.0);
+    s.add(5.0);
+    s.merge(empty);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+
+    RunningStat target;
+    target.merge(s);
+    EXPECT_EQ(target.count(), 2u);
+    EXPECT_DOUBLE_EQ(target.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(target.min(), 3.0);
+    EXPECT_DOUBLE_EQ(target.max(), 5.0);
+}
+
+TEST(RunningStatMerge, OrderIndependent)
+{
+    RunningStat a1, b1, a2, b2;
+    for (double x : {1.0, 2.0, 3.0}) {
+        a1.add(x);
+        a2.add(x);
+    }
+    for (double x : {10.0, 20.0}) {
+        b1.add(x);
+        b2.add(x);
+    }
+    a1.merge(b1); // a then b
+    b2.merge(a2); // b then a
+    EXPECT_DOUBLE_EQ(a1.mean(), b2.mean());
+    EXPECT_NEAR(a1.variance(), b2.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(a1.min(), b2.min());
+    EXPECT_DOUBLE_EQ(a1.max(), b2.max());
+}
+
+TEST(HistogramMerge, BinwiseSum)
+{
+    Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+    a.add(1.0);
+    a.add(9.5);
+    a.add(-1.0); // underflow
+    b.add(1.5);
+    b.add(12.0); // overflow
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.bin(0), 2u);
+    EXPECT_EQ(a.bin(4), 1u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(HistogramMergeDeathTest, LayoutMismatchPanics)
+{
+    Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 4);
+    EXPECT_DEATH(a.merge(b), "layout mismatch");
+}

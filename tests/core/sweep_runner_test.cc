@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the parallel sweep-execution engine: the determinism
+ * contract (identical manifests at any thread count), seed derivation
+ * and seedKey grouping, custom point bodies, progress reporting, and
+ * manifest emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/sweep_runner.hh"
+
+using namespace oenet;
+
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig c;
+    c.meshX = 2;
+    c.meshY = 2;
+    c.clusterSize = 2;
+    c.windowCycles = 200;
+    return c;
+}
+
+/** A small but non-trivial sweep: rates x {power-aware, baseline}. */
+std::vector<SweepPoint>
+smallSweep()
+{
+    const double rates[] = {0.3, 0.6, 0.9};
+    RunProtocol protocol;
+    protocol.warmup = 1000;
+    protocol.measure = 4000;
+    protocol.drainLimit = 4000;
+
+    std::vector<SweepPoint> points;
+    for (std::size_t ri = 0; ri < std::size(rates); ri++) {
+        for (bool pa : {true, false}) {
+            SweepPoint p;
+            p.label = "rate=" + formatDouble(rates[ri], 1) +
+                      (pa ? "/pa" : "/base");
+            p.params = {{"rate", rates[ri]},
+                        {"pa", pa ? 1.0 : 0.0}};
+            p.config = smallConfig();
+            p.config.powerAware = pa;
+            p.spec = TrafficSpec::uniform(rates[ri], 4);
+            p.protocol = protocol;
+            p.seedKey = ri; // pa/base pair shares the traffic stream
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+SweepReport
+runAt(int jobs, std::uint64_t base_seed = 5)
+{
+    SweepRunner::Options opts;
+    opts.jobs = jobs;
+    opts.baseSeed = base_seed;
+    return SweepRunner(opts).run(smallSweep());
+}
+
+} // namespace
+
+TEST(SweepRunner, ManifestIdenticalAtAnyThreadCount)
+{
+    // The headline determinism contract: the manifest is byte-identical
+    // whether the sweep ran serially or across four workers.
+    SweepReport serial = runAt(1);
+    SweepReport parallel = runAt(4);
+    EXPECT_EQ(serial.jobs, 1);
+    std::string a = sweepManifestJson("t", 5, serial.outcomes);
+    std::string b = sweepManifestJson("t", 5, parallel.outcomes);
+    EXPECT_EQ(a, b);
+}
+
+TEST(SweepRunner, BaseSeedChangesResults)
+{
+    SweepReport a = runAt(1, 5);
+    SweepReport b = runAt(1, 6);
+    EXPECT_NE(sweepManifestJson("t", 5, a.outcomes),
+              sweepManifestJson("t", 6, b.outcomes));
+}
+
+TEST(SweepRunner, SeedKeyGroupsShareStreams)
+{
+    SweepReport report = runAt(1);
+    // Layout: pairs (2*ri, 2*ri+1) share seedKey ri.
+    std::set<std::uint64_t> perKey;
+    for (std::size_t ri = 0; ri < 3; ri++) {
+        EXPECT_EQ(report.outcomes[2 * ri].seed,
+                  report.outcomes[2 * ri + 1].seed);
+        perKey.insert(report.outcomes[2 * ri].seed);
+    }
+    EXPECT_EQ(perKey.size(), 3u) << "distinct keys, distinct streams";
+}
+
+TEST(SweepRunner, DefaultSeedKeyIsIndex)
+{
+    SweepPoint p;
+    SweepRunner runner;
+    EXPECT_NE(runner.pointSeed(p, 0), runner.pointSeed(p, 1));
+    EXPECT_EQ(runner.pointSeed(p, 3),
+              deriveStreamSeed(runner.options().baseSeed, 3));
+}
+
+TEST(SweepRunner, ReseedSpecsReplacesSpecSeed)
+{
+    std::vector<SweepPoint> points = smallSweep();
+    for (auto &p : points)
+        p.spec.seed = 12345;
+
+    SweepRunner::Options opts;
+    opts.jobs = 1;
+    opts.baseSeed = 5;
+    std::vector<std::uint64_t> seen;
+    SweepRunner(opts).run(
+        points, [&](const SweepPoint &p, std::uint64_t seed) {
+            EXPECT_EQ(p.spec.seed, seed) << "spec reseeded";
+            seen.push_back(seed);
+            return RunMetrics{};
+        });
+    EXPECT_EQ(seen.size(), points.size());
+
+    opts.reseedSpecs = false;
+    SweepRunner(opts).run(
+        points, [&](const SweepPoint &p, std::uint64_t) {
+            EXPECT_EQ(p.spec.seed, 12345u) << "spec left alone";
+            return RunMetrics{};
+        });
+}
+
+TEST(SweepRunner, CustomPointFnAndOutcomeFields)
+{
+    std::vector<SweepPoint> points = smallSweep();
+    SweepRunner::Options opts;
+    opts.jobs = 2;
+    SweepReport report = SweepRunner(opts).run(
+        points, [](const SweepPoint &p, std::uint64_t) {
+            RunMetrics m;
+            m.avgLatency = p.params[0].second * 10.0;
+            return m;
+        });
+    ASSERT_EQ(report.outcomes.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); i++) {
+        EXPECT_EQ(report.outcomes[i].index, i);
+        EXPECT_EQ(report.outcomes[i].label, points[i].label);
+        EXPECT_DOUBLE_EQ(report.outcomes[i].metrics.avgLatency,
+                         points[i].params[0].second * 10.0);
+    }
+    EXPECT_EQ(report.jobs, 2);
+    EXPECT_GT(report.wallMs, 0.0);
+    EXPECT_EQ(report.pointWallMs.count(), points.size());
+}
+
+TEST(SweepRunner, ProgressReportsEveryPointOnce)
+{
+    std::atomic<std::size_t> calls{0};
+    std::size_t lastDone = 0;
+    SweepRunner::Options opts;
+    opts.jobs = 4;
+    opts.progress = [&](const SweepOutcome &, std::size_t done,
+                        std::size_t total) {
+        calls++;
+        EXPECT_EQ(total, 6u);
+        EXPECT_GT(done, lastDone) << "done is monotonically increasing";
+        lastDone = done;
+    };
+    SweepRunner(opts).run(smallSweep(),
+                          [](const SweepPoint &, std::uint64_t) {
+                              return RunMetrics{};
+                          });
+    EXPECT_EQ(calls.load(), 6u);
+    EXPECT_EQ(lastDone, 6u);
+}
+
+TEST(SweepRunner, EmptySweep)
+{
+    SweepReport report = SweepRunner().run({});
+    EXPECT_TRUE(report.outcomes.empty());
+    EXPECT_EQ(report.pointWallMs.count(), 0u);
+}
+
+TEST(SweepRunner, TimelinesDeterministicAcrossThreadCounts)
+{
+    std::vector<TimelinePoint> points;
+    for (double rate : {0.2, 0.5, 0.8}) {
+        TimelinePoint p;
+        p.label = "rate=" + formatDouble(rate, 1);
+        p.config = smallConfig();
+        p.spec = TrafficSpec::uniform(rate, 4);
+        p.total = 4000;
+        p.bin = 1000;
+        points.push_back(std::move(p));
+    }
+
+    SweepRunner::Options serialOpts, parallelOpts;
+    serialOpts.jobs = 1;
+    parallelOpts.jobs = 4;
+    auto serial = runTimelines(SweepRunner(serialOpts), points);
+    auto parallel = runTimelines(SweepRunner(parallelOpts), points);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); i++) {
+        EXPECT_EQ(serial[i].seed, parallel[i].seed);
+        ASSERT_EQ(serial[i].timeline.normalizedPower.size(),
+                  parallel[i].timeline.normalizedPower.size());
+        for (std::size_t b = 0;
+             b < serial[i].timeline.normalizedPower.size(); b++) {
+            EXPECT_DOUBLE_EQ(serial[i].timeline.normalizedPower[b],
+                             parallel[i].timeline.normalizedPower[b]);
+        }
+    }
+
+    std::string a = sweepManifestJson("t", 1, timelineRollups(serial));
+    std::string b = sweepManifestJson("t", 1, timelineRollups(parallel));
+    EXPECT_EQ(a, b);
+}
+
+TEST(SweepManifest, JsonShapeAndWallTimeExclusion)
+{
+    SweepOutcome o;
+    o.index = 0;
+    o.label = "demo \"quoted\"";
+    o.params = {{"rate", 0.5}};
+    o.seed = 42;
+    o.metrics.avgLatency = 12.25;
+    o.wallMs = 999.0; // must NOT appear in the manifest
+
+    std::string json = sweepManifestJson("demo_sweep", 7, {o});
+    EXPECT_NE(json.find("\"sweep\": \"demo_sweep\""), std::string::npos);
+    EXPECT_NE(json.find("\"base_seed\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"demo \\\"quoted\\\"\""), std::string::npos);
+    EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"rate\": 0.5"), std::string::npos);
+    EXPECT_NE(json.find("\"avg_latency\": 12.25"), std::string::npos);
+    EXPECT_EQ(json.find("999"), std::string::npos)
+        << "wall time leaked into the manifest";
+    EXPECT_EQ(json.find("jobs"), std::string::npos)
+        << "thread count leaked into the manifest";
+}
+
+TEST(SweepManifest, FilesRoundTrip)
+{
+    SweepReport report = runAt(2);
+    std::string jsonPath = "sweep_runner_test_manifest.json";
+    std::string csvPath = "sweep_runner_test_manifest.csv";
+    writeSweepManifest(jsonPath, "t", 5, report.outcomes);
+    writeSweepManifestCsv(csvPath, report.outcomes);
+
+    std::ifstream in(jsonPath, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), sweepManifestJson("t", 5, report.outcomes));
+
+    std::ifstream csv(csvPath);
+    std::string header;
+    ASSERT_TRUE(std::getline(csv, header));
+    EXPECT_NE(header.find("index"), std::string::npos);
+    EXPECT_NE(header.find("rate"), std::string::npos);
+    EXPECT_NE(header.find("avg_latency"), std::string::npos);
+    std::size_t rows = 0;
+    std::string line;
+    while (std::getline(csv, line))
+        rows++;
+    EXPECT_EQ(rows, report.outcomes.size());
+
+    std::remove(jsonPath.c_str());
+    std::remove(csvPath.c_str());
+}
