@@ -113,6 +113,11 @@ main(int argc, char **argv)
         p.seedKey = 0; // every case sees the identical traffic
         points.push_back(std::move(p));
     }
+    // Trace the paper-default power-aware case (Table 1 thresholds).
+    for (std::size_t i = 0; i < points.size(); i++) {
+        if (points[i].label == "thresholds/table1_adaptive")
+            markTracePoint(args, points, i);
+    }
 
     SweepRunner runner(runnerOptions(args));
     SweepReport report = runner.run(points);

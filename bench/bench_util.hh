@@ -19,6 +19,7 @@
 #include "common/parallel.hh"
 #include "common/stats.hh"
 #include "core/sweep_runner.hh"
+#include "trace/trace_sinks.hh"
 
 namespace oenet::bench {
 
@@ -29,12 +30,16 @@ struct BenchArgs
     std::uint64_t seed = 1;  ///< --seed S; base seed for the sweep
     bool smoke = false;      ///< --smoke; tiny CI-sized run
     bool quiet = false;      ///< --quiet; suppress per-point progress
+    std::string trace;       ///< --trace PATH; empty = no tracing
+    TraceFormat traceFormat = TraceFormat::kJsonl; ///< --trace-format
+    Cycle metricsInterval = 1000; ///< --metrics-interval N; 0 = off
 };
 
-/** Parse --jobs / --seed / --smoke / --quiet / --help. Exits on
- *  --help or an unknown flag. @p default_seed is the bench's
- *  historical seed, kept as the default so unflagged runs stay
- *  reproducible across sessions. */
+/** Parse --jobs / --seed / --smoke / --quiet / --trace /
+ *  --trace-format / --metrics-interval / --help. Exits on --help or an
+ *  unknown flag. @p default_seed is the bench's historical seed, kept
+ *  as the default so unflagged runs stay reproducible across
+ *  sessions. */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
 {
@@ -55,17 +60,35 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
             args.smoke = true;
         } else if (std::strcmp(a, "--quiet") == 0) {
             args.quiet = true;
+        } else if (std::strcmp(a, "--trace") == 0) {
+            args.trace = value();
+        } else if (std::strcmp(a, "--trace-format") == 0) {
+            args.traceFormat = parseTraceFormat(value());
+        } else if (std::strcmp(a, "--metrics-interval") == 0) {
+            args.metricsInterval = std::strtoull(value(), nullptr, 10);
         } else if (std::strcmp(a, "--help") == 0 ||
                    std::strcmp(a, "-h") == 0) {
             std::printf(
                 "usage: %s [--jobs N] [--seed S] [--smoke] [--quiet]\n"
+                "          [--trace PATH [--trace-format jsonl|chrome]\n"
+                "           [--metrics-interval N]]\n"
                 "  --jobs N   worker threads (default: hardware "
                 "concurrency, %d here;\n"
                 "             1 = serial; results identical at any N)\n"
                 "  --seed S   base seed for derived per-point streams\n"
                 "  --smoke    tiny run for CI (fewer points, short "
                 "protocol)\n"
-                "  --quiet    no per-point progress lines\n",
+                "  --quiet    no per-point progress lines\n"
+                "  --trace PATH\n"
+                "             write an event trace of the bench's "
+                "designated point\n"
+                "  --trace-format jsonl|chrome\n"
+                "             trace flavor (default jsonl; chrome loads "
+                "in ui.perfetto.dev)\n"
+                "  --metrics-interval N\n"
+                "             power-snapshot period in cycles for the "
+                "traced run\n"
+                "             (default 1000; 0 disables the series)\n",
                 argv[0], hardwareJobs());
             std::exit(0);
         } else {
@@ -75,7 +98,8 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
     return args;
 }
 
-/** Runner options wired to the standard progress printer. */
+/** Runner options wired to the standard progress printer and, when
+ *  --trace was given, a sink factory writing to the requested path. */
 inline SweepRunner::Options
 runnerOptions(const BenchArgs &args)
 {
@@ -90,7 +114,37 @@ runnerOptions(const BenchArgs &args)
             std::fflush(stdout);
         };
     }
+    if (!args.trace.empty()) {
+        std::string path = args.trace;
+        TraceFormat format = args.traceFormat;
+        opts.traceFactory =
+            [path, format](const std::string &) {
+                return makeTraceSink(path, format);
+            };
+        opts.traceMetricsInterval = args.metricsInterval;
+    }
     return opts;
+}
+
+/** Mark the point at @p index for tracing when --trace was given.
+ *  Each bench designates exactly one point — the sink factory writes
+ *  every traced point to the single --trace path. Works on SweepPoint
+ *  and TimelinePoint vectors alike. */
+template <typename Point>
+inline void
+markTracePoint(const BenchArgs &args, std::vector<Point> &points,
+               std::size_t index)
+{
+    if (args.trace.empty())
+        return;
+    if (index >= points.size())
+        fatal("markTracePoint: index %zu out of range (%zu points)",
+              index, points.size());
+    points[index].trace = true;
+    std::printf("tracing '%s' -> %s (%s, metrics every %llu cycles)\n",
+                points[index].label.c_str(), args.trace.c_str(),
+                traceFormatName(args.traceFormat),
+                static_cast<unsigned long long>(args.metricsInterval));
 }
 
 /** One-line runner telemetry: threads, wall time, speedup. */

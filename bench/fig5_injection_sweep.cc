@@ -96,6 +96,33 @@ main(int argc, char **argv)
         }
     }
 
+    if (!args.trace.empty()) {
+        // The stock Fig. 5 grid runs fixed-optical links, whose traces
+        // carry no laser events; the traced run therefore uses the
+        // 3.3-10 Gb/s power-aware config with tri-level optical power
+        // (and the laser plant compressed to the run length, as Fig. 6
+        // does) so one trace shows link transitions, DVS decisions,
+        // and laser VOA traffic together. Appended after the grid so
+        // the table index math below is untouched.
+        std::size_t ri_mid = 0;
+        for (std::size_t ri = 0; ri < rates.size(); ri++) {
+            if (rates[ri] == 3.0)
+                ri_mid = ri;
+        }
+        SweepPoint p;
+        p.label = "trace/pa_3.3to10_tri";
+        p.params = {{"rate", 3.0}};
+        p.config = variant(LinkScheme::kModulator, 3.3, true);
+        p.config.opticalMode = OpticalMode::kTriLevel;
+        p.config.laser.responseCycles = args.smoke ? 500 : 2500;
+        p.config.laser.decisionEpochCycles = args.smoke ? 1000 : 5000;
+        p.spec = TrafficSpec::uniform(3.0, 4);
+        p.protocol = protocol;
+        p.seedKey = ri_mid; // rate-3.0 traffic stream
+        points.push_back(std::move(p));
+        markTracePoint(args, points, points.size() - 1);
+    }
+
     SweepRunner runner(runnerOptions(args));
     SweepReport report = runner.run(points);
     printReport(report);

@@ -68,6 +68,9 @@ main(int argc, char **argv)
             points.push_back(std::move(p));
         }
     }
+    // Trace the first power-aware point at the middle rate (the
+    // baselines ahead of it never change level).
+    markTracePoint(args, points, rates.size() + 1);
 
     SweepRunner runner(runnerOptions(args));
     SweepReport report = runner.run(points);

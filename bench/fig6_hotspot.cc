@@ -92,6 +92,9 @@ main(int argc, char **argv)
         p.seedKey = 0; // all cases see the identical traffic stream
         points.push_back(std::move(p));
     }
+    // Trace the tri-level case: the only Fig. 6 configuration whose
+    // trace carries laser VOA events alongside transitions and DVS.
+    markTracePoint(args, points, 5);
 
     std::printf("running %zu configurations over %llu cycles each...\n",
                 points.size(), static_cast<unsigned long long>(kTotal));

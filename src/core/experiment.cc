@@ -84,10 +84,12 @@ makeTraffic(const TrafficSpec &spec, const SystemConfig &config)
 
 RunMetrics
 runExperiment(const SystemConfig &config, const TrafficSpec &spec,
-              const RunProtocol &protocol)
+              const RunProtocol &protocol, const TraceOptions &trace)
 {
     PoeSystem sys(config);
     sys.setTraffic(makeTraffic(spec, config));
+    if (trace.sink)
+        sys.setTraceSink(trace.sink, trace.metricsInterval);
     sys.run(protocol.warmup);
     sys.startMeasurement();
     sys.run(protocol.measure);

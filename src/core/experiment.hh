@@ -69,10 +69,18 @@ struct RunProtocol
     Cycle drainLimit = 300000;
 };
 
+/** Optional event tracing for a run (see trace/trace.hh). */
+struct TraceOptions
+{
+    TraceSink *sink = nullptr;   ///< not owned; must outlive the run
+    Cycle metricsInterval = 1000; ///< power-snapshot period; 0 = off
+};
+
 /** Build a system, run the protocol, return the metrics. */
 RunMetrics runExperiment(const SystemConfig &config,
                          const TrafficSpec &spec,
-                         const RunProtocol &protocol);
+                         const RunProtocol &protocol,
+                         const TraceOptions &trace = {});
 
 /** Latency of a packet on an empty network (avg over a light trickle);
  *  the reference for the 2x saturation rule. */

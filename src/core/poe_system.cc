@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "network/power_report.hh"
 
 namespace oenet {
 
@@ -19,12 +20,57 @@ PoeSystem::PoeSystem(const SystemConfig &config)
                                                  config_.engineParams());
 }
 
-PoeSystem::~PoeSystem() = default;
+PoeSystem::~PoeSystem()
+{
+    if (traceSink_)
+        traceSink_->endRun(kernel_.now());
+}
 
 void
 PoeSystem::setTraffic(std::unique_ptr<TrafficSource> traffic)
 {
     traffic_ = std::move(traffic);
+}
+
+void
+PoeSystem::setTraceSink(TraceSink *sink, Cycle metrics_interval)
+{
+    traceSink_ = sink;
+    network_->setTraceSink(sink);
+    if (engine_)
+        engine_->setTraceSink(sink);
+    if (!sink) {
+        kernel_.setEpochHook(0, nullptr);
+        return;
+    }
+    sink->beginRun(network_->traceLinkTable());
+    if (metrics_interval > 0) {
+        kernel_.setEpochHook(metrics_interval, [this](Cycle now) {
+            emitPowerSnapshot(now);
+        });
+    }
+}
+
+void
+PoeSystem::emitPowerSnapshot(Cycle now)
+{
+    PowerReport report = makePowerReport(*network_, now);
+    PowerSnapshotEvent e;
+    e.at = now;
+    e.numKinds = 0;
+    for (const KindReport &kr : report.byKind) {
+        auto &out = e.kinds[e.numKinds++];
+        out.kind = linkKindName(kr.kind);
+        out.count = kr.count;
+        out.powerMw = kr.powerMw;
+        out.baselineMw = kr.baselineMw;
+        out.meanLevel = kr.meanLevel;
+        out.totalFlits = kr.totalFlits;
+    }
+    e.totalPowerMw = report.totalPowerMw;
+    e.baselinePowerMw = report.baselinePowerMw;
+    e.normalizedPower = report.normalizedPower;
+    traceSink_->powerSnapshot(e);
 }
 
 void
@@ -54,6 +100,11 @@ PoeSystem::startMeasurement()
     measuring_ = true;
     measureEnded_ = false;
     measureStart_ = kernel_.now();
+    // Restart link-level cumulative stats so per-link reports
+    // (PowerReport totals, energyMj) exclude the warm-up; the start
+    // baselines below are captured *after* the reset, so the delta
+    // metrics are unchanged by it.
+    network_->resetStats(kernel_.now());
     powerIntegralStart_ =
         network_->totalPowerIntegralMwCycles(kernel_.now());
     measuredCreated_ = 0;
@@ -80,6 +131,11 @@ PoeSystem::stopMeasurement()
 void
 PoeSystem::packetEjected(const Flit &tail, Cycle now)
 {
+    if (traceSink_) {
+        traceSink_->packetRetire(PacketRetireEvent{
+            now, tail.packet, tail.src, tail.dst, tail.createdAt,
+            now - tail.createdAt, tail.len});
+    }
     bool in_window = tail.createdAt >= measureStart_ &&
                      (measuring_ || tail.createdAt < measureEnd_);
     if (!measureEnded_ && !measuring_)

@@ -28,6 +28,7 @@
 
 #include "core/metrics.hh"
 #include "core/system_config.hh"
+#include "trace/trace.hh"
 #include "traffic/injection_process.hh"
 
 namespace oenet {
@@ -41,10 +42,22 @@ class PoeSystem : public PacketSink, public Ticking
     /** Install the traffic source (replaces any previous). */
     void setTraffic(std::unique_ptr<TrafficSource> traffic);
 
+    /**
+     * Attach a trace sink (null detaches): announces the link table,
+     * wires link transitions, DVS/laser decisions, and packet retires,
+     * and — when @p metrics_interval > 0 — installs the kernel epoch
+     * hook emitting per-kind power snapshots every that many cycles.
+     * The sink must outlive the system (the destructor ends the run).
+     */
+    void setTraceSink(TraceSink *sink, Cycle metrics_interval = 1000);
+
     /** Advance the system by @p cycles cycles. */
     void run(Cycle cycles);
 
-    /** Begin collecting latency/power statistics. */
+    /** Begin collecting latency/power statistics. Also restarts the
+     *  links' cumulative counters (power integral, flit and transition
+     *  counts) so per-link reports exclude warm-up transients; the
+     *  whole-run packet counters and the DVS state are untouched. */
     void startMeasurement();
 
     /** Stop the measurement window (packets created inside it keep
@@ -107,7 +120,11 @@ class PoeSystem : public PacketSink, public Ticking
     Histogram latencyHist_;
     std::uint64_t transitionsStart_ = 0;
 
+    // Tracing.
+    TraceSink *traceSink_ = nullptr;
+
     std::uint64_t totalTransitions() const;
+    void emitPowerSnapshot(Cycle now);
 };
 
 } // namespace oenet

@@ -103,11 +103,18 @@ SweepRunner::pointSeed(const SweepPoint &point, std::size_t index) const
 SweepReport
 SweepRunner::run(const std::vector<SweepPoint> &points) const
 {
-    return run(points,
-               [](const SweepPoint &point, std::uint64_t) -> RunMetrics {
-                   return runExperiment(point.config, point.spec,
-                                        point.protocol);
-               });
+    return run(points, [this](const SweepPoint &point,
+                              std::uint64_t) -> RunMetrics {
+        TraceOptions trace;
+        std::unique_ptr<TraceSink> sink;
+        if (point.trace && options_.traceFactory) {
+            sink = options_.traceFactory(point.label);
+            trace.sink = sink.get();
+            trace.metricsInterval = options_.traceMetricsInterval;
+        }
+        return runExperiment(point.config, point.spec, point.protocol,
+                             trace);
+    });
 }
 
 SweepReport
@@ -182,10 +189,18 @@ runTimelines(const SweepRunner &runner,
             if (opts.reseedSpecs)
                 spec.seed = seed;
 
+            TraceOptions trace;
+            std::unique_ptr<TraceSink> sink;
+            if (point.trace && opts.traceFactory) {
+                sink = opts.traceFactory(point.label);
+                trace.sink = sink.get();
+                trace.metricsInterval = opts.traceMetricsInterval;
+            }
+
             auto start = std::chrono::steady_clock::now();
             TimelineResult timeline =
                 runTimeline(point.config, spec, point.total, point.bin,
-                            point.warmup);
+                            point.warmup, trace);
             double wallMs = elapsedMs(start);
 
             TimelineOutcome &out = outcomes[i];

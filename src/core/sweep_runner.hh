@@ -33,6 +33,7 @@
 #define OENET_CORE_SWEEP_RUNNER_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -61,6 +62,12 @@ struct SweepPoint
      *  common-random-number pairs (a run and its baseline). Default:
      *  the point's index, i.e. an independent stream per point. */
     std::uint64_t seedKey = kSeedKeyFromIndex;
+
+    /** When true and Options::traceFactory is set, the default run
+     *  body attaches an event-trace sink to this point's system.
+     *  Custom PointFn bodies receive the flag but must honor it
+     *  themselves. */
+    bool trace = false;
 };
 
 /** Structured result record for one executed sweep point. */
@@ -113,6 +120,17 @@ class SweepRunner
          *  the seeds already baked into the specs. */
         bool reseedSpecs = true;
         ProgressFn progress;
+        /** Makes the event-trace sink for each trace-marked point
+         *  (argument: the point's label). Null (the default) disables
+         *  tracing; benches mark exactly one point per run so a single
+         *  --trace path never collides. The sink lives for exactly one
+         *  point's system — trace output is untouched by scheduling and
+         *  therefore identical at any jobs count. */
+        std::function<std::unique_ptr<TraceSink>(const std::string &label)>
+            traceFactory;
+        /** Power-snapshot period for traced points; 0 disables the
+         *  per-epoch power/utilization series. */
+        Cycle traceMetricsInterval = 1000;
     };
 
     SweepRunner() = default;
@@ -150,6 +168,7 @@ struct TimelinePoint
     Cycle bin = 0;
     Cycle warmup = 0;
     std::uint64_t seedKey = kSeedKeyFromIndex;
+    bool trace = false; ///< see SweepPoint::trace
 };
 
 struct TimelineOutcome

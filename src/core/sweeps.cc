@@ -23,13 +23,16 @@ runPaired(const SystemConfig &config, const TrafficSpec &spec,
 
 TimelineResult
 runTimeline(const SystemConfig &config, const TrafficSpec &spec,
-            Cycle total, Cycle bin, Cycle warmup)
+            Cycle total, Cycle bin, Cycle warmup,
+            const TraceOptions &trace)
 {
     TimelineResult result;
     result.bin = bin;
 
     PoeSystem sys(config);
     sys.setTraffic(makeTraffic(spec, config));
+    if (trace.sink)
+        sys.setTraceSink(trace.sink, trace.metricsInterval);
     if (warmup > 0)
         sys.run(warmup);
     sys.startMeasurement();

@@ -43,7 +43,8 @@ struct TimelineResult
 
 TimelineResult runTimeline(const SystemConfig &config,
                            const TrafficSpec &spec, Cycle total,
-                           Cycle bin, Cycle warmup = 0);
+                           Cycle bin, Cycle warmup = 0,
+                           const TraceOptions &trace = {});
 
 } // namespace oenet
 

@@ -91,9 +91,32 @@ OpticalLink::enterPhase(Phase phase, Cycle at, Cycle end)
 {
     phase_ = phase;
     phaseEnd_ = end;
-    if (phase == Phase::kStable)
+    if (phase == Phase::kStable) {
+        if (traceSink_ && transitionType_) {
+            traceSink_->linkTransition(LinkTransitionEvent{
+                transitionStart_, at, traceId_, transitionFrom_,
+                toLevel_, transitionType_});
+        }
+        transitionType_ = nullptr;
         fromLevel_ = toLevel_;
+    }
     refreshSignals(at);
+}
+
+void
+OpticalLink::setTrace(TraceSink *sink, int trace_id)
+{
+    traceSink_ = sink;
+    traceId_ = trace_id;
+}
+
+void
+OpticalLink::resetStats(Cycle now)
+{
+    advance(now);
+    powerTw_.reset(now);
+    totalFlits_ = 0;
+    numTransitions_ = 0;
 }
 
 void
@@ -104,12 +127,20 @@ OpticalLink::setOff(Cycle now, bool off)
         if (phase_ != Phase::kStable)
             panic("OpticalLink %s: setOff during transition",
                   name_.c_str());
+        if (traceSink_) {
+            // Gating is immediate; report a zero-latency event.
+            traceSink_->linkTransition(LinkTransitionEvent{
+                now, now, traceId_, toLevel_, toLevel_, "off"});
+        }
         enterPhase(Phase::kOff, now, kNeverCycle);
     } else {
         if (phase_ != Phase::kOff)
             return;
         // Wake-up: the receiver CDR must reacquire lock.
         numTransitions_++;
+        transitionStart_ = now;
+        transitionFrom_ = toLevel_;
+        transitionType_ = "wake";
         enterPhase(Phase::kFreqSwitch, now,
                    now + params_.freqTransitionCycles);
         advance(now);
@@ -213,6 +244,9 @@ OpticalLink::requestLevel(Cycle now, int level)
     fromLevel_ = toLevel_;
     toLevel_ = level;
     numTransitions_++;
+    transitionStart_ = now;
+    transitionFrom_ = fromLevel_;
+    transitionType_ = "level";
 
     if (level > fromLevel_) {
         // Raise voltage first (link keeps running), then switch

@@ -41,6 +41,7 @@
 #include "phy/laser_source.hh"
 #include "phy/link_power.hh"
 #include "router/flit.hh"
+#include "trace/trace.hh"
 
 namespace oenet {
 
@@ -145,6 +146,25 @@ class OpticalLink
     // Statistics
     // ------------------------------------------------------------------
 
+    /**
+     * Attach an event sink (null detaches). Completed transitions are
+     * reported with their request and completion cycles; because the
+     * state machine advances lazily, the *emission* happens when the
+     * link is next touched past the transition's end, but the recorded
+     * cycle stamps are exact.
+     */
+    void setTrace(TraceSink *sink, int trace_id);
+
+    /**
+     * Restart cumulative statistics at @p now: the power integral (so
+     * energyMj() measures from here), totalFlits(), and
+     * numTransitions(). Called at measurement start so reported
+     * energy/flit/transition counts exclude warm-up transients. The
+     * capacity integral and the current utilization window are left
+     * alone — resetting them would inject a bogus sample into the DVS
+     * sliding history and perturb policy behavior at the boundary. */
+    void resetStats(Cycle now);
+
     /** Reset the utilization window (policy epoch boundary). */
     void beginWindow(Cycle now);
 
@@ -155,23 +175,24 @@ class OpticalLink
     /** Flits accepted since the last beginWindow(). */
     std::uint64_t windowFlits() const { return windowFlits_; }
 
-    /** Flits accepted over the whole run. */
+    /** Flits accepted since construction or the last resetStats(). */
     std::uint64_t totalFlits() const { return totalFlits_; }
 
     /** Electrical power drawn right now (mW). */
     double powerMw(Cycle now);
 
-    /** Energy consumed since t=0 (mJ equivalent: mW * cycles * s/cycle,
-     *  reported in millijoules). */
+    /** Energy consumed since construction or the last resetStats()
+     *  (mJ equivalent: mW * cycles * s/cycle, in millijoules). */
     double energyMj(Cycle now);
 
-    /** Integral of power over time in mW-cycles (exact, cheap). */
+    /** Integral of power over time in mW-cycles since construction or
+     *  the last resetStats() (exact, cheap). */
     double powerIntegralMwCycles(Cycle now);
 
     /** Power of a non-power-aware link (always-max baseline), mW. */
     double maxPowerMw() const { return powerModel_.maxPowerMw(); }
 
-    /** Count of frequency transitions performed. */
+    /** Frequency transitions since construction or resetStats(). */
     std::uint64_t numTransitions() const { return numTransitions_; }
 
     const std::string &name() const { return name_; }
@@ -219,6 +240,14 @@ class OpticalLink
     int toLevel_ = 0;
     double opticalScale_ = 1.0;
     std::uint64_t numTransitions_ = 0;
+
+    // Tracing. transitionType_ doubles as the "transition underway has
+    // not been reported yet" flag.
+    TraceSink *traceSink_ = nullptr;
+    int traceId_ = kInvalid;
+    Cycle transitionStart_ = 0;
+    int transitionFrom_ = 0;
+    const char *transitionType_ = nullptr;
 
     // Serialization / in-flight flits.
     static constexpr int kInflightCap = 16;

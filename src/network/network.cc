@@ -107,6 +107,33 @@ Network::setPacketSink(PacketSink *sink)
         n->setPacketSink(sink);
 }
 
+void
+Network::setTraceSink(TraceSink *sink)
+{
+    for (std::size_t i = 0; i < links_.size(); i++)
+        links_[i]->setTrace(sink, static_cast<int>(i));
+}
+
+std::vector<TraceLinkInfo>
+Network::traceLinkTable() const
+{
+    std::vector<TraceLinkInfo> table;
+    table.reserve(links_.size());
+    for (std::size_t i = 0; i < links_.size(); i++) {
+        table.push_back(TraceLinkInfo{static_cast<int>(i),
+                                      links_[i]->name(),
+                                      linkKindName(links_[i]->kind())});
+    }
+    return table;
+}
+
+void
+Network::resetStats(Cycle now)
+{
+    for (auto &l : links_)
+        l->resetStats(now);
+}
+
 double
 Network::totalPowerMw(Cycle now)
 {

@@ -20,6 +20,7 @@
 #include "network/node.hh"
 #include "network/topology.hh"
 #include "router/router.hh"
+#include "trace/trace.hh"
 
 namespace oenet {
 
@@ -71,6 +72,17 @@ class Network
 
     /** Observer called on every packet ejection. */
     void setPacketSink(PacketSink *sink);
+
+    /** Attach @p sink to every link (null detaches). Trace ids are the
+     *  link indices, which are deterministic (enumeration order). */
+    void setTraceSink(TraceSink *sink);
+
+    /** Link identity table for TraceSink::beginRun. */
+    std::vector<TraceLinkInfo> traceLinkTable() const;
+
+    /** Restart every link's cumulative statistics at @p now (see
+     *  OpticalLink::resetStats). Packet/flit counters are unaffected. */
+    void resetStats(Cycle now);
 
     // ------------------------------------------------------------------
     // Aggregates

@@ -50,12 +50,33 @@ LinkController::LinkController(OpticalLink &link,
 }
 
 void
+LinkController::setTrace(TraceSink *sink, int trace_id)
+{
+    traceSink_ = sink;
+    traceId_ = trace_id;
+}
+
+void
+LinkController::traceLaser(Cycle now, const char *action, int from,
+                           int to) const
+{
+    if (traceSink_) {
+        traceSink_->laserEvent(
+            LaserTraceEvent{now, traceId_, action, from, to});
+    }
+}
+
+void
 LinkController::syncLaser(Cycle now)
 {
     if (params_.opticalMode != OpticalMode::kTriLevel)
         return;
-    if (laser_.advance(now))
+    int before = static_cast<int>(laser_.level());
+    if (laser_.advance(now)) {
         link_.setOpticalScale(now, laser_.scale());
+        traceLaser(now, "commit", before,
+                   static_cast<int>(laser_.level()));
+    }
 }
 
 void
@@ -86,38 +107,83 @@ LinkController::onWindow(Cycle now)
             link_.levels().level(link_.currentLevel()).brGbps);
     }
 
-    if (link_.transitionInProgress(now))
-        return;
-
-    LevelDecision decision = policy_.decide(bu);
-    // Sender-backlog escalation: queued demand the utilization metric
-    // cannot see forces an upgrade, and a still-draining backlog vetoes
-    // a downgrade (see Params for the rationale). The asymmetric pair
-    // prevents up/down oscillation on saturated links.
-    if (params_.senderBacklogEscalation && senderBacklog_) {
-        int backlog = senderBacklog_();
-        if (decision != LevelDecision::kUp &&
-            backlog >= params_.senderBacklogFlits) {
-            decision = LevelDecision::kUp;
-            backlogEscalations_++;
-        } else if (decision == LevelDecision::kDown &&
-                   backlog >= params_.senderBacklogFlits / 2) {
-            decision = LevelDecision::kHold;
+    bool busy = link_.transitionInProgress(now);
+    LevelDecision decision = LevelDecision::kHold;
+    bool escalated = false;
+    bool vetoed = false;
+    if (!busy) {
+        decision = policy_.decide(bu);
+        // Sender-backlog escalation: queued demand the utilization
+        // metric cannot see forces an upgrade, and a still-draining
+        // backlog vetoes a downgrade (see Params for the rationale).
+        // The asymmetric pair prevents up/down oscillation on
+        // saturated links.
+        if (params_.senderBacklogEscalation && senderBacklog_) {
+            int backlog = senderBacklog_();
+            if (decision != LevelDecision::kUp &&
+                backlog >= params_.senderBacklogFlits) {
+                decision = LevelDecision::kUp;
+                backlogEscalations_++;
+                escalated = true;
+            } else if (decision == LevelDecision::kDown &&
+                       backlog >= params_.senderBacklogFlits / 2) {
+                decision = LevelDecision::kHold;
+                vetoed = true;
+            }
         }
     }
     int level = link_.currentLevel();
+    if (traceSink_) {
+        traceSink_->dvsDecision(DvsDecisionEvent{
+            now, traceId_, lu, policy_.averageUtilization(), bu,
+            policy_.lowThreshold(bu), policy_.highThreshold(bu),
+            busy ? "in-transition" : levelDecisionName(decision),
+            escalated, vetoed, level});
+    }
+    if (busy)
+        return;
+
     if (decision == LevelDecision::kUp &&
         level < link_.levels().maxLevel()) {
         int target = level + 1;
         if (params_.opticalMode == OpticalMode::kTriLevel) {
             double target_br = link_.levels().level(target).brGbps;
-            if (target_br > maxBitRateForLevel(laser_.guaranteedLevel())) {
-                // Not enough light for the faster rate: request more
-                // optical power and hold the electrical level
-                // (Section 3.3, P_inc semantics).
-                laser_.requestIncrease(now);
-                opticalStalls_++;
-                return;
+            if (target_br >
+                maxBitRateForLevel(laser_.guaranteedLevel())) {
+                // Not enough guaranteed light for the faster rate:
+                // request more optical power (Section 3.3, P_inc
+                // semantics). The request preempts any pending P_dec.
+                int before = static_cast<int>(laser_.level());
+                int pending_before =
+                    static_cast<int>(laser_.guaranteedLevel());
+                switch (laser_.requestIncrease(now)) {
+                  case LaserRequestOutcome::kDispatched:
+                    traceLaser(now, "request_up", before, before + 1);
+                    break;
+                  case LaserRequestOutcome::kPreempted:
+                    traceLaser(now, "preempt_down", pending_before,
+                               before);
+                    break;
+                  case LaserRequestOutcome::kPreemptedAndDispatched:
+                    traceLaser(now, "preempt_down", pending_before,
+                               before);
+                    traceLaser(now, "request_up", before, before + 1);
+                    break;
+                  case LaserRequestOutcome::kAlreadyRising:
+                    traceLaser(now, "drop", before, before + 1);
+                    break;
+                  case LaserRequestOutcome::kAtMax:
+                    break;
+                }
+                if (target_br >
+                    maxBitRateForLevel(laser_.guaranteedLevel())) {
+                    // Still waiting for light: hold the electrical
+                    // level until the VOA responds.
+                    opticalStalls_++;
+                    return;
+                }
+                // A preempted decrease restored enough light; the
+                // electrical upgrade may proceed this window.
             }
         }
         link_.requestLevel(now, target);
@@ -139,7 +205,9 @@ LinkController::onLaserEpoch(Cycle now)
     // may predate an upgrade decided in the same window.
     laser_.observeBitRate(
         link_.levels().level(link_.currentLevel()).brGbps);
-    laser_.epochDecision(now);
+    int before = static_cast<int>(laser_.level());
+    if (laser_.epochDecision(now))
+        traceLaser(now, "request_down", before, before - 1);
 }
 
 PolicyEngine::PolicyEngine(Kernel &kernel, Network &net,
@@ -295,6 +363,15 @@ PolicyEngine::totalOpticalStalls() const
     for (const auto &c : dvs_)
         n += c->opticalStalls();
     return n;
+}
+
+void
+PolicyEngine::setTraceSink(TraceSink *sink)
+{
+    // kDvs creates one controller per link in link-index order, so the
+    // vector index *is* the link's trace id.
+    for (std::size_t i = 0; i < dvs_.size(); i++)
+        dvs_[i]->setTrace(sink, static_cast<int>(i));
 }
 
 } // namespace oenet

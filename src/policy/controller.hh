@@ -91,6 +91,10 @@ class LinkController
     /** Laser decision epoch hook (tri-level mode only). */
     void onLaserEpoch(Cycle now);
 
+    /** Attach an event sink (null detaches); @p trace_id must match
+     *  the link's trace id so events land on the same timeline. */
+    void setTrace(TraceSink *sink, int trace_id);
+
     OpticalLink &link() { return link_; }
     const HistoryDvsPolicy &policy() const { return policy_; }
     const LaserPowerState &laser() const { return laser_; }
@@ -105,6 +109,8 @@ class LinkController
 
   private:
     void syncLaser(Cycle now);
+    void traceLaser(Cycle now, const char *action, int from,
+                    int to) const;
 
     OpticalLink &link_;
     const OccupancyProvider *downstream_;
@@ -119,6 +125,8 @@ class LinkController
     std::uint64_t decisionsDown_ = 0;
     std::uint64_t opticalStalls_ = 0;
     std::uint64_t backlogEscalations_ = 0;
+    TraceSink *traceSink_ = nullptr;
+    int traceId_ = kInvalid;
 };
 
 /** Drives all per-link controllers from the kernel clock. */
@@ -153,6 +161,10 @@ class PolicyEngine
     std::uint64_t totalDecisionsUp() const;
     std::uint64_t totalDecisionsDown() const;
     std::uint64_t totalOpticalStalls() const;
+
+    /** Attach @p sink to every DVS controller; ids follow the link
+     *  index, matching Network::setTraceSink. */
+    void setTraceSink(TraceSink *sink);
 
     const Params &params() const { return params_; }
 

@@ -27,15 +27,36 @@ LaserPowerState::advance(Cycle now)
     return changed;
 }
 
-void
+LaserRequestOutcome
 LaserPowerState::requestIncrease(Cycle now)
 {
-    if (pending_ || level_ == OpticalLevel::kHigh)
-        return;
+    bool preempted = false;
+    if (pending_) {
+        if (static_cast<int>(pendingLevel_) >=
+            static_cast<int>(level_)) {
+            // An increase is already racing the VOA; asking again
+            // cannot make the light arrive sooner.
+            increasesDropped_++;
+            return LaserRequestOutcome::kAlreadyRising;
+        }
+        // A decrease is scheduled but has not landed: the fiber still
+        // carries level_, so cancelling restores full service
+        // immediately instead of starving the link through the whole
+        // response time (the pre-fix behavior dropped the request).
+        pending_ = false;
+        decreasesPreempted_++;
+        preempted = true;
+    }
+    if (level_ == OpticalLevel::kHigh) {
+        return preempted ? LaserRequestOutcome::kPreempted
+                         : LaserRequestOutcome::kAtMax;
+    }
     pending_ = true;
     pendingLevel_ = static_cast<OpticalLevel>(static_cast<int>(level_) + 1);
     pendingReady_ = now + params_.responseCycles;
     increases_++;
+    return preempted ? LaserRequestOutcome::kPreemptedAndDispatched
+                     : LaserRequestOutcome::kDispatched;
 }
 
 void
@@ -45,9 +66,10 @@ LaserPowerState::observeBitRate(double br_gbps)
         epochMaxBr_ = br_gbps;
 }
 
-void
+bool
 LaserPowerState::epochDecision(Cycle now)
 {
+    bool dispatched = false;
     if (!pending_ && level_ != OpticalLevel::kLow) {
         auto lower =
             static_cast<OpticalLevel>(static_cast<int>(level_) - 1);
@@ -56,9 +78,11 @@ LaserPowerState::epochDecision(Cycle now)
             pendingLevel_ = lower;
             pendingReady_ = now + params_.responseCycles;
             decreases_++;
+            dispatched = true;
         }
     }
     epochMaxBr_ = 0.0;
+    return dispatched;
 }
 
 } // namespace oenet

@@ -26,6 +26,19 @@
 
 namespace oenet {
 
+/** What a P_inc request did (feeds controller stats and tracing). */
+enum class LaserRequestOutcome
+{
+    kDispatched, ///< a one-level increase is now in flight
+    kPreempted,  ///< a pending decrease was cancelled; the level still
+                 ///< in force is the top, so no increase is needed
+    kPreemptedAndDispatched, ///< decrease cancelled *and* an increase
+                             ///< dispatched in its place
+    kAlreadyRising,          ///< an increase is already in flight;
+                             ///< this request folded into it
+    kAtMax,                  ///< already at the top optical level
+};
+
 class LaserPowerState
 {
   public:
@@ -65,20 +78,35 @@ class LaserPowerState
     bool advance(Cycle now);
 
     /** P_inc: request one level up; immediate dispatch, takes effect
-     *  one response time later. No-op if already at the top or a change
-     *  is pending. */
-    void requestIncrease(Cycle now);
+     *  one response time later. A *pending decrease is preempted*: the
+     *  scheduled step-down is cancelled (the light never dropped) and,
+     *  if the preserved level is still below the top, the increase is
+     *  dispatched in its place — a demand spike must never wait out a
+     *  VOA ramp scheduled in the opposite direction. A request while an
+     *  increase is already in flight folds into it (counted in
+     *  increasesDropped()). No-op at the top level. */
+    LaserRequestOutcome requestIncrease(Cycle now);
 
     /** Record the electrical bit rate seen during this epoch (called at
      *  every policy window). */
     void observeBitRate(double br_gbps);
 
     /** P_dec evaluation at an epoch boundary: step the optical power
-     *  down iff the whole epoch's bit rates fit the next level down. */
-    void epochDecision(Cycle now);
+     *  down iff the whole epoch's bit rates fit the next level down.
+     *  @return true if a decrease was dispatched. */
+    bool epochDecision(Cycle now);
 
     std::uint64_t increases() const { return increases_; }
     std::uint64_t decreases() const { return decreases_; }
+
+    /** Increase requests folded into an already-pending increase. */
+    std::uint64_t increasesDropped() const { return increasesDropped_; }
+
+    /** Pending decreases cancelled by an increase request. */
+    std::uint64_t decreasesPreempted() const
+    {
+        return decreasesPreempted_;
+    }
 
     const Params &params() const { return params_; }
 
@@ -91,6 +119,8 @@ class LaserPowerState
     double epochMaxBr_ = 0.0;
     std::uint64_t increases_ = 0;
     std::uint64_t decreases_ = 0;
+    std::uint64_t increasesDropped_ = 0;
+    std::uint64_t decreasesPreempted_ = 0;
 };
 
 } // namespace oenet

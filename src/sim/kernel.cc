@@ -18,6 +18,10 @@ Kernel::addTicking(Ticking *component)
 void
 Kernel::step()
 {
+    if (now_ == nextEpoch_) {
+        epochHook_(now_);
+        nextEpoch_ += epochInterval_;
+    }
     events_.runDue(now_);
     for (Ticking *t : ticking_)
         t->tick(now_);
@@ -29,6 +33,20 @@ Kernel::run(Cycle cycles)
 {
     for (Cycle i = 0; i < cycles; i++)
         step();
+}
+
+void
+Kernel::setEpochHook(Cycle interval, std::function<void(Cycle)> hook)
+{
+    if (interval == 0 || !hook) {
+        epochHook_ = nullptr;
+        epochInterval_ = 0;
+        nextEpoch_ = kNeverCycle;
+        return;
+    }
+    epochHook_ = std::move(hook);
+    epochInterval_ = interval;
+    nextEpoch_ = now_ + interval;
 }
 
 void

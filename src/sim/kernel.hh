@@ -17,6 +17,7 @@
 #ifndef OENET_SIM_KERNEL_HH
 #define OENET_SIM_KERNEL_HH
 
+#include <functional>
 #include <vector>
 
 #include "common/types.hh"
@@ -56,6 +57,18 @@ class Kernel
     void schedulePeriodic(Cycle first, Cycle period,
                           std::function<void(Cycle)> action);
 
+    /**
+     * Install the epoch hook: @p hook runs at the start of every step
+     * whose cycle is a whole multiple of @p interval after the current
+     * cycle (first firing one interval from now), *before* that
+     * cycle's events and ticks — i.e. it observes the state exactly as
+     * of the epoch boundary. One hook at a time; interval 0 (or a null
+     * hook) uninstalls it. Used for the windowed-metrics snapshots of
+     * the trace layer; unlike schedulePeriodic it costs one branch per
+     * step and nothing in the event queue.
+     */
+    void setEpochHook(Cycle interval, std::function<void(Cycle)> hook);
+
     Cycle now() const { return now_; }
     EventQueue &events() { return events_; }
 
@@ -63,6 +76,11 @@ class Kernel
     Cycle now_ = 0;
     EventQueue events_;
     std::vector<Ticking *> ticking_;
+
+    // Epoch hook (metrics snapshots).
+    std::function<void(Cycle)> epochHook_;
+    Cycle epochInterval_ = 0;
+    Cycle nextEpoch_ = kNeverCycle;
 };
 
 } // namespace oenet

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Structured event tracing for the power-aware opto-electronic network.
+ *
+ * The paper's claims (Figs. 5-7, Table 3) rest on *when* links change
+ * bit rate, voltage, and optical level — end-of-run aggregates cannot
+ * show a mistimed P_dec or a DVS oscillation. This layer records typed,
+ * cycle-stamped events behind a TraceSink interface:
+ *
+ *   - link level transitions (old/new level, transition latency);
+ *   - per-window DVS decisions (observed L_u/B_u, thresholds in force,
+ *     hold/up/down, backlog escalations and vetoes);
+ *   - laser VOA traffic (P_inc requests, P_dec dispatches, commits,
+ *     preemptions, drops);
+ *   - packet end-to-end latency samples at ejection;
+ *   - epoch-aligned power/utilization snapshots per link kind.
+ *
+ * Emission sites hold a nullable `TraceSink *`; a null pointer is the
+ * no-op path and costs one predictable branch, so untraced runs pay
+ * nothing measurable. Every event carries simulation cycles only — no
+ * wall-clock — so traces of the same (config, seed) are byte-identical
+ * at any --jobs count, exactly like the sweep manifests.
+ *
+ * This layer sits below the fabric (it depends only on common/), so
+ * links and policies can emit without dependency cycles. Events carry
+ * plain ints and string constants rather than fabric enums for the
+ * same reason.
+ */
+
+#ifndef OENET_TRACE_TRACE_HH
+#define OENET_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace oenet {
+
+/** Identity of one traced link, announced once at run start. */
+struct TraceLinkInfo
+{
+    int id = 0;          ///< dense trace id (the network's link index)
+    std::string name;    ///< e.g. "inj.n17", "rtr.3.5>3.6"
+    const char *kind = ""; ///< linkKindName(): injection/ejection/...
+};
+
+/** A completed bit-rate/voltage transition (or gate/wake). */
+struct LinkTransitionEvent
+{
+    Cycle startedAt = 0;   ///< cycle the transition was requested
+    Cycle completedAt = 0; ///< cycle the link went stable again
+    int linkId = 0;
+    int fromLevel = 0;
+    int toLevel = 0;
+    /** "level" (DVS request), "wake" (power-gate exit), "off". */
+    const char *type = "level";
+};
+
+/** One window-boundary decision of a link's DVS controller. */
+struct DvsDecisionEvent
+{
+    Cycle at = 0;
+    int linkId = 0;
+    double lu = 0.0;     ///< this window's utilization sample
+    double avgLu = 0.0;  ///< Eq. 11 sliding average
+    double bu = 0.0;     ///< downstream buffer utilization
+    double thLow = 0.0;  ///< T_L in force for this B_u
+    double thHigh = 0.0; ///< T_H in force for this B_u
+    /** "hold", "up", "down", or "in-transition" (window skipped). */
+    const char *decision = "hold";
+    bool backlogEscalated = false; ///< forced up by sender backlog
+    bool downgradeVetoed = false;  ///< down -> hold by draining backlog
+    int level = 0;                 ///< electrical level before acting
+};
+
+/** Laser/VOA control-plane traffic for one fiber. */
+struct LaserTraceEvent
+{
+    Cycle at = 0;
+    int linkId = 0;
+    /** "request_up" (P_inc dispatched), "request_down" (P_dec
+     *  dispatched), "commit" (pending change landed), "preempt_down"
+     *  (pending decrease cancelled by an increase), "drop" (request
+     *  folded into an in-flight increase). */
+    const char *action = "";
+    int fromLevel = 0; ///< OpticalLevel as int
+    int toLevel = 0;
+};
+
+/** End-to-end latency sample recorded when a packet's tail ejects. */
+struct PacketRetireEvent
+{
+    Cycle at = 0; ///< ejection cycle
+    PacketId packet = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    Cycle createdAt = 0;
+    Cycle latency = 0; ///< at - createdAt
+    int lenFlits = 0;
+};
+
+/** Epoch-aligned power/utilization snapshot, per link kind. */
+struct PowerSnapshotEvent
+{
+    struct Kind
+    {
+        const char *kind = "";
+        int count = 0;
+        double powerMw = 0.0;
+        double baselineMw = 0.0;
+        double meanLevel = 0.0;
+        std::uint64_t totalFlits = 0;
+    };
+
+    Cycle at = 0;
+    Kind kinds[3];
+    int numKinds = 0;
+    double totalPowerMw = 0.0;
+    double baselinePowerMw = 0.0;
+    double normalizedPower = 0.0;
+};
+
+/**
+ * Event consumer. The base class implements every handler as a no-op,
+ * so concrete sinks override only what they record and emission sites
+ * can treat any sink uniformly. All sinks are called from the (single)
+ * thread simulating their system; a sink is never shared between
+ * concurrently running sweep points.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Announce the traced system's link table before any event. */
+    virtual void beginRun(const std::vector<TraceLinkInfo> &links)
+    {
+        (void)links;
+    }
+
+    virtual void linkTransition(const LinkTransitionEvent &e) { (void)e; }
+    virtual void dvsDecision(const DvsDecisionEvent &e) { (void)e; }
+    virtual void laserEvent(const LaserTraceEvent &e) { (void)e; }
+    virtual void packetRetire(const PacketRetireEvent &e) { (void)e; }
+    virtual void powerSnapshot(const PowerSnapshotEvent &e) { (void)e; }
+
+    /** Final cycle of the run; the sink may flush/close here. */
+    virtual void endRun(Cycle at) { (void)at; }
+};
+
+/** Explicit do-nothing sink (equivalent to tracing with nullptr). */
+class NullTraceSink final : public TraceSink
+{
+};
+
+} // namespace oenet
+
+#endif // OENET_TRACE_TRACE_HH

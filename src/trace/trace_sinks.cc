@@ -1,0 +1,331 @@
+#include "trace/trace_sinks.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+namespace {
+
+/** Shortest round-trip decimal form; deterministic across runs and
+ *  thread counts (same contract as the sweep-manifest writer). */
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+u64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+quoted(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+const char *
+traceFormatName(TraceFormat format)
+{
+    switch (format) {
+      case TraceFormat::kJsonl:
+        return "jsonl";
+      case TraceFormat::kChrome:
+        return "chrome";
+    }
+    panic("traceFormatName: bad format");
+}
+
+TraceFormat
+parseTraceFormat(const std::string &name)
+{
+    if (name == "jsonl")
+        return TraceFormat::kJsonl;
+    if (name == "chrome")
+        return TraceFormat::kChrome;
+    fatal("unknown trace format '%s' (expected jsonl or chrome)",
+          name.c_str());
+}
+
+// ---------------------------------------------------------------------
+// JsonlTraceSink
+// ---------------------------------------------------------------------
+
+JsonlTraceSink::JsonlTraceSink(const std::string &path)
+    : owned_(path, std::ios::binary | std::ios::trunc), os_(owned_)
+{
+    if (!owned_)
+        fatal("JsonlTraceSink: cannot open '%s'", path.c_str());
+}
+
+JsonlTraceSink::JsonlTraceSink(std::ostream &os) : os_(os)
+{
+}
+
+void
+JsonlTraceSink::beginRun(const std::vector<TraceLinkInfo> &links)
+{
+    os_ << "{\"type\": \"run_begin\", \"links\": " << links.size()
+        << "}\n";
+    for (const TraceLinkInfo &l : links) {
+        os_ << "{\"type\": \"link\", \"id\": " << l.id
+            << ", \"name\": " << quoted(l.name) << ", \"kind\": \""
+            << l.kind << "\"}\n";
+    }
+}
+
+void
+JsonlTraceSink::linkTransition(const LinkTransitionEvent &e)
+{
+    os_ << "{\"type\": \"transition\", \"at\": " << u64(e.completedAt)
+        << ", \"start\": " << u64(e.startedAt)
+        << ", \"link\": " << e.linkId << ", \"from\": " << e.fromLevel
+        << ", \"to\": " << e.toLevel
+        << ", \"latency\": " << u64(e.completedAt - e.startedAt)
+        << ", \"kind\": \"" << e.type << "\"}\n";
+}
+
+void
+JsonlTraceSink::dvsDecision(const DvsDecisionEvent &e)
+{
+    os_ << "{\"type\": \"dvs\", \"at\": " << u64(e.at)
+        << ", \"link\": " << e.linkId << ", \"lu\": " << num(e.lu)
+        << ", \"avg_lu\": " << num(e.avgLu)
+        << ", \"bu\": " << num(e.bu)
+        << ", \"th_low\": " << num(e.thLow)
+        << ", \"th_high\": " << num(e.thHigh) << ", \"decision\": \""
+        << e.decision << "\", \"level\": " << e.level
+        << ", \"backlog_escalated\": " << (e.backlogEscalated ? 1 : 0)
+        << ", \"downgrade_vetoed\": " << (e.downgradeVetoed ? 1 : 0)
+        << "}\n";
+}
+
+void
+JsonlTraceSink::laserEvent(const LaserTraceEvent &e)
+{
+    os_ << "{\"type\": \"laser\", \"at\": " << u64(e.at)
+        << ", \"link\": " << e.linkId << ", \"action\": \"" << e.action
+        << "\", \"from\": " << e.fromLevel << ", \"to\": " << e.toLevel
+        << "}\n";
+}
+
+void
+JsonlTraceSink::packetRetire(const PacketRetireEvent &e)
+{
+    os_ << "{\"type\": \"packet\", \"at\": " << u64(e.at)
+        << ", \"id\": " << u64(e.packet) << ", \"src\": " << e.src
+        << ", \"dst\": " << e.dst
+        << ", \"created\": " << u64(e.createdAt)
+        << ", \"latency\": " << u64(e.latency)
+        << ", \"len\": " << e.lenFlits << "}\n";
+}
+
+void
+JsonlTraceSink::powerSnapshot(const PowerSnapshotEvent &e)
+{
+    os_ << "{\"type\": \"power\", \"at\": " << u64(e.at)
+        << ", \"total_mw\": " << num(e.totalPowerMw)
+        << ", \"baseline_mw\": " << num(e.baselinePowerMw)
+        << ", \"normalized\": " << num(e.normalizedPower)
+        << ", \"kinds\": [";
+    for (int k = 0; k < e.numKinds; k++) {
+        const auto &kr = e.kinds[k];
+        if (k > 0)
+            os_ << ", ";
+        os_ << "{\"kind\": \"" << kr.kind
+            << "\", \"count\": " << kr.count
+            << ", \"power_mw\": " << num(kr.powerMw)
+            << ", \"baseline_mw\": " << num(kr.baselineMw)
+            << ", \"mean_level\": " << num(kr.meanLevel)
+            << ", \"flits\": " << u64(kr.totalFlits) << "}";
+    }
+    os_ << "]}\n";
+}
+
+void
+JsonlTraceSink::endRun(Cycle at)
+{
+    os_ << "{\"type\": \"run_end\", \"at\": " << u64(at) << "}\n";
+    os_.flush();
+}
+
+// ---------------------------------------------------------------------
+// ChromeTraceSink
+// ---------------------------------------------------------------------
+//
+// Layout: pid 0 holds one thread per link (transitions as "X" slices,
+// decisions and laser events as instants); pid 1 holds packet-latency
+// slices, one thread per source node; pid 2 holds the counter tracks
+// from the periodic power snapshots.
+
+ChromeTraceSink::ChromeTraceSink(const std::string &path)
+    : owned_(path, std::ios::binary | std::ios::trunc), os_(owned_)
+{
+    if (!owned_)
+        fatal("ChromeTraceSink: cannot open '%s'", path.c_str());
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os) : os_(os)
+{
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    if (!closed_)
+        endRun(0);
+}
+
+void
+ChromeTraceSink::open(const char *name, const char *cat, const char *ph,
+                      Cycle ts, int pid, int tid)
+{
+    os_ << (first_ ? "\n" : ",\n");
+    first_ = false;
+    os_ << "{\"name\": \"" << name << "\", \"cat\": \"" << cat
+        << "\", \"ph\": \"" << ph << "\", \"ts\": " << u64(ts)
+        << ", \"pid\": " << pid << ", \"tid\": " << tid;
+}
+
+void
+ChromeTraceSink::beginRun(const std::vector<TraceLinkInfo> &links)
+{
+    begun_ = true;
+    os_ << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    os_ << "\n{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+           "\"tid\": 0, \"args\": {\"name\": \"links\"}}";
+    os_ << ",\n{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": 0, \"args\": {\"name\": \"packets\"}}";
+    os_ << ",\n{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, "
+           "\"tid\": 0, \"args\": {\"name\": \"metrics\"}}";
+    first_ = false;
+    for (const TraceLinkInfo &l : links) {
+        os_ << ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
+               "0, \"tid\": "
+            << l.id << ", \"args\": {\"name\": " << quoted(l.name)
+            << "}}";
+    }
+}
+
+void
+ChromeTraceSink::linkTransition(const LinkTransitionEvent &e)
+{
+    char name[48];
+    std::snprintf(name, sizeof(name), "L%d->L%d", e.fromLevel,
+                  e.toLevel);
+    open(name, "transition", "X", e.startedAt, 0, e.linkId);
+    os_ << ", \"dur\": " << u64(e.completedAt - e.startedAt)
+        << ", \"args\": {\"from\": " << e.fromLevel
+        << ", \"to\": " << e.toLevel << ", \"kind\": \"" << e.type
+        << "\"}}";
+}
+
+void
+ChromeTraceSink::dvsDecision(const DvsDecisionEvent &e)
+{
+    open(e.decision, "dvs", "i", e.at, 0, e.linkId);
+    os_ << ", \"s\": \"t\", \"args\": {\"lu\": " << num(e.lu)
+        << ", \"avg_lu\": " << num(e.avgLu)
+        << ", \"bu\": " << num(e.bu)
+        << ", \"th_low\": " << num(e.thLow)
+        << ", \"th_high\": " << num(e.thHigh)
+        << ", \"level\": " << e.level
+        << ", \"backlog_escalated\": " << (e.backlogEscalated ? 1 : 0)
+        << ", \"downgrade_vetoed\": " << (e.downgradeVetoed ? 1 : 0)
+        << "}}";
+}
+
+void
+ChromeTraceSink::laserEvent(const LaserTraceEvent &e)
+{
+    char name[48];
+    std::snprintf(name, sizeof(name), "laser:%s", e.action);
+    open(name, "laser", "i", e.at, 0, e.linkId);
+    os_ << ", \"s\": \"t\", \"args\": {\"from\": " << e.fromLevel
+        << ", \"to\": " << e.toLevel << "}}";
+}
+
+void
+ChromeTraceSink::packetRetire(const PacketRetireEvent &e)
+{
+    open("pkt", "packet", "X", e.createdAt, 1,
+         static_cast<int>(e.src));
+    os_ << ", \"dur\": " << u64(e.latency)
+        << ", \"args\": {\"id\": " << u64(e.packet)
+        << ", \"dst\": " << e.dst << ", \"len\": " << e.lenFlits
+        << "}}";
+}
+
+void
+ChromeTraceSink::powerSnapshot(const PowerSnapshotEvent &e)
+{
+    open("power_mw", "power", "C", e.at, 2, 0);
+    os_ << ", \"args\": {";
+    for (int k = 0; k < e.numKinds; k++) {
+        if (k > 0)
+            os_ << ", ";
+        os_ << "\"" << e.kinds[k].kind
+            << "\": " << num(e.kinds[k].powerMw);
+    }
+    os_ << "}}";
+    open("normalized_power", "power", "C", e.at, 2, 0);
+    os_ << ", \"args\": {\"value\": " << num(e.normalizedPower) << "}}";
+    open("mean_level", "power", "C", e.at, 2, 0);
+    os_ << ", \"args\": {";
+    for (int k = 0; k < e.numKinds; k++) {
+        if (k > 0)
+            os_ << ", ";
+        os_ << "\"" << e.kinds[k].kind
+            << "\": " << num(e.kinds[k].meanLevel);
+    }
+    os_ << "}}";
+}
+
+void
+ChromeTraceSink::endRun(Cycle at)
+{
+    if (closed_)
+        return;
+    if (!begun_) {
+        // Never attached to a run: emit an empty but valid trace.
+        os_ << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": []}\n";
+        os_.flush();
+        closed_ = true;
+        return;
+    }
+    open("run_end", "meta", "i", at, 2, 0);
+    os_ << ", \"s\": \"g\"}";
+    os_ << "\n]}\n";
+    os_.flush();
+    closed_ = true;
+}
+
+// ---------------------------------------------------------------------
+
+std::unique_ptr<TraceSink>
+makeTraceSink(const std::string &path, TraceFormat format)
+{
+    switch (format) {
+      case TraceFormat::kJsonl:
+        return std::make_unique<JsonlTraceSink>(path);
+      case TraceFormat::kChrome:
+        return std::make_unique<ChromeTraceSink>(path);
+    }
+    panic("makeTraceSink: bad format");
+}
+
+} // namespace oenet

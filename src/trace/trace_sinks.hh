@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Concrete TraceSink implementations:
+ *
+ *   JsonlTraceSink   -- one JSON object per line, "type"-discriminated;
+ *                       greppable and trivially machine-parseable.
+ *   ChromeTraceSink  -- chrome://tracing / Perfetto "Trace Event
+ *                       Format" JSON: links become threads, transitions
+ *                       become complete ("X") slices whose duration is
+ *                       the transition latency, decisions become
+ *                       instants, power snapshots become counters.
+ *
+ * Both write cycle stamps and fixed-format numbers only, so a traced
+ * run's output is byte-identical for identical (config, seed) at any
+ * --jobs count. Timestamps are router-core cycles; in the Chrome
+ * viewer 1 "us" on the axis is 1 cycle.
+ */
+
+#ifndef OENET_TRACE_TRACE_SINKS_HH
+#define OENET_TRACE_TRACE_SINKS_HH
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+
+#include "trace/trace.hh"
+
+namespace oenet {
+
+/** On-disk trace flavor selected by --trace-format. */
+enum class TraceFormat
+{
+    kJsonl,
+    kChrome,
+};
+
+const char *traceFormatName(TraceFormat format);
+
+/** Parse "jsonl" / "chrome"; fatal() on anything else. */
+TraceFormat parseTraceFormat(const std::string &name);
+
+/** JSON-lines sink. Event order is emission order (cycle-stamped, not
+ *  globally sorted — lazy link state walks complete transitions when
+ *  the link is next touched). */
+class JsonlTraceSink final : public TraceSink
+{
+  public:
+    /** Write to @p path; fatal() if the file cannot be opened. */
+    explicit JsonlTraceSink(const std::string &path);
+
+    /** Write to a caller-owned stream (testing). */
+    explicit JsonlTraceSink(std::ostream &os);
+
+    void beginRun(const std::vector<TraceLinkInfo> &links) override;
+    void linkTransition(const LinkTransitionEvent &e) override;
+    void dvsDecision(const DvsDecisionEvent &e) override;
+    void laserEvent(const LaserTraceEvent &e) override;
+    void packetRetire(const PacketRetireEvent &e) override;
+    void powerSnapshot(const PowerSnapshotEvent &e) override;
+    void endRun(Cycle at) override;
+
+  private:
+    std::ofstream owned_;
+    std::ostream &os_;
+};
+
+/** Chrome "Trace Event Format" sink. Produces a single JSON object
+ *  {"displayTimeUnit": ..., "traceEvents": [...]}; load the file in
+ *  chrome://tracing or ui.perfetto.dev. */
+class ChromeTraceSink final : public TraceSink
+{
+  public:
+    explicit ChromeTraceSink(const std::string &path);
+    explicit ChromeTraceSink(std::ostream &os);
+    ~ChromeTraceSink() override;
+
+    void beginRun(const std::vector<TraceLinkInfo> &links) override;
+    void linkTransition(const LinkTransitionEvent &e) override;
+    void dvsDecision(const DvsDecisionEvent &e) override;
+    void laserEvent(const LaserTraceEvent &e) override;
+    void packetRetire(const PacketRetireEvent &e) override;
+    void powerSnapshot(const PowerSnapshotEvent &e) override;
+    void endRun(Cycle at) override;
+
+  private:
+    /** Start one event object (writes the separating comma). */
+    void open(const char *name, const char *cat, const char *ph,
+              Cycle ts, int pid, int tid);
+
+    std::ofstream owned_;
+    std::ostream &os_;
+    bool begun_ = false;
+    bool first_ = true;
+    bool closed_ = false;
+};
+
+/** In-memory sink for tests: every event is copied into a vector. */
+class RecordingTraceSink final : public TraceSink
+{
+  public:
+    void beginRun(const std::vector<TraceLinkInfo> &links) override
+    {
+        links_ = links;
+    }
+    void linkTransition(const LinkTransitionEvent &e) override
+    {
+        transitions_.push_back(e);
+    }
+    void dvsDecision(const DvsDecisionEvent &e) override
+    {
+        decisions_.push_back(e);
+    }
+    void laserEvent(const LaserTraceEvent &e) override
+    {
+        laser_.push_back(e);
+    }
+    void packetRetire(const PacketRetireEvent &e) override
+    {
+        packets_.push_back(e);
+    }
+    void powerSnapshot(const PowerSnapshotEvent &e) override
+    {
+        snapshots_.push_back(e);
+    }
+    void endRun(Cycle at) override { endedAt_ = at; }
+
+    const std::vector<TraceLinkInfo> &links() const { return links_; }
+    const std::vector<LinkTransitionEvent> &transitions() const
+    {
+        return transitions_;
+    }
+    const std::vector<DvsDecisionEvent> &decisions() const
+    {
+        return decisions_;
+    }
+    const std::vector<LaserTraceEvent> &laser() const { return laser_; }
+    const std::vector<PacketRetireEvent> &packets() const
+    {
+        return packets_;
+    }
+    const std::vector<PowerSnapshotEvent> &snapshots() const
+    {
+        return snapshots_;
+    }
+    Cycle endedAt() const { return endedAt_; }
+
+  private:
+    std::vector<TraceLinkInfo> links_;
+    std::vector<LinkTransitionEvent> transitions_;
+    std::vector<DvsDecisionEvent> decisions_;
+    std::vector<LaserTraceEvent> laser_;
+    std::vector<PacketRetireEvent> packets_;
+    std::vector<PowerSnapshotEvent> snapshots_;
+    Cycle endedAt_ = 0;
+};
+
+/** Open a file sink of the requested format. */
+std::unique_ptr<TraceSink> makeTraceSink(const std::string &path,
+                                         TraceFormat format);
+
+} // namespace oenet
+
+#endif // OENET_TRACE_TRACE_SINKS_HH

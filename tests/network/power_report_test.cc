@@ -88,6 +88,82 @@ TEST(PowerReport, ToStringMentionsEveryKind)
     EXPECT_NE(s.find("inter-router"), std::string::npos);
 }
 
+TEST(PowerReport, HistogramsSizedByMaxLevelAndSumToCount)
+{
+    Kernel kernel;
+    Network net(kernel, smallParams());
+    PowerReport r = makePowerReport(net, 0);
+    std::size_t bins =
+        static_cast<std::size_t>(net.levels().maxLevel()) + 1;
+    for (const auto &kr : r.byKind) {
+        ASSERT_EQ(kr.levelHistogram.size(), bins);
+        int sum = 0;
+        for (int b : kr.levelHistogram)
+            sum += b;
+        EXPECT_EQ(sum, kr.count);
+    }
+}
+
+TEST(PowerReport, MeanLevelAveragesMixedLevels)
+{
+    Kernel kernel;
+    Network net(kernel, smallParams());
+    // Half the injection links to level 1, half stay at 5.
+    int moved = 0;
+    for (std::size_t i = 0; i < net.numLinks(); i++) {
+        if (net.linkSpec(i).kind == LinkKind::kInjection && moved < 4) {
+            net.link(i).requestLevel(0, 1);
+            moved++;
+        }
+    }
+    kernel.run(300); // let transitions finish
+    PowerReport r = makePowerReport(net, kernel.now());
+    const auto &inj = r.forKind(LinkKind::kInjection);
+    EXPECT_DOUBLE_EQ(inj.meanLevel, (4 * 1 + 4 * 5) / 8.0);
+    EXPECT_EQ(inj.levelHistogram[1], 4);
+    EXPECT_EQ(inj.levelHistogram[5], 4);
+}
+
+TEST(PowerReport, KindWithNoLinksKeepsNormalizedPowerZero)
+{
+    // A 1x1 mesh has no inter-router links: the count-0 guard must
+    // keep that kind's normalizedPower/meanLevel at 0 instead of 0/0.
+    Network::Params p;
+    p.meshX = 1;
+    p.meshY = 1;
+    p.nodesPerCluster = 1;
+    Kernel kernel;
+    Network net(kernel, p);
+    PowerReport r = makePowerReport(net, 0);
+    const auto &ir = r.forKind(LinkKind::kInterRouter);
+    EXPECT_EQ(ir.count, 0);
+    EXPECT_DOUBLE_EQ(ir.baselineMw, 0.0);
+    EXPECT_DOUBLE_EQ(ir.normalizedPower, 0.0);
+    EXPECT_DOUBLE_EQ(ir.meanLevel, 0.0);
+    // The network still has injection/ejection links, so the whole-
+    // system ratio is well defined.
+    EXPECT_GT(r.baselinePowerMw, 0.0);
+    EXPECT_NEAR(r.normalizedPower, 1.0, 1e-9);
+    // toString skips the empty kind entirely.
+    EXPECT_EQ(r.toString().find("inter-router"), std::string::npos);
+}
+
+TEST(PowerReport, LinkRowsReflectTransitionsAndFlitCounters)
+{
+    Kernel kernel;
+    Network net(kernel, smallParams());
+    net.link(0).requestLevel(0, 4);
+    kernel.run(300);
+    auto rows = collectLinkRows(net, kernel.now());
+    EXPECT_EQ(rows[0].transitions, 1u);
+    EXPECT_EQ(rows[0].level, 4);
+    // resetStats clears the cumulative counters the rows report.
+    net.resetStats(kernel.now());
+    rows = collectLinkRows(net, kernel.now());
+    EXPECT_EQ(rows[0].transitions, 0u);
+    EXPECT_EQ(rows[0].totalFlits, 0u);
+}
+
 TEST(PowerReport, LinkRowsCoverAllLinks)
 {
     Kernel kernel;

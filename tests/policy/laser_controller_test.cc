@@ -113,7 +113,72 @@ TEST(LaserPowerState, DecreaseBlockedWhilePending)
     LaserPowerState s(fastParams(), OpticalLevel::kLow);
     s.requestIncrease(0);
     s.observeBitRate(3.3);
-    s.epochDecision(10); // increase pending: no P_dec
+    EXPECT_FALSE(s.epochDecision(10)); // increase pending: no P_dec
     s.advance(100);
     EXPECT_EQ(s.level(), OpticalLevel::kMid);
+}
+
+// ---------------------------------------------------------------------
+// Regression: a P_inc arriving while a P_dec is still in the VOA
+// pipeline used to be silently dropped, leaving a loaded link stuck
+// waiting for light that was about to be *reduced*. The increase must
+// preempt the pending decrease (and, below kHigh, dispatch).
+// ---------------------------------------------------------------------
+
+TEST(LaserPowerState, IncreasePreemptsPendingDecreaseAtMax)
+{
+    LaserPowerState s(fastParams()); // kHigh
+    s.observeBitRate(5.5);
+    EXPECT_TRUE(s.epochDecision(500)); // P_dec toward kMid dispatched
+    EXPECT_TRUE(s.changePending());
+    EXPECT_EQ(s.guaranteedLevel(), OpticalLevel::kMid);
+
+    // Load returns before the VOA settles: cancel the decrease.
+    EXPECT_EQ(s.requestIncrease(550), LaserRequestOutcome::kPreempted);
+    EXPECT_FALSE(s.changePending());
+    EXPECT_EQ(s.guaranteedLevel(), OpticalLevel::kHigh);
+    EXPECT_EQ(s.decreasesPreempted(), 1u);
+
+    // The cancelled decrease must never commit (decreases() counts
+    // dispatches, so it stays at 1; the preemption counter tells the
+    // rest of the story).
+    EXPECT_FALSE(s.advance(700));
+    EXPECT_EQ(s.level(), OpticalLevel::kHigh);
+    EXPECT_EQ(s.decreases(), 1u);
+}
+
+TEST(LaserPowerState, IncreasePreemptsDecreaseAndDispatchesBelowMax)
+{
+    LaserPowerState s(fastParams(), OpticalLevel::kMid);
+    s.observeBitRate(2.0);
+    EXPECT_TRUE(s.epochDecision(500)); // P_dec toward kLow
+    EXPECT_EQ(s.requestIncrease(550),
+              LaserRequestOutcome::kPreemptedAndDispatched);
+    EXPECT_EQ(s.decreasesPreempted(), 1u);
+    EXPECT_EQ(s.increases(), 1u);
+    // The replacement P_inc commits one response time after dispatch.
+    EXPECT_FALSE(s.advance(649));
+    EXPECT_TRUE(s.advance(650));
+    EXPECT_EQ(s.level(), OpticalLevel::kHigh);
+    EXPECT_EQ(s.decreases(), 1u); // dispatched once, never committed
+}
+
+TEST(LaserPowerState, DuplicateIncreaseIsCountedDropped)
+{
+    LaserPowerState s(fastParams(), OpticalLevel::kLow);
+    EXPECT_EQ(s.requestIncrease(0), LaserRequestOutcome::kDispatched);
+    EXPECT_EQ(s.requestIncrease(10),
+              LaserRequestOutcome::kAlreadyRising);
+    EXPECT_EQ(s.increases(), 1u);
+    EXPECT_EQ(s.increasesDropped(), 1u);
+    EXPECT_EQ(s.decreasesPreempted(), 0u);
+}
+
+TEST(LaserPowerState, IncreaseAtMaxWithoutPendingReportsAtMax)
+{
+    LaserPowerState s(fastParams()); // kHigh, nothing pending
+    EXPECT_EQ(s.requestIncrease(0), LaserRequestOutcome::kAtMax);
+    EXPECT_FALSE(s.changePending());
+    EXPECT_EQ(s.increases(), 0u);
+    EXPECT_EQ(s.decreasesPreempted(), 0u);
 }

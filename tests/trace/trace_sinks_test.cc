@@ -1,0 +1,175 @@
+/** @file Unit tests for the trace sinks (JSONL / Chrome / recording). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "trace/trace_sinks.hh"
+
+using namespace oenet;
+
+namespace {
+
+std::vector<TraceLinkInfo>
+twoLinks()
+{
+    return {{0, "inj0", "injection"}, {1, "rtr0", "inter-router"}};
+}
+
+LinkTransitionEvent
+sampleTransition()
+{
+    LinkTransitionEvent e;
+    e.startedAt = 100;
+    e.completedAt = 220;
+    e.linkId = 1;
+    e.fromLevel = 5;
+    e.toLevel = 4;
+    e.type = "level";
+    return e;
+}
+
+std::size_t
+countLines(const std::string &s)
+{
+    return static_cast<std::size_t>(
+        std::count(s.begin(), s.end(), '\n'));
+}
+
+} // namespace
+
+TEST(TraceFormat, ParseAndNameRoundTrip)
+{
+    EXPECT_EQ(parseTraceFormat("jsonl"), TraceFormat::kJsonl);
+    EXPECT_EQ(parseTraceFormat("chrome"), TraceFormat::kChrome);
+    EXPECT_STREQ(traceFormatName(TraceFormat::kJsonl), "jsonl");
+    EXPECT_STREQ(traceFormatName(TraceFormat::kChrome), "chrome");
+}
+
+TEST(JsonlTraceSink, OneObjectPerLine)
+{
+    std::ostringstream os;
+    {
+        JsonlTraceSink sink(os);
+        sink.beginRun(twoLinks());
+        sink.linkTransition(sampleTransition());
+        sink.endRun(5000);
+    }
+    std::string out = os.str();
+    // run_begin + 2 link rows + 1 transition + run_end.
+    EXPECT_EQ(countLines(out), 5u);
+    EXPECT_NE(out.find("\"type\": \"run_begin\""), std::string::npos);
+    EXPECT_NE(out.find("\"type\": \"link\""), std::string::npos);
+    EXPECT_NE(out.find("\"type\": \"transition\""), std::string::npos);
+    EXPECT_NE(out.find("\"latency\": 120"), std::string::npos);
+    EXPECT_NE(out.find("\"type\": \"run_end\""), std::string::npos);
+}
+
+TEST(JsonlTraceSink, OutputIsDeterministic)
+{
+    auto emit = []() {
+        std::ostringstream os;
+        JsonlTraceSink sink(os);
+        sink.beginRun(twoLinks());
+        DvsDecisionEvent d{};
+        d.at = 400;
+        d.linkId = 0;
+        d.lu = 1.0 / 3.0; // exercises the %.17g formatting
+        d.avgLu = 0.1;
+        d.bu = 0.25;
+        d.thLow = 0.4;
+        d.thHigh = 0.6;
+        d.decision = "down";
+        d.level = 5;
+        sink.dvsDecision(d);
+        sink.endRun(1000);
+        return os.str();
+    };
+    EXPECT_EQ(emit(), emit());
+}
+
+TEST(ChromeTraceSink, ProducesBalancedJsonWrapper)
+{
+    std::ostringstream os;
+    {
+        ChromeTraceSink sink(os);
+        sink.beginRun(twoLinks());
+        sink.linkTransition(sampleTransition());
+        LaserTraceEvent l{300, 0, "request_up", 1, 2};
+        sink.laserEvent(l);
+        sink.endRun(5000);
+    }
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(out.find("\"dur\": 120"), std::string::npos);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+    EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+              std::count(out.begin(), out.end(), ']'));
+    EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(ChromeTraceSink, EndWithoutBeginIsValidEmptyTrace)
+{
+    std::ostringstream os;
+    {
+        ChromeTraceSink sink(os); // destructor closes an unbegun run
+    }
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"traceEvents\": []"), std::string::npos);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+}
+
+TEST(ChromeTraceSink, DoubleEndRunWritesOneWrapper)
+{
+    std::ostringstream os;
+    {
+        ChromeTraceSink sink(os);
+        sink.beginRun(twoLinks());
+        sink.endRun(100);
+        // The destructor must not close the array a second time.
+    }
+    std::string out = os.str();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+              std::count(out.begin(), out.end(), ']'));
+}
+
+TEST(RecordingTraceSink, StoresEveryEventKind)
+{
+    RecordingTraceSink sink;
+    sink.beginRun(twoLinks());
+    sink.linkTransition(sampleTransition());
+    sink.dvsDecision(DvsDecisionEvent{});
+    sink.laserEvent(LaserTraceEvent{10, 0, "commit", 1, 2});
+    sink.packetRetire(PacketRetireEvent{50, 7, 0, 3, 20, 30, 4});
+    sink.powerSnapshot(PowerSnapshotEvent{});
+    sink.endRun(99);
+    EXPECT_EQ(sink.links().size(), 2u);
+    EXPECT_EQ(sink.transitions().size(), 1u);
+    EXPECT_EQ(sink.decisions().size(), 1u);
+    EXPECT_EQ(sink.laser().size(), 1u);
+    ASSERT_EQ(sink.packets().size(), 1u);
+    EXPECT_EQ(sink.packets()[0].latency, 30u);
+    EXPECT_EQ(sink.snapshots().size(), 1u);
+    EXPECT_EQ(sink.endedAt(), 99u);
+}
+
+TEST(MakeTraceSink, CreatesRequestedFlavor)
+{
+    std::string dir = ::testing::TempDir();
+    auto j = makeTraceSink(dir + "/t.jsonl", TraceFormat::kJsonl);
+    auto c = makeTraceSink(dir + "/t.json", TraceFormat::kChrome);
+    EXPECT_NE(dynamic_cast<JsonlTraceSink *>(j.get()), nullptr);
+    EXPECT_NE(dynamic_cast<ChromeTraceSink *>(c.get()), nullptr);
+}
+
+TEST(NullTraceSink, HandlersAreNoOps)
+{
+    NullTraceSink sink;
+    sink.beginRun(twoLinks());
+    sink.linkTransition(sampleTransition());
+    sink.endRun(10); // nothing observable; must simply not crash
+}
