@@ -8,6 +8,8 @@
 #ifndef OENET_BENCH_BENCH_UTIL_HH
 #define OENET_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +37,59 @@ struct BenchArgs
     Cycle metricsInterval = 1000; ///< --metrics-interval N; 0 = off
 };
 
+/** Parse a decimal unsigned flag value, rejecting garbage, trailing
+ *  junk, negatives, and out-of-range numbers with a one-line error
+ *  naming the flag. */
+inline std::uint64_t
+parseFlagUint(const char *prog, const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    // strtoull silently wraps "-1"; reject signs up front.
+    if (text[0] == '-' || text[0] == '+')
+        fatal("%s: %s needs an unsigned number, got '%s'", prog, flag,
+              text);
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        fatal("%s: %s needs a number, got '%s'", prog, flag, text);
+    if (errno == ERANGE)
+        fatal("%s: %s value '%s' out of range", prog, flag, text);
+    return v;
+}
+
+/** Parse a decimal int flag value in [@p lo, @p hi], rejecting
+ *  garbage and out-of-range numbers with a one-line error. */
+inline int
+parseFlagInt(const char *prog, const char *flag, const char *text,
+             int lo, int hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0')
+        fatal("%s: %s needs a number, got '%s'", prog, flag, text);
+    if (errno == ERANGE || v < lo || v > hi)
+        fatal("%s: %s value '%s' out of range [%d, %d]", prog, flag,
+              text, lo, hi);
+    return static_cast<int>(v);
+}
+
+/** Parse a decimal floating-point flag value in [@p lo, @p hi]. */
+inline double
+parseFlagDouble(const char *prog, const char *flag, const char *text,
+                double lo, double hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        fatal("%s: %s needs a number, got '%s'", prog, flag, text);
+    if (errno == ERANGE || !(v >= lo && v <= hi))
+        fatal("%s: %s value '%s' out of range [%g, %g]", prog, flag,
+              text, lo, hi);
+    return v;
+}
+
 /** Parse --jobs / --seed / --smoke / --quiet / --trace /
  *  --trace-format / --metrics-interval / --help. Exits on --help or an
  *  unknown flag. @p default_seed is the bench's historical seed, kept
@@ -53,9 +108,9 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
             return argv[++i];
         };
         if (std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "-j") == 0) {
-            args.jobs = std::atoi(value());
+            args.jobs = parseFlagInt(argv[0], a, value(), 0, 4096);
         } else if (std::strcmp(a, "--seed") == 0) {
-            args.seed = std::strtoull(value(), nullptr, 10);
+            args.seed = parseFlagUint(argv[0], a, value());
         } else if (std::strcmp(a, "--smoke") == 0) {
             args.smoke = true;
         } else if (std::strcmp(a, "--quiet") == 0) {
@@ -65,7 +120,8 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
         } else if (std::strcmp(a, "--trace-format") == 0) {
             args.traceFormat = parseTraceFormat(value());
         } else if (std::strcmp(a, "--metrics-interval") == 0) {
-            args.metricsInterval = std::strtoull(value(), nullptr, 10);
+            args.metricsInterval =
+                parseFlagUint(argv[0], a, value());
         } else if (std::strcmp(a, "--help") == 0 ||
                    std::strcmp(a, "-h") == 0) {
             std::printf(

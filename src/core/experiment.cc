@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include "common/log.hh"
+#include "common/rng.hh"
 
 namespace oenet {
 
@@ -39,6 +40,11 @@ TrafficSpec::traceReplay(const TraceData &trace)
 std::unique_ptr<TrafficSource>
 makeTraffic(const TrafficSpec &spec, const SystemConfig &config)
 {
+    if (spec.rate < 0.0)
+        fatal("makeTraffic: negative injection rate %g", spec.rate);
+    if (spec.packetLen < 1)
+        fatal("makeTraffic: packet length must be >= 1 flit, got %d",
+              spec.packetLen);
     switch (spec.kind) {
       case TrafficSpec::Kind::kUniform: {
         UniformRandomTraffic::Params p;
@@ -86,8 +92,14 @@ RunMetrics
 runExperiment(const SystemConfig &config, const TrafficSpec &spec,
               const RunProtocol &protocol, const TraceOptions &trace)
 {
-    PoeSystem sys(config);
-    sys.setTraffic(makeTraffic(spec, config));
+    SystemConfig cfg = config;
+    // An unset fault seed follows the traffic seed (decorrelated by the
+    // stream-splitting hash) so every sweep point gets an independent,
+    // reproducible fault history with no extra flags.
+    if (cfg.fault.enabled && cfg.fault.seed == 0)
+        cfg.fault.seed = deriveStreamSeed(spec.seed, 0x0fa117u);
+    PoeSystem sys(cfg);
+    sys.setTraffic(makeTraffic(spec, cfg));
     if (trace.sink)
         sys.setTraceSink(trace.sink, trace.metricsInterval);
     sys.run(protocol.warmup);

@@ -45,6 +45,22 @@ struct RunMetrics
     std::uint64_t decisionsDown = 0;
     std::uint64_t opticalStalls = 0;
 
+    // Fault/resilience activity (all zero when faults are disabled).
+    // These are whole-run totals, not windowed, and are deliberately
+    // NOT part of the sweep manifest columns (which are frozen for
+    // byte-compatibility); the resilience bench reports them itself.
+    int linkHardFailures = 0;
+    std::uint64_t flitsCorrupted = 0;
+    std::uint64_t flitRetries = 0;
+    std::uint64_t lockLossEvents = 0;
+    std::uint64_t flitsDroppedOnFail = 0;
+    std::uint64_t flitsDroppedDeadPort = 0;
+    std::uint64_t poisonedWormholes = 0;
+    std::uint64_t dvsClamps = 0;
+    std::uint64_t voaDelayed = 0;
+    std::uint64_t voaLost = 0;
+    std::uint64_t voaRetries = 0;
+
     Cycle measuredCycles = 0;
 
     /** One-line summary for logs. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "fault/fault_injector.hh"
 #include "network/power_report.hh"
 
 namespace oenet {
@@ -10,14 +11,29 @@ namespace oenet {
 PoeSystem::PoeSystem(const SystemConfig &config)
     : config_(config), latencyHist_(0.0, 50000.0, 500)
 {
+    config_.validate();
     // The traffic pump ticks before routers and nodes so packets created
     // at cycle t can start injecting at cycle t.
     kernel_.addTicking(this);
     network_ = std::make_unique<Network>(kernel_, config_.networkParams());
     network_->setPacketSink(this);
-    if (config_.powerAware)
+    if (config_.fault.enabled) {
+        if (config_.fault.killLink != kInvalid &&
+            config_.fault.killLink >=
+                static_cast<int>(network_->numLinks())) {
+            warn("fault.kill_link %d >= %zu links; no link will die",
+                 config_.fault.killLink, network_->numLinks());
+        }
+        faults_ = std::make_unique<FaultInjector>(
+            config_.fault, static_cast<int>(network_->numLinks()));
+        network_->setFaultInjector(faults_.get());
+    }
+    if (config_.powerAware) {
         engine_ = std::make_unique<PolicyEngine>(kernel_, *network_,
                                                  config_.engineParams());
+        if (faults_)
+            engine_->setFaultInjector(faults_.get());
+    }
 }
 
 PoeSystem::~PoeSystem()
@@ -219,6 +235,19 @@ PoeSystem::metrics()
         m.decisionsUp = engine_->totalDecisionsUp();
         m.decisionsDown = engine_->totalDecisionsDown();
         m.opticalStalls = engine_->totalOpticalStalls();
+        m.dvsClamps = engine_->totalDvsClamps();
+        m.voaDelayed = engine_->totalVoaDelayed();
+        m.voaLost = engine_->totalVoaLost();
+        m.voaRetries = engine_->totalVoaRetries();
+    }
+    if (faults_) {
+        m.linkHardFailures = network_->failedLinks();
+        m.flitsCorrupted = network_->flitsCorrupted();
+        m.flitRetries = network_->flitRetries();
+        m.lockLossEvents = network_->lockLossEvents();
+        m.flitsDroppedOnFail = network_->flitsDroppedOnFail();
+        m.flitsDroppedDeadPort = network_->flitsDroppedDeadPort();
+        m.poisonedWormholes = network_->poisonedWormholes();
     }
     return m;
 }

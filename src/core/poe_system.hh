@@ -33,6 +33,8 @@
 
 namespace oenet {
 
+class FaultInjector;
+
 class PoeSystem : public PacketSink, public Ticking
 {
   public:
@@ -93,6 +95,10 @@ class PoeSystem : public PacketSink, public Ticking
     Kernel &kernel() { return kernel_; }
     Network &network() { return *network_; }
     PolicyEngine *engine() { return engine_.get(); }
+
+    /** The fault injector, or null when fault injection is off. */
+    FaultInjector *faultInjector() { return faults_.get(); }
+
     const SystemConfig &config() const { return config_; }
     Cycle now() const { return kernel_.now(); }
 
@@ -100,6 +106,7 @@ class PoeSystem : public PacketSink, public Ticking
     SystemConfig config_;
     Kernel kernel_;
     std::unique_ptr<Network> network_;
+    std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<PolicyEngine> engine_;
     std::unique_ptr<TrafficSource> traffic_;
     std::vector<PacketDesc> scratchArrivals_;

@@ -109,6 +109,43 @@ SystemConfig::fromConfig(const Config &config)
     c.proportional.slidingWindows = static_cast<int>(config.getInt(
         "policy.prop_sliding", c.proportional.slidingWindows));
 
+    c.fault.enabled = config.getBool("fault.enabled", c.fault.enabled);
+    c.fault.seed = config.getUint("fault.seed", c.fault.seed);
+    c.fault.berScale =
+        config.getDouble("fault.ber_scale", c.fault.berScale);
+    c.fault.berFloor =
+        config.getDouble("fault.ber_floor", c.fault.berFloor);
+    c.fault.lockLossPerCycle = config.getDouble(
+        "fault.lock_loss", c.fault.lockLossPerCycle);
+    c.fault.lockLossOutageCycles = config.getUint(
+        "fault.lock_outage", c.fault.lockLossOutageCycles);
+    c.fault.hardFailPerCycle = config.getDouble(
+        "fault.hard_fail", c.fault.hardFailPerCycle);
+    c.fault.killLink = static_cast<int>(
+        config.getInt("fault.kill_link", c.fault.killLink));
+    c.fault.killCycle =
+        config.getUint("fault.kill_cycle", c.fault.killCycle);
+    c.fault.voaDelayProb =
+        config.getDouble("fault.voa_delay", c.fault.voaDelayProb);
+    c.fault.voaDelayFactor = config.getDouble(
+        "fault.voa_delay_factor", c.fault.voaDelayFactor);
+    c.fault.voaLossProb =
+        config.getDouble("fault.voa_loss", c.fault.voaLossProb);
+    c.fault.voaTimeoutCycles = config.getUint(
+        "fault.voa_timeout", c.fault.voaTimeoutCycles);
+    c.fault.ackProcessingCycles = config.getUint(
+        "fault.ack_cycles", c.fault.ackProcessingCycles);
+    c.fault.retryBackoffBase = config.getUint(
+        "fault.backoff_base", c.fault.retryBackoffBase);
+    c.fault.retryBackoffCap = config.getUint(
+        "fault.backoff_cap", c.fault.retryBackoffCap);
+    c.fault.clampErrorRate =
+        config.getDouble("fault.clamp_rate", c.fault.clampErrorRate);
+    c.fault.clampForceUp =
+        config.getBool("fault.clamp_force_up", c.fault.clampForceUp);
+    c.fault.orphanTimeoutCycles = config.getUint(
+        "fault.orphan_timeout", c.fault.orphanTimeoutCycles);
+
     // Test-chip calibration feed-in (Section 5's stated next step).
     std::string calib = config.getString("link.calibration", "");
     if (!calib.empty()) {
@@ -124,10 +161,90 @@ SystemConfig::fromConfig(const Config &config)
         }
     }
 
-    if (c.opticalMode == OpticalMode::kTriLevel &&
-        c.scheme != LinkScheme::kModulator)
-        fatal("tri-level optical power requires the modulator scheme");
+    c.validate();
     return c;
+}
+
+void
+SystemConfig::validate() const
+{
+    auto checkProb = [](const char *name, double p) {
+        if (!(p >= 0.0 && p <= 1.0))
+            fatal("%s must be a probability in [0, 1], got %g", name, p);
+    };
+
+    if (meshX < 1 || meshY < 1)
+        fatal("mesh.x/mesh.y must be >= 1, got %dx%d", meshX, meshY);
+    if (clusterSize < 1)
+        fatal("mesh.cluster must be >= 1, got %d", clusterSize);
+    if (numVcs < 1)
+        fatal("router.vcs must be >= 1, got %d", numVcs);
+    if (bufferDepthPerPort < numVcs) {
+        fatal("router.buffer (%d) must be >= router.vcs (%d): every "
+              "VC needs at least one buffer slot",
+              bufferDepthPerPort, numVcs);
+    }
+    if (!(brMinGbps > 0.0))
+        fatal("link.br_min must be > 0, got %g", brMinGbps);
+    if (!(brMaxGbps >= brMinGbps)) {
+        fatal("link.br_max (%g) must be >= link.br_min (%g)",
+              brMaxGbps, brMinGbps);
+    }
+    if (numLevels < 1)
+        fatal("link.levels must be >= 1, got %d", numLevels);
+    if (!(vmaxV > 0.0))
+        fatal("vmax must be > 0, got %g", vmaxV);
+    // Zero transition times are legitimate (the no_tv/no_tbr
+    // ablations); negative values cannot happen (unsigned).
+    if (!(offPowerMw >= 0.0))
+        fatal("off power must be >= 0, got %g", offPowerMw);
+
+    int max_level = numLevels - 1;
+    if (staticLevel != kInvalid &&
+        (staticLevel < 0 || staticLevel > max_level)) {
+        fatal("policy.static_level %d out of range [0, %d]",
+              staticLevel, max_level);
+    }
+    if (minLevel < 0 || minLevel > max_level) {
+        fatal("policy.min_level %d out of range [0, %d]", minLevel,
+              max_level);
+    }
+    if (powerAware && windowCycles == 0)
+        fatal("policy.window must be > 0 when the policy is enabled");
+    if (opticalMode == OpticalMode::kTriLevel) {
+        if (scheme != LinkScheme::kModulator)
+            fatal("tri-level optical power requires the modulator "
+                  "scheme");
+        if (laser.decisionEpochCycles == 0)
+            fatal("optical.epoch must be > 0 in tri-level mode");
+    }
+
+    checkProb("fault.ber_floor", fault.berFloor);
+    if (!(fault.berScale >= 0.0))
+        fatal("fault.ber_scale must be >= 0, got %g", fault.berScale);
+    checkProb("fault.lock_loss", fault.lockLossPerCycle);
+    checkProb("fault.hard_fail", fault.hardFailPerCycle);
+    checkProb("fault.voa_delay", fault.voaDelayProb);
+    checkProb("fault.voa_loss", fault.voaLossProb);
+    if (!(fault.voaDelayProb + fault.voaLossProb <= 1.0)) {
+        fatal("fault.voa_delay + fault.voa_loss must be <= 1, got %g",
+              fault.voaDelayProb + fault.voaLossProb);
+    }
+    if (!(fault.voaDelayFactor >= 1.0)) {
+        fatal("fault.voa_delay_factor must be >= 1, got %g",
+              fault.voaDelayFactor);
+    }
+    if (fault.killLink != kInvalid && fault.killLink < 0) {
+        fatal("fault.kill_link must be a link index or -1, got %d",
+              fault.killLink);
+    }
+    if (fault.retryBackoffCap < fault.retryBackoffBase) {
+        fatal("fault.backoff_cap (%llu) must be >= fault.backoff_base "
+              "(%llu)",
+              static_cast<unsigned long long>(fault.retryBackoffCap),
+              static_cast<unsigned long long>(fault.retryBackoffBase));
+    }
+    checkProb("fault.clamp_rate", fault.clampErrorRate);
 }
 
 Network::Params

@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "common/config.hh"
+#include "fault/fault.hh"
 #include "network/network.hh"
 #include "policy/controller.hh"
 
@@ -64,10 +65,21 @@ struct SystemConfig
      *  the linear brMin..brMax table when present. */
     std::optional<BitrateLevelTable> measuredLevels;
 
+    /** Fault injection (off by default; see fault/fault.hh). */
+    FaultParams fault{};
+
     int numNodes() const { return meshX * meshY * clusterSize; }
 
     /** Parse overrides from a Config (keys documented in README). */
     static SystemConfig fromConfig(const Config &config);
+
+    /**
+     * Reject nonsensical configurations with an actionable fatal()
+     * message naming the offending field and its constraint. Called by
+     * fromConfig() and the PoeSystem constructor, so a bad config
+     * fails fast whether it came from flags or from code.
+     */
+    void validate() const;
 
     Network::Params networkParams() const;
     PolicyEngine::Params engineParams() const;

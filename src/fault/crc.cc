@@ -1,0 +1,44 @@
+#include "fault/crc.hh"
+
+#include "router/flit.hh"
+
+namespace oenet {
+
+std::uint16_t
+crc16(const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::uint16_t crc = 0xFFFF;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc ^= static_cast<std::uint16_t>(bytes[i]) << 8;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 0x8000)
+                crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+            else
+                crc = static_cast<std::uint16_t>(crc << 1);
+        }
+    }
+    return crc;
+}
+
+std::uint16_t
+flitCrc(const Flit &flit)
+{
+    // Serialize the identity fields into a fixed-layout buffer rather
+    // than hashing the struct (padding bytes are indeterminate).
+    std::uint8_t buf[8 + 4 + 4 + 2 + 2 + 1] = {};
+    std::size_t off = 0;
+    auto put = [&](std::uint64_t v, int bytes) {
+        for (int i = 0; i < bytes; ++i)
+            buf[off++] = static_cast<std::uint8_t>(v >> (8 * i));
+    };
+    put(flit.packet, 8);
+    put(flit.src, 4);
+    put(flit.dst, 4);
+    put(flit.seq, 2);
+    put(flit.len, 2);
+    put(flit.flags, 1);
+    return crc16(buf, off);
+}
+
+} // namespace oenet

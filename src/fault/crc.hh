@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CRC-16/CCITT-FALSE over flit identity fields.
+ *
+ * The link layer tags every flit with a 16-bit CRC so the receiver can
+ * detect corruption injected by the fault model. A real serdes would
+ * compute the CRC over the payload bits; the simulator carries no
+ * payload, so we hash the identity fields that matter for protocol
+ * correctness (packet id, source, destination, sequence number, flags).
+ * The polynomial is the standard CCITT 0x1021 with init 0xFFFF.
+ */
+
+#ifndef OENET_FAULT_CRC_HH
+#define OENET_FAULT_CRC_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oenet {
+
+struct Flit;
+
+/** CRC-16/CCITT-FALSE of @p len bytes at @p data. */
+std::uint16_t crc16(const void *data, std::size_t len);
+
+/** CRC over a flit's identity fields. */
+std::uint16_t flitCrc(const Flit &flit);
+
+} // namespace oenet
+
+#endif // OENET_FAULT_CRC_HH

@@ -1,0 +1,85 @@
+#include "fault/fault_injector.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+FaultInjector::FaultInjector(const FaultParams &params, int num_links)
+    : params_(params)
+{
+    if (num_links < 0)
+        panic("fault injector built with %d links", num_links);
+    links_.resize(static_cast<std::size_t>(num_links));
+    for (int i = 0; i < num_links; ++i) {
+        LinkStream &ls = links_[static_cast<std::size_t>(i)];
+        ls.rng.seed(deriveStreamSeed(params_.seed,
+                                     static_cast<std::uint64_t>(i)));
+        // Anchor the first scheduled events now, from the stream's
+        // pristine state, so their timing is independent of how many
+        // corruption draws the link makes before they strike.
+        ls.nextLockLoss = drawGap(ls.rng, params_.lockLossPerCycle);
+        ls.hardFailAt = drawGap(ls.rng, params_.hardFailPerCycle);
+        if (params_.killLink == i && params_.killCycle < ls.hardFailAt)
+            ls.hardFailAt = params_.killCycle;
+    }
+}
+
+Cycle
+FaultInjector::drawGap(Rng &rng, double p)
+{
+    if (p <= 0.0)
+        return kNeverCycle;
+    std::uint64_t gap = rng.geometric(p);
+    if (gap >= kNeverCycle - 1)
+        return kNeverCycle;
+    return gap + 1;
+}
+
+bool
+FaultInjector::drawFlitCorrupt(int link, double prob)
+{
+    if (prob <= 0.0)
+        return false;
+    return links_[static_cast<std::size_t>(link)].rng.bernoulli(prob);
+}
+
+Cycle
+FaultInjector::peekLockLoss(int link) const
+{
+    return links_[static_cast<std::size_t>(link)].nextLockLoss;
+}
+
+void
+FaultInjector::consumeLockLoss(int link)
+{
+    LinkStream &ls = links_[static_cast<std::size_t>(link)];
+    if (ls.nextLockLoss == kNeverCycle)
+        panic("consuming a lock-loss event that was never scheduled");
+    Cycle gap = drawGap(ls.rng, params_.lockLossPerCycle);
+    Cycle base = ls.nextLockLoss + params_.lockLossOutageCycles;
+    ls.nextLockLoss =
+        (gap == kNeverCycle || base > kNeverCycle - gap) ? kNeverCycle
+                                                         : base + gap;
+}
+
+Cycle
+FaultInjector::hardFailAtCycle(int link) const
+{
+    return links_[static_cast<std::size_t>(link)].hardFailAt;
+}
+
+VoaFault
+FaultInjector::drawVoaFault(int link)
+{
+    if (params_.voaLossProb <= 0.0 && params_.voaDelayProb <= 0.0)
+        return VoaFault::kClean;
+    LinkStream &ls = links_[static_cast<std::size_t>(link)];
+    double u = ls.rng.uniform();
+    if (u < params_.voaLossProb)
+        return VoaFault::kLost;
+    if (u < params_.voaLossProb + params_.voaDelayProb)
+        return VoaFault::kDelayed;
+    return VoaFault::kClean;
+}
+
+} // namespace oenet

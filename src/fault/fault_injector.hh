@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * One FaultInjector serves a whole system instance. Every link gets its
+ * own xoshiro stream, seeded deriveStreamSeed(params.seed, link index),
+ * so fault draws depend only on (seed, link, the order of that link's
+ * own draws) — never on thread count or the interleaving of other
+ * links. That keeps faulted sweeps bit-identical at any --jobs value,
+ * the same discipline the sweep runner applies to traffic seeds.
+ *
+ * Scheduled faults (CDR lock loss, hard failure) are drawn as geometric
+ * inter-arrival gaps and anchored at absolute cycles up front, so the
+ * lazily-advanced link phase machine can peek "when is the next fault?"
+ * and process it at its exact cycle without per-cycle sampling — the
+ * answer never depends on when callers happen to poll.
+ */
+
+#ifndef OENET_FAULT_FAULT_INJECTOR_HH
+#define OENET_FAULT_FAULT_INJECTOR_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "fault/fault.hh"
+
+namespace oenet {
+
+/** Outcome of a control-plane (VOA command) fault draw. */
+enum class VoaFault { kClean, kDelayed, kLost };
+
+class FaultInjector
+{
+  public:
+    /** @param num_links number of links in the network (trace-id order) */
+    FaultInjector(const FaultParams &params, int num_links);
+
+    const FaultParams &params() const { return params_; }
+
+    /** Bernoulli corruption draw for one flit on @p link. */
+    bool drawFlitCorrupt(int link, double prob);
+
+    /** Cycle of @p link's next CDR loss-of-lock (kNeverCycle if none
+     *  scheduled). Stable until consumed. */
+    Cycle peekLockLoss(int link) const;
+
+    /** Consume the pending lock-loss event and schedule the next one
+     *  (a fresh geometric gap past the relock outage, so events cannot
+     *  stack inside one outage window). */
+    void consumeLockLoss(int link);
+
+    /** Cycle @p link hard-fails (geometric draw or scripted
+     *  killLink/killCycle), kNeverCycle if never. Fixed at
+     *  construction. */
+    Cycle hardFailAtCycle(int link) const;
+
+    /** Fault draw for one dispatched VOA command on @p link. */
+    VoaFault drawVoaFault(int link);
+
+  private:
+    struct LinkStream
+    {
+        Rng rng{0};
+        Cycle nextLockLoss = kNeverCycle;
+        Cycle hardFailAt = kNeverCycle;
+    };
+
+    Cycle drawGap(Rng &rng, double p);
+
+    FaultParams params_;
+    std::vector<LinkStream> links_;
+};
+
+} // namespace oenet
+
+#endif // OENET_FAULT_FAULT_INJECTOR_HH

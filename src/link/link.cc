@@ -1,8 +1,11 @@
 #include "link/link.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hh"
+#include "fault/fault_injector.hh"
+#include "phy/ber.hh"
 
 namespace oenet {
 
@@ -111,18 +114,31 @@ OpticalLink::setTrace(TraceSink *sink, int trace_id)
 }
 
 void
+OpticalLink::setFault(FaultInjector *faults, int link_id)
+{
+    faults_ = faults;
+    faultId_ = link_id;
+}
+
+void
 OpticalLink::resetStats(Cycle now)
 {
     advance(now);
     powerTw_.reset(now);
     totalFlits_ = 0;
     numTransitions_ = 0;
+    flitsCorrupted_ = 0;
+    flitRetries_ = 0;
+    lockLossEvents_ = 0;
+    flitsDroppedOnFail_ = 0;
 }
 
 void
 OpticalLink::setOff(Cycle now, bool off)
 {
     advance(now);
+    if (failed_)
+        return; // a dead link can be neither gated nor woken
     if (off) {
         if (phase_ != Phase::kStable)
             panic("OpticalLink %s: setOff during transition",
@@ -149,6 +165,77 @@ OpticalLink::setOff(Cycle now, bool off)
 
 void
 OpticalLink::advance(Cycle now)
+{
+    if (faults_ != nullptr)
+        faultAdvance(now);
+    phaseAdvance(now);
+}
+
+void
+OpticalLink::faultAdvance(Cycle now)
+{
+    if (failed_)
+        return;
+    Cycle fail_at = faults_->hardFailAtCycle(faultId_);
+    Cycle horizon = std::min(now, fail_at);
+
+    // CDR lock losses strictly up to the horizon, at their exact
+    // cycles. A loss only bites when the link is stable: during a
+    // frequency switch the CDR is relocking anyway and while gated off
+    // it is dark, so the event dissolves into the ongoing outage.
+    for (;;) {
+        Cycle at = faults_->peekLockLoss(faultId_);
+        if (at > horizon)
+            break;
+        faults_->consumeLockLoss(faultId_);
+        phaseAdvance(at);
+        if (phase_ != Phase::kStable)
+            continue;
+        lockLossEvents_++;
+        Cycle outage = faults_->params().lockLossOutageCycles;
+        transitionStart_ = at;
+        transitionFrom_ = toLevel_;
+        transitionType_ = "lock_loss";
+        enterPhase(Phase::kFreqSwitch, at, at + outage);
+        // Flits on the wire during the outage arrive scrambled.
+        for (int i = 0; i < inflightCount_; ++i) {
+            InFlight &f =
+                inflight_[(inflightHead_ + i) % kInflightCap];
+            if (f.arrives > at)
+                f.corrupt = true;
+        }
+        if (traceSink_) {
+            traceSink_->faultEvent(FaultEvent{
+                at, traceId_, "lock_loss", 0,
+                static_cast<double>(outage)});
+        }
+    }
+
+    if (fail_at <= now) {
+        phaseAdvance(fail_at);
+        failLink(fail_at);
+    }
+}
+
+void
+OpticalLink::failLink(Cycle at)
+{
+    failed_ = true;
+    // Any transition underway will never complete; drop its pending
+    // trace report rather than fabricating a completion.
+    transitionType_ = nullptr;
+    int lost = inflightCount_;
+    flitsDroppedOnFail_ += static_cast<std::uint64_t>(lost);
+    inflightCount_ = 0;
+    enterPhase(Phase::kOff, at, kNeverCycle);
+    if (traceSink_) {
+        traceSink_->faultEvent(FaultEvent{at, traceId_, "hard_fail", 0,
+                                          static_cast<double>(lost)});
+    }
+}
+
+void
+OpticalLink::phaseAdvance(Cycle now)
 {
     while (phase_ != Phase::kStable && phase_ != Phase::kOff &&
            phaseEnd_ <= now) {
@@ -209,11 +296,89 @@ OpticalLink::accept(Cycle now, const Flit &flit)
     lastArrival_ = arrives;
 
     int slot = (inflightHead_ + inflightCount_) % kInflightCap;
-    inflight_[slot] = InFlight{flit, arrives};
+    InFlight &f = inflight_[slot];
+    f.flit = flit;
+    f.arrives = arrives;
+    f.attempts = 0;
+    f.corrupt = faults_ != nullptr &&
+                faults_->drawFlitCorrupt(faultId_, flitCorruptProb());
+    if (f.corrupt)
+        flitsCorrupted_++;
     inflightCount_++;
 
     windowFlits_++;
     totalFlits_++;
+}
+
+double
+OpticalLink::flitCorruptProb() const
+{
+    const FaultParams &fp = faults_->params();
+    // Received optical power as a fraction of full power: the VOA
+    // level for modulator links, the drive voltage for directly
+    // modulated VCSELs.
+    int level = phase_ == Phase::kVoltRampUp ? fromLevel_ : toLevel_;
+    double frac = powerModel_.scheme() == LinkScheme::kModulator
+                      ? opticalScale_
+                      : levels_.level(level).vddV / params_.power.vmaxV;
+    double margin = opticalMargin(frac, levels_.level(level).brGbps,
+                                  params_.power.brMaxGbps);
+    double ber = fp.berScale * berFromMargin(margin) + fp.berFloor;
+    if (ber > 0.5)
+        ber = 0.5;
+    return flitErrorProb(ber, kFlitBits);
+}
+
+void
+OpticalLink::reliabilityAdvance(Cycle now)
+{
+    advance(now); // scheduled faults first; a failure drops the ring
+    const FaultParams &fp = faults_->params();
+    while (inflightCount_ > 0) {
+        InFlight &head = inflight_[inflightHead_];
+        if (!head.corrupt || head.arrives > now)
+            break;
+        if (phase_ == Phase::kOff)
+            break; // replay resumes when the link wakes
+        // The corrupt copy reached the receiver at head.arrives, fails
+        // its CRC there, and the NACK flies back; the sender replays
+        // from its retransmission buffer after a bounded exponential
+        // backoff, re-occupying the transmitter for one flit time.
+        head.attempts++;
+        flitRetries_++;
+        windowRetries_++;
+        if (traceSink_) {
+            traceSink_->faultEvent(FaultEvent{head.arrives, traceId_,
+                                              "corrupt", head.attempts,
+                                              0.0});
+        }
+        Cycle nack = head.arrives + params_.propagationCycles +
+                     fp.ackProcessingCycles;
+        int shift = std::min(head.attempts - 1, 20);
+        Cycle backoff =
+            std::min(fp.retryBackoffCap, fp.retryBackoffBase << shift);
+        double start =
+            std::max(nextFree_, static_cast<double>(nack + backoff));
+        if (!enabledNow())
+            start = std::max(start, static_cast<double>(phaseEnd_));
+        nextFree_ = start + cyclesPerFlit(currentBitRateGbps());
+        Cycle arrives = params_.propagationCycles +
+                        static_cast<Cycle>(std::ceil(nextFree_ - 1e-9));
+        if (arrives <= head.arrives)
+            arrives = head.arrives + 1;
+        head.arrives = arrives;
+        if (arrives > lastArrival_)
+            lastArrival_ = arrives;
+        head.corrupt =
+            faults_->drawFlitCorrupt(faultId_, flitCorruptProb());
+        if (head.corrupt)
+            flitsCorrupted_++;
+        if (traceSink_) {
+            traceSink_->faultEvent(FaultEvent{
+                static_cast<Cycle>(start), traceId_, "retry",
+                head.attempts, static_cast<double>(backoff)});
+        }
+    }
 }
 
 Flit
@@ -290,6 +455,7 @@ OpticalLink::beginWindow(Cycle now)
 {
     advance(now);
     windowFlits_ = 0;
+    windowRetries_ = 0;
     windowCapBase_ = capacityTw_.integral(now);
     windowStart_ = now;
 }

@@ -27,6 +27,19 @@
  *
  * The link is passive: it has no tick. Time advances lazily — every
  * public entry point first walks the state machine up to `now`.
+ *
+ * With a FaultInjector attached (setFault), the link additionally
+ * carries the link-layer reliability protocol: every flit is CRC-tagged
+ * (conceptually; the simulator draws corruption from the BER of the
+ * current operating point instead of flipping payload bits), a
+ * corrupted flit fails its check at the receiver, which NACKs over a
+ * reliable reverse control channel, and the sender — which holds every
+ * unacknowledged flit in the in-flight ring, its retransmission
+ * buffer — replays it after a bounded exponential backoff. Later flits
+ * already in flight keep their arrival stamps and wait in the ring
+ * (the receiver's reorder window), preserving wormhole flit order.
+ * Scheduled faults (CDR lock loss, hard failure) are processed at
+ * their exact cycles during the lazy advance walk.
  */
 
 #ifndef OENET_LINK_LINK_HH
@@ -44,6 +57,8 @@
 #include "trace/trace.hh"
 
 namespace oenet {
+
+class FaultInjector;
 
 /** What role a link plays in the system (used for reporting). */
 enum class LinkKind
@@ -84,7 +99,10 @@ class OpticalLink
      *  exactly. Inline fast path: a stable link needs no state walk. */
     bool canAccept(Cycle now)
     {
-        if (phase_ == Phase::kStable) {
+        // With faults attached the stable fast path is unsafe: a
+        // scheduled failure may be due, and only the state walk in
+        // canAcceptSlow discovers it.
+        if (faults_ == nullptr && phase_ == Phase::kStable) {
             return inflightCount_ < kInflightCap &&
                    static_cast<double>(now) + 1.0 > nextFree_ + 1e-9;
         }
@@ -99,9 +117,13 @@ class OpticalLink
     // ------------------------------------------------------------------
 
     /** True if a flit has fully arrived by cycle @p now. Arrivals are
-     *  stamped at accept() time, so no state walk is needed. */
-    bool hasArrival(Cycle now) const
+     *  stamped at accept() time, so without faults no state walk is
+     *  needed; with faults the reliability layer must first replay any
+     *  corrupted head-of-line flit. */
+    bool hasArrival(Cycle now)
     {
+        if (faults_ != nullptr)
+            reliabilityAdvance(now);
         return inflightCount_ > 0 &&
                inflight_[inflightHead_].arrives <= now;
     }
@@ -141,6 +163,48 @@ class OpticalLink
      */
     void setOff(Cycle now, bool off);
     bool isOff() const { return phase_ == Phase::kOff; }
+
+    // ------------------------------------------------------------------
+    // Faults
+    // ------------------------------------------------------------------
+
+    /**
+     * Attach the system's fault injector (null detaches); @p link_id is
+     * this link's index in the injector (the network's link/trace id).
+     * Attaching enables the CRC/retransmission layer and scheduled
+     * fault processing on this link.
+     */
+    void setFault(FaultInjector *faults, int link_id);
+
+    /**
+     * True once the link has hard-failed (VCSEL death / fiber cut).
+     * Cheap and lazy: the failure is discovered when the link's state
+     * next advances (canAccept, hasArrival, or any stats sample), so
+     * this may briefly lag the scheduled failure cycle — callers that
+     * must know (routing) also see canAccept() == false from the same
+     * moment they would see isFailed().
+     */
+    bool isFailed() const { return failed_; }
+
+    /** Flits whose corruption draw fired (CRC failures at the
+     *  receiver) since construction. */
+    std::uint64_t flitsCorrupted() const { return flitsCorrupted_; }
+
+    /** Retransmissions performed by the sender since construction. */
+    std::uint64_t flitRetries() const { return flitRetries_; }
+
+    /** CDR loss-of-lock outages suffered since construction. */
+    std::uint64_t lockLossEvents() const { return lockLossEvents_; }
+
+    /** In-flight flits lost to the hard failure. */
+    std::uint64_t flitsDroppedOnFail() const
+    {
+        return flitsDroppedOnFail_;
+    }
+
+    /** Retransmissions since the last beginWindow() (DVS clamp
+     *  input). */
+    std::uint64_t windowRetries() const { return windowRetries_; }
 
     // ------------------------------------------------------------------
     // Statistics
@@ -204,6 +268,23 @@ class OpticalLink
   private:
     bool canAcceptSlow(Cycle now);
 
+    /** Per-flit corruption probability at the current operating point:
+     *  flitErrorProb over the margin-derived BER. */
+    double flitCorruptProb() const;
+
+    /** Replay corrupted head-of-line flits whose (corrupt) arrival is
+     *  due by @p now: NACK turnaround, bounded exponential backoff,
+     *  reserialization. Loops until the head is clean or its arrival
+     *  is in the future. */
+    void reliabilityAdvance(Cycle now);
+
+    /** Process scheduled faults (lock loss, hard failure) with cycles
+     *  <= @p now at their exact times. */
+    void faultAdvance(Cycle now);
+
+    /** Permanent failure at @p at: drop in-flight flits, gate off. */
+    void failLink(Cycle at);
+
     enum class Phase
     {
         kStable,
@@ -213,8 +294,12 @@ class OpticalLink
         kOff           ///< power-gated (on/off policy extension)
     };
 
-    /** Walk the transition state machine up to @p now. */
+    /** Walk the transition state machine up to @p now (processing any
+     *  scheduled faults first, at their exact cycles). */
     void advance(Cycle now);
+
+    /** The pre-fault phase walk: complete phases ending by @p now. */
+    void phaseAdvance(Cycle now);
 
     /** Enter @p phase at @p at, ending at @p end; refresh accounting. */
     void enterPhase(Phase phase, Cycle at, Cycle end);
@@ -249,6 +334,16 @@ class OpticalLink
     int transitionFrom_ = 0;
     const char *transitionType_ = nullptr;
 
+    // Faults / reliability.
+    FaultInjector *faults_ = nullptr;
+    int faultId_ = kInvalid;
+    bool failed_ = false;
+    std::uint64_t flitsCorrupted_ = 0;
+    std::uint64_t flitRetries_ = 0;
+    std::uint64_t lockLossEvents_ = 0;
+    std::uint64_t flitsDroppedOnFail_ = 0;
+    std::uint64_t windowRetries_ = 0;
+
     // Serialization / in-flight flits.
     static constexpr int kInflightCap = 16;
     double nextFree_ = 0.0; ///< earliest cycle the transmitter is free
@@ -256,6 +351,8 @@ class OpticalLink
     {
         Flit flit;
         Cycle arrives;
+        int attempts = 0; ///< retransmissions so far
+        bool corrupt = false;
     };
     InFlight inflight_[kInflightCap];
     int inflightHead_ = 0;

@@ -1,6 +1,7 @@
 #include "network/network.hh"
 
 #include "common/log.hh"
+#include "fault/fault_injector.hh"
 
 namespace oenet {
 
@@ -125,6 +126,80 @@ Network::traceLinkTable() const
                                       linkKindName(links_[i]->kind())});
     }
     return table;
+}
+
+void
+Network::setFaultInjector(FaultInjector *faults)
+{
+    for (std::size_t i = 0; i < links_.size(); i++)
+        links_[i]->setFault(faults, static_cast<int>(i));
+    Cycle orphan =
+        faults != nullptr ? faults->params().orphanTimeoutCycles : 0;
+    for (auto &r : routers_)
+        r->setOrphanTimeout(orphan);
+}
+
+int
+Network::failedLinks() const
+{
+    int n = 0;
+    for (const auto &l : links_)
+        n += l->isFailed() ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+Network::flitsCorrupted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : links_)
+        n += l->flitsCorrupted();
+    return n;
+}
+
+std::uint64_t
+Network::flitRetries() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : links_)
+        n += l->flitRetries();
+    return n;
+}
+
+std::uint64_t
+Network::lockLossEvents() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : links_)
+        n += l->lockLossEvents();
+    return n;
+}
+
+std::uint64_t
+Network::flitsDroppedOnFail() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : links_)
+        n += l->flitsDroppedOnFail();
+    return n;
+}
+
+std::uint64_t
+Network::flitsDroppedDeadPort() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : routers_)
+        n += r->droppedDeadPort();
+    return n;
+}
+
+std::uint64_t
+Network::poisonedWormholes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : routers_)
+        n += r->poisonedWormholes();
+    return n;
 }
 
 void

@@ -24,6 +24,8 @@
 
 namespace oenet {
 
+class FaultInjector;
+
 class Network
 {
   public:
@@ -80,6 +82,13 @@ class Network
     /** Link identity table for TraceSink::beginRun. */
     std::vector<TraceLinkInfo> traceLinkTable() const;
 
+    /**
+     * Attach the system's fault injector to every link (per-link
+     * stream index = link index, same as the trace id) and arm the
+     * routers' stranded-wormhole reclaim. Null detaches.
+     */
+    void setFaultInjector(FaultInjector *faults);
+
     /** Restart every link's cumulative statistics at @p now (see
      *  OpticalLink::resetStats). Packet/flit counters are unaffected. */
     void resetStats(Cycle now);
@@ -104,6 +113,29 @@ class Network
 
     /** Flits anywhere in flight: source queues, buffers, links. */
     std::uint64_t flitsInSystem() const;
+
+    // Fault/resilience aggregates (all zero when faults are off).
+
+    /** Links that have hard-failed so far. */
+    int failedLinks() const;
+
+    /** Corruption draws that fired (CRC failures), all links. */
+    std::uint64_t flitsCorrupted() const;
+
+    /** Link-layer retransmissions, all links. */
+    std::uint64_t flitRetries() const;
+
+    /** CDR loss-of-lock outages, all links. */
+    std::uint64_t lockLossEvents() const;
+
+    /** In-flight flits lost to hard failures, all links. */
+    std::uint64_t flitsDroppedOnFail() const;
+
+    /** Flits discarded at dead router outputs, all routers. */
+    std::uint64_t flitsDroppedDeadPort() const;
+
+    /** Stranded wormholes closed with poison tails, all routers. */
+    std::uint64_t poisonedWormholes() const;
 
     const BitrateLevelTable &levels() const { return levels_; }
 

@@ -83,10 +83,16 @@ Node::drainEjection(Cycle now)
         return;
     while (ejLink_->hasArrival(now)) {
         Flit flit = ejLink_->popArrival(now);
-        flitsEjected_++;
         // Immediately free the router-side credit for this flit.
         if (ejUpstream_ != nullptr)
             ejUpstream_->returnCredit(ejUpstreamPort_, flit.vc, now);
+        if (flit.isPoison()) {
+            // Synthetic tail closing a wormhole killed by a link
+            // failure: frees resources but is not delivered data.
+            poisonTails_++;
+            continue;
+        }
+        flitsEjected_++;
         if (flit.isTail()) {
             packetsEjected_++;
             if (sink_ != nullptr)

@@ -81,6 +81,10 @@ class Node : public Ticking, public CreditSink, public OccupancyProvider
     std::uint64_t flitsInjected() const { return flitsInjected_; }
     std::uint64_t flitsEjected() const { return flitsEjected_; }
 
+    /** Synthetic poison tails consumed (wormholes killed upstream by a
+     *  hard link failure; not delivered data). */
+    std::uint64_t poisonTails() const { return poisonTails_; }
+
   private:
     struct PendingCredit
     {
@@ -113,6 +117,7 @@ class Node : public Ticking, public CreditSink, public OccupancyProvider
     std::uint64_t packetsEjected_ = 0;
     std::uint64_t flitsInjected_ = 0;
     std::uint64_t flitsEjected_ = 0;
+    std::uint64_t poisonTails_ = 0;
 };
 
 } // namespace oenet

@@ -1,0 +1,40 @@
+#include "phy/ber.hh"
+
+#include <cmath>
+
+namespace oenet {
+
+double
+berFromMargin(double margin)
+{
+    if (margin <= 0.0)
+        return 0.5;
+    double q = kQAtNominalMargin * margin;
+    double ber = 0.5 * std::erfc(q / std::sqrt(2.0));
+    return ber > 0.5 ? 0.5 : ber;
+}
+
+double
+opticalMargin(double received_fraction, double br_gbps,
+              double br_max_gbps)
+{
+    if (br_gbps <= 0.0 || br_max_gbps <= 0.0)
+        return 0.0;
+    // Required power scales linearly with bit rate, so the margin is
+    // the delivered fraction over the bit-rate fraction.
+    double required_fraction = br_gbps / br_max_gbps;
+    return received_fraction / required_fraction;
+}
+
+double
+flitErrorProb(double ber, int bits)
+{
+    if (ber <= 0.0)
+        return 0.0;
+    if (ber >= 0.5)
+        return 1.0 - std::pow(0.5, bits);
+    // 1 - (1-ber)^bits via expm1/log1p for tiny ber.
+    return -std::expm1(static_cast<double>(bits) * std::log1p(-ber));
+}
+
+} // namespace oenet

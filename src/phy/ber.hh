@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bit-error-rate model tying link reliability to the received optical
+ * power margin.
+ *
+ * The paper sizes every receiver budget against a 10^-15 BER floor at
+ * the nominal operating point (Section 2.2, Eq. 6's sensitivity is the
+ * power for 10^-12 at 10 Gb/s; the system design adds margin to reach
+ * 10^-15). We reduce that to the standard Gaussian-noise Q-factor
+ * model:
+ *
+ *     BER = 0.5 * erfc(Q / sqrt(2)),         Q ~ P_received / P_required
+ *
+ * calibrated so a margin of 1.0 (received power exactly covering the
+ * requirement at the current bit rate) gives BER 1e-15. The received
+ * power scales with the VOA optical level (modulator scheme) or the
+ * drive voltage (VCSEL scheme); the required power scales linearly with
+ * bit rate (shot-noise-limited receiver, same trend as
+ * Photodetector::requiredOpticalPowerMw). Running a fast link on
+ * reduced light therefore costs reliability — the power/reliability
+ * tradeoff the fault injector turns into retransmissions.
+ */
+
+#ifndef OENET_PHY_BER_HH
+#define OENET_PHY_BER_HH
+
+namespace oenet {
+
+/** Q at margin 1.0, solving 0.5*erfc(Q/sqrt 2) = 1e-15. */
+inline constexpr double kQAtNominalMargin = 7.941345326170997;
+
+/** BER the nominal operating point is designed for. */
+inline constexpr double kNominalBer = 1e-15;
+
+/**
+ * BER at @p margin = received optical power / required optical power
+ * (both relative to the nominal full-power operating point). Margin 1
+ * gives 1e-15; margin 0.5 is already ~3.5e-5. Clamped to [0, 0.5]
+ * (margin <= 0 means no light: coin-flip bits).
+ */
+double berFromMargin(double margin);
+
+/**
+ * Optical power margin of a link operating point.
+ *
+ * @param received_fraction  delivered optical power as a fraction of
+ *                           full power (VOA scale, or vdd/vmax for a
+ *                           directly modulated VCSEL)
+ * @param br_gbps            current bit rate
+ * @param br_max_gbps        full bit rate the receiver was sized for
+ */
+double opticalMargin(double received_fraction, double br_gbps,
+                     double br_max_gbps);
+
+/** Probability at least one of @p bits bits of a flit is in error. */
+double flitErrorProb(double ber, int bits);
+
+} // namespace oenet
+
+#endif // OENET_PHY_BER_HH

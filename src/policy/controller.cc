@@ -1,6 +1,7 @@
 #include "policy/controller.hh"
 
 #include "common/log.hh"
+#include "fault/fault_injector.hh"
 
 namespace oenet {
 
@@ -54,6 +55,14 @@ LinkController::setTrace(TraceSink *sink, int trace_id)
 {
     traceSink_ = sink;
     traceId_ = trace_id;
+    laser_.setTrace(sink, trace_id);
+}
+
+void
+LinkController::setFault(FaultInjector *faults, int link_index)
+{
+    faults_ = faults;
+    laser_.setFault(faults, link_index);
 }
 
 void
@@ -82,8 +91,11 @@ LinkController::syncLaser(Cycle now)
 void
 LinkController::onWindow(Cycle now)
 {
-    // Sample this window's statistics.
+    // Sample this window's statistics (retry counters before
+    // beginWindow(), which zeroes them).
     double lu = link_.windowUtilization(now);
+    std::uint64_t windowFlits = link_.windowFlits();
+    std::uint64_t windowRetries = link_.windowRetries();
     double occ = downstream_->occupancyIntegral(downPort_, now);
     double bu = 0.0;
     Cycle span = now - lastWindowStart_;
@@ -129,6 +141,33 @@ LinkController::onWindow(Cycle now)
                        backlog >= params_.senderBacklogFlits / 2) {
                 decision = LevelDecision::kHold;
                 vetoed = true;
+            }
+        }
+        // Degradation clamp: a window whose retransmission rate
+        // exceeds the threshold means the link is short on optical
+        // margin at its current operating point. Scaling down would
+        // shrink the margin further (lower Vdd / lower light), so the
+        // clamp blocks down-transitions and, when configured, forces
+        // an upgrade to buy margin back.
+        if (faults_ != nullptr) {
+            std::uint64_t attempts = windowFlits + windowRetries;
+            double rate =
+                attempts > 0 ? static_cast<double>(windowRetries) /
+                                   static_cast<double>(attempts)
+                             : 0.0;
+            if (rate > faults_->params().clampErrorRate) {
+                LevelDecision before = decision;
+                if (faults_->params().clampForceUp)
+                    decision = LevelDecision::kUp;
+                else if (decision == LevelDecision::kDown)
+                    decision = LevelDecision::kHold;
+                if (decision != before) {
+                    dvsClamps_++;
+                    if (traceSink_) {
+                        traceSink_->faultEvent(FaultEvent{
+                            now, traceId_, "dvs_clamp", 0, rate});
+                    }
+                }
             }
         }
     }
@@ -365,6 +404,42 @@ PolicyEngine::totalOpticalStalls() const
     return n;
 }
 
+std::uint64_t
+PolicyEngine::totalDvsClamps() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : dvs_)
+        n += c->dvsClamps();
+    return n;
+}
+
+std::uint64_t
+PolicyEngine::totalVoaDelayed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : dvs_)
+        n += c->laser().voaDelayed();
+    return n;
+}
+
+std::uint64_t
+PolicyEngine::totalVoaLost() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : dvs_)
+        n += c->laser().voaLost();
+    return n;
+}
+
+std::uint64_t
+PolicyEngine::totalVoaRetries() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : dvs_)
+        n += c->laser().voaRetries();
+    return n;
+}
+
 void
 PolicyEngine::setTraceSink(TraceSink *sink)
 {
@@ -372,6 +447,15 @@ PolicyEngine::setTraceSink(TraceSink *sink)
     // vector index *is* the link's trace id.
     for (std::size_t i = 0; i < dvs_.size(); i++)
         dvs_[i]->setTrace(sink, static_cast<int>(i));
+}
+
+void
+PolicyEngine::setFaultInjector(FaultInjector *faults)
+{
+    // Same index correspondence as setTraceSink: controller i drives
+    // link i, so the per-link fault stream index is i.
+    for (std::size_t i = 0; i < dvs_.size(); i++)
+        dvs_[i]->setFault(faults, static_cast<int>(i));
 }
 
 } // namespace oenet

@@ -77,6 +77,7 @@ class LinkController
         int senderBacklogFlits = 8;
     };
 
+
     /** @param sender_backlog returns the flits queued at the sender
      *  waiting for this link (router buffered flits toward the output
      *  port, or the node's source queue); may be empty. */
@@ -95,6 +96,18 @@ class LinkController
      *  the link's trace id so events land on the same timeline. */
     void setTrace(TraceSink *sink, int trace_id);
 
+    /**
+     * Attach the fault injector (null detaches). Two effects: the
+     * laser state machine's VOA commands become subject to
+     * control-plane faults, and the windowed degradation clamp arms —
+     * a link whose per-window retransmission rate exceeds
+     * FaultParams::clampErrorRate is losing optical margin, so the
+     * controller converts down-decisions to holds and (when
+     * clampForceUp is set) forces an up-transition to buy the margin
+     * back instead of riding the link into an error floor.
+     */
+    void setFault(FaultInjector *faults, int link_index);
+
     OpticalLink &link() { return link_; }
     const HistoryDvsPolicy &policy() const { return policy_; }
     const LaserPowerState &laser() const { return laser_; }
@@ -106,6 +119,9 @@ class LinkController
     {
         return backlogEscalations_;
     }
+
+    /** Windows where the error-rate clamp overrode the policy. */
+    std::uint64_t dvsClamps() const { return dvsClamps_; }
 
   private:
     void syncLaser(Cycle now);
@@ -125,8 +141,10 @@ class LinkController
     std::uint64_t decisionsDown_ = 0;
     std::uint64_t opticalStalls_ = 0;
     std::uint64_t backlogEscalations_ = 0;
+    std::uint64_t dvsClamps_ = 0;
     TraceSink *traceSink_ = nullptr;
     int traceId_ = kInvalid;
+    FaultInjector *faults_ = nullptr;
 };
 
 /** Drives all per-link controllers from the kernel clock. */
@@ -162,9 +180,25 @@ class PolicyEngine
     std::uint64_t totalDecisionsDown() const;
     std::uint64_t totalOpticalStalls() const;
 
+    /** Windows where the error-rate clamp overrode a DVS decision,
+     *  summed across controllers. */
+    std::uint64_t totalDvsClamps() const;
+
+    /** VOA control-plane fault totals across all laser controllers. */
+    std::uint64_t totalVoaDelayed() const;
+    std::uint64_t totalVoaLost() const;
+    std::uint64_t totalVoaRetries() const;
+
     /** Attach @p sink to every DVS controller; ids follow the link
      *  index, matching Network::setTraceSink. */
     void setTraceSink(TraceSink *sink);
+
+    /** Attach @p faults to every DVS controller (stream index = link
+     *  index, matching Network::setFaultInjector). The other policy
+     *  modes have no laser state or clamp, so this is a no-op for
+     *  them; link-layer faults still apply through the links
+     *  themselves. */
+    void setFaultInjector(FaultInjector *faults);
 
     const Params &params() const { return params_; }
 

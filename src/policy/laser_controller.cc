@@ -1,6 +1,8 @@
 #include "policy/laser_controller.hh"
 
 #include "common/log.hh"
+#include "fault/fault_injector.hh"
+#include "trace/trace.hh"
 
 namespace oenet {
 
@@ -16,10 +18,74 @@ LaserPowerState::LaserPowerState(const Params &params, OpticalLevel initial)
         warn("LaserPowerState: zero VOA response time");
 }
 
+void
+LaserPowerState::setFault(FaultInjector *faults, int link_id)
+{
+    faults_ = faults;
+    faultId_ = link_id;
+}
+
+void
+LaserPowerState::setTrace(TraceSink *sink, int link_id)
+{
+    traceSink_ = sink;
+    traceId_ = link_id;
+}
+
+void
+LaserPowerState::armPending(Cycle at)
+{
+    Cycle delay = params_.responseCycles;
+    lost_ = false;
+    if (faults_ != nullptr) {
+        switch (faults_->drawVoaFault(faultId_)) {
+          case VoaFault::kClean:
+            break;
+          case VoaFault::kDelayed:
+            delay = static_cast<Cycle>(
+                static_cast<double>(delay) *
+                faults_->params().voaDelayFactor);
+            voaDelayed_++;
+            if (traceSink_) {
+                traceSink_->faultEvent(
+                    FaultEvent{at, traceId_, "voa_delayed", 0,
+                               static_cast<double>(delay)});
+            }
+            break;
+          case VoaFault::kLost:
+            lost_ = true;
+            delay = faults_->params().voaTimeoutCycles;
+            if (delay == 0)
+                delay = 1; // watchdog must move time forward
+            voaLost_++;
+            if (traceSink_) {
+                traceSink_->faultEvent(
+                    FaultEvent{at, traceId_, "voa_lost", 0,
+                               static_cast<double>(delay)});
+            }
+            break;
+        }
+    }
+    pendingReady_ = at + delay;
+}
+
 bool
 LaserPowerState::advance(Cycle now)
 {
-    if (!pending_ || now < pendingReady_)
+    if (!pending_)
+        return false;
+    // A lost command is re-issued every time its watchdog expires,
+    // drawing a fresh control-plane fault each attempt.
+    while (lost_ && now >= pendingReady_) {
+        Cycle at = pendingReady_;
+        voaRetries_++;
+        if (traceSink_) {
+            traceSink_->faultEvent(
+                FaultEvent{at, traceId_, "voa_retry", 0, 0.0});
+        }
+        armPending(at);
+    }
+    if (lost_ || now < pendingReady_)
         return false;
     bool changed = pendingLevel_ != level_;
     level_ = pendingLevel_;
@@ -44,6 +110,7 @@ LaserPowerState::requestIncrease(Cycle now)
         // immediately instead of starving the link through the whole
         // response time (the pre-fix behavior dropped the request).
         pending_ = false;
+        lost_ = false;
         decreasesPreempted_++;
         preempted = true;
     }
@@ -53,7 +120,7 @@ LaserPowerState::requestIncrease(Cycle now)
     }
     pending_ = true;
     pendingLevel_ = static_cast<OpticalLevel>(static_cast<int>(level_) + 1);
-    pendingReady_ = now + params_.responseCycles;
+    armPending(now);
     increases_++;
     return preempted ? LaserRequestOutcome::kPreemptedAndDispatched
                      : LaserRequestOutcome::kDispatched;
@@ -76,7 +143,7 @@ LaserPowerState::epochDecision(Cycle now)
         if (epochMaxBr_ <= maxBitRateForLevel(lower)) {
             pending_ = true;
             pendingLevel_ = lower;
-            pendingReady_ = now + params_.responseCycles;
+            armPending(now);
             decreases_++;
             dispatched = true;
         }

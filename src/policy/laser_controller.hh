@@ -26,6 +26,9 @@
 
 namespace oenet {
 
+class FaultInjector;
+class TraceSink;
+
 /** What a P_inc request did (feeds controller stats and tracing). */
 enum class LaserRequestOutcome
 {
@@ -96,8 +99,28 @@ class LaserPowerState
      *  @return true if a decrease was dispatched. */
     bool epochDecision(Cycle now);
 
+    /**
+     * Attach the fault injector: every dispatched VOA command is then
+     * subject to control-plane faults — delayed (response time times
+     * voaDelayFactor) or lost outright, in which case the controller
+     * re-issues it when the voaTimeoutCycles watchdog expires.
+     */
+    void setFault(FaultInjector *faults, int link_id);
+
+    /** Attach an event sink for VOA fault events (null detaches). */
+    void setTrace(TraceSink *sink, int link_id);
+
     std::uint64_t increases() const { return increases_; }
     std::uint64_t decreases() const { return decreases_; }
+
+    /** Commands that drew a delayed VOA response. */
+    std::uint64_t voaDelayed() const { return voaDelayed_; }
+
+    /** Commands lost in the control plane. */
+    std::uint64_t voaLost() const { return voaLost_; }
+
+    /** Lost commands re-issued after the watchdog timeout. */
+    std::uint64_t voaRetries() const { return voaRetries_; }
 
     /** Increase requests folded into an already-pending increase. */
     std::uint64_t increasesDropped() const { return increasesDropped_; }
@@ -111,16 +134,30 @@ class LaserPowerState
     const Params &params() const { return params_; }
 
   private:
+    /** Start (or restart) the pending change's delivery clock at
+     *  @p at, drawing a control-plane fault if an injector is
+     *  attached. */
+    void armPending(Cycle at);
+
     Params params_;
     OpticalLevel level_;
     bool pending_ = false;
     OpticalLevel pendingLevel_ = OpticalLevel::kHigh;
     Cycle pendingReady_ = 0;
+    bool lost_ = false; ///< pending command lost; pendingReady_ is the
+                        ///< re-issue watchdog, not a delivery time
     double epochMaxBr_ = 0.0;
+    FaultInjector *faults_ = nullptr;
+    int faultId_ = kInvalid;
+    TraceSink *traceSink_ = nullptr;
+    int traceId_ = kInvalid;
     std::uint64_t increases_ = 0;
     std::uint64_t decreases_ = 0;
     std::uint64_t increasesDropped_ = 0;
     std::uint64_t decreasesPreempted_ = 0;
+    std::uint64_t voaDelayed_ = 0;
+    std::uint64_t voaLost_ = 0;
+    std::uint64_t voaRetries_ = 0;
 };
 
 } // namespace oenet

@@ -22,6 +22,11 @@ struct Flit
 {
     static constexpr std::uint8_t kHeadFlag = 1;
     static constexpr std::uint8_t kTailFlag = 2;
+    /** Synthetic tail injected by a router to close a wormhole whose
+     *  remaining flits died with a hard-failed input link. Poison flits
+     *  free switch state hop by hop and are discarded at ejection
+     *  without being counted as a delivered packet. */
+    static constexpr std::uint8_t kPoisonFlag = 4;
 
     PacketId packet = 0;   ///< packet this flit belongs to
     NodeId src = 0;        ///< source processing node
@@ -34,6 +39,7 @@ struct Flit
 
     bool isHead() const { return flags & kHeadFlag; }
     bool isTail() const { return flags & kTailFlag; }
+    bool isPoison() const { return flags & kPoisonFlag; }
 };
 
 /**

@@ -197,6 +197,11 @@ Router::stageSwitchTraversal(Cycle now)
             out.link->accept(now, out.latch);
             out.latchFull = false;
             latchCount_--;
+        } else if (out.link->isFailed()) {
+            // The link died with this flit waiting; it is lost.
+            out.latchFull = false;
+            latchCount_--;
+            droppedDeadPort_++;
         }
         // Otherwise the flit waits in the latch; SA skips this port.
     }
@@ -221,10 +226,16 @@ Router::stageSwitchAllocation(Cycle now)
                 continue;
             const auto &out =
                 outputs_[static_cast<std::size_t>(ivc.outPort)];
-            if (out.latchFull)
-                continue;
-            if (out.vcs[static_cast<std::size_t>(ivc.outVc)].credits <= 0)
-                continue;
+            // A dead output accepts (and discards) anything, so the
+            // wormhole headed there can drain regardless of latch or
+            // credit state.
+            if (out.link == nullptr || !out.link->isFailed()) {
+                if (out.latchFull)
+                    continue;
+                if (out.vcs[static_cast<std::size_t>(ivc.outVc)]
+                        .credits <= 0)
+                    continue;
+            }
             req |= 1ull << v;
         }
         int winner =
@@ -253,15 +264,29 @@ Router::stageSwitchAllocation(Cycle now)
         Flit flit = ivc.buffer.pop();
         bufferedFlits_--;
         in.occupancy.update(now, inputOccupancy(p));
-        flit.vc = static_cast<std::uint8_t>(ivc.outVc);
-        out.latch = flit;
-        out.latchFull = true;
-        latchCount_++;
-        out.vcs[static_cast<std::size_t>(ivc.outVc)].credits--;
-        flitsSwitched_++;
+        ivc.lastActivity = now;
+        bool dead = out.link != nullptr && out.link->isFailed();
+        if (dead) {
+            // Flits to a hard-failed link are discarded at the switch;
+            // output credits are not touched (the far side will never
+            // return them).
+            droppedDeadPort_++;
+        } else {
+            flit.vc = static_cast<std::uint8_t>(ivc.outVc);
+            out.latch = flit;
+            out.latchFull = true;
+            latchCount_++;
+            out.vcs[static_cast<std::size_t>(ivc.outVc)].credits--;
+            flitsSwitched_++;
+        }
 
-        // Return a credit for the slot we just freed.
-        if (in.upstream != nullptr)
+        // Return a credit for the slot we just freed — except for a
+        // locally injected poison tail, which never consumed an
+        // upstream credit (it was synthesized into the buffer, not
+        // sent over the input link).
+        if (in.upstream != nullptr &&
+            !(flit.isPoison() && in.link != nullptr &&
+              in.link->isFailed()))
             in.upstream->returnCredit(in.upstreamPort, v, now);
 
         // This input port consumed its switch slot this cycle.
@@ -309,6 +334,26 @@ Router::stageVcAllocation(Cycle now)
         if (requests[q] == 0)
             continue;
 
+        if (out.link != nullptr && out.link->isFailed()) {
+            // Dead output: grant every requester immediately (VC 0,
+            // unconditionally) so wormholes stuck routing to it can
+            // drain into the drop path instead of waiting forever for
+            // an output VC that will never free.
+            for (;;) {
+                int winner = out.vaArb.pick(requests[q]);
+                if (winner < 0)
+                    break;
+                auto &ivc =
+                    inputs_[static_cast<std::size_t>(winner / vcs)]
+                        .vcs[static_cast<std::size_t>(winner % vcs)];
+                ivc.outVc = 0;
+                ivc.state = VcState::kActive;
+                vcAllocCount_--;
+                requests[q] &= ~(1ull << winner);
+            }
+            continue;
+        }
+
         // Hand each free output VC to one requester, rotating fairly.
         for (int ov = 0; ov < vcs; ov++) {
             if (out.vcs[static_cast<std::size_t>(ov)].allocated)
@@ -338,21 +383,36 @@ Router::selectRoute(NodeId dst)
     int candidates[2];
     int n = mesh_.routeCandidates(params_.routing, x_, y_, dst,
                                   candidates);
-    if (n == 1)
-        return candidates[0];
-    // Adaptive selection: prefer the productive direction with the
-    // most downstream credit (least congested), ties to the first.
-    int best = candidates[0];
-    int best_credits = -1;
+    // Route around hard failures where the turn rules leave an
+    // alternative; if every productive direction is dead, keep the
+    // first candidate and let the drop path reclaim the flits.
+    int live[2];
+    int m = 0;
     for (int i = 0; i < n; i++) {
         const auto &out =
             outputs_[static_cast<std::size_t>(candidates[i])];
+        if (out.link != nullptr && out.link->isFailed())
+            continue;
+        live[m++] = candidates[i];
+    }
+    if (m == 0) {
+        live[0] = candidates[0];
+        m = 1;
+    }
+    if (m == 1)
+        return live[0];
+    // Adaptive selection: prefer the productive direction with the
+    // most downstream credit (least congested), ties to the first.
+    int best = live[0];
+    int best_credits = -1;
+    for (int i = 0; i < m; i++) {
+        const auto &out = outputs_[static_cast<std::size_t>(live[i])];
         int credits = 0;
         for (const auto &vc : out.vcs)
             credits += vc.credits;
         if (credits > best_credits) {
             best_credits = credits;
-            best = candidates[i];
+            best = live[i];
         }
     }
     return best;
@@ -402,8 +462,39 @@ Router::drainArrivals(Cycle now)
                 routingCount_++;
             }
             ivc.buffer.push(flit);
+            ivc.lastActivity = now;
             bufferedFlits_++;
             in.occupancy.update(now, inputOccupancy(p));
+        }
+    }
+}
+
+void
+Router::reclaimOrphans(Cycle now)
+{
+    for (int p = 0; p < numPorts(); p++) {
+        auto &in = inputs_[static_cast<std::size_t>(p)];
+        if (in.link == nullptr || !in.link->isFailed())
+            continue;
+        for (int v = 0; v < params_.numVcs; v++) {
+            auto &ivc = in.vcs[static_cast<std::size_t>(v)];
+            // kActive with an empty buffer means mid-wormhole: the
+            // head went downstream, the rest died with the link. Once
+            // the timeout confirms nothing more is coming, close the
+            // wormhole with a synthetic poison tail; normal switch
+            // allocation forwards it and frees the allocated state at
+            // every hop downstream.
+            if (ivc.state != VcState::kActive || !ivc.buffer.empty())
+                continue;
+            if (now < ivc.lastActivity + orphanTimeout_)
+                continue;
+            Flit tail{};
+            tail.flags = Flit::kTailFlag | Flit::kPoisonFlag;
+            ivc.buffer.push(tail);
+            ivc.lastActivity = now;
+            bufferedFlits_++;
+            in.occupancy.update(now, inputOccupancy(p));
+            poisoned_++;
         }
     }
 }
@@ -422,6 +513,8 @@ Router::tick(Cycle now)
     if (routingCount_ > 0)
         stageRouteComputation(now);
     drainArrivals(now);
+    if (orphanTimeout_ != 0 && (now & 1023) == 0)
+        reclaimOrphans(now);
 }
 
 } // namespace oenet

@@ -106,6 +106,24 @@ class Router : public Ticking, public CreditSink, public OccupancyProvider
     /** Total flits buffered anywhere in this router (for drain tests). */
     int totalBufferedFlits() const;
 
+    // ------------------------------------------------------------------
+    // Graceful degradation (fault injection)
+    // ------------------------------------------------------------------
+
+    /**
+     * Enable wormhole reclaim on hard-failed input links: an active
+     * input VC that has been empty for @p cycles (its remaining flits
+     * died with the link) is closed with a synthetic poison tail that
+     * frees the allocated switch state hop by hop. 0 disables.
+     */
+    void setOrphanTimeout(Cycle cycles) { orphanTimeout_ = cycles; }
+
+    /** Flits dropped at outputs whose link hard-failed. */
+    std::uint64_t droppedDeadPort() const { return droppedDeadPort_; }
+
+    /** Stranded wormholes closed with a synthetic poison tail. */
+    std::uint64_t poisonedWormholes() const { return poisoned_; }
+
   private:
     enum class VcState
     {
@@ -121,6 +139,7 @@ class Router : public Ticking, public CreditSink, public OccupancyProvider
         VcState state = VcState::kIdle;
         int outPort = kInvalid;
         int outVc = kInvalid;
+        Cycle lastActivity = 0; ///< last push/pop (orphan detection)
 
         explicit InputVc(int depth) : buffer(depth) {}
     };
@@ -161,6 +180,7 @@ class Router : public Ticking, public CreditSink, public OccupancyProvider
 
     int selectRoute(NodeId dst);
     void applyCredits(Cycle now);
+    void reclaimOrphans(Cycle now);
     void stageSwitchTraversal(Cycle now);
     void stageSwitchAllocation(Cycle now);
     void stageVcAllocation(Cycle now);
@@ -180,6 +200,9 @@ class Router : public Ticking, public CreditSink, public OccupancyProvider
     std::vector<PendingCredit> pendingCredits_;
 
     std::uint64_t flitsSwitched_ = 0;
+    std::uint64_t droppedDeadPort_ = 0;
+    std::uint64_t poisoned_ = 0;
+    Cycle orphanTimeout_ = 0;
 
     // Fast-path occupancy counters: stages whose populations are zero
     // are skipped entirely (the common case on an idle fabric).

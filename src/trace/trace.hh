@@ -101,6 +101,22 @@ struct PacketRetireEvent
     int lenFlits = 0;
 };
 
+/** One fault, retry, or degradation event. */
+struct FaultEvent
+{
+    Cycle at = 0;
+    int linkId = 0; ///< link the event concerns (kInvalid for none)
+    /** "corrupt" (flit failed CRC at the receiver), "retry" (sender
+     *  replayed a flit; attempts = attempt count so far), "lock_loss"
+     *  (CDR outage began; aux = outage cycles), "hard_fail" (permanent
+     *  failure; aux = in-flight flits lost), "voa_delayed" / "voa_lost"
+     *  / "voa_retry" (control-plane faults), "dvs_clamp" (controller
+     *  froze down-transitions; aux = windowed error rate). */
+    const char *kind = "";
+    int attempts = 0; ///< retransmission attempts, when meaningful
+    double aux = 0.0; ///< kind-specific detail, see above
+};
+
 /** Epoch-aligned power/utilization snapshot, per link kind. */
 struct PowerSnapshotEvent
 {
@@ -144,6 +160,7 @@ class TraceSink
     virtual void dvsDecision(const DvsDecisionEvent &e) { (void)e; }
     virtual void laserEvent(const LaserTraceEvent &e) { (void)e; }
     virtual void packetRetire(const PacketRetireEvent &e) { (void)e; }
+    virtual void faultEvent(const FaultEvent &e) { (void)e; }
     virtual void powerSnapshot(const PowerSnapshotEvent &e) { (void)e; }
 
     /** Final cycle of the run; the sink may flush/close here. */

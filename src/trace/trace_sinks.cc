@@ -136,6 +136,15 @@ JsonlTraceSink::packetRetire(const PacketRetireEvent &e)
 }
 
 void
+JsonlTraceSink::faultEvent(const FaultEvent &e)
+{
+    os_ << "{\"type\": \"fault\", \"at\": " << u64(e.at)
+        << ", \"link\": " << e.linkId << ", \"kind\": \"" << e.kind
+        << "\", \"attempts\": " << e.attempts
+        << ", \"aux\": " << num(e.aux) << "}\n";
+}
+
+void
 JsonlTraceSink::powerSnapshot(const PowerSnapshotEvent &e)
 {
     os_ << "{\"type\": \"power\", \"at\": " << u64(e.at)
@@ -268,6 +277,16 @@ ChromeTraceSink::packetRetire(const PacketRetireEvent &e)
         << ", \"args\": {\"id\": " << u64(e.packet)
         << ", \"dst\": " << e.dst << ", \"len\": " << e.lenFlits
         << "}}";
+}
+
+void
+ChromeTraceSink::faultEvent(const FaultEvent &e)
+{
+    char name[48];
+    std::snprintf(name, sizeof(name), "fault:%s", e.kind);
+    open(name, "fault", "i", e.at, 0, e.linkId);
+    os_ << ", \"s\": \"t\", \"args\": {\"attempts\": " << e.attempts
+        << ", \"aux\": " << num(e.aux) << "}}";
 }
 
 void

@@ -56,6 +56,7 @@ class JsonlTraceSink final : public TraceSink
     void dvsDecision(const DvsDecisionEvent &e) override;
     void laserEvent(const LaserTraceEvent &e) override;
     void packetRetire(const PacketRetireEvent &e) override;
+    void faultEvent(const FaultEvent &e) override;
     void powerSnapshot(const PowerSnapshotEvent &e) override;
     void endRun(Cycle at) override;
 
@@ -79,6 +80,7 @@ class ChromeTraceSink final : public TraceSink
     void dvsDecision(const DvsDecisionEvent &e) override;
     void laserEvent(const LaserTraceEvent &e) override;
     void packetRetire(const PacketRetireEvent &e) override;
+    void faultEvent(const FaultEvent &e) override;
     void powerSnapshot(const PowerSnapshotEvent &e) override;
     void endRun(Cycle at) override;
 
@@ -118,6 +120,10 @@ class RecordingTraceSink final : public TraceSink
     {
         packets_.push_back(e);
     }
+    void faultEvent(const FaultEvent &e) override
+    {
+        faults_.push_back(e);
+    }
     void powerSnapshot(const PowerSnapshotEvent &e) override
     {
         snapshots_.push_back(e);
@@ -138,6 +144,7 @@ class RecordingTraceSink final : public TraceSink
     {
         return packets_;
     }
+    const std::vector<FaultEvent> &faults() const { return faults_; }
     const std::vector<PowerSnapshotEvent> &snapshots() const
     {
         return snapshots_;
@@ -150,6 +157,7 @@ class RecordingTraceSink final : public TraceSink
     std::vector<DvsDecisionEvent> decisions_;
     std::vector<LaserTraceEvent> laser_;
     std::vector<PacketRetireEvent> packets_;
+    std::vector<FaultEvent> faults_;
     std::vector<PowerSnapshotEvent> snapshots_;
     Cycle endedAt_ = 0;
 };

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Q-factor BER model: calibration, monotonicity, flit error math.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "phy/ber.hh"
+
+using namespace oenet;
+
+TEST(Ber, NominalMarginGivesDesignBer)
+{
+    double ber = berFromMargin(1.0);
+    // Calibrated point: margin 1.0 -> 1e-15 (erfc evaluation keeps a
+    // few ulp of slack).
+    EXPECT_NEAR(ber / kNominalBer, 1.0, 1e-6);
+}
+
+TEST(Ber, MonotoneDecreasingInMargin)
+{
+    double prev = 0.6;
+    for (double m = 0.1; m <= 1.5; m += 0.1) {
+        double ber = berFromMargin(m);
+        EXPECT_LT(ber, prev) << "margin " << m;
+        prev = ber;
+    }
+}
+
+TEST(Ber, NoLightIsCoinFlip)
+{
+    EXPECT_DOUBLE_EQ(berFromMargin(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(berFromMargin(-1.0), 0.5);
+}
+
+TEST(Ber, MarginScalesWithLightAndRate)
+{
+    // Full light at full rate: margin 1.
+    EXPECT_DOUBLE_EQ(opticalMargin(1.0, 10.0, 10.0), 1.0);
+    // Half light at full rate: margin 0.5.
+    EXPECT_DOUBLE_EQ(opticalMargin(0.5, 10.0, 10.0), 0.5);
+    // Half light at half rate: the requirement halved too.
+    EXPECT_DOUBLE_EQ(opticalMargin(0.5, 5.0, 10.0), 1.0);
+    // Full light at reduced rate: margin above 1 (extra headroom).
+    EXPECT_GT(opticalMargin(1.0, 5.0, 10.0), 1.0);
+    // Degenerate rates.
+    EXPECT_DOUBLE_EQ(opticalMargin(1.0, 0.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(opticalMargin(1.0, 10.0, 0.0), 0.0);
+}
+
+TEST(Ber, FlitErrorProbEdges)
+{
+    EXPECT_DOUBLE_EQ(flitErrorProb(0.0, 16), 0.0);
+    EXPECT_DOUBLE_EQ(flitErrorProb(-1.0, 16), 0.0);
+    // Coin-flip bits: 1 - 0.5^16.
+    EXPECT_NEAR(flitErrorProb(0.5, 16), 1.0 - std::pow(0.5, 16),
+                1e-12);
+}
+
+TEST(Ber, FlitErrorProbSmallBerIsLinear)
+{
+    // For tiny BER, P(flit error) ~ bits * BER.
+    double p = flitErrorProb(1e-9, 16);
+    EXPECT_NEAR(p, 16e-9, 1e-12);
+    // And exact: 1 - (1-ber)^bits.
+    double ber = 1e-3;
+    EXPECT_NEAR(flitErrorProb(ber, 16),
+                1.0 - std::pow(1.0 - ber, 16), 1e-12);
+}
+
+TEST(Ber, FlitErrorProbMonotoneInBits)
+{
+    EXPECT_LT(flitErrorProb(1e-4, 8), flitErrorProb(1e-4, 16));
+    EXPECT_LT(flitErrorProb(1e-4, 16), flitErrorProb(1e-4, 32));
+}

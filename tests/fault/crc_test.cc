@@ -1,0 +1,81 @@
+/**
+ * @file
+ * CRC-16/CCITT-FALSE known-answer and flit-hash behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/crc.hh"
+#include "router/flit.hh"
+
+using namespace oenet;
+
+TEST(Crc16, KnownAnswerCheckString)
+{
+    // The standard CRC-16/CCITT-FALSE check value for "123456789".
+    EXPECT_EQ(crc16("123456789", 9), 0x29B1);
+}
+
+TEST(Crc16, EmptyIsInit)
+{
+    EXPECT_EQ(crc16("", 0), 0xFFFF);
+}
+
+TEST(Crc16, SingleBitSensitivity)
+{
+    unsigned char a[4] = {0x12, 0x34, 0x56, 0x78};
+    unsigned char b[4] = {0x12, 0x34, 0x56, 0x79};
+    EXPECT_NE(crc16(a, 4), crc16(b, 4));
+}
+
+TEST(FlitCrc, EqualFlitsEqualCrc)
+{
+    Flit a;
+    a.packet = 77;
+    a.src = 3;
+    a.dst = 9;
+    a.seq = 2;
+    a.len = 4;
+    a.flags = Flit::kHeadFlag;
+    Flit b = a;
+    EXPECT_EQ(flitCrc(a), flitCrc(b));
+}
+
+TEST(FlitCrc, IdentityFieldsChangeCrc)
+{
+    Flit base;
+    base.packet = 77;
+    base.src = 3;
+    base.dst = 9;
+    base.seq = 2;
+    base.len = 4;
+    base.flags = Flit::kHeadFlag;
+
+    Flit f = base;
+    f.packet = 78;
+    EXPECT_NE(flitCrc(f), flitCrc(base));
+    f = base;
+    f.src = 4;
+    EXPECT_NE(flitCrc(f), flitCrc(base));
+    f = base;
+    f.dst = 10;
+    EXPECT_NE(flitCrc(f), flitCrc(base));
+    f = base;
+    f.seq = 3;
+    EXPECT_NE(flitCrc(f), flitCrc(base));
+    f = base;
+    f.flags = Flit::kTailFlag;
+    EXPECT_NE(flitCrc(f), flitCrc(base));
+}
+
+TEST(FlitCrc, VcIsNotIdentity)
+{
+    // The VC is rewritten hop by hop; it must not perturb the CRC a
+    // sender stamped.
+    Flit a;
+    a.packet = 5;
+    a.vc = 0;
+    Flit b = a;
+    b.vc = 1;
+    EXPECT_EQ(flitCrc(a), flitCrc(b));
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Determinism of faulted sweeps under the parallel runner: a sweep
+ * with corruption, lock loss, and a scripted kill must produce
+ * byte-identical manifests and identical fault counters at any
+ * --jobs value.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sweep_runner.hh"
+
+using namespace oenet;
+
+namespace {
+
+std::vector<SweepPoint>
+faultedSweep()
+{
+    RunProtocol protocol;
+    protocol.warmup = 1000;
+    protocol.measure = 4000;
+    protocol.drainLimit = 4000;
+
+    const double floors[] = {0.0, 1e-4, 1e-3};
+    std::vector<SweepPoint> points;
+    for (std::size_t fi = 0; fi < std::size(floors); fi++) {
+        for (bool pa : {false, true}) {
+            SweepPoint p;
+            p.label = "floor=" + formatDouble(floors[fi] * 1e4, 1) +
+                      "e-4" + (pa ? "/pa" : "/base");
+            p.params = {{"ber_floor", floors[fi]},
+                        {"pa", pa ? 1.0 : 0.0}};
+            p.config.meshX = 2;
+            p.config.meshY = 2;
+            p.config.clusterSize = 2;
+            p.config.windowCycles = 200;
+            p.config.powerAware = pa;
+            p.config.fault.enabled = true;
+            p.config.fault.berFloor = floors[fi];
+            p.config.fault.lockLossPerCycle = 1e-5;
+            p.spec = TrafficSpec::uniform(0.5, 4);
+            p.protocol = protocol;
+            p.seedKey = fi; // pa/base pair shares streams
+            points.push_back(std::move(p));
+        }
+    }
+    // One point with a scripted mid-run hard failure.
+    SweepPoint kill = points.front();
+    kill.label = "killed";
+    kill.params = {{"ber_floor", 0.0}, {"pa", 0.0}};
+    kill.config.fault.killLink = 0;
+    kill.config.fault.killCycle = 3000;
+    kill.seedKey = std::size(floors);
+    points.push_back(std::move(kill));
+    return points;
+}
+
+SweepReport
+runAt(int jobs)
+{
+    SweepRunner::Options opts;
+    opts.jobs = jobs;
+    opts.baseSeed = 11;
+    return SweepRunner(opts).run(faultedSweep());
+}
+
+} // namespace
+
+TEST(FaultDeterminism, ManifestIdenticalAtAnyThreadCount)
+{
+    SweepReport serial = runAt(1);
+    SweepReport parallel = runAt(3);
+    EXPECT_EQ(sweepManifestJson("faulted", 11, serial.outcomes),
+              sweepManifestJson("faulted", 11, parallel.outcomes));
+}
+
+TEST(FaultDeterminism, FaultCountersIdenticalAtAnyThreadCount)
+{
+    // The manifest's metric columns are frozen and exclude the fault
+    // counters, so check those directly on the outcome records.
+    SweepReport serial = runAt(1);
+    SweepReport parallel = runAt(3);
+    ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+    bool sawFaults = false;
+    for (std::size_t i = 0; i < serial.outcomes.size(); i++) {
+        const RunMetrics &a = serial.outcomes[i].metrics;
+        const RunMetrics &b = parallel.outcomes[i].metrics;
+        EXPECT_EQ(a.flitsCorrupted, b.flitsCorrupted) << i;
+        EXPECT_EQ(a.flitRetries, b.flitRetries) << i;
+        EXPECT_EQ(a.lockLossEvents, b.lockLossEvents) << i;
+        EXPECT_EQ(a.linkHardFailures, b.linkHardFailures) << i;
+        EXPECT_EQ(a.flitsDroppedOnFail, b.flitsDroppedOnFail) << i;
+        EXPECT_EQ(a.dvsClamps, b.dvsClamps) << i;
+        sawFaults = sawFaults || a.flitsCorrupted > 0 ||
+                    a.linkHardFailures > 0;
+    }
+    EXPECT_TRUE(sawFaults)
+        << "the sweep must actually exercise the fault machinery";
+}
+
+TEST(FaultDeterminism, KilledPointRecordsTheFailure)
+{
+    SweepReport report = runAt(2);
+    const SweepOutcome &killed = report.outcomes.back();
+    ASSERT_EQ(killed.label, "killed");
+    EXPECT_EQ(killed.metrics.linkHardFailures, 1);
+    EXPECT_GT(killed.metrics.throughputFlitsPerCycle, 0.0);
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * FaultInjector: deterministic per-link streams, scheduled-event
+ * anchoring, scripted kills, and the VOA fault draw.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.hh"
+
+using namespace oenet;
+
+namespace {
+
+FaultParams
+baseParams()
+{
+    FaultParams p;
+    p.enabled = true;
+    p.seed = 12345;
+    return p;
+}
+
+} // namespace
+
+TEST(FaultInjector, SameSeedSameDraws)
+{
+    FaultParams p = baseParams();
+    p.lockLossPerCycle = 1e-3;
+    p.hardFailPerCycle = 1e-5;
+    FaultInjector a(p, 4);
+    FaultInjector b(p, 4);
+    for (int link = 0; link < 4; link++) {
+        EXPECT_EQ(a.peekLockLoss(link), b.peekLockLoss(link));
+        EXPECT_EQ(a.hardFailAtCycle(link), b.hardFailAtCycle(link));
+        for (int i = 0; i < 100; i++) {
+            EXPECT_EQ(a.drawFlitCorrupt(link, 0.3),
+                      b.drawFlitCorrupt(link, 0.3));
+        }
+    }
+}
+
+TEST(FaultInjector, LinksAreIndependentStreams)
+{
+    FaultParams p = baseParams();
+    p.lockLossPerCycle = 1e-3;
+    FaultInjector inj(p, 2);
+    // Draining link 0's stream must not move link 1's scheduled events.
+    Cycle before = inj.peekLockLoss(1);
+    for (int i = 0; i < 1000; i++)
+        (void)inj.drawFlitCorrupt(0, 0.5);
+    EXPECT_EQ(inj.peekLockLoss(1), before);
+}
+
+TEST(FaultInjector, NoFaultsMeansNever)
+{
+    FaultInjector inj(baseParams(), 3);
+    for (int link = 0; link < 3; link++) {
+        EXPECT_EQ(inj.peekLockLoss(link), kNeverCycle);
+        EXPECT_EQ(inj.hardFailAtCycle(link), kNeverCycle);
+        EXPECT_FALSE(inj.drawFlitCorrupt(link, 0.0));
+        EXPECT_EQ(inj.drawVoaFault(link), VoaFault::kClean);
+    }
+}
+
+TEST(FaultInjector, ScriptedKillOverridesGeometric)
+{
+    FaultParams p = baseParams();
+    p.killLink = 2;
+    p.killCycle = 7777;
+    FaultInjector inj(p, 4);
+    EXPECT_EQ(inj.hardFailAtCycle(2), 7777u);
+    EXPECT_EQ(inj.hardFailAtCycle(0), kNeverCycle);
+    EXPECT_EQ(inj.hardFailAtCycle(1), kNeverCycle);
+    EXPECT_EQ(inj.hardFailAtCycle(3), kNeverCycle);
+}
+
+TEST(FaultInjector, ConsumedLockLossAdvancesPastOutage)
+{
+    FaultParams p = baseParams();
+    p.lockLossPerCycle = 0.05;
+    p.lockLossOutageCycles = 100;
+    FaultInjector inj(p, 1);
+    Cycle prev = inj.peekLockLoss(0);
+    ASSERT_NE(prev, kNeverCycle);
+    for (int i = 0; i < 20; i++) {
+        inj.consumeLockLoss(0);
+        Cycle next = inj.peekLockLoss(0);
+        ASSERT_NE(next, kNeverCycle);
+        // The next event must clear the previous outage window
+        // entirely — events cannot stack inside a relock.
+        EXPECT_GT(next, prev + p.lockLossOutageCycles);
+        prev = next;
+    }
+}
+
+TEST(FaultInjector, CorruptDrawTracksProbability)
+{
+    FaultInjector inj(baseParams(), 1);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++)
+        hits += inj.drawFlitCorrupt(0, 0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(FaultInjector, VoaDrawSplitsLossAndDelay)
+{
+    FaultParams p = baseParams();
+    p.voaDelayProb = 0.3;
+    p.voaLossProb = 0.1;
+    FaultInjector inj(p, 1);
+    int lost = 0, delayed = 0, clean = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++) {
+        switch (inj.drawVoaFault(0)) {
+          case VoaFault::kLost:
+            lost++;
+            break;
+          case VoaFault::kDelayed:
+            delayed++;
+            break;
+          case VoaFault::kClean:
+            clean++;
+            break;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(lost) / n, 0.1, 0.02);
+    EXPECT_NEAR(static_cast<double>(delayed) / n, 0.3, 0.02);
+    EXPECT_NEAR(static_cast<double>(clean) / n, 0.6, 0.02);
+}
