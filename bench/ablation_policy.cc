@@ -119,6 +119,7 @@ main(int argc, char **argv)
             markTracePoint(args, points, i);
     }
 
+    applyKernelArgs(args, points);
     SweepRunner runner(runnerOptions(args));
     SweepReport report = runner.run(points);
     printReport(report);

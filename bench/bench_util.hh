@@ -35,6 +35,7 @@ struct BenchArgs
     std::string trace;       ///< --trace PATH; empty = no tracing
     TraceFormat traceFormat = TraceFormat::kJsonl; ///< --trace-format
     Cycle metricsInterval = 1000; ///< --metrics-interval N; 0 = off
+    bool idleElision = true; ///< --idle-elision on|off (kernel scheduler)
 };
 
 /** Parse a decimal unsigned flag value, rejecting garbage, trailing
@@ -122,6 +123,16 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
         } else if (std::strcmp(a, "--metrics-interval") == 0) {
             args.metricsInterval =
                 parseFlagUint(argv[0], a, value());
+        } else if (std::strcmp(a, "--idle-elision") == 0) {
+            const char *v = value();
+            if (std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0) {
+                args.idleElision = true;
+            } else if (std::strcmp(v, "off") == 0 ||
+                       std::strcmp(v, "0") == 0) {
+                args.idleElision = false;
+            } else {
+                fatal("%s: %s needs on|off, got '%s'", argv[0], a, v);
+            }
         } else if (std::strcmp(a, "--help") == 0 ||
                    std::strcmp(a, "-h") == 0) {
             std::printf(
@@ -144,7 +155,12 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
                 "  --metrics-interval N\n"
                 "             power-snapshot period in cycles for the "
                 "traced run\n"
-                "             (default 1000; 0 disables the series)\n",
+                "             (default 1000; 0 disables the series)\n"
+                "  --idle-elision on|off\n"
+                "             park quiescent components instead of "
+                "ticking them\n"
+                "             (default on; outputs are byte-identical "
+                "either way)\n",
                 argv[0], hardwareJobs());
             std::exit(0);
         } else {
@@ -180,6 +196,17 @@ runnerOptions(const BenchArgs &args)
         opts.traceMetricsInterval = args.metricsInterval;
     }
     return opts;
+}
+
+/** Stamp kernel-level flags (--idle-elision) onto every point's
+ *  SystemConfig. Call after assembling a points vector, before handing
+ *  it to the runner. Works on SweepPoint and TimelinePoint alike. */
+template <typename Point>
+inline void
+applyKernelArgs(const BenchArgs &args, std::vector<Point> &points)
+{
+    for (auto &p : points)
+        p.config.idleElision = args.idleElision;
 }
 
 /** Mark the point at @p index for tracing when --trace was given.

@@ -123,6 +123,7 @@ main(int argc, char **argv)
         markTracePoint(args, points, points.size() - 1);
     }
 
+    applyKernelArgs(args, points);
     SweepRunner runner(runnerOptions(args));
     SweepReport report = runner.run(points);
     printReport(report);

@@ -70,6 +70,7 @@ main(int argc, char **argv)
     }
     // Trace the first power-aware point at the middle rate (the
     // baselines ahead of it never change level).
+    applyKernelArgs(args, points);
     markTracePoint(args, points, rates.size() + 1);
 
     SweepRunner runner(runnerOptions(args));

@@ -94,6 +94,7 @@ main(int argc, char **argv)
     }
     // Trace the tri-level case: the only Fig. 6 configuration whose
     // trace carries laser VOA events alongside transitions and DVS.
+    applyKernelArgs(args, points);
     markTracePoint(args, points, 5);
 
     std::printf("running %zu configurations over %llu cycles each...\n",

@@ -58,6 +58,7 @@ main(int argc, char **argv)
         p.bin = kBin;
         points.push_back(std::move(p));
     }
+    applyKernelArgs(args, points);
     markTracePoint(args, points, 0); // the FFT replay
 
     SweepRunner runner(runnerOptions(args));

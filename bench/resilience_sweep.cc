@@ -149,6 +149,7 @@ main(int argc, char **argv)
         p.seedKey = floors.size(); // one shared stream for all three
         points.push_back(std::move(p));
     }
+    applyKernelArgs(args, points);
     markTracePoint(args, points, killBase + 1); // westfirst_kill
 
     SweepRunner runner(runnerOptions(args));

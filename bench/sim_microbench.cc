@@ -5,6 +5,15 @@
  * loaded), and a full-system cycle at the paper's 64-rack scale.
  * These guard the simulator's own performance, which bounds how much
  * of the paper's design space the figure benches can sweep.
+ *
+ * Regression workflow: run with
+ *     bench_sim_microbench --benchmark_format=json \
+ *         --benchmark_out=BENCH_sim_microbench.json
+ * and compare against the committed baseline at the repo root with
+ *     python3 bench/perf_compare.py BENCH_sim_microbench.json NEW.json
+ * The BM_SystemCycleIdle / BM_SystemCycleIdleNoElision pair measures
+ * the idle-elision win within a single run (machine-independent);
+ * perf_compare.py --expect-ratio asserts it stays >= 3x.
  */
 
 #include <benchmark/benchmark.h>
@@ -65,13 +74,25 @@ BENCHMARK(BM_LinkAcceptPop);
 void
 BM_SystemCycleIdle(benchmark::State &state)
 {
-    SystemConfig cfg; // full 64-rack system
+    SystemConfig cfg; // full 64-rack system, idle elision on (default)
     PoeSystem sys(cfg);
     sys.run(5000); // let the policy settle
     for (auto _ : state)
         sys.run(1);
 }
 BENCHMARK(BM_SystemCycleIdle)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SystemCycleIdleNoElision(benchmark::State &state)
+{
+    SystemConfig cfg;
+    cfg.idleElision = false; // tick all 64 routers + 512 nodes anyway
+    PoeSystem sys(cfg);
+    sys.run(5000);
+    for (auto _ : state)
+        sys.run(1);
+}
+BENCHMARK(BM_SystemCycleIdleNoElision)->Unit(benchmark::kMicrosecond);
 
 void
 BM_SystemCycleLoaded(benchmark::State &state)

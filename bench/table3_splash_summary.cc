@@ -72,6 +72,7 @@ main(int argc, char **argv)
         points.push_back(std::move(pa));
         points.push_back(std::move(base));
     }
+    applyKernelArgs(args, points);
     markTracePoint(args, points, 0); // the FFT power-aware run
 
     SweepRunner runner(runnerOptions(args));

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Growable power-of-two ring buffer for hot-path FIFO queues.
+ *
+ * std::deque pays a heap allocation roughly every page of elements and
+ * double indirection on every access; the node source queue sits on the
+ * injection fast path, so it uses this flat ring instead. Capacity is
+ * always a power of two (index masking instead of modulo) and doubles
+ * when full, preserving FIFO order — semantically an unbounded queue,
+ * physically one contiguous allocation that is reused for the rest of
+ * the run.
+ */
+
+#ifndef OENET_COMMON_RING_BUFFER_HH
+#define OENET_COMMON_RING_BUFFER_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace oenet {
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t initial_capacity = 16)
+    {
+        std::size_t cap = 1;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    void push_back(const T &value)
+    {
+        if (size_ == slots_.size())
+            grow();
+        slots_[(head_ + size_) & (slots_.size() - 1)] = value;
+        size_++;
+    }
+
+    void push_back(T &&value)
+    {
+        if (size_ == slots_.size())
+            grow();
+        slots_[(head_ + size_) & (slots_.size() - 1)] = std::move(value);
+        size_++;
+    }
+
+    T &front() { return slots_[head_]; }
+    const T &front() const { return slots_[head_]; }
+
+    /** Element @p i positions behind the front (0 = front). */
+    const T &at(std::size_t i) const
+    {
+        return slots_[(head_ + i) & (slots_.size() - 1)];
+    }
+
+    void pop_front()
+    {
+        slots_[head_] = T{}; // drop payload eagerly (no dangling state)
+        head_ = (head_ + 1) & (slots_.size() - 1);
+        size_--;
+    }
+
+    void clear()
+    {
+        while (size_ > 0)
+            pop_front();
+        head_ = 0;
+    }
+
+  private:
+    void grow()
+    {
+        std::vector<T> bigger(slots_.size() * 2);
+        for (std::size_t i = 0; i < size_; i++)
+            bigger[i] = std::move(slots_[(head_ + i) & (slots_.size() - 1)]);
+        slots_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace oenet
+
+#endif // OENET_COMMON_RING_BUFFER_HH

@@ -12,6 +12,7 @@ PoeSystem::PoeSystem(const SystemConfig &config)
     : config_(config), latencyHist_(0.0, 50000.0, 500)
 {
     config_.validate();
+    kernel_.setIdleElision(config_.idleElision);
     // The traffic pump ticks before routers and nodes so packets created
     // at cycle t can start injecting at cycle t.
     kernel_.addTicking(this);
@@ -46,6 +47,8 @@ void
 PoeSystem::setTraffic(std::unique_ptr<TrafficSource> traffic)
 {
     traffic_ = std::move(traffic);
+    if (traffic_)
+        wakeAt(kernel_.now()); // the pump may have parked while idle
 }
 
 void

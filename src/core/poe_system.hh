@@ -35,7 +35,7 @@ namespace oenet {
 
 class FaultInjector;
 
-class PoeSystem : public PacketSink, public Ticking
+class PoeSystem final : public PacketSink, public Ticking
 {
   public:
     explicit PoeSystem(const SystemConfig &config);
@@ -79,6 +79,15 @@ class PoeSystem : public PacketSink, public Ticking
 
     // Ticking (traffic pump; registered before routers/nodes).
     void tick(Cycle now) override;
+
+    /** Quiescence (idle elision): with no traffic source installed the
+     *  pump has nothing to do; with one installed it must tick every
+     *  cycle (sources draw from their RNG per cycle, so eliding a tick
+     *  would change the stream). setTraffic is the wake edge. */
+    Cycle nextWakeCycle(Cycle now) override
+    {
+        return traffic_ ? now + 1 : kNeverCycle;
+    }
 
     // PacketSink.
     void packetEjected(const Flit &tail, Cycle now) override;

@@ -50,6 +50,8 @@ SystemConfig::fromConfig(const Config &config)
     c.propagationCycles =
         config.getUint("link.propagation", c.propagationCycles);
 
+    c.idleElision = config.getBool("sim.idle_elision", c.idleElision);
+
     c.powerAware = config.getBool("policy.enabled", c.powerAware);
     std::string mode = config.getString("policy.mode", "dvs");
     if (mode == "dvs") {

@@ -68,6 +68,12 @@ struct SystemConfig
     /** Fault injection (off by default; see fault/fault.hh). */
     FaultParams fault{};
 
+    /** Idle elision: park quiescent routers/nodes instead of ticking
+     *  them every cycle (kernel active-set scheduler). Simulated
+     *  outcomes are bit-identical either way; off exists for
+     *  double-checking exactly that. */
+    bool idleElision = true;
+
     int numNodes() const { return meshX * meshY * clusterSize; }
 
     /** Parse overrides from a Config (keys documented in README). */

@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "fault/fault_injector.hh"
 #include "phy/ber.hh"
+#include "sim/kernel.hh"
 
 namespace oenet {
 
@@ -160,7 +161,22 @@ OpticalLink::setOff(Cycle now, bool off)
         enterPhase(Phase::kFreqSwitch, now,
                    now + params_.freqTransitionCycles);
         advance(now);
+        armReceiverTransitionWake();
     }
+}
+
+void
+OpticalLink::armReceiverTransitionWake()
+{
+    // With faults attached the receiver advances this link on every
+    // poll, so an always-awake receiver would process (and trace) the
+    // transition completion at its exact end cycle. A parked receiver
+    // must come back for that cycle; later phases of the same
+    // transition chain re-arm through nextReceiverEventCycle when it
+    // re-parks.
+    if (receiver_ != nullptr && faults_ != nullptr &&
+        phase_ != Phase::kStable && phase_ != Phase::kOff)
+        receiver_->wakeAt(phaseEnd_);
 }
 
 void
@@ -308,6 +324,30 @@ OpticalLink::accept(Cycle now, const Flit &flit)
 
     windowFlits_++;
     totalFlits_++;
+
+    // Wake edge: a parked receiver must tick when this flit lands
+    // (even a corrupt copy — the receiver's poll at `arrives` is what
+    // drives the CRC/NACK replay at its exact cycle).
+    if (receiver_)
+        receiver_->wakeAt(arrives);
+}
+
+Cycle
+OpticalLink::nextReceiverEventCycle() const
+{
+    Cycle next = kNeverCycle;
+    if (inflightCount_ > 0)
+        next = inflight_[inflightHead_].arrives;
+    if (faults_ != nullptr && !failed_) {
+        // An every-cycle poller would discover these during its
+        // hasArrival() walk; a parked receiver must come back at the
+        // same cycles so counters and trace emission land identically.
+        next = std::min(next, faults_->peekLockLoss(faultId_));
+        next = std::min(next, faults_->hardFailAtCycle(faultId_));
+        if (phase_ != Phase::kStable && phase_ != Phase::kOff)
+            next = std::min(next, phaseEnd_);
+    }
+    return next;
 }
 
 double
@@ -430,6 +470,7 @@ OpticalLink::requestLevel(Cycle now, int level)
     }
     // Zero-length phases resolve immediately.
     advance(now);
+    armReceiverTransitionWake();
 }
 
 bool

@@ -59,6 +59,7 @@
 namespace oenet {
 
 class FaultInjector;
+class Ticking;
 
 /** What role a link plays in the system (used for reporting). */
 enum class LinkKind
@@ -133,6 +134,26 @@ class OpticalLink
 
     /** Flits accepted but not yet popped by the receiver. */
     int inFlight() const { return inflightCount_; }
+
+    /**
+     * Attach the receiving component (null detaches). accept() wakes
+     * it at the flit's arrival cycle, so a receiver parked by the
+     * idle-elision scheduler never misses a delivery. Wired by
+     * Router::connectInput / Node::connectEjection.
+     */
+    void setReceiver(Ticking *receiver) { receiver_ = receiver; }
+
+    /**
+     * Earliest future cycle at which this link could hand its receiver
+     * something to do — the head in-flight arrival, and, when a fault
+     * injector is attached (receivers then advance the link on every
+     * poll), the next scheduled lock loss, the hard-failure cycle, and
+     * the end of any transition phase in progress. kNeverCycle when
+     * nothing is pending. A quiescing receiver re-arms its wake from
+     * this; the extra fault/phase terms keep lazily-emitted trace
+     * events at the same file positions as an every-cycle poller.
+     */
+    Cycle nextReceiverEventCycle() const;
 
     // ------------------------------------------------------------------
     // Power control
@@ -285,6 +306,10 @@ class OpticalLink
     /** Permanent failure at @p at: drop in-flight flits, gate off. */
     void failLink(Cycle at);
 
+    /** Wake a parked receiver for the end of a just-started transition
+     *  phase (fault-attached links only; see the definition). */
+    void armReceiverTransitionWake();
+
     enum class Phase
     {
         kStable,
@@ -333,6 +358,9 @@ class OpticalLink
     Cycle transitionStart_ = 0;
     int transitionFrom_ = 0;
     const char *transitionType_ = nullptr;
+
+    // Receiver wake edge (idle elision).
+    Ticking *receiver_ = nullptr;
 
     // Faults / reliability.
     FaultInjector *faults_ = nullptr;

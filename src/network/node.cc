@@ -27,23 +27,26 @@ Node::connectEjection(OpticalLink *link, CreditSink *upstream,
     ejLink_ = link;
     ejUpstream_ = upstream;
     ejUpstreamPort_ = upstream_port;
+    if (link != nullptr)
+        link->setReceiver(this); // ejection wake edge (idle elision)
 }
 
 void
 Node::enqueuePacket(PacketId id, NodeId dst, int len, Cycle now)
 {
-    std::vector<Flit> flits;
-    flits.reserve(static_cast<std::size_t>(len));
-    flitizePacket(flits, id, id_, dst, len, now);
-    for (const Flit &f : flits)
+    flitizeScratch_.clear(); // keeps its capacity across packets
+    flitizePacket(flitizeScratch_, id, id_, dst, len, now);
+    for (const Flit &f : flitizeScratch_)
         sourceQueue_.push_back(f);
     packetsEnqueued_++;
+    wakeAt(now); // injection wake edge: start serializing this cycle
 }
 
 void
 Node::returnCredit(int, int vc, Cycle now)
 {
     pendingCredits_.push_back(PendingCredit{vc, now + 1});
+    wakeAt(now + 1); // credit wake edge: apply it on time if parked
 }
 
 double
@@ -148,9 +151,24 @@ Node::inject(Cycle now)
 void
 Node::tick(Cycle now)
 {
-    applyCredits(now);
+    if (!pendingCredits_.empty())
+        applyCredits(now);
     drainEjection(now);
     inject(now);
+}
+
+Cycle
+Node::nextWakeCycle(Cycle now)
+{
+    // An empty source queue implies no packet is mid-injection (whole
+    // packets are enqueued atomically, so the last injected flit of a
+    // drained queue was a tail), and pending credits are the only
+    // other tick-visible state; everything else is the ejection link's
+    // business.
+    if (!sourceQueue_.empty() || !pendingCredits_.empty())
+        return now + 1;
+    return ejLink_ != nullptr ? ejLink_->nextReceiverEventCycle()
+                              : kNeverCycle;
 }
 
 } // namespace oenet

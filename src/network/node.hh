@@ -16,10 +16,10 @@
 #ifndef OENET_NETWORK_NODE_HH
 #define OENET_NETWORK_NODE_HH
 
-#include <deque>
 #include <string>
 #include <vector>
 
+#include "common/ring_buffer.hh"
 #include "link/endpoints.hh"
 #include "link/link.hh"
 #include "sim/kernel.hh"
@@ -36,7 +36,9 @@ class PacketSink
     virtual void packetEjected(const Flit &tail, Cycle now) = 0;
 };
 
-class Node : public Ticking, public CreditSink, public OccupancyProvider
+class Node final : public Ticking,
+                   public CreditSink,
+                   public OccupancyProvider
 {
   public:
     struct Params
@@ -61,6 +63,14 @@ class Node : public Ticking, public CreditSink, public OccupancyProvider
     void enqueuePacket(PacketId id, NodeId dst, int len, Cycle now);
 
     void tick(Cycle now) override;
+
+    /**
+     * Quiescence (idle elision): a node with an empty source queue and
+     * no pending credits has a no-op tick; it parks until the ejection
+     * link's next event. Wake edges: enqueuePacket, a returned
+     * injection credit, and a flit accepted onto the ejection link.
+     */
+    Cycle nextWakeCycle(Cycle now) override;
 
     // CreditSink: the router returns injection-link credits to us.
     void returnCredit(int port, int vc, Cycle now) override;
@@ -107,7 +117,8 @@ class Node : public Ticking, public CreditSink, public OccupancyProvider
     int ejUpstreamPort_ = kInvalid;
     PacketSink *sink_ = nullptr;
 
-    std::deque<Flit> sourceQueue_;
+    RingBuffer<Flit> sourceQueue_;
+    std::vector<Flit> flitizeScratch_; ///< reused by enqueuePacket
     std::vector<int> credits_;
     std::vector<PendingCredit> pendingCredits_;
     int currentVc_ = kInvalid; ///< VC of the packet being injected

@@ -49,6 +49,8 @@ Router::connectInput(int port, OpticalLink *link, CreditSink *upstream,
     in.link = link;
     in.upstream = upstream;
     in.upstreamPort = upstream_port;
+    if (link != nullptr)
+        link->setReceiver(this); // arrival wake edge (idle elision)
 }
 
 void
@@ -66,6 +68,7 @@ void
 Router::returnCredit(int port, int vc, Cycle now)
 {
     pendingCredits_.push_back(PendingCredit{port, vc, now + 1});
+    wakeAt(now + 1); // credit wake edge: apply it on time if parked
 }
 
 double
@@ -297,6 +300,7 @@ Router::stageSwitchAllocation(Cycle now)
                 false;
             ivc.outPort = kInvalid;
             ivc.outVc = kInvalid;
+            activeVcCount_--;
             if (ivc.buffer.empty()) {
                 ivc.state = VcState::kIdle;
             } else {
@@ -349,6 +353,7 @@ Router::stageVcAllocation(Cycle now)
                 ivc.outVc = 0;
                 ivc.state = VcState::kActive;
                 vcAllocCount_--;
+                activeVcCount_++;
                 requests[q] &= ~(1ull << winner);
             }
             continue;
@@ -368,6 +373,7 @@ Router::stageVcAllocation(Cycle now)
             ivc.outVc = ov;
             ivc.state = VcState::kActive;
             vcAllocCount_--;
+            activeVcCount_++;
             auto &ovc = out.vcs[static_cast<std::size_t>(ov)];
             ovc.allocated = true;
             ovc.ownerInPort = p;
@@ -515,6 +521,24 @@ Router::tick(Cycle now)
     drainArrivals(now);
     if (orphanTimeout_ != 0 && (now & 1023) == 0)
         reclaimOrphans(now);
+}
+
+Cycle
+Router::nextWakeCycle(Cycle now)
+{
+    // Any pipeline population keeps the router in the per-cycle pass.
+    // activeVcCount_ matters even with empty buffers: an open wormhole
+    // may still owe flits (or a poison tail on a failed input link).
+    if (bufferedFlits_ > 0 || latchCount_ > 0 || routingCount_ > 0 ||
+        vcAllocCount_ > 0 || activeVcCount_ > 0 ||
+        !pendingCredits_.empty())
+        return now + 1;
+    Cycle wake = kNeverCycle;
+    for (const auto &in : inputs_) {
+        if (in.link != nullptr)
+            wake = std::min(wake, in.link->nextReceiverEventCycle());
+    }
+    return wake;
 }
 
 } // namespace oenet

@@ -38,7 +38,9 @@
 
 namespace oenet {
 
-class Router : public Ticking, public CreditSink, public OccupancyProvider
+class Router final : public Ticking,
+                     public CreditSink,
+                     public OccupancyProvider
 {
   public:
     struct Params
@@ -62,6 +64,17 @@ class Router : public Ticking, public CreditSink, public OccupancyProvider
                        int downstream_vc_depth);
 
     void tick(Cycle now) override;
+
+    /**
+     * Quiescence (idle elision): a router with empty buffers, no
+     * latched flits, no VC in any pipeline state (routing, VC-alloc,
+     * or active — an active VC may still owe a poison tail on a failed
+     * input), and no pending credits has a no-op tick; it parks until
+     * the earliest event any input link could hand it (arrival,
+     * scheduled fault, transition end). Wake edges: a flit accepted
+     * onto an input link (OpticalLink::accept) and a returned credit.
+     */
+    Cycle nextWakeCycle(Cycle now) override;
 
     // CreditSink: the downstream receiver of output @p port returns a
     // credit for @p vc (applied at now+1).
@@ -210,6 +223,7 @@ class Router : public Ticking, public CreditSink, public OccupancyProvider
     int latchCount_ = 0;    ///< occupied output latches
     int routingCount_ = 0;  ///< input VCs in kRouting
     int vcAllocCount_ = 0;  ///< input VCs in kVcAlloc
+    int activeVcCount_ = 0; ///< input VCs in kActive (open wormholes)
 
     /** Upper bound on ports (masks are 64-bit; VA flattens p*vcs+v). */
     static constexpr int kMaxPorts = 32;

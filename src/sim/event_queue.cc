@@ -13,7 +13,22 @@ EventQueue::schedule(Cycle when, Action action)
         panic("EventQueue: scheduling into the past (%llu < %llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(lastRun_));
-    heap_.push(Entry{when, nextSeq_++, std::move(action)});
+    heap_.push(Entry{when, nextSeq_++, std::move(action), nullptr});
+}
+
+void
+EventQueue::schedulePeriodic(Cycle first, Cycle period,
+                             PeriodicAction action)
+{
+    if (period == 0)
+        panic("EventQueue::schedulePeriodic: zero period");
+    if (first < lastRun_)
+        panic("EventQueue: scheduling into the past (%llu < %llu)",
+              static_cast<unsigned long long>(first),
+              static_cast<unsigned long long>(lastRun_));
+    periodics_.push_back(
+        std::make_unique<Periodic>(Periodic{period, std::move(action)}));
+    heap_.push(Entry{first, nextSeq_++, Action{}, periodics_.back().get()});
 }
 
 void
@@ -21,8 +36,21 @@ EventQueue::runDue(Cycle now)
 {
     lastRun_ = now;
     while (!heap_.empty() && heap_.top().when <= now) {
-        // Copy out before pop so the action can schedule new events.
-        Action action = heap_.top().action;
+        const Entry &top = heap_.top();
+        if (Periodic *p = top.periodic) {
+            Cycle when = top.when;
+            heap_.pop();
+            // Action first, then re-arm: same relative order as a
+            // self-rescheduling one-shot, so same-cycle event ordering
+            // is unchanged.
+            p->action(when);
+            heap_.push(Entry{when + p->period, nextSeq_++, Action{}, p});
+            continue;
+        }
+        // Move out before pop so the action can schedule new events;
+        // the comparator never touches `action`, so mutating the top
+        // entry's payload in place is safe.
+        Action action = std::move(const_cast<Entry &>(top).action);
         heap_.pop();
         action();
     }

@@ -8,6 +8,11 @@
  * injections — are scheduled here so nothing polls for them. Events
  * scheduled for the same cycle fire in schedule order (a monotone
  * sequence number breaks ties), which keeps runs deterministic.
+ *
+ * Periodic actions are first-class: schedulePeriodic stores the closure
+ * once and re-arms the same entry each firing, so a policy window that
+ * fires a million times allocates exactly one std::function, not a chain
+ * of nested copies.
  */
 
 #ifndef OENET_SIM_EVENT_QUEUE_HH
@@ -15,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -26,10 +32,22 @@ class EventQueue
 {
   public:
     using Action = std::function<void()>;
+    using PeriodicAction = std::function<void(Cycle)>;
 
     /** Schedule @p action to run at cycle @p when.
      *  @pre when >= the cycle passed to the last runDue() call. */
     void schedule(Cycle when, Action action);
+
+    /**
+     * Schedule @p action to run at @p first and every @p period cycles
+     * thereafter, receiving the firing cycle. The closure is stored
+     * once; each firing runs the action and then re-arms the same
+     * stored entry (action first, so anything it schedules for the
+     * same cycle fires before the next periodic at that cycle, exactly
+     * as a self-rescheduling one-shot would behave).
+     */
+    void schedulePeriodic(Cycle first, Cycle period,
+                          PeriodicAction action);
 
     /** Run every event due at or before @p now, in (cycle, order) order.
      *  Events may schedule further events, including for @p now. */
@@ -42,11 +60,21 @@ class EventQueue
     std::size_t size() const { return heap_.size(); }
 
   private:
+    /** Persistent state for one schedulePeriodic call; lives for the
+     *  queue's lifetime at a stable address referenced by heap
+     *  entries. */
+    struct Periodic
+    {
+        Cycle period;
+        PeriodicAction action;
+    };
+
     struct Entry
     {
         Cycle when;
         std::uint64_t seq;
-        Action action;
+        Action action;             ///< one-shot payload (null if periodic)
+        Periodic *periodic = nullptr; ///< persistent payload, re-armed in place
     };
 
     struct Later
@@ -60,6 +88,7 @@ class EventQueue
     };
 
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::vector<std::unique_ptr<Periodic>> periodics_;
     std::uint64_t nextSeq_ = 0;
     Cycle lastRun_ = 0;
 };

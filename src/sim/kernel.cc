@@ -1,5 +1,6 @@
 #include "sim/kernel.hh"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -12,7 +13,15 @@ Kernel::addTicking(Ticking *component)
 {
     if (!component)
         panic("Kernel::addTicking: null component");
+    if (component->kernel_ && component->kernel_ != this)
+        panic("Kernel::addTicking: component already registered "
+              "with another kernel");
+    component->kernel_ = this;
+    component->tickOrder_ = static_cast<std::uint32_t>(ticking_.size());
+    component->asleep_ = false;
+    component->pendingWake_ = kNeverCycle;
     ticking_.push_back(component);
+    active_.push_back(component); // appended in order: stays sorted
 }
 
 void
@@ -23,9 +32,77 @@ Kernel::step()
         nextEpoch_ += epochInterval_;
     }
     events_.runDue(now_);
-    for (Ticking *t : ticking_)
+    if (!idleElision_) {
+        for (Ticking *t : ticking_)
+            t->tick(now_);
+        now_++;
+        return;
+    }
+    // Admit every component whose timed wake is due. Entries are
+    // lazily deleted: pendingWake_ is the authority, so a heap entry
+    // that was superseded (component woke earlier and re-armed later)
+    // is simply skipped.
+    while (!wakeHeap_.empty() && wakeHeap_.top().at <= now_) {
+        Ticking *c = wakeHeap_.top().component;
+        wakeHeap_.pop();
+        if (c->asleep_ && c->pendingWake_ <= now_)
+            admit(c);
+    }
+    inTickPass_ = true;
+    bool parked = false;
+    // Indexed loop: wake edges may insert into active_ mid-pass, but
+    // only at positions past the cursor (see wakeSleeping).
+    for (std::size_t i = 0; i < active_.size(); i++) {
+        Ticking *t = active_[i];
+        passOrder_ = t->tickOrder_;
         t->tick(now_);
+        Cycle wake = t->nextWakeCycle(now_);
+        if (wake > now_ + 1) {
+            t->asleep_ = true;
+            t->pendingWake_ = wake;
+            if (wake != kNeverCycle)
+                wakeHeap_.push(WakeEntry{wake, t});
+            parked = true;
+        }
+    }
+    inTickPass_ = false;
+    if (parked)
+        std::erase_if(active_,
+                      [](const Ticking *t) { return t->asleep_; });
     now_++;
+}
+
+void
+Kernel::admit(Ticking *component)
+{
+    component->asleep_ = false;
+    component->pendingWake_ = kNeverCycle;
+    auto pos = std::lower_bound(
+        active_.begin(), active_.end(), component,
+        [](const Ticking *a, const Ticking *b) {
+            return a->tickOrder_ < b->tickOrder_;
+        });
+    active_.insert(pos, component);
+}
+
+void
+Kernel::wakeSleeping(Ticking *component, Cycle at)
+{
+    if (at <= now_) {
+        // Due immediately. Mid-pass we may only insert past the
+        // cursor; a wake aimed at an already-passed position ticks
+        // next cycle instead — exactly when an always-awake component
+        // would first observe the time-tagged interaction.
+        if (!inTickPass_ || component->tickOrder_ > passOrder_) {
+            admit(component);
+            return;
+        }
+        at = now_ + 1;
+    }
+    if (at < component->pendingWake_) {
+        component->pendingWake_ = at;
+        wakeHeap_.push(WakeEntry{at, component});
+    }
 }
 
 void
@@ -33,6 +110,23 @@ Kernel::run(Cycle cycles)
 {
     for (Cycle i = 0; i < cycles; i++)
         step();
+}
+
+void
+Kernel::setIdleElision(bool on)
+{
+    if (idleElision_ == on)
+        return;
+    idleElision_ = on;
+    if (!on) {
+        // Re-admit everyone; the classic full pass resumes next step.
+        for (Ticking *t : ticking_) {
+            t->asleep_ = false;
+            t->pendingWake_ = kNeverCycle;
+        }
+        active_ = ticking_;
+        wakeHeap_ = {};
+    }
 }
 
 void
@@ -61,23 +155,7 @@ Kernel::schedulePeriodic(Cycle first, Cycle period,
 {
     if (period == 0)
         panic("Kernel::schedulePeriodic: zero period");
-    struct Repeater
-    {
-        Kernel *kernel;
-        Cycle period;
-        std::function<void(Cycle)> action;
-
-        void fire(Cycle when) const
-        {
-            action(when);
-            auto self = *this; // copy keeps the chain alive in the queue
-            kernel->events_.schedule(
-                when + period,
-                [self, next = when + period]() { self.fire(next); });
-        }
-    };
-    Repeater rep{this, period, std::move(action)};
-    events_.schedule(first, [rep, first]() { rep.fire(first); });
+    events_.schedulePeriodic(first, period, std::move(action));
 }
 
 } // namespace oenet

@@ -4,20 +4,32 @@
  * ordered list of components ticked every cycle.
  *
  * Tick protocol per cycle t:
- *   1. events due at t fire (control plane: policies, transitions,
+ *   1. the epoch hook (if due) observes the state at the boundary;
+ *   2. events due at t fire (control plane: policies, transitions,
  *      scheduled injections);
- *   2. every registered Ticking component's tick(t) runs, in
+ *   3. every *active* Ticking component's tick(t) runs, in
  *      registration order.
  *
  * Cross-component interactions are time-tagged (link arrival cycles,
  * credit return cycles), so results do not depend on registration order;
  * the fixed order only pins down RNG-free determinism.
+ *
+ * Idle elision (on by default) removes quiescent components from the
+ * per-cycle pass: after each tick the kernel asks nextWakeCycle(now),
+ * and a component answering later than now+1 is parked until that cycle
+ * or until an explicit wake edge (wakeAt) pulls it in earlier. A parked
+ * component's tick would have been a no-op every skipped cycle, so the
+ * simulated outcome — every byte of every manifest and trace — is
+ * identical to ticking everything; see DESIGN.md section 9 for the
+ * quiescence invariants each component maintains.
  */
 
 #ifndef OENET_SIM_KERNEL_HH
 #define OENET_SIM_KERNEL_HH
 
+#include <cstdint>
 #include <functional>
+#include <queue>
 #include <vector>
 
 #include "common/types.hh"
@@ -25,12 +37,43 @@
 
 namespace oenet {
 
+class Kernel;
+
 /** Interface for components that need per-cycle processing. */
 class Ticking
 {
   public:
     virtual ~Ticking() = default;
     virtual void tick(Cycle now) = 0;
+
+    /**
+     * Earliest future cycle this component could need to tick again,
+     * asked by the kernel right after tick(now). Answering now+1 (the
+     * default) keeps the component in every cycle's pass; anything
+     * later parks it until that cycle (kNeverCycle = indefinitely,
+     * until a wake edge). A sleeping component must be woken by
+     * whoever hands it work (see wakeAt); the kernel never polls it.
+     */
+    virtual Cycle nextWakeCycle(Cycle now) { return now + 1; }
+
+    /**
+     * Wake edge: ensure this component ticks at cycle @p at (or the
+     * next executable cycle if @p at has passed). No-op while the
+     * component is active — an active component re-arms itself from
+     * its own state via nextWakeCycle, which is always at least as
+     * accurate as any external hint.
+     */
+    void wakeAt(Cycle at);
+
+    /** True while parked by the idle-elision scheduler. */
+    bool asleep() const { return asleep_; }
+
+  private:
+    friend class Kernel;
+    Kernel *kernel_ = nullptr;     ///< set by Kernel::addTicking
+    std::uint32_t tickOrder_ = 0;  ///< registration index (tick order)
+    bool asleep_ = false;
+    Cycle pendingWake_ = kNeverCycle; ///< authoritative earliest wake
 };
 
 class Kernel
@@ -44,7 +87,7 @@ class Kernel
     /** Register a component; the kernel does not take ownership. */
     void addTicking(Ticking *component);
 
-    /** Advance one cycle: fire due events, tick all components. */
+    /** Advance one cycle: fire due events, tick active components. */
     void step();
 
     /** Advance @p cycles cycles. */
@@ -53,7 +96,9 @@ class Kernel
     /** Schedule a one-shot action. */
     void schedule(Cycle when, EventQueue::Action action);
 
-    /** Schedule @p action every @p period cycles starting at @p first. */
+    /** Schedule @p action every @p period cycles starting at @p first.
+     *  The closure is stored once in the event queue and re-armed in
+     *  place — no per-firing allocation. */
     void schedulePeriodic(Cycle first, Cycle period,
                           std::function<void(Cycle)> action);
 
@@ -69,19 +114,69 @@ class Kernel
      */
     void setEpochHook(Cycle interval, std::function<void(Cycle)> hook);
 
+    /**
+     * Enable or disable idle elision (default on). Disabling mid-run
+     * re-admits every parked component so the classic
+     * tick-everything-every-cycle pass resumes; both settings produce
+     * bit-identical simulations.
+     */
+    void setIdleElision(bool on);
+    bool idleElision() const { return idleElision_; }
+
+    /** Components in the per-cycle pass right now (diagnostics). */
+    std::size_t activeCount() const { return active_.size(); }
+    std::size_t tickingCount() const { return ticking_.size(); }
+
     Cycle now() const { return now_; }
     EventQueue &events() { return events_; }
 
   private:
+    friend class Ticking;
+
+    /** Re-admit a parked component into the sorted active list. */
+    void admit(Ticking *component);
+
+    /** Handle Ticking::wakeAt for a parked component. */
+    void wakeSleeping(Ticking *component, Cycle at);
+
     Cycle now_ = 0;
     EventQueue events_;
-    std::vector<Ticking *> ticking_;
+    std::vector<Ticking *> ticking_; ///< all components, registration order
+    std::vector<Ticking *> active_;  ///< awake subset, same order
+
+    struct WakeEntry
+    {
+        Cycle at;
+        Ticking *component;
+    };
+    struct WakeLater
+    {
+        bool operator()(const WakeEntry &a, const WakeEntry &b) const
+        {
+            return a.at > b.at;
+        }
+    };
+    /** Timed wakes; lazily deleted — Ticking::pendingWake_ is the
+     *  authority, stale entries are skipped on pop. */
+    std::priority_queue<WakeEntry, std::vector<WakeEntry>, WakeLater>
+        wakeHeap_;
+
+    bool idleElision_ = true;
+    bool inTickPass_ = false;
+    std::uint32_t passOrder_ = 0; ///< tickOrder_ of component mid-tick
 
     // Epoch hook (metrics snapshots).
     std::function<void(Cycle)> epochHook_;
     Cycle epochInterval_ = 0;
     Cycle nextEpoch_ = kNeverCycle;
 };
+
+inline void
+Ticking::wakeAt(Cycle at)
+{
+    if (asleep_)
+        kernel_->wakeSleeping(this, at);
+}
 
 } // namespace oenet
 

@@ -1,0 +1,105 @@
+/** @file Tests for the power-of-two ring buffer behind hot-path FIFOs. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/ring_buffer.hh"
+
+using namespace oenet;
+
+TEST(RingBuffer, StartsEmptyWithPowerOfTwoCapacity)
+{
+    RingBuffer<int> rb(5);
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_EQ(rb.capacity(), 8u); // rounded up to a power of two
+}
+
+TEST(RingBuffer, FifoOrder)
+{
+    RingBuffer<int> rb(4);
+    for (int i = 0; i < 4; i++)
+        rb.push_back(i);
+    for (int i = 0; i < 4; i++) {
+        EXPECT_EQ(rb.front(), i);
+        rb.pop_front();
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapsAroundWithoutGrowing)
+{
+    RingBuffer<int> rb(4);
+    int next_in = 0, next_out = 0;
+    rb.push_back(next_in++);
+    rb.push_back(next_in++);
+    // Interleave pushes and pops so head_ laps the storage repeatedly
+    // while size stays below capacity.
+    for (int round = 0; round < 20; round++) {
+        rb.push_back(next_in++);
+        EXPECT_EQ(rb.front(), next_out++);
+        rb.pop_front();
+    }
+    EXPECT_EQ(rb.capacity(), 4u);
+    while (!rb.empty()) {
+        EXPECT_EQ(rb.front(), next_out++);
+        rb.pop_front();
+    }
+    EXPECT_EQ(next_out, next_in);
+}
+
+TEST(RingBuffer, GrowthPreservesOrderAcrossWrappedHead)
+{
+    RingBuffer<int> rb(4);
+    // Advance head so the live region wraps, then force a grow.
+    for (int i = 0; i < 3; i++) {
+        rb.push_back(-1);
+        rb.pop_front();
+    }
+    for (int i = 0; i < 9; i++) // crosses 4 -> 8 -> 16
+        rb.push_back(i);
+    EXPECT_EQ(rb.capacity(), 16u);
+    EXPECT_EQ(rb.size(), 9u);
+    for (int i = 0; i < 9; i++)
+        EXPECT_EQ(rb.at(i), i);
+    for (int i = 0; i < 9; i++) {
+        EXPECT_EQ(rb.front(), i);
+        rb.pop_front();
+    }
+}
+
+TEST(RingBuffer, AtIndexesFromFront)
+{
+    RingBuffer<std::string> rb(2);
+    rb.push_back("a");
+    rb.push_back("b");
+    rb.push_back("c");
+    EXPECT_EQ(rb.at(0), "a");
+    EXPECT_EQ(rb.at(1), "b");
+    EXPECT_EQ(rb.at(2), "c");
+    rb.pop_front();
+    EXPECT_EQ(rb.at(0), "b");
+}
+
+TEST(RingBuffer, ClearResetsAndBufferIsReusable)
+{
+    RingBuffer<int> rb(4);
+    for (int i = 0; i < 6; i++)
+        rb.push_back(i);
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    rb.push_back(42);
+    EXPECT_EQ(rb.front(), 42);
+    EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(RingBuffer, PopClearsSlotPayload)
+{
+    // Moved-from / popped slots must not retain heavy payloads.
+    RingBuffer<std::string> rb(2);
+    rb.push_back(std::string(1000, 'x'));
+    rb.pop_front();
+    rb.push_back("y");
+    EXPECT_EQ(rb.front(), "y");
+}
