@@ -21,6 +21,7 @@
 #include "common/parallel.hh"
 #include "common/stats.hh"
 #include "core/sweep_runner.hh"
+#include "network/topology.hh"
 #include "trace/trace_sinks.hh"
 
 namespace oenet::bench {
@@ -36,6 +37,15 @@ struct BenchArgs
     TraceFormat traceFormat = TraceFormat::kJsonl; ///< --trace-format
     Cycle metricsInterval = 1000; ///< --metrics-interval N; 0 = off
     bool idleElision = true; ///< --idle-elision on|off (kernel scheduler)
+
+    // Fabric overrides; unset flags keep each bench's own defaults
+    // (the paper's 8x8x8 mesh) so unflagged runs stay byte-identical.
+    bool topologySet = false; ///< --topology was given
+    TopologyKind topology = TopologyKind::kMesh;
+    int meshX = 0;       ///< --mesh-x N; 0 = bench default
+    int meshY = 0;       ///< --mesh-y N; 0 = bench default
+    int clusterSize = 0; ///< --cluster C; 0 = bench default
+    int fatTreeArity = 0; ///< --arity K; 0 = bench default
 };
 
 /** Parse a decimal unsigned flag value, rejecting garbage, trailing
@@ -123,6 +133,19 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
         } else if (std::strcmp(a, "--metrics-interval") == 0) {
             args.metricsInterval =
                 parseFlagUint(argv[0], a, value());
+        } else if (std::strcmp(a, "--topology") == 0) {
+            args.topology = parseTopologyKind(value());
+            args.topologySet = true;
+        } else if (std::strcmp(a, "--mesh-x") == 0) {
+            args.meshX = parseFlagInt(argv[0], a, value(), 1, 1024);
+        } else if (std::strcmp(a, "--mesh-y") == 0) {
+            args.meshY = parseFlagInt(argv[0], a, value(), 1, 1024);
+        } else if (std::strcmp(a, "--cluster") == 0) {
+            args.clusterSize =
+                parseFlagInt(argv[0], a, value(), 1, 1024);
+        } else if (std::strcmp(a, "--arity") == 0) {
+            args.fatTreeArity =
+                parseFlagInt(argv[0], a, value(), 2, 64);
         } else if (std::strcmp(a, "--idle-elision") == 0) {
             const char *v = value();
             if (std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0) {
@@ -160,7 +183,17 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
                 "             park quiescent components instead of "
                 "ticking them\n"
                 "             (default on; outputs are byte-identical "
-                "either way)\n",
+                "either way)\n"
+                "  --topology mesh|torus|cmesh|fattree\n"
+                "             fabric (default: the bench's own, the "
+                "paper's 8x8x8 mesh)\n"
+                "  --mesh-x N / --mesh-y N\n"
+                "             router grid dimensions (mesh family)\n"
+                "  --cluster C\n"
+                "             nodes per router; cmesh needs a perfect "
+                "square\n"
+                "  --arity K  fat-tree switch radix (even; k^3/4 "
+                "nodes)\n",
                 argv[0], hardwareJobs());
             std::exit(0);
         } else {
@@ -198,15 +231,36 @@ runnerOptions(const BenchArgs &args)
     return opts;
 }
 
-/** Stamp kernel-level flags (--idle-elision) onto every point's
- *  SystemConfig. Call after assembling a points vector, before handing
- *  it to the runner. Works on SweepPoint and TimelinePoint alike. */
+/** Stamp kernel-level flags (--idle-elision) and fabric overrides
+ *  (--topology / --mesh-x / --mesh-y / --cluster / --arity) onto every
+ *  point's SystemConfig, then validate the result so a bad combination
+ *  dies with SystemConfig's actionable message before any point runs.
+ *  Call after assembling a points vector, before handing it to the
+ *  runner. Works on SweepPoint and TimelinePoint alike. */
+inline void
+applyFabricOverrides(const BenchArgs &args, SystemConfig &config)
+{
+    if (args.topologySet)
+        config.topology = args.topology;
+    if (args.meshX > 0)
+        config.meshX = args.meshX;
+    if (args.meshY > 0)
+        config.meshY = args.meshY;
+    if (args.clusterSize > 0)
+        config.clusterSize = args.clusterSize;
+    if (args.fatTreeArity > 0)
+        config.fatTreeArity = args.fatTreeArity;
+}
+
 template <typename Point>
 inline void
 applyKernelArgs(const BenchArgs &args, std::vector<Point> &points)
 {
-    for (auto &p : points)
+    for (auto &p : points) {
         p.config.idleElision = args.idleElision;
+        applyFabricOverrides(args, p.config);
+        p.config.validate();
+    }
 }
 
 /** Mark the point at @p index for tracing when --trace was given.

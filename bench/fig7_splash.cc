@@ -41,10 +41,12 @@ main(int argc, char **argv)
     std::vector<TraceData> traces;
     traces.reserve(std::size(kinds));
     std::vector<TimelinePoint> points;
+    SystemConfig base; // modulator, paper defaults + fabric flags
+    applyFabricOverrides(args, base);
     for (SplashKind kind : kinds) {
         SplashSynthParams sp;
         sp.kind = kind;
-        sp.numNodes = 512;
+        sp.numNodes = base.numNodes();
         sp.duration = kDuration;
         sp.rateScale = kRateScale;
         sp.seed = 61;
@@ -52,7 +54,7 @@ main(int argc, char **argv)
 
         TimelinePoint p;
         p.label = splashKindName(kind);
-        p.config = SystemConfig{}; // modulator, paper defaults
+        p.config = base;
         p.spec = TrafficSpec::traceReplay(traces.back());
         p.total = kDuration;
         p.bin = kBin;

@@ -47,16 +47,17 @@ main(int argc, char **argv)
     std::vector<TraceData> traces;
     traces.reserve(std::size(rows));
     std::vector<SweepPoint> points;
+    SystemConfig cfg; // modulator defaults + fabric flags
+    applyFabricOverrides(args, cfg);
     for (std::size_t k = 0; k < std::size(rows); k++) {
         SplashSynthParams sp;
         sp.kind = rows[k].kind;
-        sp.numNodes = 512;
+        sp.numNodes = cfg.numNodes();
         sp.duration = kDuration;
         sp.rateScale = 0.25;
         sp.seed = 61;
         traces.push_back(generateSplashTrace(sp));
 
-        SystemConfig cfg; // modulator defaults
         SweepPoint pa;
         pa.label = std::string(splashKindName(rows[k].kind)) + "/pa";
         pa.config = cfg;

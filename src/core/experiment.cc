@@ -68,6 +68,11 @@ makeTraffic(const TrafficSpec &spec, const SystemConfig &config)
         return std::make_unique<HotspotTraffic>(p);
       }
       case TrafficSpec::Kind::kPermutation: {
+        if (!config.meshFamily())
+            fatal("makeTraffic: permutation patterns are defined by "
+                  "mesh coordinates and do not apply to topology=%s "
+                  "(use uniform or hotspot)",
+                  topologyKindName(config.topology));
         PermutationTraffic::Params p;
         p.pattern = spec.pattern;
         p.numNodes = config.numNodes();

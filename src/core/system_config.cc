@@ -10,10 +10,14 @@ SystemConfig
 SystemConfig::fromConfig(const Config &config)
 {
     SystemConfig c;
+    c.topology = parseTopologyKind(
+        config.getString("topology", topologyKindName(c.topology)));
     c.meshX = static_cast<int>(config.getInt("mesh.x", c.meshX));
     c.meshY = static_cast<int>(config.getInt("mesh.y", c.meshY));
     c.clusterSize =
         static_cast<int>(config.getInt("mesh.cluster", c.clusterSize));
+    c.fatTreeArity =
+        static_cast<int>(config.getInt("topo.arity", c.fatTreeArity));
 
     c.numVcs = static_cast<int>(config.getInt("router.vcs", c.numVcs));
     c.bufferDepthPerPort = static_cast<int>(
@@ -175,12 +179,32 @@ SystemConfig::validate() const
             fatal("%s must be a probability in [0, 1], got %g", name, p);
     };
 
-    if (meshX < 1 || meshY < 1)
-        fatal("mesh.x/mesh.y must be >= 1, got %dx%d", meshX, meshY);
-    if (clusterSize < 1)
-        fatal("mesh.cluster must be >= 1, got %d", clusterSize);
+    topologyParams().validate();
     if (numVcs < 1)
         fatal("router.vcs must be >= 1, got %d", numVcs);
+    if (topology == TopologyKind::kTorus && numVcs < 2) {
+        fatal("topology=torus needs router.vcs >= 2 (dateline escape "
+              "VC classes), got %d", numVcs);
+    }
+    if (routing == RoutingAlgo::kWestFirst &&
+        topology == TopologyKind::kTorus) {
+        fatal("router.routing=westfirst is a mesh-only turn model; "
+              "torus routing must be xy or yx");
+    }
+    {
+        TopologyParams tp = topologyParams();
+        int ports = tp.portsPerRouter();
+        if (ports > 32) {
+            fatal("topology %s needs %d ports per router, above the "
+                  "32-port limit (shrink mesh.cluster or topo.arity)",
+                  topologyKindName(topology), ports);
+        }
+        if (ports * numVcs > 64) {
+            fatal("%d ports x %d VCs = %d exceeds the router's 64-wide "
+                  "allocator masks (shrink router.vcs, mesh.cluster, "
+                  "or topo.arity)", ports, numVcs, ports * numVcs);
+        }
+    }
     if (bufferDepthPerPort < numVcs) {
         fatal("router.buffer (%d) must be >= router.vcs (%d): every "
               "VC needs at least one buffer slot",
@@ -249,13 +273,23 @@ SystemConfig::validate() const
     checkProb("fault.clamp_rate", fault.clampErrorRate);
 }
 
+TopologyParams
+SystemConfig::topologyParams() const
+{
+    TopologyParams t;
+    t.kind = topology;
+    t.meshX = meshX;
+    t.meshY = meshY;
+    t.clusterSize = clusterSize;
+    t.fatTreeArity = fatTreeArity;
+    return t;
+}
+
 Network::Params
 SystemConfig::networkParams() const
 {
     Network::Params p;
-    p.meshX = meshX;
-    p.meshY = meshY;
-    p.nodesPerCluster = clusterSize;
+    p.topo = topologyParams();
     p.router.numVcs = numVcs;
     p.router.bufferDepthPerPort = bufferDepthPerPort;
     p.router.routing = routing;

@@ -25,10 +25,13 @@ namespace oenet {
 
 struct SystemConfig
 {
-    // Topology.
+    // Topology. meshX/meshY/clusterSize parameterize the mesh family
+    // (mesh, torus, cmesh); fatTreeArity is the fat-tree switch radix.
+    TopologyKind topology = TopologyKind::kMesh;
     int meshX = 8;
     int meshY = 8;
     int clusterSize = 8;
+    int fatTreeArity = 4;
 
     // Router microarchitecture.
     int numVcs = 2;
@@ -74,7 +77,17 @@ struct SystemConfig
      *  double-checking exactly that. */
     bool idleElision = true;
 
-    int numNodes() const { return meshX * meshY * clusterSize; }
+    /** Topology knobs bundled for makeTopology(). */
+    TopologyParams topologyParams() const;
+
+    int numNodes() const { return topologyParams().numNodes(); }
+
+    /** True for fabrics addressed by mesh coordinates (mesh, torus,
+     *  cmesh) — the ones permutation traffic patterns understand. */
+    bool meshFamily() const
+    {
+        return topology != TopologyKind::kFatTree;
+    }
 
     /** Parse overrides from a Config (keys documented in README). */
     static SystemConfig fromConfig(const Config &config);

@@ -1,0 +1,60 @@
+#include "common/log.hh"
+#include "network/topology.hh"
+
+namespace oenet {
+
+namespace {
+
+int
+blockSideOf(int concentration)
+{
+    for (int s = 1; s * s <= concentration; s++)
+        if (s * s == concentration)
+            return s;
+    fatal("CMeshTopology: concentration must be a perfect square, "
+          "got %d", concentration);
+}
+
+} // namespace
+
+CMeshTopology::CMeshTopology(int mesh_x, int mesh_y, int concentration)
+    : MeshTopology(mesh_x, mesh_y, concentration),
+      side_(blockSideOf(concentration))
+{
+}
+
+int
+CMeshTopology::routerOf(NodeId node) const
+{
+    int n = static_cast<int>(node);
+    if (n >= numNodes())
+        panic("CMeshTopology: node %u out of range", node);
+    int w = tileGridWidth();
+    int tx = n % w;
+    int ty = n / w;
+    return routerAt(tx / side_, ty / side_);
+}
+
+PortId
+CMeshTopology::attachPort(NodeId node) const
+{
+    int n = static_cast<int>(node);
+    int w = tileGridWidth();
+    int tx = n % w;
+    int ty = n / w;
+    return PortId((ty % side_) * side_ + tx % side_);
+}
+
+NodeId
+CMeshTopology::nodeAt(int router, int local) const
+{
+    if (router < 0 || router >= numRouters() || local < 0 ||
+        local >= nodesPerCluster())
+        panic("CMeshTopology: bad (router %d, local %d)", router,
+              local);
+    int tx = routerX(router) * side_ + local % side_;
+    int ty = routerY(router) * side_ + local / side_;
+    return static_cast<NodeId>(ty * tileGridWidth() + tx);
+}
+
+} // namespace oenet

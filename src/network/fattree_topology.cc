@@ -1,0 +1,143 @@
+#include "common/log.hh"
+#include "network/topology.hh"
+
+namespace oenet {
+
+FatTreeTopology::FatTreeTopology(int arity)
+    : arity_(arity), half_(arity / 2)
+{
+    if (arity < 2 || arity % 2 != 0)
+        fatal("FatTreeTopology: arity must be even and >= 2, got %d",
+              arity);
+}
+
+int
+FatTreeTopology::podOf(int router) const
+{
+    if (isCore(router))
+        panic("FatTreeTopology: core switch %d belongs to no pod",
+              router);
+    return (router % numEdge()) / half_;
+}
+
+int
+FatTreeTopology::routerOf(NodeId node) const
+{
+    int n = static_cast<int>(node);
+    if (n >= numNodes())
+        panic("FatTreeTopology: node %u out of range", node);
+    return n / half_; // edge switches come first in the index space
+}
+
+PortId
+FatTreeTopology::attachPort(NodeId node) const
+{
+    return PortId(static_cast<int>(node) % half_);
+}
+
+NodeId
+FatTreeTopology::nodeAt(int router, int local) const
+{
+    if (!isEdge(router) || local < 0 || local >= half_)
+        panic("FatTreeTopology: bad (router %d, local %d) — only "
+              "edge switches host nodes on down ports 0..k/2-1",
+              router, local);
+    return static_cast<NodeId>(router * half_ + local);
+}
+
+void
+FatTreeTopology::appendRouterLinks(std::vector<LinkSpec> &out) const
+{
+    // By source router, then by source port; both directions of every
+    // cable appear as independent unidirectional links, so the order
+    // is fully determined by (router, port) and therefore stable.
+    auto push = [&](int src, int sp, int dst, int dp) {
+        LinkSpec s;
+        s.kind = LinkKind::kInterRouter;
+        s.srcRouter = src;
+        s.srcPort = PortId(sp);
+        s.dstRouter = dst;
+        s.dstPort = PortId(dp);
+        s.name = "rt.r" + std::to_string(src) + ".p" +
+                 std::to_string(sp);
+        out.push_back(s);
+    };
+
+    for (int r = 0; r < numRouters(); r++) {
+        if (isEdge(r)) {
+            // Up ports k/2..k-1: edge (pod p, pos i) port k/2+j
+            // reaches agg (pod p, pos j) at its down port i.
+            int p = podOf(r);
+            int i = r % half_;
+            for (int j = 0; j < half_; j++)
+                push(r, half_ + j, numEdge() + p * half_ + j, i);
+        } else if (isAgg(r)) {
+            int p = podOf(r);
+            int j = (r - numEdge()) % half_;
+            // Down ports 0..k/2-1 to the pod's edge switches.
+            for (int i = 0; i < half_; i++)
+                push(r, i, p * half_ + i, half_ + j);
+            // Up ports: agg pos j, port k/2+m reaches core (j, m) at
+            // its down port p (core port p always faces pod p).
+            for (int m = 0; m < half_; m++)
+                push(r, half_ + m,
+                     numEdge() + numAgg() + j * half_ + m, p);
+        } else {
+            // Core (j, m): port p down to pod p's agg at position j.
+            int idx = r - numEdge() - numAgg();
+            int j = idx / half_;
+            for (int p = 0; p < arity_; p++)
+                push(r, p, numEdge() + p * half_ + j, half_ + idx % half_);
+        }
+    }
+}
+
+int
+FatTreeTopology::routeCandidates(RoutingAlgo algo, int router,
+                                 NodeId dst,
+                                 RouteOption out[kMaxRouteCandidates])
+    const
+{
+    // Deterministic up/down routing: climb toward a common ancestor
+    // picked by a destination hash (spreads load across the k/2 up
+    // ports), then descend. Down-links never feed up-links, so the
+    // channel dependency graph is acyclic with any VC count; the algo
+    // knob is ignored.
+    (void)algo;
+    int d = static_cast<int>(dst);
+    int dstEdge = d / half_;
+    int dstPod = dstEdge / half_;
+
+    if (isEdge(router)) {
+        if (router == dstEdge) {
+            out[0] = {attachPort(dst), kAnyVcClass};
+            return 1;
+        }
+        out[0] = {PortId(half_ + d % half_), kAnyVcClass};
+        return 1;
+    }
+    if (isAgg(router)) {
+        if (podOf(router) == dstPod) {
+            out[0] = {PortId(dstEdge % half_), kAnyVcClass};
+            return 1;
+        }
+        out[0] = {PortId(half_ + (d / half_) % half_), kAnyVcClass};
+        return 1;
+    }
+    out[0] = {PortId(dstPod), kAnyVcClass};
+    return 1;
+}
+
+int
+FatTreeTopology::hopCount(NodeId src, NodeId dst) const
+{
+    int se = static_cast<int>(src) / half_;
+    int de = static_cast<int>(dst) / half_;
+    if (se == de)
+        return 1; // same edge switch
+    if (se / half_ == de / half_)
+        return 3; // same pod: edge - agg - edge
+    return 5;     // edge - agg - core - agg - edge
+}
+
+} // namespace oenet

@@ -1,0 +1,190 @@
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "network/topology.hh"
+
+namespace oenet {
+
+MeshTopology::MeshTopology(int mesh_x, int mesh_y,
+                           int nodes_per_cluster)
+    : meshX_(mesh_x), meshY_(mesh_y), clusterSize_(nodes_per_cluster)
+{
+    if (mesh_x < 1 || mesh_y < 1)
+        fatal("MeshTopology: mesh dimensions must be >= 1 (%dx%d)",
+              mesh_x, mesh_y);
+    if (nodes_per_cluster < 1)
+        fatal("MeshTopology: need at least one node per cluster");
+}
+
+int
+MeshTopology::routerOf(NodeId node) const
+{
+    int router = static_cast<int>(node) / clusterSize_;
+    if (router >= numRouters())
+        panic("MeshTopology: node %u out of range", node);
+    return router;
+}
+
+PortId
+MeshTopology::attachPort(NodeId node) const
+{
+    return PortId(static_cast<int>(node) % clusterSize_);
+}
+
+NodeId
+MeshTopology::nodeAt(int router, int local) const
+{
+    if (router < 0 || router >= numRouters() || local < 0 ||
+        local >= clusterSize_)
+        panic("MeshTopology: bad (router %d, local %d)", router,
+              local);
+    return static_cast<NodeId>(router * clusterSize_ + local);
+}
+
+bool
+MeshTopology::hasNeighbor(int x, int y, Direction dir) const
+{
+    switch (dir) {
+      case Direction::kEast:
+        return x + 1 < meshX_;
+      case Direction::kWest:
+        return x > 0;
+      case Direction::kNorth:
+        return y > 0;
+      case Direction::kSouth:
+        return y + 1 < meshY_;
+    }
+    panic("MeshTopology: bad direction %d", static_cast<int>(dir));
+}
+
+int
+MeshTopology::neighborRouter(int x, int y, Direction dir) const
+{
+    if (!hasNeighbor(x, y, dir))
+        panic("MeshTopology: no %s neighbor at (%d, %d)",
+              directionName(dir), x, y);
+    switch (dir) {
+      case Direction::kEast:
+        return routerAt(x + 1, y);
+      case Direction::kWest:
+        return routerAt(x - 1, y);
+      case Direction::kNorth:
+        return routerAt(x, y - 1);
+      case Direction::kSouth:
+        return routerAt(x, y + 1);
+    }
+    panic("MeshTopology: bad direction %d", static_cast<int>(dir));
+}
+
+void
+MeshTopology::appendRouterLinks(std::vector<LinkSpec> &out) const
+{
+    // One link per (router, direction) that exists; a torus overrides
+    // hasNeighbor/neighborRouter so the same loop emits wrap links.
+    for (int r = 0; r < numRouters(); r++) {
+        int x = routerX(r);
+        int y = routerY(r);
+        for (Direction d : kAllDirs) {
+            if (!hasNeighbor(x, y, d))
+                continue;
+            LinkSpec s;
+            s.kind = LinkKind::kInterRouter;
+            s.srcRouter = r;
+            s.srcPort = dirPort(d);
+            s.dstRouter = neighborRouter(x, y, d);
+            s.dstPort = dirPort(opposite(d));
+            s.name = "rt.r" + std::to_string(r) + "." +
+                     directionName(d);
+            out.push_back(s);
+        }
+    }
+}
+
+PortId
+MeshTopology::routeXy(int x, int y, NodeId dst) const
+{
+    int router = routerOf(dst);
+    int dx = routerX(router);
+    int dy = routerY(router);
+    if (dx > x)
+        return dirPort(Direction::kEast);
+    if (dx < x)
+        return dirPort(Direction::kWest);
+    if (dy < y)
+        return dirPort(Direction::kNorth);
+    if (dy > y)
+        return dirPort(Direction::kSouth);
+    return attachPort(dst);
+}
+
+PortId
+MeshTopology::routeYx(int x, int y, NodeId dst) const
+{
+    int router = routerOf(dst);
+    int dx = routerX(router);
+    int dy = routerY(router);
+    if (dy < y)
+        return dirPort(Direction::kNorth);
+    if (dy > y)
+        return dirPort(Direction::kSouth);
+    if (dx > x)
+        return dirPort(Direction::kEast);
+    if (dx < x)
+        return dirPort(Direction::kWest);
+    return attachPort(dst);
+}
+
+int
+MeshTopology::routeCandidates(RoutingAlgo algo, int router, NodeId dst,
+                              RouteOption out[kMaxRouteCandidates])
+    const
+{
+    int x = routerX(router);
+    int y = routerY(router);
+    switch (algo) {
+      case RoutingAlgo::kXY:
+        out[0] = {routeXy(x, y, dst), kAnyVcClass};
+        return 1;
+      case RoutingAlgo::kYX:
+        out[0] = {routeYx(x, y, dst), kAnyVcClass};
+        return 1;
+      case RoutingAlgo::kWestFirst:
+        break;
+      default:
+        panic("routeCandidates: bad algorithm");
+    }
+
+    int rack = routerOf(dst);
+    int dx = routerX(rack) - x;
+    int dy = routerY(rack) - y;
+    if (dx == 0 && dy == 0) {
+        out[0] = {attachPort(dst), kAnyVcClass};
+        return 1;
+    }
+    // West-first turn model: all westward hops must come first (no
+    // turn into west is ever allowed), so a west-bound packet has a
+    // single choice; afterwards east/north/south are freely adaptive.
+    if (dx < 0) {
+        out[0] = {dirPort(Direction::kWest), kAnyVcClass};
+        return 1;
+    }
+    int n = 0;
+    if (dx > 0)
+        out[n++] = {dirPort(Direction::kEast), kAnyVcClass};
+    if (dy < 0)
+        out[n++] = {dirPort(Direction::kNorth), kAnyVcClass};
+    else if (dy > 0)
+        out[n++] = {dirPort(Direction::kSouth), kAnyVcClass};
+    return n;
+}
+
+int
+MeshTopology::hopCount(NodeId src, NodeId dst) const
+{
+    int rs = routerOf(src);
+    int rd = routerOf(dst);
+    return std::abs(routerX(rs) - routerX(rd)) +
+           std::abs(routerY(rs) - routerY(rd)) + 1;
+}
+
+} // namespace oenet

@@ -6,27 +6,25 @@
 namespace oenet {
 
 Network::Network(Kernel &kernel, const Params &params)
-    : mesh_(params.meshX, params.meshY, params.nodesPerCluster),
-      levels_(params.levels)
+    : topo_(makeTopology(params.topo)), levels_(params.levels)
 {
     // Routers and nodes.
-    routers_.reserve(static_cast<std::size_t>(mesh_.numRouters()));
-    for (int r = 0; r < mesh_.numRouters(); r++) {
+    routers_.reserve(static_cast<std::size_t>(topo_->numRouters()));
+    for (int r = 0; r < topo_->numRouters(); r++) {
         routers_.push_back(std::make_unique<Router>(
-            "router" + std::to_string(r), mesh_.rackX(r), mesh_.rackY(r),
-            mesh_, params.router));
+            "router" + std::to_string(r), r, *topo_, params.router));
     }
     int vc_depth = params.router.bufferDepthPerPort / params.router.numVcs;
     Node::Params node_params;
     node_params.numVcs = params.router.numVcs;
     node_params.vcDepth = vc_depth;
-    nodes_.reserve(static_cast<std::size_t>(mesh_.numNodes()));
-    for (int n = 0; n < mesh_.numNodes(); n++)
+    nodes_.reserve(static_cast<std::size_t>(topo_->numNodes()));
+    for (int n = 0; n < topo_->numNodes(); n++)
         nodes_.push_back(std::make_unique<Node>(static_cast<NodeId>(n),
                                                 node_params));
 
     // Links.
-    specs_ = enumerateLinks(mesh_);
+    specs_ = topo_->enumerateLinks();
     links_.reserve(specs_.size());
     for (const auto &spec : specs_) {
         auto link = std::make_unique<OpticalLink>(spec.name, spec.kind,
@@ -39,15 +37,16 @@ Network::Network(Kernel &kernel, const Params &params)
             src.connectInjection(link.get());
             // The router returns credits to the node; port id unused on
             // the node side.
-            dst.connectInput(spec.dstPort, link.get(), &src, 0);
+            dst.connectInput(spec.dstPort.value(), link.get(), &src, 0);
             break;
           }
           case LinkKind::kEjection: {
             Router &src = *routers_[static_cast<std::size_t>(
                 spec.srcRouter)];
             Node &dst = *nodes_[spec.dstNode];
-            src.connectOutput(spec.srcPort, link.get(), vc_depth);
-            dst.connectEjection(link.get(), &src, spec.srcPort);
+            src.connectOutput(spec.srcPort.value(), link.get(),
+                              vc_depth);
+            dst.connectEjection(link.get(), &src, spec.srcPort.value());
             break;
           }
           case LinkKind::kInterRouter: {
@@ -55,9 +54,10 @@ Network::Network(Kernel &kernel, const Params &params)
                 spec.srcRouter)];
             Router &dst = *routers_[static_cast<std::size_t>(
                 spec.dstRouter)];
-            src.connectOutput(spec.srcPort, link.get(), vc_depth);
-            dst.connectInput(spec.dstPort, link.get(), &src,
-                             spec.srcPort);
+            src.connectOutput(spec.srcPort.value(), link.get(),
+                              vc_depth);
+            dst.connectInput(spec.dstPort.value(), link.get(), &src,
+                             spec.srcPort.value());
             break;
           }
         }
@@ -82,7 +82,7 @@ Network::downstreamOf(std::size_t i) const
       case LinkKind::kInterRouter:
         return {routers_.at(static_cast<std::size_t>(spec.dstRouter))
                     .get(),
-                spec.dstPort};
+                spec.dstPort.value()};
       case LinkKind::kEjection:
         return {nodes_.at(spec.dstNode).get(), 0};
     }
@@ -92,8 +92,8 @@ Network::downstreamOf(std::size_t i) const
 PacketId
 Network::injectPacket(NodeId src, NodeId dst, int len, Cycle now)
 {
-    if (src >= static_cast<NodeId>(mesh_.numNodes()) ||
-        dst >= static_cast<NodeId>(mesh_.numNodes()))
+    if (src >= static_cast<NodeId>(numNodes()) ||
+        dst >= static_cast<NodeId>(numNodes()))
         panic("Network::injectPacket: bad endpoints %u -> %u", src, dst);
     PacketId id = nextPacketId_++;
     nodes_[src]->enqueuePacket(id, dst, len, now);

@@ -1,14 +1,17 @@
 /**
  * @file
- * The assembled opto-electronic networked system: 64 cluster routers in
- * an 8x8 mesh (configurable), 8 nodes per rack, and the full complement
- * of power-aware optical links wiring them together.
+ * The assembled opto-electronic networked system: routers, nodes, and
+ * the full complement of power-aware optical links wiring them
+ * together, on whatever fabric the Topology parameters select (the
+ * paper's system is the default 8x8 mesh with 8 nodes per rack).
  *
- * The Network owns routers, nodes, and links; registers the ticking
- * components with the Kernel; and aggregates power/energy across all
- * links. Policy controllers attach from outside (see policy/) — a
- * Network with no controllers is exactly the non-power-aware baseline,
- * every link pinned at the maximum bit rate.
+ * The Network owns the topology, routers, nodes, and links; registers
+ * the ticking components with the Kernel; and aggregates power/energy
+ * across all links. It consumes only the abstract Topology interface —
+ * fabric-specific geometry never leaks past construction. Policy
+ * controllers attach from outside (see policy/) — a Network with no
+ * controllers is exactly the non-power-aware baseline, every link
+ * pinned at the maximum bit rate.
  */
 
 #ifndef OENET_NETWORK_NETWORK_HH
@@ -31,9 +34,7 @@ class Network
   public:
     struct Params
     {
-        int meshX = 8;
-        int meshY = 8;
-        int nodesPerCluster = 8;
+        TopologyParams topo{};
         Router::Params router{};
         OpticalLink::Params link{};
         BitrateLevelTable levels =
@@ -49,9 +50,9 @@ class Network
     // Structure
     // ------------------------------------------------------------------
 
-    const ClusteredMesh &mesh() const { return mesh_; }
-    int numRouters() const { return mesh_.numRouters(); }
-    int numNodes() const { return mesh_.numNodes(); }
+    const Topology &topology() const { return *topo_; }
+    int numRouters() const { return topo_->numRouters(); }
+    int numNodes() const { return topo_->numNodes(); }
     std::size_t numLinks() const { return links_.size(); }
 
     Router &router(int i) { return *routers_.at(static_cast<std::size_t>(i)); }
@@ -140,7 +141,7 @@ class Network
     const BitrateLevelTable &levels() const { return levels_; }
 
   private:
-    ClusteredMesh mesh_;
+    std::unique_ptr<const Topology> topo_;
     BitrateLevelTable levels_;
     std::vector<LinkSpec> specs_;
     std::vector<std::unique_ptr<Router>> routers_;

@@ -4,77 +4,183 @@
 
 namespace oenet {
 
-int
-oppositeDir(int dir)
+const char *
+topologyKindName(TopologyKind kind)
 {
-    switch (dir) {
-      case kDirEast:
-        return kDirWest;
-      case kDirWest:
-        return kDirEast;
-      case kDirNorth:
-        return kDirSouth;
-      case kDirSouth:
-        return kDirNorth;
+    switch (kind) {
+      case TopologyKind::kMesh:
+        return "mesh";
+      case TopologyKind::kTorus:
+        return "torus";
+      case TopologyKind::kCMesh:
+        return "cmesh";
+      case TopologyKind::kFatTree:
+        return "fattree";
     }
-    panic("oppositeDir: bad direction %d", dir);
+    panic("topologyKindName: bad kind %d", static_cast<int>(kind));
 }
 
-std::vector<LinkSpec>
-enumerateLinks(const ClusteredMesh &mesh)
+TopologyKind
+parseTopologyKind(const std::string &text)
 {
-    std::vector<LinkSpec> specs;
-    int c = mesh.nodesPerCluster();
+    if (text == "mesh")
+        return TopologyKind::kMesh;
+    if (text == "torus")
+        return TopologyKind::kTorus;
+    if (text == "cmesh")
+        return TopologyKind::kCMesh;
+    if (text == "fattree")
+        return TopologyKind::kFatTree;
+    fatal("unknown topology '%s' (expected mesh, torus, cmesh, or "
+          "fattree)", text.c_str());
+}
 
-    // Injection links: node -> its rack router, input port = local idx.
-    for (int n = 0; n < mesh.numNodes(); n++) {
+namespace {
+
+/** Integer square root of a perfect square, or -1. */
+int
+perfectSqrt(int v)
+{
+    for (int s = 1; s * s <= v; s++)
+        if (s * s == v)
+            return s;
+    return -1;
+}
+
+} // namespace
+
+int
+TopologyParams::numNodes() const
+{
+    if (kind == TopologyKind::kFatTree)
+        return fatTreeArity * fatTreeArity * fatTreeArity / 4;
+    return meshX * meshY * clusterSize;
+}
+
+int
+TopologyParams::numRouters() const
+{
+    if (kind == TopologyKind::kFatTree) {
+        int half = fatTreeArity / 2;
+        return fatTreeArity * half * 2 + half * half;
+    }
+    return meshX * meshY;
+}
+
+int
+TopologyParams::portsPerRouter() const
+{
+    if (kind == TopologyKind::kFatTree)
+        return fatTreeArity;
+    return clusterSize + kNumDirs;
+}
+
+void
+TopologyParams::validate() const
+{
+    switch (kind) {
+      case TopologyKind::kMesh:
+        if (meshX < 1 || meshY < 1)
+            fatal("mesh.x/mesh.y must be >= 1, got %dx%d", meshX,
+                  meshY);
+        if (clusterSize < 1)
+            fatal("mesh.cluster must be >= 1, got %d", clusterSize);
+        break;
+      case TopologyKind::kTorus:
+        if (meshX < 2 || meshY < 2)
+            fatal("torus rings need mesh.x/mesh.y >= 2, got %dx%d "
+                  "(a 1-wide ring is a self-loop; use topology=mesh)",
+                  meshX, meshY);
+        if (clusterSize < 1)
+            fatal("mesh.cluster must be >= 1, got %d", clusterSize);
+        break;
+      case TopologyKind::kCMesh:
+        if (meshX < 1 || meshY < 1)
+            fatal("mesh.x/mesh.y must be >= 1, got %dx%d", meshX,
+                  meshY);
+        if (clusterSize < 1)
+            fatal("mesh.cluster must be >= 1, got %d", clusterSize);
+        if (perfectSqrt(clusterSize) < 0) {
+            int lo = 1;
+            while ((lo + 1) * (lo + 1) <= clusterSize)
+                lo++;
+            fatal("cmesh concentration (mesh.cluster) must be a "
+                  "perfect square so nodes tile sqrt(C) x sqrt(C) "
+                  "blocks, got %d (try %d or %d)", clusterSize,
+                  lo * lo, (lo + 1) * (lo + 1));
+        }
+        break;
+      case TopologyKind::kFatTree:
+        if (fatTreeArity < 2 || fatTreeArity % 2 != 0)
+            fatal("topo.arity must be an even switch radix >= 2 for "
+                  "a k-ary fat-tree (k/2 hosts per edge switch), "
+                  "got %d", fatTreeArity);
+        break;
+    }
+}
+
+void
+Topology::appendEndpointLinks(std::vector<LinkSpec> &out) const
+{
+    // Injection links: node -> its router, input port = attach port.
+    for (int n = 0; n < numNodes(); n++) {
         auto node = static_cast<NodeId>(n);
         LinkSpec s;
         s.kind = LinkKind::kInjection;
         s.srcNode = node;
-        s.dstRouter = mesh.rackOf(node);
-        s.dstPort = mesh.localIndexOf(node);
+        s.dstRouter = routerOf(node);
+        s.dstPort = attachPort(node);
         s.name = "inj.n" + std::to_string(n);
-        specs.push_back(s);
+        out.push_back(s);
     }
 
-    // Ejection links: rack router output port = local idx -> node.
-    for (int n = 0; n < mesh.numNodes(); n++) {
+    // Ejection links: router output port = attach port -> node.
+    for (int n = 0; n < numNodes(); n++) {
         auto node = static_cast<NodeId>(n);
         LinkSpec s;
         s.kind = LinkKind::kEjection;
-        s.srcRouter = mesh.rackOf(node);
-        s.srcPort = mesh.localIndexOf(node);
+        s.srcRouter = routerOf(node);
+        s.srcPort = attachPort(node);
         s.dstNode = node;
         s.name = "ej.n" + std::to_string(n);
-        specs.push_back(s);
+        out.push_back(s);
     }
+}
 
-    // Inter-router links, one per (rack, direction) that exists.
-    for (int r = 0; r < mesh.numRouters(); r++) {
-        int x = mesh.rackX(r);
-        int y = mesh.rackY(r);
-        for (int d = 0; d < kNumDirs; d++) {
-            if (!mesh.hasNeighbor(x, y, d))
-                continue;
-            LinkSpec s;
-            s.kind = LinkKind::kInterRouter;
-            s.srcRouter = r;
-            s.srcPort = c + d;
-            s.dstRouter = mesh.neighborRack(x, y, d);
-            s.dstPort = c + oppositeDir(d);
-            s.name = "rt.r" + std::to_string(r) + "." + meshDirName(d);
-            specs.push_back(s);
-        }
-    }
+std::vector<LinkSpec>
+Topology::enumerateLinks() const
+{
+    std::vector<LinkSpec> specs;
+    appendEndpointLinks(specs);
+    appendRouterLinks(specs);
     return specs;
 }
 
+std::unique_ptr<Topology>
+makeTopology(const TopologyParams &params)
+{
+    params.validate();
+    switch (params.kind) {
+      case TopologyKind::kMesh:
+        return std::make_unique<MeshTopology>(
+            params.meshX, params.meshY, params.clusterSize);
+      case TopologyKind::kTorus:
+        return std::make_unique<TorusTopology>(
+            params.meshX, params.meshY, params.clusterSize);
+      case TopologyKind::kCMesh:
+        return std::make_unique<CMeshTopology>(
+            params.meshX, params.meshY, params.clusterSize);
+      case TopologyKind::kFatTree:
+        return std::make_unique<FatTreeTopology>(params.fatTreeArity);
+    }
+    panic("makeTopology: bad kind %d", static_cast<int>(params.kind));
+}
+
 int
-countLinks(const ClusteredMesh &mesh, LinkKind kind)
+countLinks(const Topology &topo, LinkKind kind)
 {
     int n = 0;
-    for (const auto &s : enumerateLinks(mesh))
+    for (const auto &s : topo.enumerateLinks())
         if (s.kind == kind)
             n++;
     return n;

@@ -1,18 +1,35 @@
 /**
  * @file
- * Link enumeration for the clustered-mesh system (Figs. 3-4).
+ * Pluggable topology abstraction: a directed graph of routers and
+ * nodes that owns counts, port maps, link enumeration, and the routing
+ * hook. Four fabrics ship behind the interface:
  *
- * Every rack owns 20 transmitters (= 20 fibers from the light plant in
- * the modulator scheme): 8 node injection links, 8 router ejection
- * links, and up to 4 outgoing inter-router links (fewer on mesh edges).
- * This module produces the canonical ordered list of LinkSpecs the
- * Network materializes, so links have stable indices and names across
- * tools.
+ *   mesh     parameterized kx x ky clustered mesh (the paper's system,
+ *            any size); C nodes per router, 4 direction ports.
+ *   torus    mesh plus wrap links; minimal ring routing with dateline
+ *            VC classes (needs >= 2 VCs for deadlock freedom).
+ *   cmesh    concentrated mesh: same router grid, but nodes tile a
+ *            2-D grid and map to routers in sqrt(C) x sqrt(C) blocks.
+ *   fattree  k-ary 3-level fat-tree (edge/aggregation/core) with
+ *            deterministic up/down routing; k^3/4 nodes.
+ *
+ * The per-rack fiber budget of the modulator scheme is a per-topology
+ * quantity, not an invariant: an interior mesh or cmesh rack owns
+ * C + C + 4 transmitters (C node injection, C router ejection, up to 4
+ * outgoing inter-router — fewer on mesh edges, 20 total in the paper's
+ * 8-node racks); a torus rack always owns all C + C + 4 because wrap
+ * links close the edges; a fat-tree edge switch owns k/2 + k/2 node
+ * fibers plus k/2 up-links, and aggregation/core switches carry only
+ * inter-router fibers (k each). enumerateLinks() is the canonical
+ * source of each fabric's link budget — it produces the ordered list
+ * of LinkSpecs the Network materializes, so links have stable indices
+ * and names across tools.
  */
 
 #ifndef OENET_NETWORK_TOPOLOGY_HH
 #define OENET_NETWORK_TOPOLOGY_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,26 +45,323 @@ struct LinkSpec
     std::string name;
 
     // Sender side: a node (injection) or a router output port.
-    NodeId srcNode = 0;  ///< valid for kInjection
+    NodeId srcNode = 0; ///< valid for kInjection
     int srcRouter = kInvalid;
-    int srcPort = kInvalid;
+    PortId srcPort{};
 
     // Receiver side: a node (ejection) or a router input port.
-    NodeId dstNode = 0;  ///< valid for kEjection
+    NodeId dstNode = 0; ///< valid for kEjection
     int dstRouter = kInvalid;
-    int dstPort = kInvalid;
+    PortId dstPort{};
 };
 
-/** Enumerate all links of the system: injection links first (by node),
- *  then ejection links (by node), then inter-router links (by source
- *  rack, then direction E, W, N, S). */
-std::vector<LinkSpec> enumerateLinks(const ClusteredMesh &mesh);
+/** Which fabric wires the routers together. */
+enum class TopologyKind
+{
+    kMesh,
+    kTorus,
+    kCMesh,
+    kFatTree,
+};
+
+const char *topologyKindName(TopologyKind kind);
+
+/** Parse "mesh" / "torus" / "cmesh" / "fattree"; fatal() otherwise. */
+TopologyKind parseTopologyKind(const std::string &text);
+
+/**
+ * Geometry knobs for every fabric, with the paper's 8x8x8 mesh as the
+ * default. Unused knobs are ignored by the other kinds (the fat-tree
+ * derives everything from its arity).
+ */
+struct TopologyParams
+{
+    TopologyKind kind = TopologyKind::kMesh;
+    int meshX = 8;       ///< router columns (mesh/torus/cmesh)
+    int meshY = 8;       ///< router rows (mesh/torus/cmesh)
+    int clusterSize = 8; ///< nodes per router (mesh/torus/cmesh)
+    int fatTreeArity = 4; ///< switch radix k (even); k^3/4 nodes
+
+    /** Node count implied by the knobs, without building the graph. */
+    int numNodes() const;
+
+    /** Router count implied by the knobs. */
+    int numRouters() const;
+
+    /** Router radix implied by the knobs (ports per router). */
+    int portsPerRouter() const;
+
+    /**
+     * Reject degenerate geometries with an actionable fatal() naming
+     * the offending knob: non-positive mesh dims or cluster size,
+     * torus rings shorter than 2, cmesh concentration that is not a
+     * perfect square, odd or sub-2 fat-tree arity.
+     */
+    void validate() const;
+};
+
+/** Value of RouteOption::vcClass meaning "any VC may be allocated". */
+inline constexpr int kAnyVcClass = -1;
+
+/** Maximum candidates routeCandidates() may produce. */
+inline constexpr int kMaxRouteCandidates = 2;
+
+/**
+ * One candidate output for a packet at a router: the output port and
+ * the VC class the next hop must be allocated in. Class kAnyVcClass
+ * places no restriction (mesh, fat-tree); the torus uses classes 0/1
+ * as dateline escape levels (class c maps to one half of the VC pool,
+ * see Router::vcMaskForClass).
+ */
+struct RouteOption
+{
+    PortId port{};
+    int vcClass = kAnyVcClass;
+};
+
+/**
+ * A directed-graph fabric: router/node counts, the node-to-router
+ * attachment map, the canonical link list, and the routing hook. All
+ * queries are pure and thread-safe; a Topology is immutable after
+ * construction and shared by every router of its Network.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** Fabric name ("mesh", "torus", "cmesh", "fattree"). */
+    virtual const char *name() const = 0;
+
+    virtual int numRouters() const = 0;
+    virtual int numNodes() const = 0;
+
+    /** Uniform router radix. Ports not wired by enumerateLinks() stay
+     *  unconnected (mesh edge routers, for example). */
+    virtual int portsPerRouter() const = 0;
+
+    /** Number of VC classes the routing function distinguishes; the
+     *  router needs at least this many VCs (1 = unrestricted). */
+    virtual int numVcClasses() const { return 1; }
+
+    /** Router a node attaches to. */
+    virtual int routerOf(NodeId node) const = 0;
+
+    /** The node's local (injection/ejection) port on its router. */
+    virtual PortId attachPort(NodeId node) const = 0;
+
+    /** Inverse of (routerOf, attachPort). @pre local is a valid local
+     *  port index on @p router. */
+    virtual NodeId nodeAt(int router, int local) const = 0;
+
+    /**
+     * Enumerate all links of the system: injection links first (by
+     * node), then ejection links (by node), then inter-router links in
+     * a topology-specific but fixed order. Indices into the returned
+     * vector are the stable link ids used by traces, faults, and
+     * policy controllers.
+     */
+    std::vector<LinkSpec> enumerateLinks() const;
+
+    /**
+     * Candidate output ports at @p router for a packet destined to
+     * @p dst under @p algo, written into @p out (size >=
+     * kMaxRouteCandidates). Deterministic algorithms yield one
+     * candidate; west-first yields up to two productive directions
+     * once any westward hops are done.
+     * @return the number of candidates (>= 1).
+     */
+    virtual int routeCandidates(RoutingAlgo algo, int router, NodeId dst,
+                                RouteOption out[kMaxRouteCandidates])
+        const = 0;
+
+    /** Minimal hop count (#routers visited) between two nodes. */
+    virtual int hopCount(NodeId src, NodeId dst) const = 0;
+
+  protected:
+    /** Append the canonical injection + ejection links (shared by all
+     *  fabrics: every node owns one of each, in node order). */
+    void appendEndpointLinks(std::vector<LinkSpec> &out) const;
+
+    /** Append this fabric's inter-router links. */
+    virtual void appendRouterLinks(std::vector<LinkSpec> &out) const = 0;
+};
+
+/** Build the fabric described by @p params (validates first). */
+std::unique_ptr<Topology> makeTopology(const TopologyParams &params);
 
 /** Count links of each kind. */
-int countLinks(const ClusteredMesh &mesh, LinkKind kind);
+int countLinks(const Topology &topo, LinkKind kind);
 
-/** Opposite mesh direction (east <-> west, north <-> south). */
-int oppositeDir(int dir);
+// ---------------------------------------------------------------------
+// Concrete fabrics. Public so tests and tools can query fabric-specific
+// geometry; everything else should consume the Topology interface.
+// ---------------------------------------------------------------------
+
+/** Parameterized kx x ky clustered mesh (the paper's fabric). */
+class MeshTopology : public Topology
+{
+  public:
+    MeshTopology(int mesh_x, int mesh_y, int nodes_per_cluster);
+
+    const char *name() const override { return "mesh"; }
+    int numRouters() const override { return meshX_ * meshY_; }
+    int numNodes() const override
+    {
+        return numRouters() * clusterSize_;
+    }
+    int portsPerRouter() const override
+    {
+        return clusterSize_ + kNumDirs;
+    }
+    int routerOf(NodeId node) const override;
+    PortId attachPort(NodeId node) const override;
+    NodeId nodeAt(int router, int local) const override;
+    int routeCandidates(RoutingAlgo algo, int router, NodeId dst,
+                        RouteOption out[kMaxRouteCandidates])
+        const override;
+    int hopCount(NodeId src, NodeId dst) const override;
+
+    // Mesh-family geometry helpers.
+    int meshX() const { return meshX_; }
+    int meshY() const { return meshY_; }
+    int nodesPerCluster() const { return clusterSize_; }
+    int routerX(int router) const { return router % meshX_; }
+    int routerY(int router) const { return router / meshX_; }
+    int routerAt(int x, int y) const { return y * meshX_ + x; }
+
+    /** Port index for mesh direction @p dir. */
+    PortId dirPort(Direction dir) const
+    {
+        return PortId(clusterSize_ + static_cast<int>(dir));
+    }
+
+    /** True if the router at (x, y) has a neighbor in @p dir. A torus
+     *  always does (wrap). */
+    virtual bool hasNeighbor(int x, int y, Direction dir) const;
+
+    /** Router index of the neighbor in @p dir. @pre hasNeighbor. */
+    virtual int neighborRouter(int x, int y, Direction dir) const;
+
+  protected:
+    void appendRouterLinks(std::vector<LinkSpec> &out) const override;
+
+    /** XY route computation at (x, y) for @p dst: correct X first,
+     *  then Y, then eject at the local port. */
+    PortId routeXy(int x, int y, NodeId dst) const;
+
+    /** YX route computation (Y corrected first). */
+    PortId routeYx(int x, int y, NodeId dst) const;
+
+    int meshX_;
+    int meshY_;
+    int clusterSize_;
+};
+
+/** Mesh with wrap links; minimal ring routing + dateline VC classes. */
+class TorusTopology final : public MeshTopology
+{
+  public:
+    TorusTopology(int mesh_x, int mesh_y, int nodes_per_cluster);
+
+    const char *name() const override { return "torus"; }
+    int numVcClasses() const override { return 2; }
+    bool hasNeighbor(int x, int y, Direction dir) const override;
+    int neighborRouter(int x, int y, Direction dir) const override;
+    int routeCandidates(RoutingAlgo algo, int router, NodeId dst,
+                        RouteOption out[kMaxRouteCandidates])
+        const override;
+    int hopCount(NodeId src, NodeId dst) const override;
+
+  private:
+    /** Minimal hop toward @p to on a ring of @p size nodes, from
+     *  @p from: direction (+1 forward, -1 backward, tie forward) and
+     *  the dateline VC class for the next hop. */
+    static void ringStep(int from, int to, int size, int &step,
+                         int &vc_class);
+};
+
+/**
+ * Concentrated mesh: nodes tile a (meshX*s) x (meshY*s) grid, s =
+ * sqrt(C), and each router serves an s x s block of tiles. Routing is
+ * identical to the mesh; only the node-to-router map changes, which
+ * shortens average hop distance for spatially local traffic.
+ */
+class CMeshTopology final : public MeshTopology
+{
+  public:
+    CMeshTopology(int mesh_x, int mesh_y, int concentration);
+
+    const char *name() const override { return "cmesh"; }
+    int routerOf(NodeId node) const override;
+    PortId attachPort(NodeId node) const override;
+    NodeId nodeAt(int router, int local) const override;
+
+    /** Block side s (concentration = s*s). */
+    int blockSide() const { return side_; }
+
+    /** Node-grid width, meshX * s tiles. */
+    int tileGridWidth() const { return meshX_ * side_; }
+
+  private:
+    int side_;
+};
+
+/**
+ * k-ary 3-level fat-tree: k pods of k/2 edge and k/2 aggregation
+ * switches, (k/2)^2 core switches, k/2 hosts per edge switch (k^3/4
+ * total). Ports 0..k/2-1 face down (hosts at the edge level, the level
+ * below otherwise), ports k/2..k-1 face up; core switches use ports
+ * 0..k-1 down to the pods. Routing is deterministic up/down — up to a
+ * common ancestor picked by destination hash, then down — which is
+ * deadlock-free (no down->up turns) with any VC count.
+ */
+class FatTreeTopology final : public Topology
+{
+  public:
+    explicit FatTreeTopology(int arity);
+
+    const char *name() const override { return "fattree"; }
+    int numRouters() const override
+    {
+        return arity_ * half_ * 2 + half_ * half_;
+    }
+    int numNodes() const override { return arity_ * half_ * half_; }
+    int portsPerRouter() const override { return arity_; }
+    int routerOf(NodeId node) const override;
+    PortId attachPort(NodeId node) const override;
+    NodeId nodeAt(int router, int local) const override;
+    int routeCandidates(RoutingAlgo algo, int router, NodeId dst,
+                        RouteOption out[kMaxRouteCandidates])
+        const override;
+    int hopCount(NodeId src, NodeId dst) const override;
+
+    int arity() const { return arity_; }
+
+    // Level decomposition (router index ranges).
+    int numEdge() const { return arity_ * half_; }
+    int numAgg() const { return arity_ * half_; }
+    int numCore() const { return half_ * half_; }
+    bool isEdge(int router) const { return router < numEdge(); }
+    bool isAgg(int router) const
+    {
+        return router >= numEdge() && router < numEdge() + numAgg();
+    }
+    bool isCore(int router) const
+    {
+        return router >= numEdge() + numAgg();
+    }
+
+    /** Pod of an edge or aggregation switch. @pre not core. */
+    int podOf(int router) const;
+
+  protected:
+    void appendRouterLinks(std::vector<LinkSpec> &out) const override;
+
+  private:
+    int arity_;
+    int half_; ///< k/2
+};
 
 } // namespace oenet
 

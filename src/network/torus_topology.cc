@@ -1,0 +1,108 @@
+#include "common/log.hh"
+#include "network/topology.hh"
+
+namespace oenet {
+
+TorusTopology::TorusTopology(int mesh_x, int mesh_y,
+                             int nodes_per_cluster)
+    : MeshTopology(mesh_x, mesh_y, nodes_per_cluster)
+{
+    if (mesh_x < 2 || mesh_y < 2)
+        fatal("TorusTopology: rings need >= 2 routers per dimension "
+              "(%dx%d)", mesh_x, mesh_y);
+}
+
+bool
+TorusTopology::hasNeighbor(int x, int y, Direction dir) const
+{
+    (void)x;
+    (void)y;
+    (void)dir;
+    return true; // wrap links close every ring
+}
+
+int
+TorusTopology::neighborRouter(int x, int y, Direction dir) const
+{
+    switch (dir) {
+      case Direction::kEast:
+        return routerAt((x + 1) % meshX_, y);
+      case Direction::kWest:
+        return routerAt((x + meshX_ - 1) % meshX_, y);
+      case Direction::kNorth:
+        return routerAt(x, (y + meshY_ - 1) % meshY_);
+      case Direction::kSouth:
+        return routerAt(x, (y + 1) % meshY_);
+    }
+    panic("TorusTopology: bad direction %d", static_cast<int>(dir));
+}
+
+void
+TorusTopology::ringStep(int from, int to, int size, int &step,
+                        int &vc_class)
+{
+    int fwd = (to - from + size) % size;
+    // Minimal routing; ties (even ring, half-way destination) go
+    // forward so the choice stays deterministic.
+    step = (fwd <= size - fwd) ? 1 : -1;
+    // Stateless dateline: class 0 while the wrap edge of this ring
+    // still lies ahead, class 1 once past it (or never crossing).
+    // Forward travel crosses the wrap (size-1 -> 0) iff from > to;
+    // backward travel crosses (0 -> size-1) iff from < to. The class
+    // can only flip 0 -> 1 along a path, so neither class's channel
+    // dependency graph closes a cycle around the ring.
+    bool crosses = (step > 0) ? (from > to) : (from < to);
+    vc_class = crosses ? 0 : 1;
+}
+
+int
+TorusTopology::routeCandidates(RoutingAlgo algo, int router,
+                               NodeId dst,
+                               RouteOption out[kMaxRouteCandidates])
+    const
+{
+    int x = routerX(router);
+    int y = routerY(router);
+    int rack = routerOf(dst);
+    int dx = routerX(rack);
+    int dy = routerY(rack);
+
+    if (algo == RoutingAlgo::kWestFirst)
+        panic("TorusTopology: west-first is a mesh-only turn model "
+              "(torus needs dateline VC classes; use xy or yx)");
+
+    if (x == dx && y == dy) {
+        out[0] = {attachPort(dst), kAnyVcClass};
+        return 1;
+    }
+
+    // Dimension-order minimal ring routing. YX swaps the dimension
+    // priority; within a ring both use the same dateline classes.
+    bool xFirst = (algo != RoutingAlgo::kYX);
+    int step, cls;
+    if (x != dx && (xFirst || y == dy)) {
+        ringStep(x, dx, meshX_, step, cls);
+        Direction d = step > 0 ? Direction::kEast : Direction::kWest;
+        out[0] = {dirPort(d), cls};
+        return 1;
+    }
+    ringStep(y, dy, meshY_, step, cls);
+    // South is +y, north is -y in the mesh coordinate system.
+    Direction d = step > 0 ? Direction::kSouth : Direction::kNorth;
+    out[0] = {dirPort(d), cls};
+    return 1;
+}
+
+int
+TorusTopology::hopCount(NodeId src, NodeId dst) const
+{
+    int rs = routerOf(src);
+    int rd = routerOf(dst);
+    int fx = (routerX(rd) - routerX(rs) + meshX_) % meshX_;
+    int fy = (routerY(rd) - routerY(rs) + meshY_) % meshY_;
+    int hx = fx <= meshX_ - fx ? fx : meshX_ - fx;
+    int hy = fy <= meshY_ - fy ? fy : meshY_ - fy;
+    return hx + hy + 1;
+}
+
+} // namespace oenet

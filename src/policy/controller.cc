@@ -266,7 +266,7 @@ PolicyEngine::PolicyEngine(Kernel &kernel, Network &net,
                 };
             } else {
                 Router *router = &net.router(spec.srcRouter);
-                int src_port = spec.srcPort;
+                int src_port = spec.srcPort.value();
                 backlog = [router, src_port]() {
                     return router->bufferedFor(src_port);
                 };
@@ -297,7 +297,7 @@ PolicyEngine::PolicyEngine(Kernel &kernel, Network &net,
                 };
             } else {
                 Router *router = &net.router(spec.srcRouter);
-                int src_port = spec.srcPort;
+                int src_port = spec.srcPort.value();
                 backlog = [router, src_port]() {
                     return router->bufferedFor(src_port);
                 };
@@ -323,7 +323,7 @@ PolicyEngine::PolicyEngine(Kernel &kernel, Network &net,
                 };
             } else {
                 Router *router = &net.router(spec.srcRouter);
-                int port = spec.srcPort;
+                int port = spec.srcPort.value();
                 waiting = [router, port]() {
                     return router->outputWaiting(port);
                 };

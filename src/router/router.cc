@@ -1,23 +1,30 @@
 #include "router/router.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/log.hh"
 
 namespace oenet {
 
-Router::Router(std::string name, int x, int y, const ClusteredMesh &mesh,
+Router::Router(std::string name, int router_id, const Topology &topo,
                const Params &params)
-    : name_(std::move(name)), x_(x), y_(y), mesh_(mesh), params_(params)
+    : name_(std::move(name)), routerId_(router_id), topo_(topo),
+      params_(params),
+      restrictedVcs_(topo.numVcClasses() > 1)
 {
     if (params_.numVcs < 1)
         fatal("Router %s: need at least one VC", name_.c_str());
+    if (params_.numVcs < topo_.numVcClasses())
+        fatal("Router %s: %s routing needs %d VC classes but only %d "
+              "VCs are configured (raise router.vcs)", name_.c_str(),
+              topo_.name(), topo_.numVcClasses(), params_.numVcs);
     if (params_.bufferDepthPerPort < params_.numVcs)
         fatal("Router %s: buffer depth %d cannot cover %d VCs",
               name_.c_str(), params_.bufferDepthPerPort, params_.numVcs);
     vcDepth_ = params_.bufferDepthPerPort / params_.numVcs;
 
-    int ports = mesh_.portsPerRouter();
+    int ports = topo_.portsPerRouter();
     if (ports > kMaxPorts || ports * params_.numVcs > 64)
         fatal("Router %s: %d ports x %d VCs exceeds allocator masks",
               name_.c_str(), ports, params_.numVcs);
@@ -360,10 +367,27 @@ Router::stageVcAllocation(Cycle now)
         }
 
         // Hand each free output VC to one requester, rotating fairly.
+        // With a VC-class topology (torus datelines) each requester
+        // may only take output VCs inside the mask its route computed;
+        // the unrestricted fabrics keep the mask-free fast path.
         for (int ov = 0; ov < vcs; ov++) {
             if (out.vcs[static_cast<std::size_t>(ov)].allocated)
                 continue;
-            int winner = out.vaArb.pick(requests[q]);
+            std::uint64_t eligible = requests[q];
+            if (restrictedVcs_) {
+                for (std::uint64_t rem = eligible; rem != 0;
+                     rem &= rem - 1) {
+                    int i = std::countr_zero(rem);
+                    const auto &rvc =
+                        inputs_[static_cast<std::size_t>(i / vcs)]
+                            .vcs[static_cast<std::size_t>(i % vcs)];
+                    if (!(rvc.outVcMask >> ov & 1))
+                        eligible &= ~(1ull << i);
+                }
+                if (eligible == 0)
+                    continue;
+            }
+            int winner = out.vaArb.pick(eligible);
             if (winner < 0)
                 break;
             int p = winner / vcs;
@@ -383,20 +407,36 @@ Router::stageVcAllocation(Cycle now)
     }
 }
 
-int
+std::uint64_t
+Router::vcMaskForClass(int vc_class) const
+{
+    int vcs = params_.numVcs;
+    std::uint64_t all =
+        vcs >= 64 ? ~0ull : (1ull << vcs) - 1;
+    if (vc_class == kAnyVcClass)
+        return all;
+    // Split the VC pool evenly across the topology's classes: class 0
+    // gets the low half, class 1 the high half (torus datelines).
+    int half = vcs / 2;
+    if (vc_class == 0)
+        return (1ull << half) - 1;
+    return all & ~((1ull << half) - 1);
+}
+
+RouteOption
 Router::selectRoute(NodeId dst)
 {
-    int candidates[2];
-    int n = mesh_.routeCandidates(params_.routing, x_, y_, dst,
+    RouteOption candidates[kMaxRouteCandidates];
+    int n = topo_.routeCandidates(params_.routing, routerId_, dst,
                                   candidates);
-    // Route around hard failures where the turn rules leave an
+    // Route around hard failures where the routing function leaves an
     // alternative; if every productive direction is dead, keep the
     // first candidate and let the drop path reclaim the flits.
-    int live[2];
+    RouteOption live[kMaxRouteCandidates];
     int m = 0;
     for (int i = 0; i < n; i++) {
-        const auto &out =
-            outputs_[static_cast<std::size_t>(candidates[i])];
+        const auto &out = outputs_[static_cast<std::size_t>(
+            candidates[i].port.value())];
         if (out.link != nullptr && out.link->isFailed())
             continue;
         live[m++] = candidates[i];
@@ -409,10 +449,11 @@ Router::selectRoute(NodeId dst)
         return live[0];
     // Adaptive selection: prefer the productive direction with the
     // most downstream credit (least congested), ties to the first.
-    int best = live[0];
+    RouteOption best = live[0];
     int best_credits = -1;
     for (int i = 0; i < m; i++) {
-        const auto &out = outputs_[static_cast<std::size_t>(live[i])];
+        const auto &out = outputs_[static_cast<std::size_t>(
+            live[i].port.value())];
         int credits = 0;
         for (const auto &vc : out.vcs)
             credits += vc.credits;
@@ -435,7 +476,9 @@ Router::stageRouteComputation(Cycle now)
             if (ivc.buffer.empty() || !ivc.buffer.front().isHead())
                 panic("Router %s: routing state without head flit",
                       name_.c_str());
-            ivc.outPort = selectRoute(ivc.buffer.front().dst);
+            RouteOption route = selectRoute(ivc.buffer.front().dst);
+            ivc.outPort = route.port.value();
+            ivc.outVcMask = vcMaskForClass(route.vcClass);
             ivc.state = VcState::kVcAlloc;
             routingCount_--;
             vcAllocCount_++;

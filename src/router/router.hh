@@ -3,10 +3,13 @@
  * 5-stage pipelined virtual-channel wormhole router (Section 3.1,
  * Fig. 4(b)).
  *
- * Ports 0..C-1 are injection/ejection ports serving the C processing
- * nodes of the rack; ports C..C+3 connect East/West/North/South
- * neighbors. Each input port holds `bufferDepthPerPort` flits split
- * evenly across `numVcs` virtual channels; flow control is credit-based.
+ * The router is topology-agnostic: the attached Topology defines the
+ * port map (in the mesh family, ports 0..C-1 are injection/ejection
+ * ports serving the C processing nodes of the rack and ports C..C+3
+ * connect East/West/North/South neighbors) and the routing function,
+ * including any VC-class restriction (torus dateline escape classes).
+ * Each input port holds `bufferDepthPerPort` flits split evenly across
+ * `numVcs` virtual channels; flow control is credit-based.
  *
  * Pipeline stages, one cycle each:
  *   RC  route computation      (head flit; XY dimension-order)
@@ -31,6 +34,7 @@
 
 #include "link/endpoints.hh"
 #include "link/link.hh"
+#include "network/topology.hh"
 #include "router/allocators.hh"
 #include "router/buffer.hh"
 #include "router/routing.hh"
@@ -50,7 +54,7 @@ class Router final : public Ticking,
         RoutingAlgo routing = RoutingAlgo::kXY;
     };
 
-    Router(std::string name, int x, int y, const ClusteredMesh &mesh,
+    Router(std::string name, int router_id, const Topology &topo,
            const Params &params);
 
     /** Attach the link feeding input @p port, along with the upstream
@@ -90,8 +94,7 @@ class Router final : public Ticking,
 
     int numPorts() const { return static_cast<int>(inputs_.size()); }
     int numVcs() const { return params_.numVcs; }
-    int x() const { return x_; }
-    int y() const { return y_; }
+    int routerId() const { return routerId_; }
     const std::string &name() const { return name_; }
 
     /** Flits currently buffered at input @p port (all VCs). */
@@ -152,6 +155,7 @@ class Router final : public Ticking,
         VcState state = VcState::kIdle;
         int outPort = kInvalid;
         int outVc = kInvalid;
+        std::uint64_t outVcMask = 0; ///< output VCs RC allows for VA
         Cycle lastActivity = 0; ///< last push/pop (orphan detection)
 
         explicit InputVc(int depth) : buffer(depth) {}
@@ -191,7 +195,8 @@ class Router final : public Ticking,
         Cycle effective;
     };
 
-    int selectRoute(NodeId dst);
+    RouteOption selectRoute(NodeId dst);
+    std::uint64_t vcMaskForClass(int vc_class) const;
     void applyCredits(Cycle now);
     void reclaimOrphans(Cycle now);
     void stageSwitchTraversal(Cycle now);
@@ -201,11 +206,11 @@ class Router final : public Ticking,
     void drainArrivals(Cycle now);
 
     std::string name_;
-    int x_;
-    int y_;
-    const ClusteredMesh &mesh_;
+    int routerId_;
+    const Topology &topo_;
     Params params_;
     int vcDepth_;
+    bool restrictedVcs_; ///< topology routes carry VC classes (torus)
 
     std::vector<InputPort> inputs_;
     std::vector<OutputPort> outputs_;

@@ -1,25 +1,39 @@
 #include "router/routing.hh"
 
-#include <cstdlib>
-
 #include "common/log.hh"
 
 namespace oenet {
 
-const char *
-meshDirName(int dir)
+Direction
+opposite(Direction dir)
 {
     switch (dir) {
-      case kDirEast:
+      case Direction::kEast:
+        return Direction::kWest;
+      case Direction::kWest:
+        return Direction::kEast;
+      case Direction::kNorth:
+        return Direction::kSouth;
+      case Direction::kSouth:
+        return Direction::kNorth;
+    }
+    panic("opposite: bad direction %d", static_cast<int>(dir));
+}
+
+const char *
+directionName(Direction dir)
+{
+    switch (dir) {
+      case Direction::kEast:
         return "east";
-      case kDirWest:
+      case Direction::kWest:
         return "west";
-      case kDirNorth:
+      case Direction::kNorth:
         return "north";
-      case kDirSouth:
+      case Direction::kSouth:
         return "south";
     }
-    panic("meshDirName: bad direction %d", dir);
+    panic("directionName: bad direction %d", static_cast<int>(dir));
 }
 
 const char *
@@ -34,159 +48,6 @@ routingAlgoName(RoutingAlgo algo)
         return "west-first";
     }
     panic("routingAlgoName: bad algorithm");
-}
-
-ClusteredMesh::ClusteredMesh(int mesh_x, int mesh_y, int nodes_per_cluster)
-    : meshX_(mesh_x), meshY_(mesh_y), clusterSize_(nodes_per_cluster)
-{
-    if (mesh_x < 1 || mesh_y < 1)
-        fatal("ClusteredMesh: mesh dimensions must be >= 1 (%dx%d)",
-              mesh_x, mesh_y);
-    if (nodes_per_cluster < 1)
-        fatal("ClusteredMesh: need at least one node per cluster");
-}
-
-int
-ClusteredMesh::rackOf(NodeId node) const
-{
-    int rack = static_cast<int>(node) / clusterSize_;
-    if (rack >= numRouters())
-        panic("ClusteredMesh: node %u out of range", node);
-    return rack;
-}
-
-int
-ClusteredMesh::localIndexOf(NodeId node) const
-{
-    return static_cast<int>(node) % clusterSize_;
-}
-
-NodeId
-ClusteredMesh::nodeAt(int rack, int local) const
-{
-    if (rack < 0 || rack >= numRouters() || local < 0 ||
-        local >= clusterSize_)
-        panic("ClusteredMesh: bad (rack %d, local %d)", rack, local);
-    return static_cast<NodeId>(rack * clusterSize_ + local);
-}
-
-bool
-ClusteredMesh::hasNeighbor(int x, int y, int dir) const
-{
-    switch (dir) {
-      case kDirEast:
-        return x + 1 < meshX_;
-      case kDirWest:
-        return x > 0;
-      case kDirNorth:
-        return y > 0;
-      case kDirSouth:
-        return y + 1 < meshY_;
-    }
-    panic("ClusteredMesh: bad direction %d", dir);
-}
-
-int
-ClusteredMesh::neighborRack(int x, int y, int dir) const
-{
-    if (!hasNeighbor(x, y, dir))
-        panic("ClusteredMesh: no %s neighbor at (%d, %d)",
-              meshDirName(dir), x, y);
-    switch (dir) {
-      case kDirEast:
-        return rackAt(x + 1, y);
-      case kDirWest:
-        return rackAt(x - 1, y);
-      case kDirNorth:
-        return rackAt(x, y - 1);
-      case kDirSouth:
-        return rackAt(x, y + 1);
-    }
-    panic("ClusteredMesh: bad direction %d", dir);
-}
-
-int
-ClusteredMesh::route(int x, int y, NodeId dst) const
-{
-    int rack = rackOf(dst);
-    int dx = rackX(rack);
-    int dy = rackY(rack);
-    if (dx > x)
-        return dirPort(kDirEast);
-    if (dx < x)
-        return dirPort(kDirWest);
-    if (dy < y)
-        return dirPort(kDirNorth);
-    if (dy > y)
-        return dirPort(kDirSouth);
-    return localIndexOf(dst);
-}
-
-int
-ClusteredMesh::routeYx(int x, int y, NodeId dst) const
-{
-    int rack = rackOf(dst);
-    int dx = rackX(rack);
-    int dy = rackY(rack);
-    if (dy < y)
-        return dirPort(kDirNorth);
-    if (dy > y)
-        return dirPort(kDirSouth);
-    if (dx > x)
-        return dirPort(kDirEast);
-    if (dx < x)
-        return dirPort(kDirWest);
-    return localIndexOf(dst);
-}
-
-int
-ClusteredMesh::routeCandidates(RoutingAlgo algo, int x, int y,
-                               NodeId dst, int out[2]) const
-{
-    switch (algo) {
-      case RoutingAlgo::kXY:
-        out[0] = route(x, y, dst);
-        return 1;
-      case RoutingAlgo::kYX:
-        out[0] = routeYx(x, y, dst);
-        return 1;
-      case RoutingAlgo::kWestFirst:
-        break;
-      default:
-        panic("routeCandidates: bad algorithm");
-    }
-
-    int rack = rackOf(dst);
-    int dx = rackX(rack) - x;
-    int dy = rackY(rack) - y;
-    if (dx == 0 && dy == 0) {
-        out[0] = localIndexOf(dst);
-        return 1;
-    }
-    // West-first turn model: all westward hops must come first (no
-    // turn into west is ever allowed), so a west-bound packet has a
-    // single choice; afterwards east/north/south are freely adaptive.
-    if (dx < 0) {
-        out[0] = dirPort(kDirWest);
-        return 1;
-    }
-    int n = 0;
-    if (dx > 0)
-        out[n++] = dirPort(kDirEast);
-    if (dy < 0)
-        out[n++] = dirPort(kDirNorth);
-    else if (dy > 0)
-        out[n++] = dirPort(kDirSouth);
-    return n;
-}
-
-int
-ClusteredMesh::hopCount(NodeId src, NodeId dst) const
-{
-    int rs = rackOf(src);
-    int rd = rackOf(dst);
-    return std::abs(rackX(rs) - rackX(rd)) +
-           std::abs(rackY(rs) - rackY(rd)) + 1;
 }
 
 } // namespace oenet

@@ -1,17 +1,16 @@
 /**
  * @file
- * Topology addressing and routing for the clustered 2-D mesh
- * (Section 3.1, Fig. 3(a)).
+ * Typed building blocks of topology addressing and routing: mesh
+ * directions, router port identifiers, and the routing-algorithm
+ * selector.
  *
- * The system is a meshX x meshY mesh of cluster routers; each router
- * serves C processing nodes (C = 8 boards per rack). Node IDs are dense:
- * node n lives in rack n / C at local index n % C. Router ports are
- * numbered: 0..C-1 local injection/ejection, then East, West, North,
- * South (ports 8-11 in the reference configuration).
- *
- * Routing is deterministic dimension-order (XY): correct X first, then
- * Y, then eject at the local port — deadlock-free on the mesh without
- * VC restrictions.
+ * Concrete fabrics (parameterized mesh, torus, concentrated mesh,
+ * fat-tree) live behind the Topology abstraction in
+ * network/topology.hh; this header only defines the vocabulary they
+ * share with the router. Router ports are numbered per topology; in the
+ * mesh family ports 0..C-1 are the local injection/ejection ports of
+ * the C processing nodes and ports C..C+3 are East, West, North, South
+ * (ports 8-11 in the paper's reference configuration).
  */
 
 #ifndef OENET_ROUTER_ROUTING_HH
@@ -21,87 +20,80 @@
 
 namespace oenet {
 
-/** Direction port offsets beyond the local ports. */
-enum MeshDir : int
+/**
+ * Mesh-family compass direction. The underlying values index the
+ * direction ports beyond the local ports (port = cluster + value), in
+ * the fixed E, W, N, S order the link enumeration relies on.
+ */
+enum class Direction : int
 {
-    kDirEast = 0,
-    kDirWest = 1,
-    kDirNorth = 2,
-    kDirSouth = 3,
-    kNumDirs = 4,
+    kEast = 0,
+    kWest = 1,
+    kNorth = 2,
+    kSouth = 3,
 };
 
-const char *meshDirName(int dir);
+/** Number of mesh-family directions. */
+inline constexpr int kNumDirs = 4;
 
-/** Routing algorithm for the inter-rack mesh. */
+/** Opposite mesh direction (east <-> west, north <-> south). */
+Direction opposite(Direction dir);
+
+const char *directionName(Direction dir);
+
+/** All directions in enumeration order (E, W, N, S). */
+inline constexpr Direction kAllDirs[kNumDirs] = {
+    Direction::kEast, Direction::kWest, Direction::kNorth,
+    Direction::kSouth};
+
+/**
+ * Typed router-port index. Replaces the raw-int port arithmetic that
+ * used to leak through LinkSpec and the routing interfaces: a
+ * default-constructed PortId is invalid, and the numeric value is only
+ * reachable through value(), so ports cannot be silently confused with
+ * router ids, node ids, or direction ordinals.
+ */
+class PortId
+{
+  public:
+    constexpr PortId() = default;
+    constexpr explicit PortId(int value) : value_(value) {}
+
+    constexpr int value() const { return value_; }
+    constexpr bool valid() const { return value_ >= 0; }
+
+    friend constexpr bool operator==(PortId a, PortId b)
+    {
+        return a.value_ == b.value_;
+    }
+    friend constexpr bool operator!=(PortId a, PortId b)
+    {
+        return !(a == b);
+    }
+    friend constexpr bool operator<(PortId a, PortId b)
+    {
+        return a.value_ < b.value_;
+    }
+
+  private:
+    int value_ = kInvalid;
+};
+
+/** Explicitly invalid port (same as a default-constructed PortId). */
+inline constexpr PortId kInvalidPort{};
+
+/** Routing algorithm for the inter-router fabric. */
 enum class RoutingAlgo
 {
     kXY,        ///< dimension order, X first (paper default)
     kYX,        ///< dimension order, Y first
     kWestFirst, ///< turn-model partially adaptive (Glass & Ni):
                 ///< west hops, if any, are taken first; all other
-                ///< productive directions may then be chosen freely
+                ///< productive directions may then be chosen freely.
+                ///< Mesh family only (invalid on torus/fat-tree).
 };
 
 const char *routingAlgoName(RoutingAlgo algo);
-
-/** Addressing + XY routing for a clustered mesh. */
-class ClusteredMesh
-{
-  public:
-    ClusteredMesh(int mesh_x, int mesh_y, int nodes_per_cluster);
-
-    int meshX() const { return meshX_; }
-    int meshY() const { return meshY_; }
-    int nodesPerCluster() const { return clusterSize_; }
-    int numRouters() const { return meshX_ * meshY_; }
-    int numNodes() const { return numRouters() * clusterSize_; }
-    int portsPerRouter() const { return clusterSize_ + kNumDirs; }
-
-    int rackOf(NodeId node) const;
-    int localIndexOf(NodeId node) const;
-    int rackX(int rack) const { return rack % meshX_; }
-    int rackY(int rack) const { return rack / meshX_; }
-    int rackAt(int x, int y) const { return y * meshX_ + x; }
-    NodeId nodeAt(int rack, int local) const;
-
-    /** Port index for mesh direction @p dir (kDirEast etc.). */
-    int dirPort(int dir) const { return clusterSize_ + dir; }
-
-    /** True if the router at (x, y) has a neighbor in direction. */
-    bool hasNeighbor(int x, int y, int dir) const;
-
-    /** Rack index of the neighbor in @p dir. @pre hasNeighbor. */
-    int neighborRack(int x, int y, int dir) const;
-
-    /**
-     * XY route computation: output port at router (x, y) for a packet
-     * destined to @p dst. Local ejection ports win once the packet is
-     * in its destination rack.
-     */
-    int route(int x, int y, NodeId dst) const;
-
-    /** YX route computation (Y corrected first). */
-    int routeYx(int x, int y, NodeId dst) const;
-
-    /**
-     * Candidate output ports at (x, y) for @p dst under @p algo,
-     * written into @p out (size >= 2). Deterministic algorithms yield
-     * one candidate; west-first yields up to two productive
-     * directions once any westward hops are done.
-     * @return the number of candidates (>= 1).
-     */
-    int routeCandidates(RoutingAlgo algo, int x, int y, NodeId dst,
-                        int out[2]) const;
-
-    /** Minimal hop count (#routers visited) between two nodes. */
-    int hopCount(NodeId src, NodeId dst) const;
-
-  private:
-    int meshX_;
-    int meshY_;
-    int clusterSize_;
-};
 
 } // namespace oenet
 

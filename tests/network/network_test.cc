@@ -22,9 +22,9 @@ Network::Params
 smallParams()
 {
     Network::Params p;
-    p.meshX = 2;
-    p.meshY = 2;
-    p.nodesPerCluster = 2;
+    p.topo.meshX = 2;
+    p.topo.meshY = 2;
+    p.topo.clusterSize = 2;
     return p;
 }
 
@@ -156,7 +156,7 @@ TEST(Network, DownstreamOfInterRouterLinkIsRouterPort)
                       static_cast<const OccupancyProvider *>(
                           &net.router(spec.dstRouter)))
                 << spec.name;
-            EXPECT_EQ(port, spec.dstPort);
+            EXPECT_EQ(port, spec.dstPort.value());
         } else {
             EXPECT_EQ(provider, static_cast<const OccupancyProvider *>(
                                     &net.node(spec.dstNode)));

@@ -12,9 +12,9 @@ Network::Params
 smallParams()
 {
     Network::Params p;
-    p.meshX = 2;
-    p.meshY = 2;
-    p.nodesPerCluster = 2;
+    p.topo.meshX = 2;
+    p.topo.meshY = 2;
+    p.topo.clusterSize = 2;
     return p;
 }
 
@@ -129,9 +129,9 @@ TEST(PowerReport, KindWithNoLinksKeepsNormalizedPowerZero)
     // A 1x1 mesh has no inter-router links: the count-0 guard must
     // keep that kind's normalizedPower/meanLevel at 0 instead of 0/0.
     Network::Params p;
-    p.meshX = 1;
-    p.meshY = 1;
-    p.nodesPerCluster = 1;
+    p.topo.meshX = 1;
+    p.topo.meshY = 1;
+    p.topo.clusterSize = 1;
     Kernel kernel;
     Network net(kernel, p);
     PowerReport r = makePowerReport(net, 0);

@@ -8,9 +8,25 @@
 #include <gtest/gtest.h>
 
 #include "core/sweeps.hh"
+#include "network/topology.hh"
 #include "router/routing.hh"
 
 using namespace oenet;
+
+namespace {
+
+/** Single-candidate route at mesh coordinates (x, y). */
+PortId
+routeAt(const MeshTopology &m, RoutingAlgo algo, int x, int y,
+        NodeId dst)
+{
+    RouteOption out[kMaxRouteCandidates];
+    int n = m.routeCandidates(algo, m.routerAt(x, y), dst, out);
+    EXPECT_EQ(n, 1);
+    return out[0].port;
+}
+
+} // namespace
 
 TEST(RoutingAlgo, Names)
 {
@@ -22,76 +38,92 @@ TEST(RoutingAlgo, Names)
 
 TEST(RoutingAlgo, YxCorrectsYFirst)
 {
-    ClusteredMesh m(8, 8, 8);
-    NodeId dst = m.nodeAt(m.rackAt(5, 6), 0);
-    EXPECT_EQ(m.routeYx(2, 3, dst), m.dirPort(kDirSouth));
-    EXPECT_EQ(m.routeYx(2, 6, dst), m.dirPort(kDirEast));
-    EXPECT_EQ(m.routeYx(5, 6, dst), 0);
+    MeshTopology m(8, 8, 8);
+    NodeId dst = m.nodeAt(m.routerAt(5, 6), 0);
+    EXPECT_EQ(routeAt(m, RoutingAlgo::kYX, 2, 3, dst),
+              m.dirPort(Direction::kSouth));
+    EXPECT_EQ(routeAt(m, RoutingAlgo::kYX, 2, 6, dst),
+              m.dirPort(Direction::kEast));
+    EXPECT_EQ(routeAt(m, RoutingAlgo::kYX, 5, 6, dst), PortId(0));
 }
 
 TEST(RoutingAlgo, WestFirstGoesWestAlone)
 {
-    ClusteredMesh m(8, 8, 8);
-    int out[2];
+    MeshTopology m(8, 8, 8);
+    RouteOption out[kMaxRouteCandidates];
     // Destination west and south: only west is permitted.
-    NodeId dst = m.nodeAt(m.rackAt(1, 6), 0);
-    int n = m.routeCandidates(RoutingAlgo::kWestFirst, 4, 3, dst, out);
+    NodeId dst = m.nodeAt(m.routerAt(1, 6), 0);
+    int n = m.routeCandidates(RoutingAlgo::kWestFirst,
+                              m.routerAt(4, 3), dst, out);
     ASSERT_EQ(n, 1);
-    EXPECT_EQ(out[0], m.dirPort(kDirWest));
+    EXPECT_EQ(out[0].port, m.dirPort(Direction::kWest));
 }
 
 TEST(RoutingAlgo, WestFirstAdaptiveEastAndVertical)
 {
-    ClusteredMesh m(8, 8, 8);
-    int out[2];
+    MeshTopology m(8, 8, 8);
+    RouteOption out[kMaxRouteCandidates];
     // Destination east and south: both productive ports offered.
-    NodeId dst = m.nodeAt(m.rackAt(6, 6), 0);
-    int n = m.routeCandidates(RoutingAlgo::kWestFirst, 4, 3, dst, out);
+    NodeId dst = m.nodeAt(m.routerAt(6, 6), 0);
+    int n = m.routeCandidates(RoutingAlgo::kWestFirst,
+                              m.routerAt(4, 3), dst, out);
     ASSERT_EQ(n, 2);
-    EXPECT_EQ(out[0], m.dirPort(kDirEast));
-    EXPECT_EQ(out[1], m.dirPort(kDirSouth));
+    EXPECT_EQ(out[0].port, m.dirPort(Direction::kEast));
+    EXPECT_EQ(out[1].port, m.dirPort(Direction::kSouth));
 }
 
 TEST(RoutingAlgo, WestFirstSingleDimensionCases)
 {
-    ClusteredMesh m(8, 8, 8);
-    int out[2];
+    MeshTopology m(8, 8, 8);
+    RouteOption out[kMaxRouteCandidates];
+    int at = m.routerAt(4, 3);
     // Pure east.
-    NodeId east = m.nodeAt(m.rackAt(6, 3), 0);
-    EXPECT_EQ(m.routeCandidates(RoutingAlgo::kWestFirst, 4, 3, east,
-                                out),
+    NodeId east = m.nodeAt(m.routerAt(6, 3), 0);
+    EXPECT_EQ(m.routeCandidates(RoutingAlgo::kWestFirst, at, east, out),
               1);
-    EXPECT_EQ(out[0], m.dirPort(kDirEast));
+    EXPECT_EQ(out[0].port, m.dirPort(Direction::kEast));
     // Pure north.
-    NodeId north = m.nodeAt(m.rackAt(4, 1), 0);
-    EXPECT_EQ(m.routeCandidates(RoutingAlgo::kWestFirst, 4, 3, north,
+    NodeId north = m.nodeAt(m.routerAt(4, 1), 0);
+    EXPECT_EQ(m.routeCandidates(RoutingAlgo::kWestFirst, at, north,
                                 out),
               1);
-    EXPECT_EQ(out[0], m.dirPort(kDirNorth));
+    EXPECT_EQ(out[0].port, m.dirPort(Direction::kNorth));
     // Local.
-    NodeId local = m.nodeAt(m.rackAt(4, 3), 5);
-    EXPECT_EQ(m.routeCandidates(RoutingAlgo::kWestFirst, 4, 3, local,
+    NodeId local = m.nodeAt(m.routerAt(4, 3), 5);
+    EXPECT_EQ(m.routeCandidates(RoutingAlgo::kWestFirst, at, local,
                                 out),
               1);
-    EXPECT_EQ(out[0], 5);
+    EXPECT_EQ(out[0].port, PortId(5));
 }
 
-TEST(RoutingAlgo, DeterministicAlgosMatchDedicatedFunctions)
+TEST(RoutingAlgo, DeterministicAlgosAreMinimalAndConsistent)
 {
-    ClusteredMesh m(4, 4, 2);
-    int out[2];
+    MeshTopology m(4, 4, 2);
+    RouteOption out[kMaxRouteCandidates];
     for (NodeId dst = 0; dst < static_cast<NodeId>(m.numNodes());
          dst++) {
-        for (int x = 0; x < 4; x++) {
-            for (int y = 0; y < 4; y++) {
-                EXPECT_EQ(m.routeCandidates(RoutingAlgo::kXY, x, y,
-                                            dst, out),
-                          1);
-                EXPECT_EQ(out[0], m.route(x, y, dst));
-                EXPECT_EQ(m.routeCandidates(RoutingAlgo::kYX, x, y,
-                                            dst, out),
-                          1);
-                EXPECT_EQ(out[0], m.routeYx(x, y, dst));
+        int drack = m.routerOf(dst);
+        for (int r = 0; r < m.numRouters(); r++) {
+            for (RoutingAlgo algo :
+                 {RoutingAlgo::kXY, RoutingAlgo::kYX}) {
+                ASSERT_EQ(m.routeCandidates(algo, r, dst, out), 1);
+                EXPECT_EQ(out[0].vcClass, kAnyVcClass);
+                if (r == drack) {
+                    EXPECT_EQ(out[0].port, m.attachPort(dst));
+                    continue;
+                }
+                // Minimal: the hop strictly reduces distance.
+                auto dir = static_cast<Direction>(
+                    out[0].port.value() - m.nodesPerCluster());
+                int x = m.routerX(r), y = m.routerY(r);
+                ASSERT_TRUE(m.hasNeighbor(x, y, dir));
+                int next = m.neighborRouter(x, y, dir);
+                int before = std::abs(m.routerX(drack) - x) +
+                             std::abs(m.routerY(drack) - y);
+                int after =
+                    std::abs(m.routerX(drack) - m.routerX(next)) +
+                    std::abs(m.routerY(drack) - m.routerY(next));
+                EXPECT_EQ(after, before - 1);
             }
         }
     }
@@ -102,35 +134,36 @@ TEST(RoutingAlgo, DeterministicAlgosMatchDedicatedFunctions)
  *  non-west hop could have been taken — turn-model safety. */
 TEST(RoutingAlgo, WestFirstCandidatesAlwaysProductive)
 {
-    ClusteredMesh m(6, 5, 2);
-    int out[2];
+    MeshTopology m(6, 5, 2);
+    RouteOption out[kMaxRouteCandidates];
     for (NodeId dst = 0; dst < static_cast<NodeId>(m.numNodes());
          dst++) {
-        int drack = m.rackOf(dst);
+        int drack = m.routerOf(dst);
         for (int x = 0; x < m.meshX(); x++) {
             for (int y = 0; y < m.meshY(); y++) {
-                int n = m.routeCandidates(RoutingAlgo::kWestFirst, x,
-                                          y, dst, out);
+                int n = m.routeCandidates(RoutingAlgo::kWestFirst,
+                                          m.routerAt(x, y), dst, out);
                 ASSERT_GE(n, 1);
                 ASSERT_LE(n, 2);
                 for (int i = 0; i < n; i++) {
-                    if (out[i] < m.nodesPerCluster()) {
-                        EXPECT_EQ(m.rackAt(x, y), drack);
+                    if (out[i].port.value() < m.nodesPerCluster()) {
+                        EXPECT_EQ(m.routerAt(x, y), drack);
                         continue;
                     }
-                    int dir = out[i] - m.nodesPerCluster();
+                    auto dir = static_cast<Direction>(
+                        out[i].port.value() - m.nodesPerCluster());
                     ASSERT_TRUE(m.hasNeighbor(x, y, dir));
-                    int next = m.neighborRack(x, y, dir);
+                    int next = m.neighborRouter(x, y, dir);
                     // Distance strictly decreases: minimal routing.
-                    int before = std::abs(m.rackX(drack) - x) +
-                                 std::abs(m.rackY(drack) - y);
+                    int before = std::abs(m.routerX(drack) - x) +
+                                 std::abs(m.routerY(drack) - y);
                     int after =
-                        std::abs(m.rackX(drack) - m.rackX(next)) +
-                        std::abs(m.rackY(drack) - m.rackY(next));
+                        std::abs(m.routerX(drack) - m.routerX(next)) +
+                        std::abs(m.routerY(drack) - m.routerY(next));
                     EXPECT_EQ(after, before - 1);
                     // West only appears when dst is strictly west.
-                    if (dir == kDirWest) {
-                        EXPECT_LT(m.rackX(drack), x);
+                    if (dir == Direction::kWest) {
+                        EXPECT_LT(m.routerX(drack), x);
                         EXPECT_EQ(n, 1); // and then it travels alone
                     }
                 }

@@ -51,7 +51,7 @@ class RouterPipelineTest : public ::testing::Test
         Router::Params rp;
         rp.numVcs = 2;
         rp.bufferDepthPerPort = 16;
-        router_ = std::make_unique<Router>("r0", 0, 0, mesh_, rp);
+        router_ = std::make_unique<Router>("r0", 0, mesh_, rp);
 
         OpticalLink::Params lp;
         for (int p = 0; p < kPorts; p++) {
@@ -106,7 +106,7 @@ class RouterPipelineTest : public ::testing::Test
         return flits;
     }
 
-    ClusteredMesh mesh_;
+    MeshTopology mesh_;
     BitrateLevelTable levels_;
     CreditProbe probe_;
     std::unique_ptr<Router> router_;
@@ -130,7 +130,7 @@ TEST_F(RouterPipelineTest, RoutesEastByXy)
     std::map<int, std::vector<Flit>> out;
     // Rack (1,0) = rack 1; node = 1*2+0 = 2. From (0,0): east.
     drive(60, packet(1, 2, 3), 0, 0, &out);
-    EXPECT_EQ(out[mesh_.dirPort(kDirEast)].size(), 3u);
+    EXPECT_EQ(out[mesh_.dirPort(Direction::kEast).value()].size(), 3u);
 }
 
 TEST_F(RouterPipelineTest, RoutesSouthByXy)
@@ -138,7 +138,7 @@ TEST_F(RouterPipelineTest, RoutesSouthByXy)
     std::map<int, std::vector<Flit>> out;
     // Rack (0,1) = rack 2; node 4. From (0,0): south.
     drive(60, packet(1, 4, 3), 0, 0, &out);
-    EXPECT_EQ(out[mesh_.dirPort(kDirSouth)].size(), 3u);
+    EXPECT_EQ(out[mesh_.dirPort(Direction::kSouth).value()].size(), 3u);
 }
 
 TEST_F(RouterPipelineTest, FlitsStayInOrder)
@@ -204,7 +204,7 @@ TEST_F(RouterPipelineTest, TailReleasesVcForNextPacket)
     std::map<int, std::vector<Flit>> out;
     drive(120, feed, 0, 0, &out);
     EXPECT_EQ(out[1].size(), 3u);
-    EXPECT_EQ(out[mesh_.dirPort(kDirEast)].size(), 3u);
+    EXPECT_EQ(out[mesh_.dirPort(Direction::kEast).value()].size(), 3u);
 }
 
 TEST_F(RouterPipelineTest, TwoInputsContendingShareOutput)

@@ -46,7 +46,7 @@ class RouterStressTest : public ::testing::TestWithParam<std::uint64_t>
         rp.numVcs = kVcs;
         rp.bufferDepthPerPort = kVcs * kVcDepth;
         // Center router: all four directions wired.
-        router_ = std::make_unique<Router>("rc", 1, 1, mesh_, rp);
+        router_ = std::make_unique<Router>("rc", mesh_.routerAt(1, 1), mesh_, rp);
         OpticalLink::Params lp;
         for (int p = 0; p < kPorts; p++) {
             in_.push_back(std::make_unique<OpticalLink>(
@@ -62,7 +62,7 @@ class RouterStressTest : public ::testing::TestWithParam<std::uint64_t>
         }
     }
 
-    ClusteredMesh mesh_;
+    MeshTopology mesh_;
     BitrateLevelTable levels_;
     CreditProbe probe_;
     std::unique_ptr<Router> router_;

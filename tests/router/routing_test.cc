@@ -1,106 +1,176 @@
-/** @file Tests for clustered-mesh addressing and XY routing. */
+/** @file Tests for mesh-topology addressing and XY routing. */
 
 #include <gtest/gtest.h>
 
+#include "network/topology.hh"
 #include "router/routing.hh"
 
 using namespace oenet;
 
-TEST(ClusteredMesh, PaperGeometry)
+namespace {
+
+/** Single-candidate route at @p router (XY unless stated). */
+PortId
+routeAt(const Topology &topo, int router, NodeId dst,
+        RoutingAlgo algo = RoutingAlgo::kXY)
 {
-    ClusteredMesh m(8, 8, 8);
+    RouteOption out[kMaxRouteCandidates];
+    int n = topo.routeCandidates(algo, router, dst, out);
+    EXPECT_EQ(n, 1);
+    return out[0].port;
+}
+
+} // namespace
+
+TEST(MeshTopology, PaperGeometry)
+{
+    MeshTopology m(8, 8, 8);
     EXPECT_EQ(m.numRouters(), 64);
     EXPECT_EQ(m.numNodes(), 512);
     EXPECT_EQ(m.portsPerRouter(), 12);
+    EXPECT_EQ(m.numVcClasses(), 1);
+    EXPECT_STREQ(m.name(), "mesh");
 }
 
-TEST(ClusteredMesh, NodeAddressing)
+TEST(MeshTopology, NodeAddressing)
 {
-    ClusteredMesh m(8, 8, 8);
-    EXPECT_EQ(m.rackOf(0), 0);
-    EXPECT_EQ(m.rackOf(7), 0);
-    EXPECT_EQ(m.rackOf(8), 1);
-    EXPECT_EQ(m.localIndexOf(13), 5);
+    MeshTopology m(8, 8, 8);
+    EXPECT_EQ(m.routerOf(0), 0);
+    EXPECT_EQ(m.routerOf(7), 0);
+    EXPECT_EQ(m.routerOf(8), 1);
+    EXPECT_EQ(m.attachPort(13), PortId(5));
     EXPECT_EQ(m.nodeAt(43, 4), 348u); // rack (3,5) node 4: the hot node
-    EXPECT_EQ(m.rackX(43), 3);
-    EXPECT_EQ(m.rackY(43), 5);
-    EXPECT_EQ(m.rackAt(3, 5), 43);
+    EXPECT_EQ(m.routerX(43), 3);
+    EXPECT_EQ(m.routerY(43), 5);
+    EXPECT_EQ(m.routerAt(3, 5), 43);
 }
 
-TEST(ClusteredMesh, NeighborEdges)
+TEST(MeshTopology, NeighborEdges)
 {
-    ClusteredMesh m(8, 8, 8);
-    EXPECT_FALSE(m.hasNeighbor(0, 0, kDirWest));
-    EXPECT_FALSE(m.hasNeighbor(0, 0, kDirNorth));
-    EXPECT_TRUE(m.hasNeighbor(0, 0, kDirEast));
-    EXPECT_TRUE(m.hasNeighbor(0, 0, kDirSouth));
-    EXPECT_FALSE(m.hasNeighbor(7, 7, kDirEast));
-    EXPECT_FALSE(m.hasNeighbor(7, 7, kDirSouth));
+    MeshTopology m(8, 8, 8);
+    EXPECT_FALSE(m.hasNeighbor(0, 0, Direction::kWest));
+    EXPECT_FALSE(m.hasNeighbor(0, 0, Direction::kNorth));
+    EXPECT_TRUE(m.hasNeighbor(0, 0, Direction::kEast));
+    EXPECT_TRUE(m.hasNeighbor(0, 0, Direction::kSouth));
+    EXPECT_FALSE(m.hasNeighbor(7, 7, Direction::kEast));
+    EXPECT_FALSE(m.hasNeighbor(7, 7, Direction::kSouth));
 }
 
-TEST(ClusteredMesh, NeighborRacks)
+TEST(MeshTopology, NeighborRouters)
 {
-    ClusteredMesh m(8, 8, 8);
-    EXPECT_EQ(m.neighborRack(3, 5, kDirEast), m.rackAt(4, 5));
-    EXPECT_EQ(m.neighborRack(3, 5, kDirWest), m.rackAt(2, 5));
-    EXPECT_EQ(m.neighborRack(3, 5, kDirNorth), m.rackAt(3, 4));
-    EXPECT_EQ(m.neighborRack(3, 5, kDirSouth), m.rackAt(3, 6));
+    MeshTopology m(8, 8, 8);
+    EXPECT_EQ(m.neighborRouter(3, 5, Direction::kEast), m.routerAt(4, 5));
+    EXPECT_EQ(m.neighborRouter(3, 5, Direction::kWest), m.routerAt(2, 5));
+    EXPECT_EQ(m.neighborRouter(3, 5, Direction::kNorth),
+              m.routerAt(3, 4));
+    EXPECT_EQ(m.neighborRouter(3, 5, Direction::kSouth),
+              m.routerAt(3, 6));
 }
 
-TEST(ClusteredMesh, RouteLocalEjection)
+TEST(MeshTopology, RouteLocalEjection)
 {
-    ClusteredMesh m(8, 8, 8);
-    // Destination in this rack: local port = local index.
-    NodeId dst = m.nodeAt(m.rackAt(2, 3), 5);
-    EXPECT_EQ(m.route(2, 3, dst), 5);
+    MeshTopology m(8, 8, 8);
+    // Destination in this rack: local port = attach port.
+    NodeId dst = m.nodeAt(m.routerAt(2, 3), 5);
+    EXPECT_EQ(routeAt(m, m.routerAt(2, 3), dst), PortId(5));
 }
 
-TEST(ClusteredMesh, RouteXBeforeY)
+TEST(MeshTopology, RouteXBeforeY)
 {
-    ClusteredMesh m(8, 8, 8);
+    MeshTopology m(8, 8, 8);
     // Destination east and south: X corrected first.
-    NodeId dst = m.nodeAt(m.rackAt(5, 6), 0);
-    EXPECT_EQ(m.route(2, 3, dst), m.dirPort(kDirEast));
+    NodeId dst = m.nodeAt(m.routerAt(5, 6), 0);
+    EXPECT_EQ(routeAt(m, m.routerAt(2, 3), dst),
+              m.dirPort(Direction::kEast));
     // Once X matches, go south.
-    EXPECT_EQ(m.route(5, 3, dst), m.dirPort(kDirSouth));
+    EXPECT_EQ(routeAt(m, m.routerAt(5, 3), dst),
+              m.dirPort(Direction::kSouth));
 }
 
-TEST(ClusteredMesh, RouteAllDirections)
+TEST(MeshTopology, RouteAllDirections)
 {
-    ClusteredMesh m(8, 8, 8);
-    EXPECT_EQ(m.route(4, 4, m.nodeAt(m.rackAt(6, 4), 0)),
-              m.dirPort(kDirEast));
-    EXPECT_EQ(m.route(4, 4, m.nodeAt(m.rackAt(1, 4), 0)),
-              m.dirPort(kDirWest));
-    EXPECT_EQ(m.route(4, 4, m.nodeAt(m.rackAt(4, 1), 0)),
-              m.dirPort(kDirNorth));
-    EXPECT_EQ(m.route(4, 4, m.nodeAt(m.rackAt(4, 7), 0)),
-              m.dirPort(kDirSouth));
+    MeshTopology m(8, 8, 8);
+    int center = m.routerAt(4, 4);
+    EXPECT_EQ(routeAt(m, center, m.nodeAt(m.routerAt(6, 4), 0)),
+              m.dirPort(Direction::kEast));
+    EXPECT_EQ(routeAt(m, center, m.nodeAt(m.routerAt(1, 4), 0)),
+              m.dirPort(Direction::kWest));
+    EXPECT_EQ(routeAt(m, center, m.nodeAt(m.routerAt(4, 1), 0)),
+              m.dirPort(Direction::kNorth));
+    EXPECT_EQ(routeAt(m, center, m.nodeAt(m.routerAt(4, 7), 0)),
+              m.dirPort(Direction::kSouth));
 }
 
-TEST(ClusteredMesh, HopCount)
+TEST(MeshTopology, HopCount)
 {
-    ClusteredMesh m(8, 8, 8);
+    MeshTopology m(8, 8, 8);
     // Same rack: one router visited.
     EXPECT_EQ(m.hopCount(0, 1), 1);
     // Corner to corner: 7 + 7 + 1 routers.
-    EXPECT_EQ(m.hopCount(m.nodeAt(m.rackAt(0, 0), 0),
-                         m.nodeAt(m.rackAt(7, 7), 0)),
+    EXPECT_EQ(m.hopCount(m.nodeAt(m.routerAt(0, 0), 0),
+                         m.nodeAt(m.routerAt(7, 7), 0)),
               15);
 }
 
-TEST(MeshDir, Names)
+TEST(Direction, Names)
 {
-    EXPECT_STREQ(meshDirName(kDirEast), "east");
-    EXPECT_STREQ(meshDirName(kDirWest), "west");
-    EXPECT_STREQ(meshDirName(kDirNorth), "north");
-    EXPECT_STREQ(meshDirName(kDirSouth), "south");
+    EXPECT_STREQ(directionName(Direction::kEast), "east");
+    EXPECT_STREQ(directionName(Direction::kWest), "west");
+    EXPECT_STREQ(directionName(Direction::kNorth), "north");
+    EXPECT_STREQ(directionName(Direction::kSouth), "south");
+}
+
+TEST(Direction, Opposites)
+{
+    EXPECT_EQ(opposite(Direction::kEast), Direction::kWest);
+    EXPECT_EQ(opposite(Direction::kWest), Direction::kEast);
+    EXPECT_EQ(opposite(Direction::kNorth), Direction::kSouth);
+    EXPECT_EQ(opposite(Direction::kSouth), Direction::kNorth);
+}
+
+TEST(PortId, Typing)
+{
+    EXPECT_FALSE(kInvalidPort.valid());
+    EXPECT_FALSE(PortId{}.valid());
+    EXPECT_TRUE(PortId(0).valid());
+    EXPECT_EQ(PortId(3).value(), 3);
+    EXPECT_EQ(PortId(3), PortId(3));
+    EXPECT_NE(PortId(3), PortId(4));
+    EXPECT_LT(PortId(3), PortId(4));
+}
+
+TEST(TopologyKind, ParseAndName)
+{
+    EXPECT_EQ(parseTopologyKind("mesh"), TopologyKind::kMesh);
+    EXPECT_EQ(parseTopologyKind("torus"), TopologyKind::kTorus);
+    EXPECT_EQ(parseTopologyKind("cmesh"), TopologyKind::kCMesh);
+    EXPECT_EQ(parseTopologyKind("fattree"), TopologyKind::kFatTree);
+    EXPECT_STREQ(topologyKindName(TopologyKind::kTorus), "torus");
+}
+
+TEST(MakeTopology, BuildsEveryKind)
+{
+    TopologyParams p;
+    p.kind = TopologyKind::kTorus;
+    p.meshX = 4;
+    p.meshY = 4;
+    p.clusterSize = 2;
+    EXPECT_STREQ(makeTopology(p)->name(), "torus");
+    p.kind = TopologyKind::kCMesh;
+    p.clusterSize = 4;
+    EXPECT_STREQ(makeTopology(p)->name(), "cmesh");
+    p.kind = TopologyKind::kFatTree;
+    p.fatTreeArity = 4;
+    auto ft = makeTopology(p);
+    EXPECT_STREQ(ft->name(), "fattree");
+    EXPECT_EQ(ft->numNodes(), 16);
+    EXPECT_EQ(ft->numRouters(), 20);
 }
 
 /**
  * Property: XY routing delivers every (src, dst) pair. Walk the route
  * hop by hop from the source rack and confirm arrival at the
- * destination's local port within the mesh diameter.
+ * destination's attach port within the mesh diameter.
  */
 class XyDeliveryProperty : public ::testing::TestWithParam<int>
 {
@@ -108,25 +178,25 @@ class XyDeliveryProperty : public ::testing::TestWithParam<int>
 
 TEST_P(XyDeliveryProperty, EveryPairDelivers)
 {
-    ClusteredMesh m(4, 4, 4);
+    MeshTopology m(4, 4, 4);
     auto src = static_cast<NodeId>(GetParam());
     for (NodeId dst = 0; dst < static_cast<NodeId>(m.numNodes());
          dst++) {
-        int x = m.rackX(m.rackOf(src));
-        int y = m.rackY(m.rackOf(src));
+        int router = m.routerOf(src);
         int hops = 0;
         for (;;) {
-            int port = m.route(x, y, dst);
-            if (port < m.nodesPerCluster()) {
-                EXPECT_EQ(port, m.localIndexOf(dst));
+            PortId port = routeAt(m, router, dst);
+            if (port.value() < m.nodesPerCluster()) {
+                EXPECT_EQ(port, m.attachPort(dst));
                 break;
             }
-            int dir = port - m.nodesPerCluster();
+            auto dir = static_cast<Direction>(port.value() -
+                                              m.nodesPerCluster());
+            int x = m.routerX(router);
+            int y = m.routerY(router);
             ASSERT_TRUE(m.hasNeighbor(x, y, dir))
                 << "route walked off the mesh";
-            int rack = m.neighborRack(x, y, dir);
-            x = m.rackX(rack);
-            y = m.rackY(rack);
+            router = m.neighborRouter(x, y, dir);
             hops++;
             ASSERT_LE(hops, m.meshX() + m.meshY())
                 << "route did not converge";
