@@ -37,6 +37,7 @@ struct BenchArgs
     TraceFormat traceFormat = TraceFormat::kJsonl; ///< --trace-format
     Cycle metricsInterval = 1000; ///< --metrics-interval N; 0 = off
     bool idleElision = true; ///< --idle-elision on|off (kernel scheduler)
+    int shards = 1;          ///< --shards N; intra-run shard domains
 
     // Fabric overrides; unset flags keep each bench's own defaults
     // (the paper's 8x8x8 mesh) so unflagged runs stay byte-identical.
@@ -146,6 +147,8 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
         } else if (std::strcmp(a, "--arity") == 0) {
             args.fatTreeArity =
                 parseFlagInt(argv[0], a, value(), 2, 64);
+        } else if (std::strcmp(a, "--shards") == 0) {
+            args.shards = parseFlagInt(argv[0], a, value(), 1, 256);
         } else if (std::strcmp(a, "--idle-elision") == 0) {
             const char *v = value();
             if (std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0) {
@@ -179,6 +182,9 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
                 "             power-snapshot period in cycles for the "
                 "traced run\n"
                 "             (default 1000; 0 disables the series)\n"
+                "  --shards N shard one run across N threads "
+                "(default 1;\n"
+                "             outputs byte-identical at any N)\n"
                 "  --idle-elision on|off\n"
                 "             park quiescent components instead of "
                 "ticking them\n"
@@ -258,6 +264,7 @@ applyKernelArgs(const BenchArgs &args, std::vector<Point> &points)
 {
     for (auto &p : points) {
         p.config.idleElision = args.idleElision;
+        p.config.shards = args.shards;
         applyFabricOverrides(args, p.config);
         p.config.validate();
     }

@@ -35,6 +35,13 @@ PoeSystem::PoeSystem(const SystemConfig &config)
         if (faults_)
             engine_->setFaultInjector(faults_.get());
     }
+    traceMux_ = std::make_unique<ShardTraceMux>(kernel_.shardCount());
+    pendingEjections_.resize(
+        static_cast<std::size_t>(kernel_.shardCount()) + 1);
+    kernel_.addPostPass([this](Cycle) {
+        traceMux_->flush();
+        replayEjections();
+    });
 }
 
 PoeSystem::~PoeSystem()
@@ -55,7 +62,11 @@ void
 PoeSystem::setTraceSink(TraceSink *sink, Cycle metrics_interval)
 {
     traceSink_ = sink;
-    network_->setTraceSink(sink);
+    // Link-layer emissions can fire inside the parallel phase, so the
+    // network sees the mux; the engine and this class emit only from
+    // the driving thread and go straight to the sink.
+    traceMux_->setTarget(sink);
+    network_->setTraceSink(sink ? traceMux_.get() : nullptr);
     if (engine_)
         engine_->setTraceSink(sink);
     if (!sink) {
@@ -149,6 +160,42 @@ PoeSystem::stopMeasurement()
 
 void
 PoeSystem::packetEjected(const Flit &tail, Cycle now)
+{
+    if (Kernel::inShardPass()) {
+        auto &buf = pendingEjections_[static_cast<std::size_t>(
+            Kernel::shardPassDomain())];
+        buf.push_back(
+            PendingEjection{Kernel::shardPassOrder(), tail, now});
+        return;
+    }
+    processEjection(tail, now);
+}
+
+void
+PoeSystem::replayEjections()
+{
+    ejectScratch_.clear();
+    for (auto &buf : pendingEjections_) {
+        ejectScratch_.insert(ejectScratch_.end(), buf.begin(),
+                             buf.end());
+        buf.clear();
+    }
+    if (ejectScratch_.empty())
+        return;
+    // Tick orders are unique across domains, so sorting by order
+    // replays ejections in the canonical serial node order.
+    std::stable_sort(ejectScratch_.begin(), ejectScratch_.end(),
+                     [](const PendingEjection &a,
+                        const PendingEjection &b) {
+                         return a.order < b.order;
+                     });
+    for (const PendingEjection &p : ejectScratch_)
+        processEjection(p.tail, p.at);
+    ejectScratch_.clear();
+}
+
+void
+PoeSystem::processEjection(const Flit &tail, Cycle now)
 {
     if (traceSink_) {
         traceSink_->packetRetire(PacketRetireEvent{

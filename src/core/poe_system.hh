@@ -28,6 +28,7 @@
 
 #include "core/metrics.hh"
 #include "core/system_config.hh"
+#include "trace/shard_mux.hh"
 #include "trace/trace.hh"
 #include "traffic/injection_process.hh"
 
@@ -89,7 +90,10 @@ class PoeSystem final : public PacketSink, public Ticking
         return traffic_ ? now + 1 : kNeverCycle;
     }
 
-    // PacketSink.
+    // PacketSink. During a shard's parallel pass the ejection is
+    // buffered (keyed by the ejecting node's tick order) and replayed
+    // after the barrier, so latency statistics accumulate in the
+    // canonical node order at every shard count.
     void packetEjected(const Flit &tail, Cycle now) override;
 
     /** Packets created inside the measurement window so far. */
@@ -136,11 +140,26 @@ class PoeSystem final : public PacketSink, public Ticking
     Histogram latencyHist_;
     std::uint64_t transitionsStart_ = 0;
 
-    // Tracing.
+    // Tracing. Link-layer events route through the shard mux (they
+    // can fire inside a parallel pass); everything emitted from the
+    // driving thread goes straight to traceSink_.
     TraceSink *traceSink_ = nullptr;
+    std::unique_ptr<ShardTraceMux> traceMux_;
+
+    // Ejections deferred out of the parallel phase, per kernel domain.
+    struct PendingEjection
+    {
+        std::uint32_t order; ///< ejecting node's tick order
+        Flit tail;
+        Cycle at;
+    };
+    std::vector<std::vector<PendingEjection>> pendingEjections_;
+    std::vector<PendingEjection> ejectScratch_;
 
     std::uint64_t totalTransitions() const;
     void emitPowerSnapshot(Cycle now);
+    void processEjection(const Flit &tail, Cycle now);
+    void replayEjections();
 };
 
 } // namespace oenet

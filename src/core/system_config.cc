@@ -55,6 +55,8 @@ SystemConfig::fromConfig(const Config &config)
         config.getUint("link.propagation", c.propagationCycles);
 
     c.idleElision = config.getBool("sim.idle_elision", c.idleElision);
+    c.shards =
+        static_cast<int>(config.getInt("sim.shards", c.shards));
 
     c.powerAware = config.getBool("policy.enabled", c.powerAware);
     std::string mode = config.getString("policy.mode", "dvs");
@@ -210,6 +212,8 @@ SystemConfig::validate() const
               "VC needs at least one buffer slot",
               bufferDepthPerPort, numVcs);
     }
+    if (shards < 1)
+        fatal("sim.shards must be >= 1, got %d", shards);
     if (!(brMinGbps > 0.0))
         fatal("link.br_min must be > 0, got %g", brMinGbps);
     if (!(brMaxGbps >= brMinGbps)) {
@@ -307,6 +311,7 @@ SystemConfig::networkParams() const
                    ? *measuredLevels
                    : BitrateLevelTable::linear(brMinGbps, brMaxGbps,
                                                numLevels, vmaxV);
+    p.shards = shards;
     return p;
 }
 

@@ -77,6 +77,14 @@ struct SystemConfig
      *  double-checking exactly that. */
     bool idleElision = true;
 
+    /** Shard domains for the sharded kernel: the topology is
+     *  partitioned into this many per-thread shards exchanging
+     *  boundary flits/credits through phase-separated queues. Output
+     *  is byte-identical at every value (docs/DETERMINISM.md); 1 (the
+     *  default) runs the same phase structure with no worker
+     *  threads. */
+    int shards = 1;
+
     /** Topology knobs bundled for makeTopology(). */
     TopologyParams topologyParams() const;
 

@@ -176,7 +176,9 @@ OpticalLink::armReceiverTransitionWake()
     // re-parks.
     if (receiver_ != nullptr && faults_ != nullptr &&
         phase_ != Phase::kStable && phase_ != Phase::kOff)
-        receiver_->wakeAt(phaseEnd_);
+        receiver_->wakeAt(phaseEnd_ > receiverWakeLead_
+                              ? phaseEnd_ - receiverWakeLead_
+                              : 0);
 }
 
 void
@@ -329,7 +331,9 @@ OpticalLink::accept(Cycle now, const Flit &flit)
     // (even a corrupt copy — the receiver's poll at `arrives` is what
     // drives the CRC/NACK replay at its exact cycle).
     if (receiver_)
-        receiver_->wakeAt(arrives);
+        receiver_->wakeAt(arrives > receiverWakeLead_
+                              ? arrives - receiverWakeLead_
+                              : 0);
 }
 
 Cycle

@@ -144,6 +144,17 @@ class OpticalLink
     void setReceiver(Ticking *receiver) { receiver_ = receiver; }
 
     /**
+     * Wake the receiver @p lead cycles *before* each event instead of
+     * at it. A boundary shuttle receives on behalf of a router in
+     * another shard and must forward a flit one cycle ahead of its
+     * arrival so the phase-separated handoff delivers it on time
+     * (its tick at t polls hasArrival(t+1)); everything else keeps the
+     * default lead of 0. Wake cycles never go below the event's
+     * request cycle minus the lead, floored at 0.
+     */
+    void setReceiverWakeLead(Cycle lead) { receiverWakeLead_ = lead; }
+
+    /**
      * Earliest future cycle at which this link could hand its receiver
      * something to do — the head in-flight arrival, and, when a fault
      * injector is attached (receivers then advance the link on every
@@ -361,6 +372,7 @@ class OpticalLink
 
     // Receiver wake edge (idle elision).
     Ticking *receiver_ = nullptr;
+    Cycle receiverWakeLead_ = 0;
 
     // Faults / reliability.
     FaultInjector *faults_ = nullptr;

@@ -1,0 +1,32 @@
+#include "network/boundary.hh"
+
+#include "common/log.hh"
+
+namespace oenet {
+
+void
+BoundaryChannel::swapBuffers()
+{
+    if (readyHead_ != readyArrivals_.size())
+        panic("BoundaryChannel %s: %zu ready flits not drained "
+              "(missing delivery wake?)",
+              link_->name().c_str(),
+              readyArrivals_.size() - readyHead_);
+    if (!readyCredits_.empty())
+        panic("BoundaryChannel %s: %zu ready credits not drained",
+              link_->name().c_str(), readyCredits_.size());
+    std::swap(readyArrivals_, pendingArrivals_);
+    pendingArrivals_.clear();
+    readyHead_ = 0;
+    std::swap(readyCredits_, pendingCredits_);
+    pendingCredits_.clear();
+    if (pendingFailed_) {
+        pendingFailed_ = false;
+        failed_ = true;
+        failEdge_ = true;
+    }
+    arrivalsDirty_ = false;
+    creditsDirty_ = false;
+}
+
+} // namespace oenet

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Deterministic boundary exchange for the sharded kernel.
+ *
+ * Every inter-router link is received through a two-piece proxy
+ * instead of the destination router polling the link directly:
+ *
+ *   LinkShuttle       a Ticking in the *source* router's shard. Its
+ *                     tick at cycle t pops every flit the link delivers
+ *                     by t+1 and stages it into the channel — one cycle
+ *                     ahead of arrival, which is exactly the phase
+ *                     headroom the handoff needs (the link wakes it
+ *                     with a one-cycle lead; see setReceiverWakeLead).
+ *   BoundaryChannel   a double-buffered SPSC mailbox. The shuttle
+ *                     writes the pending side during the parallel
+ *                     phase; the driving thread swaps pending->ready
+ *                     between phases; the destination router drains
+ *                     the ready side — at the flit's true arrival
+ *                     cycle — during the next parallel phase. Credits
+ *                     ride the same mailbox in the other direction.
+ *
+ * No payload atomics anywhere: the producer and consumer touch
+ * different buffers in any given phase, and the kernel's phase barrier
+ * supplies the happens-before edge across the swap.
+ *
+ * The proxy is used for every inter-router link at every shard count,
+ * including --shards 1 and links whose endpoints share a shard. That
+ * uniformity is what makes output byte-identical at any shard count:
+ * the per-link call sequence is the same by construction, so nothing
+ * about timing, RNG draw order, or trace emission depends on where the
+ * partition fell. Delivery timing is unchanged from a direct receiver:
+ * a flit accepted at t with arrival t+k is staged at t+k-1 and drained
+ * at t+k; a credit returned at t is forwarded in the t+1 pre-pass and
+ * applied at t+1. See DESIGN.md section 11 and docs/DETERMINISM.md.
+ */
+
+#ifndef OENET_NETWORK_BOUNDARY_HH
+#define OENET_NETWORK_BOUNDARY_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "link/endpoints.hh"
+#include "link/link.hh"
+#include "router/flit.hh"
+#include "sim/kernel.hh"
+
+namespace oenet {
+
+/**
+ * Phase-separated SPSC mailbox between one inter-router link's shuttle
+ * (producer, source shard) and its destination router (consumer,
+ * destination shard). Also carries the reverse credit stream, with the
+ * roles swapped. All methods are phase-bound — see each one's comment
+ * for which thread may call it when; none of them synchronize.
+ */
+class BoundaryChannel final : public CreditSink
+{
+  public:
+    /** @param upstream the source router (credit sink) and
+     *  @param src_port its output port feeding the link. */
+    BoundaryChannel(OpticalLink *link, CreditSink *upstream, int src_port)
+        : link_(link), upstream_(upstream), srcPort_(src_port)
+    {
+    }
+
+    // --- producer side: source shard's thread, parallel phase ---
+
+    /** Stage a flit for delivery at the start of the next cycle. */
+    void stageArrival(const Flit &flit)
+    {
+        pendingArrivals_.push_back(flit);
+        arrivalsDirty_ = true;
+    }
+
+    /** Stage the link's hard failure (staged once, by the shuttle). */
+    void stageFailure()
+    {
+        pendingFailed_ = true;
+        arrivalsDirty_ = true;
+    }
+
+    // --- consumer side: destination shard's thread, parallel phase ---
+
+    bool hasReadyArrival() const
+    {
+        return readyHead_ < readyArrivals_.size();
+    }
+
+    /** Pop the oldest ready flit. @pre hasReadyArrival(). */
+    const Flit &popReadyArrival() { return readyArrivals_[readyHead_++]; }
+
+    /** True once the link's hard failure has propagated (from the
+     *  exact cycle a direct receiver would observe it). */
+    bool failed() const { return failed_; }
+
+    /** CreditSink: the destination router frees a buffer slot at
+     *  @p now; the credit reaches the source router next cycle's
+     *  pre-pass and applies at now+1, as with a direct call. */
+    void returnCredit(int port, int vc, Cycle now) override
+    {
+        (void)port;
+        pendingCredits_.push_back(StagedCredit{vc, now});
+        creditsDirty_ = true;
+    }
+
+    // --- source shard's thread, pre-pass ---
+
+    /** Forward every ready credit to the source router, stamped with
+     *  its original return cycle (so it applies at that cycle + 1). */
+    void drainCredits()
+    {
+        for (const StagedCredit &c : readyCredits_)
+            upstream_->returnCredit(srcPort_, c.vc, c.at);
+        readyCredits_.clear();
+    }
+
+    // --- destination shard's thread, pre-pass ---
+
+    /** True if the ready side carries anything the destination router
+     *  must tick for (flits, or a just-propagated failure); clears the
+     *  failure edge. The caller wakes the router at the current
+     *  cycle. */
+    bool takeDeliveryEdge()
+    {
+        bool any = hasReadyArrival() || failEdge_;
+        failEdge_ = false;
+        return any;
+    }
+
+    // --- driving thread, between phases ---
+
+    /** True if the shuttle staged flits or a failure this cycle. */
+    bool arrivalsDirty() const { return arrivalsDirty_; }
+
+    /** True if the destination router staged credits this cycle. */
+    bool creditsDirty() const { return creditsDirty_; }
+
+    /** True if either side staged something this cycle. */
+    bool dirty() const { return arrivalsDirty_ || creditsDirty_; }
+
+    /** Publish the pending side: staged flits/credits/failure become
+     *  ready for the next cycle's consumers. @pre the previous ready
+     *  side was fully drained (the pre-pass wake guarantees it). */
+    void swapBuffers();
+
+    // --- any thread between steps (driving thread) ---
+
+    /** Flits staged in the mailbox (in neither the link nor a router
+     *  buffer); counted by Network::flitsInSystem. */
+    int staged() const
+    {
+        return static_cast<int>(pendingArrivals_.size() +
+                                (readyArrivals_.size() - readyHead_));
+    }
+
+    OpticalLink *link() const { return link_; }
+
+  private:
+    struct StagedCredit
+    {
+        int vc;
+        Cycle at; ///< cycle the destination router returned it
+    };
+
+    OpticalLink *link_;
+    CreditSink *upstream_;
+    int srcPort_;
+
+    // Flit direction (written by producer, drained by consumer).
+    std::vector<Flit> pendingArrivals_;
+    std::vector<Flit> readyArrivals_;
+    std::size_t readyHead_ = 0;
+    bool arrivalsDirty_ = false;
+    bool pendingFailed_ = false;
+
+    // Credit direction (written by consumer, drained by producer).
+    std::vector<StagedCredit> pendingCredits_;
+    std::vector<StagedCredit> readyCredits_;
+    bool creditsDirty_ = false;
+
+    // Failure propagation (published by swapBuffers).
+    bool failed_ = false;
+    bool failEdge_ = false;
+};
+
+/**
+ * The inter-router link's registered receiver: runs in the source
+ * router's shard and ferries deliveries into the BoundaryChannel one
+ * cycle before their arrival stamp. Polling hasArrival(now + 1) makes
+ * the shuttle a faithful image of a direct every-cycle receiver
+ * shifted one cycle early, so the link's lazy fault/replay walk — and
+ * every RNG draw and trace emission it performs — happens at the same
+ * simulated cycles as it would for a direct receiver.
+ */
+class LinkShuttle final : public Ticking
+{
+  public:
+    LinkShuttle(OpticalLink *link, BoundaryChannel *channel)
+        : link_(link), channel_(channel)
+    {
+    }
+
+    void tick(Cycle now) override
+    {
+        while (link_->hasArrival(now + 1))
+            channel_->stageArrival(link_->popArrival(now + 1));
+        if (link_->isFailed() && !failStaged_) {
+            failStaged_ = true;
+            channel_->stageFailure();
+        }
+    }
+
+    Cycle nextWakeCycle(Cycle now) override
+    {
+        Cycle event = link_->nextReceiverEventCycle();
+        if (event == kNeverCycle)
+            return kNeverCycle;
+        // One cycle ahead of the event, matching the link's wake lead;
+        // everything due by now+1 was just drained, so this is always
+        // in the future.
+        return event > now + 1 ? event - 1 : now + 1;
+    }
+
+  private:
+    OpticalLink *link_;
+    BoundaryChannel *channel_;
+    bool failStaged_ = false;
+};
+
+} // namespace oenet
+
+#endif // OENET_NETWORK_BOUNDARY_HH

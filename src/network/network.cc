@@ -56,8 +56,23 @@ Network::Network(Kernel &kernel, const Params &params)
                 spec.dstRouter)];
             src.connectOutput(spec.srcPort.value(), link.get(),
                               vc_depth);
-            dst.connectInput(spec.dstPort.value(), link.get(), &src,
-                             spec.srcPort.value());
+            // Every inter-router link is received through a boundary
+            // channel + shuttle — at every shard count, even when both
+            // ends share a shard. Delivery and credit timing are
+            // unchanged; the uniform call sequence is what keeps
+            // output byte-identical at any --shards (boundary.hh).
+            auto chan = std::make_unique<BoundaryChannel>(
+                link.get(), &src, spec.srcPort.value());
+            auto shuttle = std::make_unique<LinkShuttle>(link.get(),
+                                                         chan.get());
+            link->setReceiver(shuttle.get());
+            link->setReceiverWakeLead(1);
+            dst.connectInputBoundary(spec.dstPort.value(), link.get(),
+                                     chan.get(), spec.srcPort.value());
+            edges_.push_back(BoundaryEdge{chan.get(), spec.srcRouter,
+                                          spec.dstRouter, &dst});
+            channels_.push_back(std::move(chan));
+            shuttles_.push_back(std::move(shuttle));
             break;
           }
         }
@@ -65,12 +80,97 @@ Network::Network(Kernel &kernel, const Params &params)
         links_.push_back(std::move(link));
     }
 
-    // Tick order: routers then nodes. Interactions are time-tagged, so
-    // this only pins determinism, not semantics.
+    // Tick order: routers, nodes, then boundary shuttles (a shuttle
+    // runs after its source router so same-cycle accepts with a
+    // one-cycle arrival are still forwarded on time). Interactions are
+    // time-tagged, so this only pins determinism, not semantics.
     for (auto &r : routers_)
         kernel.addTicking(r.get());
     for (auto &n : nodes_)
         kernel.addTicking(n.get());
+    for (auto &s : shuttles_)
+        kernel.addTicking(s.get());
+
+    configureSharding(kernel, params.shards);
+}
+
+void
+Network::configureSharding(Kernel &kernel, int shards)
+{
+    kernel.configureSharding(shards);
+    shardOf_ = topo_->partition(shards);
+
+    // Components land in domain 1 + shard: routers by the partition
+    // map, nodes with their router (injection/ejection links never
+    // cross shards), shuttles with their *source* router (the shuttle
+    // polls the link, whose state the sender mutates).
+    for (int r = 0; r < topo_->numRouters(); r++)
+        kernel.setDomain(routers_[static_cast<std::size_t>(r)].get(),
+                         1 + shardOf_[static_cast<std::size_t>(r)]);
+    for (int n = 0; n < topo_->numNodes(); n++)
+        kernel.setDomain(
+            nodes_[static_cast<std::size_t>(n)].get(),
+            1 + shardOf_[static_cast<std::size_t>(topo_->routerOf(
+                    static_cast<NodeId>(n)))]);
+    // BoundaryEdge domains are kernel domains (1 + shard) from here on.
+    for (auto &e : edges_) {
+        e.srcDomain = 1 + shardOf_[static_cast<std::size_t>(e.srcDomain)];
+        e.dstDomain = 1 + shardOf_[static_cast<std::size_t>(e.dstDomain)];
+    }
+    std::size_t edge_idx = 0;
+    for (const auto &spec : specs_) {
+        if (spec.kind != LinkKind::kInterRouter)
+            continue;
+        kernel.setDomain(shuttles_[edge_idx].get(),
+                         1 + shardOf_[static_cast<std::size_t>(
+                                 spec.srcRouter)]);
+        edge_idx++;
+    }
+
+    // Per-domain boundary lists, in link-enumeration order — the
+    // canonical merge order for boundary events.
+    domainIngress_.assign(static_cast<std::size_t>(shards) + 1, {});
+    domainEgress_.assign(static_cast<std::size_t>(shards) + 1, {});
+    for (auto &e : edges_) {
+        domainIngress_[static_cast<std::size_t>(e.dstDomain)]
+            .push_back(&e);
+        domainEgress_[static_cast<std::size_t>(e.srcDomain)]
+            .push_back(e.channel);
+    }
+
+    // Pre-pass (each shard's thread, before its tick pass): wake
+    // routers that have boundary deliveries, forward ready credits.
+    for (int d = 1; d <= shards; d++) {
+        auto &ingress = domainIngress_[static_cast<std::size_t>(d)];
+        auto &egress = domainEgress_[static_cast<std::size_t>(d)];
+        if (ingress.empty() && egress.empty())
+            continue;
+        kernel.setDomainPrePass(d, [&ingress, &egress](Cycle now) {
+            for (BoundaryEdge *e : ingress) {
+                if (e->channel->takeDeliveryEdge())
+                    e->dstRouter->wakeAt(now);
+            }
+            for (BoundaryChannel *c : egress)
+                c->drainCredits();
+        });
+    }
+
+    // Post-pass (driving thread, after the barrier): publish staged
+    // boundary traffic and tell the kernel which domains have work, so
+    // the all-quiet fast path never skips a delivery.
+    kernel.addPostPass([this, &kernel](Cycle) {
+        for (auto &e : edges_) {
+            bool arrivals = e.channel->arrivalsDirty();
+            bool credits = e.channel->creditsDirty();
+            if (!arrivals && !credits)
+                continue;
+            e.channel->swapBuffers();
+            if (arrivals)
+                kernel.markDomainWork(e.dstDomain);
+            if (credits)
+                kernel.markDomainWork(e.srcDomain);
+        }
+    });
 }
 
 std::pair<const OccupancyProvider *, int>
@@ -264,6 +364,8 @@ Network::flitsInSystem() const
         n += static_cast<std::uint64_t>(r->totalBufferedFlits());
     for (const auto &l : links_)
         n += static_cast<std::uint64_t>(l->inFlight());
+    for (const auto &c : channels_)
+        n += static_cast<std::uint64_t>(c->staged());
     return n;
 }
 

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "network/boundary.hh"
 #include "network/node.hh"
 #include "network/topology.hh"
 #include "router/router.hh"
@@ -39,6 +40,10 @@ class Network
         OpticalLink::Params link{};
         BitrateLevelTable levels =
             BitrateLevelTable::linear(5.0, 10.0, 6);
+        /** Shard domains for the sharded kernel (1 = no worker
+         *  threads, same phase structure). Output is byte-identical
+         *  at every value; see docs/DETERMINISM.md. */
+        int shards = 1;
     };
 
     Network(Kernel &kernel, const Params &params);
@@ -140,13 +145,43 @@ class Network
 
     const BitrateLevelTable &levels() const { return levels_; }
 
+    /** Shard owning router @p r (0-based; from Topology::partition). */
+    int shardOf(int r) const
+    {
+        return shardOf_.at(static_cast<std::size_t>(r));
+    }
+
   private:
+    /** Wire boundary channels/shuttles over every inter-router link,
+     *  partition the fabric, and install the kernel's shard hooks. */
+    void configureSharding(Kernel &kernel, int shards);
+
     std::unique_ptr<const Topology> topo_;
     BitrateLevelTable levels_;
     std::vector<LinkSpec> specs_;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<std::unique_ptr<OpticalLink>> links_;
+
+    // Boundary exchange (one channel + shuttle per inter-router link,
+    // in link-enumeration order — the canonical boundary-merge order).
+    struct BoundaryEdge
+    {
+        BoundaryChannel *channel;
+        int srcDomain; ///< kernel domain of the source router
+        int dstDomain; ///< kernel domain of the destination router
+        Router *dstRouter;
+    };
+    std::vector<std::unique_ptr<BoundaryChannel>> channels_;
+    std::vector<std::unique_ptr<LinkShuttle>> shuttles_;
+    std::vector<BoundaryEdge> edges_;
+    /** Per shard domain (index 1..shards): edges delivering into it
+     *  (ingress wakes) and edges crediting out of it (credit drains),
+     *  each in link-enumeration order. */
+    std::vector<std::vector<BoundaryEdge *>> domainIngress_;
+    std::vector<std::vector<BoundaryChannel *>> domainEgress_;
+    std::vector<int> shardOf_;
+
     double baselinePowerMw_ = 0.0;
     PacketId nextPacketId_ = 1;
     std::uint64_t packetsInjected_ = 0;

@@ -156,6 +156,28 @@ Topology::enumerateLinks() const
     return specs;
 }
 
+std::vector<int>
+Topology::partition(int n_shards) const
+{
+    if (n_shards < 1)
+        panic("Topology::partition: n_shards must be >= 1");
+    const int routers = numRouters();
+    std::vector<int> shard_of(routers);
+    // Contiguous balanced slices of the canonical index range: shard s
+    // owns [floor(s*R/n), floor((s+1)*R/n)). On the mesh family the
+    // row-major index makes these row stripes, so boundaries are the
+    // horizontal links between adjacent stripes.
+    for (int s = 0; s < n_shards; s++) {
+        const int lo = static_cast<int>(
+            static_cast<long long>(s) * routers / n_shards);
+        const int hi = static_cast<int>(
+            static_cast<long long>(s + 1) * routers / n_shards);
+        for (int r = lo; r < hi; r++)
+            shard_of[r] = s;
+    }
+    return shard_of;
+}
+
 std::unique_ptr<Topology>
 makeTopology(const TopologyParams &params)
 {

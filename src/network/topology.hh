@@ -178,6 +178,22 @@ class Topology
     /** Minimal hop count (#routers visited) between two nodes. */
     virtual int hopCount(NodeId src, NodeId dst) const = 0;
 
+    /**
+     * Partition the routers into @p n_shards shards for the sharded
+     * kernel: returns a vector of numRouters() entries, entry r = the
+     * shard (0-based, < n_shards) owning router r. A node and its
+     * router always share a shard (injection/ejection links never
+     * cross shards), so only inter-router links can be boundaries.
+     * The default splits the canonical router index range into
+     * contiguous balanced slices — row stripes on the mesh family
+     * (index = y*meshX + x), level-then-index slices on the fat-tree.
+     * Shards may be empty when n_shards > numRouters(). The map is a
+     * pure function of the topology and n_shards: the same inputs
+     * partition identically on every run, a prerequisite of the
+     * determinism contract (docs/DETERMINISM.md).
+     */
+    virtual std::vector<int> partition(int n_shards) const;
+
   protected:
     /** Append the canonical injection + ejection links (shared by all
      *  fabrics: every node owns one of each, in node order). */

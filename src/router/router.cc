@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/log.hh"
+#include "network/boundary.hh"
 
 namespace oenet {
 
@@ -58,6 +59,27 @@ Router::connectInput(int port, OpticalLink *link, CreditSink *upstream,
     in.upstreamPort = upstream_port;
     if (link != nullptr)
         link->setReceiver(this); // arrival wake edge (idle elision)
+}
+
+void
+Router::connectInputBoundary(int port, OpticalLink *link,
+                             BoundaryChannel *channel, int upstream_port)
+{
+    if (port < 0 || port >= numPorts())
+        panic("Router %s: bad input port %d", name_.c_str(), port);
+    auto &in = inputs_[static_cast<std::size_t>(port)];
+    in.link = link; // introspection only; the shuttle is the receiver
+    in.boundary = channel;
+    in.upstream = channel;
+    in.upstreamPort = upstream_port;
+}
+
+bool
+Router::inputFailed(const InputPort &in)
+{
+    return in.boundary != nullptr
+               ? in.boundary->failed()
+               : in.link != nullptr && in.link->isFailed();
 }
 
 void
@@ -294,9 +316,7 @@ Router::stageSwitchAllocation(Cycle now)
         // locally injected poison tail, which never consumed an
         // upstream credit (it was synthesized into the buffer, not
         // sent over the input link).
-        if (in.upstream != nullptr &&
-            !(flit.isPoison() && in.link != nullptr &&
-              in.link->isFailed()))
+        if (in.upstream != nullptr && !(flit.isPoison() && inputFailed(in)))
             in.upstream->returnCredit(in.upstreamPort, v, now);
 
         // This input port consumed its switch slot this cycle.
@@ -491,10 +511,7 @@ Router::drainArrivals(Cycle now)
 {
     for (int p = 0; p < numPorts(); p++) {
         auto &in = inputs_[static_cast<std::size_t>(p)];
-        if (in.link == nullptr)
-            continue;
-        while (in.link->hasArrival(now)) {
-            Flit flit = in.link->popArrival(now);
+        auto deliver = [&](const Flit &flit) {
             int v = flit.vc;
             if (v < 0 || v >= params_.numVcs)
                 panic("Router %s: flit with bad VC %d on input %d",
@@ -514,6 +531,16 @@ Router::drainArrivals(Cycle now)
             ivc.lastActivity = now;
             bufferedFlits_++;
             in.occupancy.update(now, inputOccupancy(p));
+        };
+        if (in.boundary != nullptr) {
+            // Channeled input: everything on the ready side has an
+            // arrival stamp <= now (the shuttle staged it one cycle
+            // before arrival).
+            while (in.boundary->hasReadyArrival())
+                deliver(in.boundary->popReadyArrival());
+        } else if (in.link != nullptr) {
+            while (in.link->hasArrival(now))
+                deliver(in.link->popArrival(now));
         }
     }
 }
@@ -523,7 +550,7 @@ Router::reclaimOrphans(Cycle now)
 {
     for (int p = 0; p < numPorts(); p++) {
         auto &in = inputs_[static_cast<std::size_t>(p)];
-        if (in.link == nullptr || !in.link->isFailed())
+        if (!inputFailed(in))
             continue;
         for (int v = 0; v < params_.numVcs; v++) {
             auto &ivc = in.vcs[static_cast<std::size_t>(v)];
@@ -578,6 +605,11 @@ Router::nextWakeCycle(Cycle now)
         return now + 1;
     Cycle wake = kNeverCycle;
     for (const auto &in : inputs_) {
+        // Channeled inputs contribute nothing: their link belongs to
+        // the source shard (reading it here would race its walk), and
+        // every delivery comes with a pre-pass wake edge instead.
+        if (in.boundary != nullptr)
+            continue;
         if (in.link != nullptr)
             wake = std::min(wake, in.link->nextReceiverEventCycle());
     }

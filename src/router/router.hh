@@ -42,6 +42,8 @@
 
 namespace oenet {
 
+class BoundaryChannel;
+
 class Router final : public Ticking,
                      public CreditSink,
                      public OccupancyProvider
@@ -61,6 +63,19 @@ class Router final : public Ticking,
      *  credit sink (sender) and the sender's output-port index. */
     void connectInput(int port, OpticalLink *link, CreditSink *upstream,
                       int upstream_port);
+
+    /**
+     * Attach input @p port through a boundary channel instead of
+     * polling @p link directly: arrivals are drained from the
+     * channel's ready side, credits are returned into the channel,
+     * and the link's hard-failure state is read from the channel's
+     * propagated flag. The link's registered receiver is its shuttle,
+     * not this router; @p link is kept only for introspection
+     * (inputLink, policy stats). Used for every inter-router link
+     * under the sharded kernel — at every shard count.
+     */
+    void connectInputBoundary(int port, OpticalLink *link,
+                              BoundaryChannel *channel, int upstream_port);
 
     /** Attach the link driven by output @p port. @p downstream_vc_depth
      *  is the per-VC buffer capacity at the far end (initial credits). */
@@ -164,11 +179,17 @@ class Router final : public Ticking,
     struct InputPort
     {
         OpticalLink *link = nullptr;
+        BoundaryChannel *boundary = nullptr; ///< set: drain via channel
         CreditSink *upstream = nullptr;
         int upstreamPort = kInvalid;
         std::vector<InputVc> vcs;
         TimeWeighted occupancy;
     };
+
+    /** Hard-failure state of the link feeding @p in, through the
+     *  boundary flag when the input is channeled (the link object
+     *  itself may be mid-walk on another shard's thread). */
+    static bool inputFailed(const InputPort &in);
 
     struct OutputVcState
     {

@@ -1,12 +1,51 @@
 #include "sim/kernel.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <utility>
 
 #include "common/log.hh"
 
 namespace oenet {
+
+thread_local Kernel::Domain *Kernel::tlsDomain_ = nullptr;
+
+namespace {
+
+/** One spin-wait iteration: cheap CPU hint first, OS yield once the
+ *  wait is clearly longer than a pipeline hiccup. */
+inline void
+spinPause(int &spins)
+{
+    if (++spins < 1024) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        asm volatile("yield" ::: "memory");
+#endif
+    } else {
+        std::this_thread::yield();
+    }
+}
+
+} // namespace
+
+Kernel::Kernel()
+{
+    domains_.push_back(std::make_unique<Domain>());
+    domains_[0]->index = 0;
+}
+
+Kernel::~Kernel()
+{
+    if (!workers_.empty()) {
+        quit_.store(true, std::memory_order_relaxed);
+        phaseGen_.fetch_add(1, std::memory_order_release);
+        for (auto &w : workers_)
+            w.join();
+    }
+}
 
 void
 Kernel::addTicking(Ticking *component)
@@ -18,10 +57,104 @@ Kernel::addTicking(Ticking *component)
               "with another kernel");
     component->kernel_ = this;
     component->tickOrder_ = static_cast<std::uint32_t>(ticking_.size());
+    component->domainIdx_ = 0;
     component->asleep_ = false;
     component->pendingWake_ = kNeverCycle;
     ticking_.push_back(component);
-    active_.push_back(component); // appended in order: stays sorted
+    Domain &dom = *domains_[0];
+    dom.members.push_back(component); // appended in order: stays sorted
+    dom.active.push_back(component);
+}
+
+void
+Kernel::configureSharding(int shards)
+{
+    if (shards < 1)
+        panic("Kernel::configureSharding: shards must be >= 1");
+    if (phased_)
+        panic("Kernel::configureSharding: already configured");
+    if (now_ != 0)
+        panic("Kernel::configureSharding: must run before the first step");
+    phased_ = true;
+    shards_ = shards;
+    for (int d = 1; d <= shards; d++) {
+        domains_.push_back(std::make_unique<Domain>());
+        domains_.back()->index = d;
+    }
+    // The driving thread runs shard domain 1's phase itself; domains
+    // 2..N each get a worker. One shard therefore needs no threads at
+    // all while exercising the exact same phase structure.
+    for (int d = 2; d <= shards; d++)
+        workers_.emplace_back([this, d] { workerLoop(d); });
+}
+
+void
+Kernel::setDomain(Ticking *component, int domain)
+{
+    if (!component || component->kernel_ != this)
+        panic("Kernel::setDomain: component not registered here");
+    if (domain < 0 || domain > shards_)
+        panic("Kernel::setDomain: domain %d out of range [0, %d]",
+              domain, shards_);
+    if (now_ != 0)
+        panic("Kernel::setDomain: must run before the first step");
+    Domain &from = *domains_[component->domainIdx_];
+    std::erase(from.members, component);
+    std::erase(from.active, component);
+    component->domainIdx_ = static_cast<std::uint16_t>(domain);
+    Domain &to = *domains_[domain];
+    auto by_order = [](const Ticking *a, const Ticking *b) {
+        return a->tickOrder_ < b->tickOrder_;
+    };
+    to.members.insert(std::lower_bound(to.members.begin(),
+                                       to.members.end(), component,
+                                       by_order),
+                      component);
+    to.active.insert(std::lower_bound(to.active.begin(), to.active.end(),
+                                      component, by_order),
+                     component);
+}
+
+void
+Kernel::setDomainPrePass(int domain, std::function<void(Cycle)> hook)
+{
+    if (domain < 1 || domain > shards_)
+        panic("Kernel::setDomainPrePass: domain %d out of range [1, %d]",
+              domain, shards_);
+    domains_[domain]->prePass = std::move(hook);
+}
+
+void
+Kernel::addPostPass(std::function<void(Cycle)> hook)
+{
+    postPass_.push_back(std::move(hook));
+}
+
+void
+Kernel::markDomainWork(int domain)
+{
+    domains_[domain]->pendingWork = true;
+}
+
+int
+Kernel::shardPassDomain()
+{
+    return tlsDomain_->index;
+}
+
+std::uint32_t
+Kernel::shardPassOrder()
+{
+    return tlsDomain_->passOrder;
+}
+
+std::size_t
+Kernel::activeCount() const
+{
+    std::size_t n = 0;
+    for (const auto &dom : domains_)
+        n += dom->active.size();
+    return n;
 }
 
 void
@@ -32,76 +165,153 @@ Kernel::step()
         nextEpoch_ += epochInterval_;
     }
     events_.runDue(now_);
+    // Serial phase: domain 0 on the driving thread. This is the whole
+    // kernel when sharding is off.
+    runDomainPass(*domains_[0], now_);
+    if (phased_ && !shardsQuiet()) {
+        for (int d = 1; d <= shards_; d++)
+            domains_[d]->pendingWork = false;
+        if (workers_.empty()) {
+            for (int d = 1; d <= shards_; d++)
+                runShardPhase(*domains_[d], now_);
+        } else {
+            phaseCycle_ = now_;
+            phaseDone_.store(0, std::memory_order_relaxed);
+            phaseGen_.fetch_add(1, std::memory_order_release);
+            runShardPhase(*domains_[1], now_);
+            const int expected = static_cast<int>(workers_.size());
+            int spins = 0;
+            while (phaseDone_.load(std::memory_order_acquire) < expected)
+                spinPause(spins);
+        }
+        for (auto &hook : postPass_)
+            hook(now_);
+    }
+    now_++;
+}
+
+void
+Kernel::runDomainPass(Domain &dom, Cycle now)
+{
     if (!idleElision_) {
-        for (Ticking *t : ticking_)
-            t->tick(now_);
-        now_++;
+        for (Ticking *t : dom.members) {
+            dom.passOrder = t->tickOrder_;
+            t->tick(now);
+        }
         return;
     }
     // Admit every component whose timed wake is due. Entries are
     // lazily deleted: pendingWake_ is the authority, so a heap entry
     // that was superseded (component woke earlier and re-armed later)
     // is simply skipped.
-    while (!wakeHeap_.empty() && wakeHeap_.top().at <= now_) {
-        Ticking *c = wakeHeap_.top().component;
-        wakeHeap_.pop();
-        if (c->asleep_ && c->pendingWake_ <= now_)
-            admit(c);
+    while (!dom.wakeHeap.empty() && dom.wakeHeap.top().at <= now) {
+        Ticking *c = dom.wakeHeap.top().component;
+        dom.wakeHeap.pop();
+        if (c->asleep_ && c->pendingWake_ <= now)
+            admit(dom, c);
     }
-    inTickPass_ = true;
+    dom.inTickPass = true;
     bool parked = false;
-    // Indexed loop: wake edges may insert into active_ mid-pass, but
+    // Indexed loop: wake edges may insert into active mid-pass, but
     // only at positions past the cursor (see wakeSleeping).
-    for (std::size_t i = 0; i < active_.size(); i++) {
-        Ticking *t = active_[i];
-        passOrder_ = t->tickOrder_;
-        t->tick(now_);
-        Cycle wake = t->nextWakeCycle(now_);
-        if (wake > now_ + 1) {
+    for (std::size_t i = 0; i < dom.active.size(); i++) {
+        Ticking *t = dom.active[i];
+        dom.passOrder = t->tickOrder_;
+        t->tick(now);
+        Cycle wake = t->nextWakeCycle(now);
+        if (wake > now + 1) {
             t->asleep_ = true;
             t->pendingWake_ = wake;
             if (wake != kNeverCycle)
-                wakeHeap_.push(WakeEntry{wake, t});
+                dom.wakeHeap.push(WakeEntry{wake, t});
             parked = true;
         }
     }
-    inTickPass_ = false;
+    dom.inTickPass = false;
     if (parked)
-        std::erase_if(active_,
+        std::erase_if(dom.active,
                       [](const Ticking *t) { return t->asleep_; });
-    now_++;
 }
 
 void
-Kernel::admit(Ticking *component)
+Kernel::runShardPhase(Domain &dom, Cycle now)
+{
+    tlsDomain_ = &dom;
+    dom.passOrder = 0; // pre-pass emissions sort before any tick's
+    if (dom.prePass)
+        dom.prePass(now);
+    runDomainPass(dom, now);
+    tlsDomain_ = nullptr;
+}
+
+bool
+Kernel::shardsQuiet() const
+{
+    if (!idleElision_)
+        return false;
+    for (int d = 1; d <= shards_; d++) {
+        const Domain &dom = *domains_[d];
+        if (!dom.active.empty() || dom.pendingWork)
+            return false;
+        // A stale heap head (superseded wake) conservatively runs the
+        // phase; the domain's own admit loop then discards it.
+        if (!dom.wakeHeap.empty() && dom.wakeHeap.top().at <= now_)
+            return false;
+    }
+    return true;
+}
+
+void
+Kernel::workerLoop(int domain_index)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        int spins = 0;
+        while (phaseGen_.load(std::memory_order_acquire) == seen)
+            spinPause(spins);
+        seen++;
+        if (quit_.load(std::memory_order_relaxed))
+            return;
+        runShardPhase(*domains_[domain_index], phaseCycle_);
+        phaseDone_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+Kernel::admit(Domain &dom, Ticking *component)
 {
     component->asleep_ = false;
     component->pendingWake_ = kNeverCycle;
     auto pos = std::lower_bound(
-        active_.begin(), active_.end(), component,
+        dom.active.begin(), dom.active.end(), component,
         [](const Ticking *a, const Ticking *b) {
             return a->tickOrder_ < b->tickOrder_;
         });
-    active_.insert(pos, component);
+    dom.active.insert(pos, component);
 }
 
 void
 Kernel::wakeSleeping(Ticking *component, Cycle at)
 {
+    Domain &dom = *domains_[component->domainIdx_];
+    if (tlsDomain_ && tlsDomain_ != &dom)
+        panic("Kernel: cross-shard wake of component %u from domain %d "
+              "during a parallel pass",
+              component->tickOrder_, tlsDomain_->index);
     if (at <= now_) {
         // Due immediately. Mid-pass we may only insert past the
         // cursor; a wake aimed at an already-passed position ticks
         // next cycle instead — exactly when an always-awake component
         // would first observe the time-tagged interaction.
-        if (!inTickPass_ || component->tickOrder_ > passOrder_) {
-            admit(component);
+        if (!dom.inTickPass || component->tickOrder_ > dom.passOrder) {
+            admit(dom, component);
             return;
         }
         at = now_ + 1;
     }
     if (at < component->pendingWake_) {
         component->pendingWake_ = at;
-        wakeHeap_.push(WakeEntry{at, component});
+        dom.wakeHeap.push(WakeEntry{at, component});
     }
 }
 
@@ -124,8 +334,10 @@ Kernel::setIdleElision(bool on)
             t->asleep_ = false;
             t->pendingWake_ = kNeverCycle;
         }
-        active_ = ticking_;
-        wakeHeap_ = {};
+        for (auto &dom : domains_) {
+            dom->active = dom->members;
+            dom->wakeHeap = {};
+        }
     }
 }
 

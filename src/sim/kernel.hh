@@ -22,14 +22,31 @@
  * simulated outcome — every byte of every manifest and trace — is
  * identical to ticking everything; see DESIGN.md section 9 for the
  * quiescence invariants each component maintains.
+ *
+ * Sharded execution (configureSharding) splits the per-cycle pass into
+ * tick domains: domain 0 ticks serially on the driving thread (the
+ * traffic pump and anything else that touches global state), domains
+ * 1..N are shards whose passes run concurrently, one thread per shard,
+ * separated by a barrier every cycle (the conservative-lookahead
+ * quantum degenerates to one cycle here because credits apply at now+1
+ * and the minimum link propagation is one cycle). Components in
+ * different shards may only interact through phase-separated boundary
+ * queues drained by per-domain pre-pass hooks; see DESIGN.md section
+ * 11 and docs/DETERMINISM.md for the full contract. Each domain keeps
+ * its own active set and wake heap, so idle elision doubles as the
+ * per-shard work queue. The single-domain path (no configureSharding
+ * call) is the reference implementation and stays byte-identical.
  */
 
 #ifndef OENET_SIM_KERNEL_HH
 #define OENET_SIM_KERNEL_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "common/types.hh"
@@ -61,7 +78,9 @@ class Ticking
      * next executable cycle if @p at has passed). No-op while the
      * component is active — an active component re-arms itself from
      * its own state via nextWakeCycle, which is always at least as
-     * accurate as any external hint.
+     * accurate as any external hint. During a sharded parallel pass a
+     * wake may only target a component of the calling thread's own
+     * domain (cross-shard wakes go through the boundary queues).
      */
     void wakeAt(Cycle at);
 
@@ -72,6 +91,7 @@ class Ticking
     friend class Kernel;
     Kernel *kernel_ = nullptr;     ///< set by Kernel::addTicking
     std::uint32_t tickOrder_ = 0;  ///< registration index (tick order)
+    std::uint16_t domainIdx_ = 0;  ///< tick domain (0 = serial phase)
     bool asleep_ = false;
     Cycle pendingWake_ = kNeverCycle; ///< authoritative earliest wake
 };
@@ -79,7 +99,8 @@ class Ticking
 class Kernel
 {
   public:
-    Kernel() = default;
+    Kernel();
+    ~Kernel();
 
     Kernel(const Kernel &) = delete;
     Kernel &operator=(const Kernel &) = delete;
@@ -123,8 +144,67 @@ class Kernel
     void setIdleElision(bool on);
     bool idleElision() const { return idleElision_; }
 
+    // ------------------------------------------------------------------
+    // Sharded execution
+    // ------------------------------------------------------------------
+
+    /**
+     * Switch to phased (sharded) stepping with @p shards shard domains
+     * (1..shards) plus the serial domain 0. Every already-registered
+     * component stays in domain 0; move shard-owned components with
+     * setDomain before stepping. shards == 1 keeps everything on the
+     * driving thread but uses the exact same phase structure, which is
+     * what makes output byte-identical at any shard count; shards > 1
+     * spawns shards-1 worker threads, joined by the destructor. Call
+     * once, before the first step.
+     */
+    void configureSharding(int shards);
+
+    /** Shard domains configured (1 when unsharded). */
+    int shardCount() const { return shards_; }
+
+    /** True once configureSharding has been called. */
+    bool phased() const { return phased_; }
+
+    /** Move @p component to @p domain (0 = serial, 1..shardCount()).
+     *  Configuration-time only: call before the first step. */
+    void setDomain(Ticking *component, int domain);
+
+    /** Install the pre-pass hook of shard @p domain: it runs on that
+     *  shard's thread at the start of every parallel phase, before the
+     *  domain's tick pass (boundary-queue drains live here). */
+    void setDomainPrePass(int domain, std::function<void(Cycle)> hook);
+
+    /** Append a post-pass hook: runs on the driving thread after the
+     *  cycle's parallel phase completes (boundary-buffer swaps, trace
+     *  flushes, deferred-sink replays), in registration order. */
+    void addPostPass(std::function<void(Cycle)> hook);
+
+    /** Tell the kernel shard @p domain has work next cycle (boundary
+     *  deliveries staged by a post-pass hook). Clears when the domain's
+     *  pre-pass next runs; an all-quiet parallel phase is skipped. */
+    void markDomainWork(int domain);
+
+    /**
+     * True on a thread currently executing a shard's parallel phase
+     * (pre-pass hook or tick pass). Emission sites that must not write
+     * shared sinks mid-pass (trace events, packet-ejection callbacks)
+     * test this and defer through per-domain buffers keyed by
+     * shardPassOrder(); see docs/DETERMINISM.md.
+     */
+    static bool inShardPass() { return tlsDomain_ != nullptr; }
+
+    /** Domain index of the shard pass running on this thread.
+     *  @pre inShardPass(). */
+    static int shardPassDomain();
+
+    /** tickOrder of the component currently ticking on this thread (0
+     *  during the pre-pass). Deferred emissions sort by this key, which
+     *  reconstructs the canonical serial order. @pre inShardPass(). */
+    static std::uint32_t shardPassOrder();
+
     /** Components in the per-cycle pass right now (diagnostics). */
-    std::size_t activeCount() const { return active_.size(); }
+    std::size_t activeCount() const;
     std::size_t tickingCount() const { return ticking_.size(); }
 
     Cycle now() const { return now_; }
@@ -132,17 +212,6 @@ class Kernel
 
   private:
     friend class Ticking;
-
-    /** Re-admit a parked component into the sorted active list. */
-    void admit(Ticking *component);
-
-    /** Handle Ticking::wakeAt for a parked component. */
-    void wakeSleeping(Ticking *component, Cycle at);
-
-    Cycle now_ = 0;
-    EventQueue events_;
-    std::vector<Ticking *> ticking_; ///< all components, registration order
-    std::vector<Ticking *> active_;  ///< awake subset, same order
 
     struct WakeEntry
     {
@@ -156,19 +225,74 @@ class Kernel
             return a.at > b.at;
         }
     };
-    /** Timed wakes; lazily deleted — Ticking::pendingWake_ is the
-     *  authority, stale entries are skipped on pop. */
-    std::priority_queue<WakeEntry, std::vector<WakeEntry>, WakeLater>
-        wakeHeap_;
+
+    /**
+     * One tick domain: a slice of the registered components with its
+     * own active list, wake heap, and pass state. Domain 0 always
+     * exists and is the whole kernel when sharding is off; shard
+     * domains are only touched by their own thread during the parallel
+     * phase and by the driving thread between phases.
+     */
+    struct Domain
+    {
+        int index = 0;
+        std::vector<Ticking *> members; ///< all components, tick order
+        std::vector<Ticking *> active;  ///< awake subset, same order
+        /** Timed wakes; lazily deleted — Ticking::pendingWake_ is the
+         *  authority, stale entries are skipped on pop. */
+        std::priority_queue<WakeEntry, std::vector<WakeEntry>, WakeLater>
+            wakeHeap;
+        bool inTickPass = false;
+        std::uint32_t passOrder = 0; ///< tickOrder_ of component mid-tick
+        std::function<void(Cycle)> prePass;
+        bool pendingWork = false; ///< boundary deliveries staged
+    };
+
+    /** Re-admit a parked component into its domain's active list. */
+    void admit(Domain &dom, Ticking *component);
+
+    /** Handle Ticking::wakeAt for a parked component. */
+    void wakeSleeping(Ticking *component, Cycle at);
+
+    /** One domain's tick pass at cycle @p now (elision-aware). */
+    void runDomainPass(Domain &dom, Cycle now);
+
+    /** One shard's full parallel phase: pre-pass drain + tick pass. */
+    void runShardPhase(Domain &dom, Cycle now);
+
+    /** True if every shard domain's parallel phase would be a no-op. */
+    bool shardsQuiet() const;
+
+    void workerLoop(int domain_index);
+
+    Cycle now_ = 0;
+    EventQueue events_;
+    std::vector<Ticking *> ticking_; ///< all components, registration order
+    std::vector<std::unique_ptr<Domain>> domains_; ///< [0] always exists
 
     bool idleElision_ = true;
-    bool inTickPass_ = false;
-    std::uint32_t passOrder_ = 0; ///< tickOrder_ of component mid-tick
+    bool phased_ = false;
+    int shards_ = 1;
 
     // Epoch hook (metrics snapshots).
     std::function<void(Cycle)> epochHook_;
     Cycle epochInterval_ = 0;
     Cycle nextEpoch_ = kNeverCycle;
+
+    // Post-pass hooks (driving thread, after the parallel phase).
+    std::vector<std::function<void(Cycle)>> postPass_;
+
+    // Worker synchronization (shards > 1): a generation counter
+    // releases the workers into a phase, a done counter is the
+    // barrier out of it. Spin-based — a cycle is far shorter than any
+    // blocking primitive's round trip.
+    std::vector<std::thread> workers_;
+    std::atomic<std::uint64_t> phaseGen_{0};
+    std::atomic<int> phaseDone_{0};
+    std::atomic<bool> quit_{false};
+    Cycle phaseCycle_ = 0; ///< published cycle (ordered by phaseGen_)
+
+    static thread_local Domain *tlsDomain_;
 };
 
 inline void

@@ -1,0 +1,110 @@
+#include "trace/shard_mux.hh"
+
+#include <algorithm>
+
+#include "sim/kernel.hh"
+
+namespace oenet {
+
+ShardTraceMux::ShardTraceMux(int shards)
+    : buffers_(static_cast<std::size_t>(shards) + 1)
+{
+}
+
+void
+ShardTraceMux::beginRun(const std::vector<TraceLinkInfo> &links)
+{
+    if (target_)
+        target_->beginRun(links);
+}
+
+void
+ShardTraceMux::linkTransition(const LinkTransitionEvent &e)
+{
+    if (!target_)
+        return;
+    if (!Kernel::inShardPass()) {
+        target_->linkTransition(e);
+        return;
+    }
+    auto &buf =
+        buffers_[static_cast<std::size_t>(Kernel::shardPassDomain())];
+    buf.push_back(Buffered{Kernel::shardPassOrder(), false, e, {}});
+}
+
+void
+ShardTraceMux::faultEvent(const FaultEvent &e)
+{
+    if (!target_)
+        return;
+    if (!Kernel::inShardPass()) {
+        target_->faultEvent(e);
+        return;
+    }
+    auto &buf =
+        buffers_[static_cast<std::size_t>(Kernel::shardPassDomain())];
+    buf.push_back(Buffered{Kernel::shardPassOrder(), true, {}, e});
+}
+
+void
+ShardTraceMux::dvsDecision(const DvsDecisionEvent &e)
+{
+    if (target_)
+        target_->dvsDecision(e);
+}
+
+void
+ShardTraceMux::laserEvent(const LaserTraceEvent &e)
+{
+    if (target_)
+        target_->laserEvent(e);
+}
+
+void
+ShardTraceMux::packetRetire(const PacketRetireEvent &e)
+{
+    if (target_)
+        target_->packetRetire(e);
+}
+
+void
+ShardTraceMux::powerSnapshot(const PowerSnapshotEvent &e)
+{
+    if (target_)
+        target_->powerSnapshot(e);
+}
+
+void
+ShardTraceMux::endRun(Cycle at)
+{
+    if (target_)
+        target_->endRun(at);
+}
+
+void
+ShardTraceMux::flush()
+{
+    scratch_.clear();
+    for (auto &buf : buffers_) {
+        scratch_.insert(scratch_.end(), buf.begin(), buf.end());
+        buf.clear();
+    }
+    if (scratch_.empty())
+        return;
+    // Each tick order belongs to exactly one domain, so sorting by
+    // order reconstructs the canonical serial emission order; the
+    // stable sort keeps one component's events in emission order.
+    std::stable_sort(scratch_.begin(), scratch_.end(),
+                     [](const Buffered &a, const Buffered &b) {
+                         return a.order < b.order;
+                     });
+    for (const Buffered &e : scratch_) {
+        if (e.isFault)
+            target_->faultEvent(e.fault);
+        else
+            target_->linkTransition(e.transition);
+    }
+    scratch_.clear();
+}
+
+} // namespace oenet

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Trace multiplexer for the sharded kernel.
+ *
+ * Trace sinks are single-threaded consumers (trace.hh), but under the
+ * sharded kernel two event families are emitted from inside the
+ * parallel phase: link transitions and fault events, both produced by
+ * the lazy link walk on whichever shard owns the link's sender. The
+ * mux sits between the emission sites and the real sink:
+ *
+ *   - outside a shard pass (policy decisions, epoch snapshots, packet
+ *     retires — all driving-thread emissions) events pass straight
+ *     through;
+ *   - inside a shard pass the event is buffered in a per-domain
+ *     vector, tagged with the emitting component's tick order, and
+ *     forwarded by flush() on the driving thread after the barrier.
+ *
+ * flush() concatenates the per-domain buffers and stable-sorts by tick
+ * order. Each tick order lives in exactly one domain, so the sort
+ * reconstructs the canonical serial emission order — the same file
+ * order at every shard count — while preserving the relative order of
+ * events one component emitted within its tick. Buffers are written
+ * only by their own shard's thread and drained only between phases, so
+ * the kernel's barrier is the only synchronization needed.
+ */
+
+#ifndef OENET_TRACE_SHARD_MUX_HH
+#define OENET_TRACE_SHARD_MUX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace oenet {
+
+class ShardTraceMux final : public TraceSink
+{
+  public:
+    /** @param shards shard-domain count (buffers are indexed by the
+     *  kernel's domain numbers 1..shards). */
+    explicit ShardTraceMux(int shards);
+
+    /** The real sink events are forwarded to (null drops them). */
+    void setTarget(TraceSink *target) { target_ = target; }
+    TraceSink *target() const { return target_; }
+
+    /** Forward this cycle's buffered events in canonical order.
+     *  Driving thread, after the parallel phase. */
+    void flush();
+
+    // TraceSink
+    void beginRun(const std::vector<TraceLinkInfo> &links) override;
+    void linkTransition(const LinkTransitionEvent &e) override;
+    void faultEvent(const FaultEvent &e) override;
+    void dvsDecision(const DvsDecisionEvent &e) override;
+    void laserEvent(const LaserTraceEvent &e) override;
+    void packetRetire(const PacketRetireEvent &e) override;
+    void powerSnapshot(const PowerSnapshotEvent &e) override;
+    void endRun(Cycle at) override;
+
+  private:
+    struct Buffered
+    {
+        std::uint32_t order; ///< emitting component's tick order
+        bool isFault;
+        LinkTransitionEvent transition{};
+        FaultEvent fault{};
+    };
+
+    TraceSink *target_ = nullptr;
+    std::vector<std::vector<Buffered>> buffers_; ///< per kernel domain
+    std::vector<Buffered> scratch_;              ///< flush merge area
+};
+
+} // namespace oenet
+
+#endif // OENET_TRACE_SHARD_MUX_HH

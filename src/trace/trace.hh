@@ -141,9 +141,13 @@ struct PowerSnapshotEvent
 /**
  * Event consumer. The base class implements every handler as a no-op,
  * so concrete sinks override only what they record and emission sites
- * can treat any sink uniformly. All sinks are called from the (single)
- * thread simulating their system; a sink is never shared between
- * concurrently running sweep points.
+ * can treat any sink uniformly. A sink is never shared between
+ * concurrently running sweep points, and under the sharded kernel the
+ * final sink still sees a single-threaded, canonically ordered stream:
+ * events emitted inside a parallel shard pass are buffered per shard
+ * by ShardTraceMux (shard_mux.hh) and flushed on the driving thread
+ * after the phase barrier, sorted by the emitter's tick order
+ * (docs/DETERMINISM.md §4).
  */
 class TraceSink
 {

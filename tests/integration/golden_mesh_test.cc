@@ -12,6 +12,14 @@
  * bit-compatible with published results — that is a bug, not a test to
  * update. Only a deliberate, documented output-format change may
  * re-record the constants.
+ *
+ * Re-recorded once for the sharded kernel (docs/DETERMINISM.md): the
+ * phased step canonicalizes per-cycle trace order — link transitions
+ * flush before packet retires within a cycle — so the event *stream*
+ * permuted while every CSV, manifest, and metric stayed byte-identical
+ * (CI's golden fig5 CSV compare pinned that). The constants are
+ * shard-count- and elision-invariant; sharded_kernel_test.cc holds the
+ * grid to them.
  */
 #include <bit>
 #include <cstdint>
@@ -159,7 +167,7 @@ TEST(GoldenMesh, PaperDefaultsMatchPreRedesignBytes)
 {
     // 8x8 mesh, 8 nodes per rack, DVS policy — the paper configuration.
     SystemConfig paper;
-    EXPECT_EQ(fingerprintRun(paper, 2.0, 7), 0x4c04d09cdb9deab3ull);
+    EXPECT_EQ(fingerprintRun(paper, 2.0, 7), 0xe2d9530371ba8045ull);
 }
 
 TEST(GoldenMesh, WestFirstSmallMeshMatchesPreRedesignBytes)
@@ -170,7 +178,7 @@ TEST(GoldenMesh, WestFirstSmallMeshMatchesPreRedesignBytes)
     wf.clusterSize = 4;
     wf.routing = RoutingAlgo::kWestFirst;
     wf.windowCycles = 200;
-    EXPECT_EQ(fingerprintRun(wf, 1.0, 11), 0xdab7ac5714bb3f46ull);
+    EXPECT_EQ(fingerprintRun(wf, 1.0, 11), 0x6f8215ec8c6e58e8ull);
 }
 
 TEST(GoldenMesh, FaultRerouteMatchesPreRedesignBytes)
@@ -186,5 +194,5 @@ TEST(GoldenMesh, FaultRerouteMatchesPreRedesignBytes)
     fk.fault.killLink = 70; // an inter-router link on the 4x4x2 system
     fk.fault.killCycle = 1500;
     fk.fault.orphanTimeoutCycles = 300;
-    EXPECT_EQ(fingerprintRun(fk, 0.8, 13), 0x628bfdcef6fdfc98ull);
+    EXPECT_EQ(fingerprintRun(fk, 0.8, 13), 0x61cd1d1fcc437c54ull);
 }

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * BoundaryChannel unit tests: the double-buffered SPSC mailbox that
+ * carries flits, credits, and failure markers across a shard boundary.
+ * Everything here runs single-threaded — the channel has no internal
+ * synchronization to test (the kernel's phase barrier provides it);
+ * what matters is the phase discipline: nothing staged is visible
+ * before swapBuffers(), and everything staged is visible, in order,
+ * after it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/boundary.hh"
+
+using namespace oenet;
+
+namespace {
+
+struct RecordingCreditSink final : public CreditSink
+{
+    struct Credit
+    {
+        int port;
+        int vc;
+        Cycle at;
+    };
+    std::vector<Credit> credits;
+
+    void returnCredit(int port, int vc, Cycle now) override
+    {
+        credits.push_back(Credit{port, vc, now});
+    }
+};
+
+Flit
+makeFlit(PacketId id, std::uint16_t seq)
+{
+    Flit f;
+    f.packet = id;
+    f.seq = seq;
+    return f;
+}
+
+} // namespace
+
+TEST(BoundaryChannel, StagedArrivalsInvisibleUntilSwap)
+{
+    RecordingCreditSink upstream;
+    BoundaryChannel chan(nullptr, &upstream, 3);
+
+    chan.stageArrival(makeFlit(7, 0));
+    chan.stageArrival(makeFlit(7, 1));
+    EXPECT_FALSE(chan.hasReadyArrival());
+    EXPECT_TRUE(chan.arrivalsDirty());
+    EXPECT_TRUE(chan.dirty());
+    EXPECT_EQ(chan.staged(), 2);
+
+    chan.swapBuffers();
+    EXPECT_FALSE(chan.dirty());
+    EXPECT_EQ(chan.staged(), 2); // now on the ready side
+    ASSERT_TRUE(chan.hasReadyArrival());
+    EXPECT_EQ(chan.popReadyArrival().seq, 0); // FIFO
+    ASSERT_TRUE(chan.hasReadyArrival());
+    EXPECT_EQ(chan.popReadyArrival().seq, 1);
+    EXPECT_FALSE(chan.hasReadyArrival());
+    EXPECT_EQ(chan.staged(), 0);
+}
+
+TEST(BoundaryChannel, ArrivalsStagedDuringDrainWaitOneMorePhase)
+{
+    RecordingCreditSink upstream;
+    BoundaryChannel chan(nullptr, &upstream, 0);
+
+    chan.stageArrival(makeFlit(1, 0));
+    chan.swapBuffers();
+    // Producer stages the next cycle's flit while the consumer still
+    // holds the previous ready buffer.
+    chan.stageArrival(makeFlit(2, 0));
+    ASSERT_TRUE(chan.hasReadyArrival());
+    EXPECT_EQ(chan.popReadyArrival().packet, 1u);
+    EXPECT_FALSE(chan.hasReadyArrival()); // packet 2 not published yet
+    EXPECT_EQ(chan.staged(), 1);
+
+    chan.swapBuffers();
+    ASSERT_TRUE(chan.hasReadyArrival());
+    EXPECT_EQ(chan.popReadyArrival().packet, 2u);
+}
+
+TEST(BoundaryChannel, CreditsForwardWithOriginalStampAndSourcePort)
+{
+    RecordingCreditSink upstream;
+    BoundaryChannel chan(nullptr, &upstream, 5);
+
+    chan.returnCredit(/*port=*/2, /*vc=*/1, /*now=*/40);
+    chan.returnCredit(2, 0, 41);
+    EXPECT_TRUE(chan.creditsDirty());
+    EXPECT_FALSE(chan.arrivalsDirty());
+    EXPECT_TRUE(upstream.credits.empty()); // nothing until swap + drain
+
+    chan.swapBuffers();
+    EXPECT_TRUE(upstream.credits.empty()); // drain is explicit
+    chan.drainCredits();
+    ASSERT_EQ(upstream.credits.size(), 2u);
+    // The destination port the credit came in on is irrelevant; the
+    // source router hears its own output port number.
+    EXPECT_EQ(upstream.credits[0].port, 5);
+    EXPECT_EQ(upstream.credits[0].vc, 1);
+    EXPECT_EQ(upstream.credits[0].at, 40u);
+    EXPECT_EQ(upstream.credits[1].vc, 0);
+    EXPECT_EQ(upstream.credits[1].at, 41u);
+
+    chan.drainCredits(); // idempotent once drained
+    EXPECT_EQ(upstream.credits.size(), 2u);
+}
+
+TEST(BoundaryChannel, FailurePublishesOnceWithSingleDeliveryEdge)
+{
+    RecordingCreditSink upstream;
+    BoundaryChannel chan(nullptr, &upstream, 0);
+
+    EXPECT_FALSE(chan.failed());
+    chan.stageFailure();
+    EXPECT_FALSE(chan.failed()); // not before the swap
+    EXPECT_TRUE(chan.arrivalsDirty());
+
+    chan.swapBuffers();
+    EXPECT_TRUE(chan.failed());
+    EXPECT_TRUE(chan.takeDeliveryEdge());  // one wake edge...
+    EXPECT_FALSE(chan.takeDeliveryEdge()); // ...consumed
+    EXPECT_TRUE(chan.failed());            // the level persists
+}
+
+TEST(BoundaryChannel, DeliveryEdgeFollowsReadyFlits)
+{
+    RecordingCreditSink upstream;
+    BoundaryChannel chan(nullptr, &upstream, 0);
+
+    EXPECT_FALSE(chan.takeDeliveryEdge());
+    chan.stageArrival(makeFlit(9, 0));
+    EXPECT_FALSE(chan.takeDeliveryEdge()); // still pending
+    chan.swapBuffers();
+    EXPECT_TRUE(chan.takeDeliveryEdge());
+    chan.popReadyArrival();
+    EXPECT_FALSE(chan.takeDeliveryEdge());
+}

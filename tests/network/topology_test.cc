@@ -347,3 +347,81 @@ TEST(FatTreeTopology, UpDownRoutesDeliverEveryPair)
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Shard partition maps
+// ---------------------------------------------------------------------
+
+namespace {
+
+// Every fabric's partition must cover all routers with valid shard
+// ids, keep shard populations balanced (contiguous slices differ by
+// at most one router), and assign slices in non-decreasing order so
+// boundary links are exactly the slice edges.
+void
+checkPartition(const Topology &topo, int n_shards)
+{
+    std::vector<int> map = topo.partition(n_shards);
+    ASSERT_EQ(map.size(), static_cast<std::size_t>(topo.numRouters()));
+    std::vector<int> population(n_shards, 0);
+    int prev = 0;
+    for (int shard : map) {
+        ASSERT_GE(shard, 0);
+        ASSERT_LT(shard, n_shards);
+        EXPECT_GE(shard, prev) << "slices must be contiguous";
+        prev = shard;
+        population[shard]++;
+    }
+    int lo = topo.numRouters(), hi = 0;
+    for (int p : population) {
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+    }
+    if (n_shards <= topo.numRouters())
+        EXPECT_LE(hi - lo, 1) << "unbalanced partition";
+    // Pure function of (topology, n_shards).
+    EXPECT_EQ(topo.partition(n_shards), map);
+}
+
+} // namespace
+
+TEST(Partition, CoversBalancesAndRepeats)
+{
+    MeshTopology mesh(5, 3, 2);
+    TorusTopology torus(4, 4, 2);
+    CMeshTopology cmesh(4, 4, 4);
+    FatTreeTopology ftree(4);
+    const std::vector<const Topology *> fabrics = {&mesh, &torus,
+                                                   &cmesh, &ftree};
+    for (const Topology *t : fabrics) {
+        for (int n : {1, 2, 3, 4, 7, 16})
+            checkPartition(*t, n);
+    }
+}
+
+TEST(Partition, SingleShardOwnsEverything)
+{
+    MeshTopology m(8, 8, 8);
+    std::vector<int> map = m.partition(1);
+    for (int shard : map)
+        EXPECT_EQ(shard, 0);
+}
+
+TEST(Partition, MoreShardsThanRoutersLeavesEmptyShards)
+{
+    MeshTopology m(2, 2, 1);
+    std::vector<int> map = m.partition(7);
+    ASSERT_EQ(map.size(), 4u);
+    // Four routers land in four distinct shards; three shards empty.
+    std::set<int> used(map.begin(), map.end());
+    EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(Partition, MeshRowStripes)
+{
+    // 4x4 mesh in 4 shards: one row (canonical indices y*X+x) each.
+    MeshTopology m(4, 4, 1);
+    std::vector<int> map = m.partition(4);
+    for (int r = 0; r < 16; r++)
+        EXPECT_EQ(map[r], r / 4) << "router " << r;
+}
