@@ -35,9 +35,10 @@ struct BenchArgs
     bool quiet = false;      ///< --quiet; suppress per-point progress
     std::string trace;       ///< --trace PATH; empty = no tracing
     TraceFormat traceFormat = TraceFormat::kJsonl; ///< --trace-format
-    Cycle metricsInterval = 1000; ///< --metrics-interval N; 0 = off
+    Cycle metricsInterval = 1000; ///< --metrics-interval N; must be > 0
     bool idleElision = true; ///< --idle-elision on|off (kernel scheduler)
     int shards = 1;          ///< --shards N; intra-run shard domains
+    bool leakage = false;    ///< --leakage on|off; thermal/leakage model
 
     // Fabric overrides; unset flags keep each bench's own defaults
     // (the paper's 8x8x8 mesh) so unflagged runs stay byte-identical.
@@ -149,6 +150,16 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
                 parseFlagInt(argv[0], a, value(), 2, 64);
         } else if (std::strcmp(a, "--shards") == 0) {
             args.shards = parseFlagInt(argv[0], a, value(), 1, 256);
+        } else if (std::strcmp(a, "--leakage") == 0) {
+            const char *v = value();
+            if (std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0) {
+                args.leakage = true;
+            } else if (std::strcmp(v, "off") == 0 ||
+                       std::strcmp(v, "0") == 0) {
+                args.leakage = false;
+            } else {
+                fatal("%s: %s needs on|off, got '%s'", argv[0], a, v);
+            }
         } else if (std::strcmp(a, "--idle-elision") == 0) {
             const char *v = value();
             if (std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0) {
@@ -181,7 +192,13 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
                 "  --metrics-interval N\n"
                 "             power-snapshot period in cycles for the "
                 "traced run\n"
-                "             (default 1000; 0 disables the series)\n"
+                "             (default 1000; must be > 0 — omit "
+                "--trace to disable)\n"
+                "  --leakage on|off\n"
+                "             sub-threshold/gate leakage with per-link "
+                "thermal feedback\n"
+                "             (default off; off keeps outputs "
+                "byte-identical to older builds)\n"
                 "  --shards N shard one run across N threads "
                 "(default 1;\n"
                 "             outputs byte-identical at any N)\n"
@@ -232,7 +249,6 @@ runnerOptions(const BenchArgs &args)
             [path, format](const std::string &) {
                 return makeTraceSink(path, format);
             };
-        opts.traceMetricsInterval = args.metricsInterval;
     }
     return opts;
 }
@@ -265,6 +281,11 @@ applyKernelArgs(const BenchArgs &args, std::vector<Point> &points)
     for (auto &p : points) {
         p.config.idleElision = args.idleElision;
         p.config.shards = args.shards;
+        p.config.thermal.enabled = args.leakage;
+        // Routed through the config so --metrics-interval 0 dies in
+        // validate() with an actionable message instead of silently
+        // dropping the snapshot series.
+        p.config.metricsIntervalCycles = args.metricsInterval;
         applyFabricOverrides(args, p.config);
         p.config.validate();
     }

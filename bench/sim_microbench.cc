@@ -13,12 +13,16 @@
  *     python3 bench/perf_compare.py BENCH_sim_microbench.json NEW.json
  * The BM_SystemCycleIdle / BM_SystemCycleIdleNoElision pair measures
  * the idle-elision win within a single run (machine-independent);
- * perf_compare.py --expect-ratio asserts it stays >= 3x.
+ * perf_compare.py --expect-ratio asserts it stays >= 3x. The
+ * BM_PowerAccountingDirect / BM_PowerAccountingLedger pair does the
+ * same for the SoA power ledger (>= 1.3x with leakage + thermal on).
  */
 
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.hh"
+#include "core/poe_system.hh"
+#include "network/power_report.hh"
 
 using namespace oenet;
 
@@ -120,6 +124,61 @@ BM_SmallSystemCycleLoaded(benchmark::State &state)
         sys.run(1);
 }
 BENCHMARK(BM_SmallSystemCycleLoaded)->Unit(benchmark::kMicrosecond);
+
+// Shared setup for the accounting pair: a 16x16x8 fabric (~5k links,
+// the scale where the scattered OpticalLink objects no longer fit in
+// cache) with the thermal model on and enough simulated history that
+// the link population mixes levels and in-flight transitions.
+SystemConfig
+accountingConfig()
+{
+    SystemConfig cfg;
+    cfg.meshX = 16;
+    cfg.meshY = 16;
+    cfg.thermal.enabled = true;
+    return cfg;
+}
+
+// The epoch accounting pass as the legacy direct walk ran it: every
+// OpticalLink advanced through its pointer, TimeWeighted values and
+// integrals read one cache-hostile hop at a time.
+void
+BM_PowerAccountingDirect(benchmark::State &state)
+{
+    SystemConfig cfg = accountingConfig();
+    PoeSystem sys(cfg);
+    sys.setTraffic(makeTraffic(TrafficSpec::uniform(2.0, 4, 3), cfg));
+    sys.run(3000);
+    Network &net = sys.network();
+    Cycle now = sys.now();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(makePowerReportDirect(net, now));
+        benchmark::DoNotOptimize(
+            net.totalPowerIntegralMwCyclesDirect(now));
+    }
+}
+BENCHMARK(BM_PowerAccountingDirect)->Unit(benchmark::kMicrosecond);
+
+// The same accounting pass through the LinkPowerLedger's flat columns
+// (leakage + thermal enabled, so the ledger path is doing strictly
+// more physics: leakage fold, VC energy attribution). CI gates the
+// ratio against the direct walk at 1.3x via perf_compare.py
+// --expect-ratio, which is machine-independent.
+void
+BM_PowerAccountingLedger(benchmark::State &state)
+{
+    SystemConfig cfg = accountingConfig();
+    PoeSystem sys(cfg);
+    sys.setTraffic(makeTraffic(TrafficSpec::uniform(2.0, 4, 3), cfg));
+    sys.run(3000);
+    Network &net = sys.network();
+    Cycle now = sys.now();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(makePowerReport(net, now));
+        benchmark::DoNotOptimize(net.totalPowerIntegralMwCycles(now));
+    }
+}
+BENCHMARK(BM_PowerAccountingLedger)->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

@@ -106,7 +106,7 @@ runExperiment(const SystemConfig &config, const TrafficSpec &spec,
     PoeSystem sys(cfg);
     sys.setTraffic(makeTraffic(spec, cfg));
     if (trace.sink)
-        sys.setTraceSink(trace.sink, trace.metricsInterval);
+        sys.setTraceSink(trace.sink, cfg.metricsIntervalCycles);
     sys.run(protocol.warmup);
     sys.startMeasurement();
     sys.run(protocol.measure);

@@ -69,11 +69,12 @@ struct RunProtocol
     Cycle drainLimit = 300000;
 };
 
-/** Optional event tracing for a run (see trace/trace.hh). */
+/** Optional event tracing for a run (see trace/trace.hh). The power
+ *  snapshot period comes from SystemConfig::metricsIntervalCycles, so
+ *  a traced run and its config validate together. */
 struct TraceOptions
 {
-    TraceSink *sink = nullptr;   ///< not owned; must outlive the run
-    Cycle metricsInterval = 1000; ///< power-snapshot period; 0 = off
+    TraceSink *sink = nullptr; ///< not owned; must outlive the run
 };
 
 /** Build a system, run the protocol, return the metrics. */

@@ -24,10 +24,19 @@ struct RunMetrics
     double maxLatency = 0.0;
     std::uint64_t packetsMeasured = 0;
 
-    // Power over the measurement window.
+    // Power over the measurement window. avgPowerMw is *effective*
+    // power (dynamic + leakage) when the thermal model is enabled,
+    // dynamic only otherwise.
     double avgPowerMw = 0.0;
     double baselinePowerMw = 0.0;
     double normalizedPower = 0.0; ///< avg / baseline (non-power-aware)
+
+    // Leakage/thermal activity (all zero with the thermal model off).
+    // Like the fault counters below, these are deliberately NOT part
+    // of the frozen sweep-manifest columns.
+    double leakagePowerMw = 0.0; ///< leakage component of avgPowerMw
+    double maxTempC = 0.0;       ///< hottest junction at metrics() time
+    std::uint64_t thermalThrottles = 0; ///< forced down-transitions
 
     // Derived.
     double powerLatencyProduct = 0.0; ///< normalizedPower * avgLatency

@@ -69,10 +69,12 @@ PoeSystem::setTraceSink(TraceSink *sink, Cycle metrics_interval)
     network_->setTraceSink(sink ? traceMux_.get() : nullptr);
     if (engine_)
         engine_->setTraceSink(sink);
-    if (!sink) {
-        kernel_.setEpochHook(0, nullptr);
+    // Always clear any previously installed hook first: re-attaching
+    // with snapshots disabled (interval 0) used to leave the old hook
+    // firing into the new sink.
+    kernel_.setEpochHook(0, nullptr);
+    if (!sink)
         return;
-    }
     sink->beginRun(network_->traceLinkTable());
     if (metrics_interval > 0) {
         kernel_.setEpochHook(metrics_interval, [this](Cycle now) {
@@ -100,6 +102,12 @@ PoeSystem::emitPowerSnapshot(Cycle now)
     e.totalPowerMw = report.totalPowerMw;
     e.baselinePowerMw = report.baselinePowerMw;
     e.normalizedPower = report.normalizedPower;
+    if (report.thermal) {
+        e.hasThermal = true;
+        e.leakagePowerMw = report.leakagePowerMw;
+        e.maxTempC = report.maxTempC;
+        e.vcEnergyMwCycles = report.vcEnergyMwCycles;
+    }
     traceSink_->powerSnapshot(e);
 }
 
@@ -137,6 +145,8 @@ PoeSystem::startMeasurement()
     network_->resetStats(kernel_.now());
     powerIntegralStart_ =
         network_->totalPowerIntegralMwCycles(kernel_.now());
+    leakIntegralStart_ =
+        network_->totalLeakageIntegralMwCycles(kernel_.now());
     measuredCreated_ = 0;
     measuredEjected_ = 0;
     measuredFlitsEjectedStart_ = network_->flitsEjected();
@@ -155,6 +165,8 @@ PoeSystem::stopMeasurement()
     measureEnd_ = kernel_.now();
     powerIntegralEnd_ =
         network_->totalPowerIntegralMwCycles(kernel_.now());
+    leakIntegralEnd_ =
+        network_->totalLeakageIntegralMwCycles(kernel_.now());
     measuredFlitsEjectedEnd_ = network_->flitsEjected();
 }
 
@@ -262,6 +274,17 @@ PoeSystem::metrics()
     if (m.measuredCycles > 0) {
         m.avgPowerMw = (integral_end - powerIntegralStart_) /
                        static_cast<double>(m.measuredCycles);
+        // avgPowerMw is *effective* power when the thermal model is
+        // on (the total integral then includes leakage); report the
+        // leakage component separately as well.
+        if (config_.thermal.enabled) {
+            double leak_end =
+                measureEnded_
+                    ? leakIntegralEnd_
+                    : network_->totalLeakageIntegralMwCycles(end);
+            m.leakagePowerMw = (leak_end - leakIntegralStart_) /
+                               static_cast<double>(m.measuredCycles);
+        }
         std::uint64_t ejected_end = measureEnded_
                                         ? measuredFlitsEjectedEnd_
                                         : network_->flitsEjected();
@@ -277,6 +300,9 @@ PoeSystem::metrics()
         m.normalizedPower = m.avgPowerMw / m.baselinePowerMw;
     m.powerLatencyProduct = m.normalizedPower * m.avgLatency;
 
+    if (config_.thermal.enabled && network_->ledgerActive())
+        m.maxTempC = network_->powerLedger().maxTempC();
+
     m.packetsInjected = network_->packetsInjected();
     m.packetsEjected = network_->packetsEjected();
     m.drained = measuredEjected_ >= measuredCreated_;
@@ -289,6 +315,7 @@ PoeSystem::metrics()
         m.voaDelayed = engine_->totalVoaDelayed();
         m.voaLost = engine_->totalVoaLost();
         m.voaRetries = engine_->totalVoaRetries();
+        m.thermalThrottles = engine_->totalThermalThrottles();
     }
     if (faults_) {
         m.linkHardFailures = network_->failedLinks();

@@ -131,6 +131,8 @@ class PoeSystem final : public PacketSink, public Ticking
     bool measureEnded_ = false;
     double powerIntegralStart_ = 0.0;
     double powerIntegralEnd_ = 0.0;
+    double leakIntegralStart_ = 0.0;
+    double leakIntegralEnd_ = 0.0;
     std::uint64_t measuredCreated_ = 0;
     std::uint64_t measuredEjected_ = 0;
     std::uint64_t measuredFlitsEjectedStart_ = 0;

@@ -110,7 +110,6 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
         if (point.trace && options_.traceFactory) {
             sink = options_.traceFactory(point.label);
             trace.sink = sink.get();
-            trace.metricsInterval = options_.traceMetricsInterval;
         }
         return runExperiment(point.config, point.spec, point.protocol,
                              trace);
@@ -194,7 +193,6 @@ runTimelines(const SweepRunner &runner,
             if (point.trace && opts.traceFactory) {
                 sink = opts.traceFactory(point.label);
                 trace.sink = sink.get();
-                trace.metricsInterval = opts.traceMetricsInterval;
             }
 
             auto start = std::chrono::steady_clock::now();

@@ -128,9 +128,6 @@ class SweepRunner
          *  therefore identical at any jobs count. */
         std::function<std::unique_ptr<TraceSink>(const std::string &label)>
             traceFactory;
-        /** Power-snapshot period for traced points; 0 disables the
-         *  per-epoch power/utilization series. */
-        Cycle traceMetricsInterval = 1000;
     };
 
     SweepRunner() = default;

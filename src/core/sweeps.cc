@@ -32,7 +32,7 @@ runTimeline(const SystemConfig &config, const TrafficSpec &spec,
     PoeSystem sys(config);
     sys.setTraffic(makeTraffic(spec, config));
     if (trace.sink)
-        sys.setTraceSink(trace.sink, trace.metricsInterval);
+        sys.setTraceSink(trace.sink, config.metricsIntervalCycles);
     if (warmup > 0)
         sys.run(warmup);
     sys.startMeasurement();

@@ -53,10 +53,37 @@ SystemConfig::fromConfig(const Config &config)
                                             c.voltTransitionCycles);
     c.propagationCycles =
         config.getUint("link.propagation", c.propagationCycles);
+    c.wakeSettleCycles =
+        config.getUint("link.wake_settle", c.wakeSettleCycles);
+
+    c.thermal.enabled =
+        config.getBool("leakage.enabled", c.thermal.enabled);
+    c.thermal.subLeakMw =
+        config.getDouble("leakage.sub_mw", c.thermal.subLeakMw);
+    c.thermal.gateLeakMw =
+        config.getDouble("leakage.gate_mw", c.thermal.gateLeakMw);
+    c.thermal.refTempC =
+        config.getDouble("leakage.ref_temp", c.thermal.refTempC);
+    c.thermal.subTempSlopeC =
+        config.getDouble("leakage.sub_slope", c.thermal.subTempSlopeC);
+    c.thermal.gateTempSlopeC = config.getDouble(
+        "leakage.gate_slope", c.thermal.gateTempSlopeC);
+    c.thermal.ambientC =
+        config.getDouble("thermal.ambient", c.thermal.ambientC);
+    c.thermal.thermalResCPerW = config.getDouble(
+        "thermal.resistance", c.thermal.thermalResCPerW);
+    c.thermal.tauCycles =
+        config.getUint("thermal.tau", c.thermal.tauCycles);
+    c.thermal.epochCycles =
+        config.getUint("thermal.epoch", c.thermal.epochCycles);
+    c.thermal.throttleC =
+        config.getDouble("thermal.throttle", c.thermal.throttleC);
 
     c.idleElision = config.getBool("sim.idle_elision", c.idleElision);
     c.shards =
         static_cast<int>(config.getInt("sim.shards", c.shards));
+    c.metricsIntervalCycles = config.getUint("trace.metrics_interval",
+                                             c.metricsIntervalCycles);
 
     c.powerAware = config.getBool("policy.enabled", c.powerAware);
     std::string mode = config.getString("policy.mode", "dvs");
@@ -241,6 +268,19 @@ SystemConfig::validate() const
     }
     if (powerAware && windowCycles == 0)
         fatal("policy.window must be > 0 when the policy is enabled");
+    if (metricsIntervalCycles == 0) {
+        fatal("trace.metrics_interval must be > 0 (power snapshots "
+              "are only emitted while a trace sink is attached; "
+              "detach the sink to disable them, do not zero the "
+              "interval)");
+    }
+    thermal.validate();
+    if (thermal.enabled && fault.enabled) {
+        fatal("leakage.enabled and fault.enabled are mutually "
+              "exclusive: fault-attached links are advanced by their "
+              "receivers and bypass the power ledger the thermal "
+              "model lives in");
+    }
     if (opticalMode == OpticalMode::kTriLevel) {
         if (scheme != LinkScheme::kModulator)
             fatal("tri-level optical power requires the modulator "
@@ -305,6 +345,7 @@ SystemConfig::networkParams() const
     p.link.voltTransitionCycles = voltTransitionCycles;
     p.link.propagationCycles = propagationCycles;
     p.link.offPowerMw = offPowerMw;
+    p.link.wakeSettleCycles = wakeSettleCycles;
     // Links start at the maximum rate; the policy scales them down.
     p.link.initialLevel = kInvalid;
     p.levels = measuredLevels
@@ -312,6 +353,7 @@ SystemConfig::networkParams() const
                    : BitrateLevelTable::linear(brMinGbps, brMaxGbps,
                                                numLevels, vmaxV);
     p.shards = shards;
+    p.thermal = thermal;
     return p;
 }
 

@@ -49,6 +49,13 @@ struct SystemConfig
     Cycle propagationCycles = 1;
     LinkPowerParams power{};
     double offPowerMw = 2.0;
+    /** Wake settle time after a gate-off (OpticalLink::Params). */
+    Cycle wakeSettleCycles = 10;
+
+    /** Leakage + per-link thermal model (phy/thermal.hh); off by
+     *  default, which keeps all outputs byte-identical to the
+     *  leakage-free configuration. */
+    ThermalParams thermal{};
 
     // Policy.
     bool powerAware = true;
@@ -84,6 +91,11 @@ struct SystemConfig
      *  default) runs the same phase structure with no worker
      *  threads. */
     int shards = 1;
+
+    /** Cycles between power snapshots when a trace sink is attached
+     *  (PoeSystem::setTraceSink). Must be > 0 — disable snapshots by
+     *  not attaching a sink, not by zeroing the interval. */
+    Cycle metricsIntervalCycles = 1000;
 
     /** Topology knobs bundled for makeTopology(). */
     TopologyParams topologyParams() const;

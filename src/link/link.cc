@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "fault/fault_injector.hh"
 #include "phy/ber.hh"
+#include "phy/power_ledger.hh"
 #include "sim/kernel.hh"
 
 namespace oenet {
@@ -51,8 +52,28 @@ OpticalLink::currentBitRateGbps() const
 }
 
 void
+OpticalLink::writePower(Cycle at, double mw, double vdd_frac)
+{
+    powerTw_.update(at, mw);
+    if (ledger_ != nullptr)
+        ledger_->updateDynamic(ledgerId_, at, mw, vdd_frac);
+}
+
+void
 OpticalLink::refreshSignals(Cycle at)
 {
+    // A pending wake-settle power step either lands first (it is due
+    // at or before this newer signal) or is superseded by it — e.g. a
+    // re-gate or hard failure mid-settle cancels the step up.
+    if (pendingPowerAt_ != kNeverCycle) {
+        if (pendingPowerAt_ <= at)
+            writePower(pendingPowerAt_, pendingPowerMw_,
+                       pendingVddFrac_);
+        pendingPowerAt_ = kNeverCycle;
+    }
+    if (wakeSettleEnd_ != kNeverCycle && at >= wakeSettleEnd_)
+        wakeSettleEnd_ = kNeverCycle;
+
     // Operating point used for *power*: voltage is conservatively the
     // higher of the two endpoints mid-transition (it ramps before the
     // frequency rises and after it falls).
@@ -77,14 +98,27 @@ OpticalLink::refreshSignals(Cycle at)
         v_power = levels_.level(fromLevel_).vddV;
         break;
       case Phase::kOff:
-        powerTw_.update(at, params_.offPowerMw);
+        wakeSettleEnd_ = kNeverCycle;
+        writePower(at, params_.offPowerMw, 0.0);
         capacityTw_.update(at, 0.0);
         return;
       default:
         panic("OpticalLink %s: bad phase", name_.c_str());
     }
-    powerTw_.update(at, powerModel_.powerMw(br_power, v_power,
-                                            opticalScale_));
+    double mw = powerModel_.powerMw(br_power, v_power, opticalScale_);
+    double vdd_frac = v_power / params_.power.vmaxV;
+    if (wakeSettleEnd_ != kNeverCycle) {
+        // Still settling after a wake from the gated-off state: the
+        // transmitter draws gate-off power until wakeSettleEnd_, then
+        // steps to the target point (the step is folded in by the
+        // next advance() past the boundary).
+        writePower(at, params_.offPowerMw, 0.0);
+        pendingPowerAt_ = wakeSettleEnd_;
+        pendingPowerMw_ = mw;
+        pendingVddFrac_ = vdd_frac;
+    } else {
+        writePower(at, mw, vdd_frac);
+    }
     double capacity =
         enabledNow() ? flitsPerCycle(currentBitRateGbps()) : 0.0;
     capacityTw_.update(at, capacity);
@@ -103,6 +137,13 @@ OpticalLink::enterPhase(Phase phase, Cycle at, Cycle end)
         }
         transitionType_ = nullptr;
         fromLevel_ = toLevel_;
+    }
+    if (ledger_ != nullptr) {
+        // Stable and gated-off links hold their power until the next
+        // call touches them; only mid-transition links can change at a
+        // scheduled boundary with nobody calling in.
+        ledger_->setStable(ledgerId_, phase == Phase::kStable ||
+                                          phase == Phase::kOff);
     }
     refreshSignals(at);
 }
@@ -126,6 +167,8 @@ OpticalLink::resetStats(Cycle now)
 {
     advance(now);
     powerTw_.reset(now);
+    if (ledger_ != nullptr)
+        ledger_->resetDynamic(ledgerId_, now);
     totalFlits_ = 0;
     numTransitions_ = 0;
     flitsCorrupted_ = 0;
@@ -153,11 +196,15 @@ OpticalLink::setOff(Cycle now, bool off)
     } else {
         if (phase_ != Phase::kOff)
             return;
-        // Wake-up: the receiver CDR must reacquire lock.
+        // Wake-up: the receiver CDR must reacquire lock. For the first
+        // part of the relock the transmitter is still stabilizing and
+        // keeps drawing gate-off power (Params::wakeSettleCycles).
         numTransitions_++;
         transitionStart_ = now;
         transitionFrom_ = toLevel_;
         transitionType_ = "wake";
+        wakeSettleEnd_ = now + std::min(params_.wakeSettleCycles,
+                                        params_.freqTransitionCycles);
         enterPhase(Phase::kFreqSwitch, now,
                    now + params_.freqTransitionCycles);
         advance(now);
@@ -187,6 +234,13 @@ OpticalLink::advance(Cycle now)
     if (faults_ != nullptr)
         faultAdvance(now);
     phaseAdvance(now);
+    if (pendingPowerAt_ <= now) {
+        // Wake settle complete: step to the target power at the exact
+        // boundary cycle (pendingPowerAt_ == wakeSettleEnd_).
+        writePower(pendingPowerAt_, pendingPowerMw_, pendingVddFrac_);
+        pendingPowerAt_ = kNeverCycle;
+        wakeSettleEnd_ = kNeverCycle;
+    }
 }
 
 void
@@ -326,6 +380,8 @@ OpticalLink::accept(Cycle now, const Flit &flit)
 
     windowFlits_++;
     totalFlits_++;
+    if (ledger_ != nullptr)
+        ledger_->countFlit(ledgerId_, flit.vc);
 
     // Wake edge: a parked receiver must tick when this flit lands
     // (even a corrupt copy — the receiver's poll at `arrives` is what
@@ -452,6 +508,8 @@ OpticalLink::requestLevel(Cycle now, int level)
 
     fromLevel_ = toLevel_;
     toLevel_ = level;
+    if (ledger_ != nullptr)
+        ledger_->setLevel(ledgerId_, level);
     numTransitions_++;
     transitionStart_ = now;
     transitionFrom_ = fromLevel_;
@@ -514,6 +572,19 @@ OpticalLink::windowUtilization(Cycle now)
         return windowFlits_ > 0 ? 1.0 : 0.0;
     double u = static_cast<double>(windowFlits_) / cap;
     return u > 1.0 ? 1.0 : u;
+}
+
+int
+OpticalLink::attachLedger(LinkPowerLedger &ledger)
+{
+    double vdd_frac = phase_ == Phase::kOff
+                          ? 0.0
+                          : levels_.level(toLevel_).vddV /
+                                params_.power.vmaxV;
+    ledgerId_ = ledger.addLink(static_cast<int>(kind_), maxPowerMw(),
+                               toLevel_, powerTw_.value(), vdd_frac);
+    ledger_ = &ledger;
+    return ledgerId_;
 }
 
 double

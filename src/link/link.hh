@@ -59,6 +59,7 @@
 namespace oenet {
 
 class FaultInjector;
+class LinkPowerLedger;
 class Ticking;
 
 /** What role a link plays in the system (used for reporting). */
@@ -83,6 +84,15 @@ class OpticalLink
         Cycle propagationCycles = 1;      ///< fiber flight time
         int initialLevel = kInvalid;      ///< default: highest level
         double offPowerMw = 2.0;          ///< leakage when gated off
+        /**
+         * Laser/CDR settle time after a wake from the gated-off state.
+         * For the first min(wakeSettleCycles, T_br) cycles of the
+         * relock the transmitter is still stabilizing and draws gate-
+         * off power, not the target level's full power. The pre-fix
+         * accounting charged the full target power for the whole T_br
+         * relock from the wake instant (0 restores that behavior).
+         */
+        Cycle wakeSettleCycles = 10;
     };
 
     /** @param levels level table; must outlive the link. */
@@ -288,6 +298,19 @@ class OpticalLink
     /** Power of a non-power-aware link (always-max baseline), mW. */
     double maxPowerMw() const { return powerModel_.maxPowerMw(); }
 
+    /**
+     * Register this link with the system power ledger and mirror every
+     * subsequent power change into its SoA column. Must be called
+     * immediately after construction (cycle 0, stable), before any
+     * traffic or transition, so the column seed matches the link's
+     * TimeWeighted exactly. Returns the assigned ledger id.
+     */
+    int attachLedger(LinkPowerLedger &ledger);
+
+    /** Stop mirroring (fault-attached links keep only the per-link
+     *  walk; see LinkPowerLedger's header). */
+    void detachLedger() { ledger_ = nullptr; }
+
     /** Frequency transitions since construction or resetStats(). */
     std::uint64_t numTransitions() const { return numTransitions_; }
 
@@ -342,6 +365,10 @@ class OpticalLink
 
     /** Recompute power/capacity signals at time @p at. */
     void refreshSignals(Cycle at);
+
+    /** Set the power signal to @p mw at @p at: updates powerTw_ and
+     *  mirrors the identical fold into the ledger column. */
+    void writePower(Cycle at, double mw, double vdd_frac);
 
     bool enabledNow() const
     {
@@ -406,6 +433,20 @@ class OpticalLink
     std::uint64_t totalFlits_ = 0;
     double windowCapBase_ = 0.0;
     Cycle windowStart_ = 0;
+
+    // System power ledger mirror (null when detached).
+    LinkPowerLedger *ledger_ = nullptr;
+    int ledgerId_ = kInvalid;
+
+    // Wake-settle accounting (see Params::wakeSettleCycles). While the
+    // transmitter settles after a wake from kOff, the power step to the
+    // target level is *pending*: it is folded into the integrals at
+    // exactly wakeSettleEnd_ by the next advance()/refreshSignals(),
+    // or cancelled if a newer signal (fault, re-gate) supersedes it.
+    Cycle wakeSettleEnd_ = kNeverCycle;
+    Cycle pendingPowerAt_ = kNeverCycle;
+    double pendingPowerMw_ = 0.0;
+    double pendingVddFrac_ = 0.0;
 };
 
 } // namespace oenet

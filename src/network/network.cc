@@ -23,7 +23,10 @@ Network::Network(Kernel &kernel, const Params &params)
         nodes_.push_back(std::make_unique<Node>(static_cast<NodeId>(n),
                                                 node_params));
 
-    // Links.
+    // Links. Each registers with the SoA power ledger in enumeration
+    // order, so ledger ids equal link/trace ids.
+    ledger_.configure(params.router.numVcs, params.thermal,
+                      params.link.power.vmaxV);
     specs_ = topo_->enumerateLinks();
     links_.reserve(specs_.size());
     for (const auto &spec : specs_) {
@@ -76,6 +79,7 @@ Network::Network(Kernel &kernel, const Params &params)
             break;
           }
         }
+        link->attachLedger(ledger_);
         baselinePowerMw_ += link->maxPowerMw();
         links_.push_back(std::move(link));
     }
@@ -92,6 +96,21 @@ Network::Network(Kernel &kernel, const Params &params)
         kernel.addTicking(s.get());
 
     configureSharding(kernel, params.shards);
+
+    if (params.thermal.enabled) {
+        // Batched thermal epoch on the driving thread (events run
+        // between tick phases): bring mid-transition links current,
+        // then relax every temperature and leakage column in one flat
+        // pass. Epoch events are in the deterministic event order, so
+        // temperatures are shard-count invariant.
+        Cycle epoch = params.thermal.epochCycles;
+        kernel.schedulePeriodic(epoch, epoch, [this](Cycle now) {
+            if (!ledgerActive_)
+                return;
+            advancePendingPower(now);
+            ledger_.advanceThermal(now);
+        });
+    }
 }
 
 void
@@ -237,6 +256,18 @@ Network::setFaultInjector(FaultInjector *faults)
         faults != nullptr ? faults->params().orphanTimeoutCycles : 0;
     for (auto &r : routers_)
         r->setOrphanTimeout(orphan);
+    if (faults != nullptr && ledgerActive_) {
+        // Scheduled faults are processed at exact cycles inside each
+        // link's lazy advance, and fault-attached links are advanced
+        // by their *receivers* — possibly from another shard. Neither
+        // fits the ledger's flat-scan/owner-writes model, so
+        // resilience runs keep the direct per-link walk (which also
+        // keeps their outputs byte-identical to the fault-era
+        // goldens). Detaching is one-way for the run.
+        for (auto &l : links_)
+            l->detachLedger();
+        ledgerActive_ = false;
+    }
 }
 
 int
@@ -309,8 +340,45 @@ Network::resetStats(Cycle now)
         l->resetStats(now);
 }
 
+void
+Network::advancePendingPower(Cycle now)
+{
+    // Id-order scan of the flag column: advances (and any transition
+    // trace events they flush) happen in the same order the direct
+    // per-link walk used, so event streams stay byte-identical.
+    int n = ledger_.numLinks();
+    for (int id = 0; id < n; id++) {
+        if (ledger_.isUnstable(id))
+            links_[static_cast<std::size_t>(id)]->powerMw(now);
+    }
+}
+
 double
 Network::totalPowerMw(Cycle now)
+{
+    if (!ledgerActive_)
+        return totalPowerMwDirect(now);
+    advancePendingPower(now);
+    double sum = ledger_.totalDynMw();
+    if (ledger_.thermalEnabled())
+        sum += ledger_.totalLeakMw();
+    return sum;
+}
+
+double
+Network::totalPowerIntegralMwCycles(Cycle now)
+{
+    if (!ledgerActive_)
+        return totalPowerIntegralMwCyclesDirect(now);
+    advancePendingPower(now);
+    double sum = ledger_.totalDynIntegralMwCycles(now);
+    if (ledger_.thermalEnabled())
+        sum += ledger_.totalLeakIntegralMwCycles(now);
+    return sum;
+}
+
+double
+Network::totalPowerMwDirect(Cycle now)
 {
     double sum = 0.0;
     for (auto &l : links_)
@@ -319,7 +387,7 @@ Network::totalPowerMw(Cycle now)
 }
 
 double
-Network::totalPowerIntegralMwCycles(Cycle now)
+Network::totalPowerIntegralMwCyclesDirect(Cycle now)
 {
     double sum = 0.0;
     for (auto &l : links_)

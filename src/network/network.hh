@@ -23,6 +23,7 @@
 #include "network/boundary.hh"
 #include "network/node.hh"
 #include "network/topology.hh"
+#include "phy/power_ledger.hh"
 #include "router/router.hh"
 #include "trace/trace.hh"
 
@@ -44,6 +45,10 @@ class Network
          *  threads, same phase structure). Output is byte-identical
          *  at every value; see docs/DETERMINISM.md. */
         int shards = 1;
+        /** Leakage + thermal model (phy/thermal.hh); disabled by
+         *  default, which keeps every output byte-identical to the
+         *  leakage-free era. */
+        ThermalParams thermal{};
     };
 
     Network(Kernel &kernel, const Params &params);
@@ -103,11 +108,45 @@ class Network
     // Aggregates
     // ------------------------------------------------------------------
 
-    /** Instantaneous link power, mW, summed over all links. */
+    /** Instantaneous link power (dynamic + leakage when the thermal
+     *  model is on), mW, summed over all links. Served from the SoA
+     *  ledger's flat scan when active; bitwise identical to the
+     *  direct per-link walk. */
     double totalPowerMw(Cycle now);
 
-    /** Integral of total link power in mW-cycles since t=0. */
+    /** Integral of total link power in mW-cycles since t=0 (dynamic +
+     *  leakage when the thermal model is on). */
     double totalPowerIntegralMwCycles(Cycle now);
+
+    /** The pre-ledger per-link walks, kept as the accounting oracle:
+     *  dynamic power only, one lazy advance per link. The committed
+     *  microbench compares these against the ledger scan; tests assert
+     *  bitwise equality with the fast path. */
+    double totalPowerMwDirect(Cycle now);
+    double totalPowerIntegralMwCyclesDirect(Cycle now);
+
+    /** Leakage aggregates (exactly 0 with the thermal model off). */
+    double totalLeakagePowerMw() const { return ledger_.totalLeakMw(); }
+    double totalLeakageIntegralMwCycles(Cycle now) const
+    {
+        return ledger_.totalLeakIntegralMwCycles(now);
+    }
+
+    /** The system power ledger (valid whenever ledgerActive()). */
+    LinkPowerLedger &powerLedger() { return ledger_; }
+    const LinkPowerLedger &powerLedger() const { return ledger_; }
+
+    /** False once a fault injector detached the ledger mirror; readers
+     *  must then fall back to the direct per-link walks. */
+    bool ledgerActive() const { return ledgerActive_; }
+
+    /**
+     * Advance every mid-transition link to @p now so the ledger
+     * columns are current before a flat scan (stable and gated-off
+     * links cannot have changed since their last touch). Driving
+     * thread only, between phases.
+     */
+    void advancePendingPower(Cycle now);
 
     /** Power of the same system with every link at max rate, mW. */
     double baselinePowerMw() const { return baselinePowerMw_; }
@@ -185,6 +224,10 @@ class Network
     double baselinePowerMw_ = 0.0;
     PacketId nextPacketId_ = 1;
     std::uint64_t packetsInjected_ = 0;
+
+    // SoA power accounting (see phy/power_ledger.hh).
+    LinkPowerLedger ledger_;
+    bool ledgerActive_ = true;
 };
 
 } // namespace oenet

@@ -4,17 +4,87 @@
 
 namespace oenet {
 
-PowerReport
-makePowerReport(Network &net, Cycle now)
+namespace {
+
+void
+initKinds(PowerReport &report, int max_level)
 {
-    PowerReport report;
-    report.at = now;
-    int max_level = net.levels().maxLevel();
     for (std::size_t k = 0; k < report.byKind.size(); k++) {
         report.byKind[k].kind = static_cast<LinkKind>(k);
         report.byKind[k].levelHistogram.assign(
             static_cast<std::size_t>(max_level + 1), 0);
     }
+}
+
+void
+finishReport(PowerReport &report)
+{
+    for (auto &kr : report.byKind) {
+        if (kr.count > 0) {
+            kr.normalizedPower = kr.powerMw / kr.baselineMw;
+            kr.meanLevel /= kr.count;
+        }
+    }
+    if (report.baselinePowerMw > 0.0)
+        report.normalizedPower =
+            report.totalPowerMw / report.baselinePowerMw;
+}
+
+} // namespace
+
+PowerReport
+makePowerReport(Network &net, Cycle now)
+{
+    if (!net.ledgerActive())
+        return makePowerReportDirect(net, now);
+
+    // SoA fast path: one advance pass over the (usually tiny) unstable
+    // set, then flat scans in link-id order — the same values folded
+    // in the same order as the direct walk, hence bitwise-identical
+    // sums.
+    net.advancePendingPower(now);
+    const LinkPowerLedger &led = net.powerLedger();
+
+    PowerReport report;
+    report.at = now;
+    initKinds(report, net.levels().maxLevel());
+
+    int n = led.numLinks();
+    for (int i = 0; i < n; i++) {
+        auto &kr = report.byKind[static_cast<std::size_t>(
+            led.kindIndex(i))];
+        double p = led.dynPowerMw(i);
+        int level = led.level(i);
+        kr.count++;
+        kr.powerMw += p;
+        kr.baselineMw += led.baselineMw(i);
+        kr.meanLevel += level;
+        kr.totalFlits += led.totalFlits(i);
+        kr.levelHistogram[static_cast<std::size_t>(level)]++;
+        report.totalPowerMw += p;
+        report.baselinePowerMw += led.baselineMw(i);
+    }
+    if (led.thermalEnabled()) {
+        report.thermal = true;
+        for (int i = 0; i < n; i++) {
+            report.byKind[static_cast<std::size_t>(led.kindIndex(i))]
+                .leakageMw += led.leakPowerMw(i);
+        }
+        report.leakagePowerMw = led.totalLeakMw();
+        report.totalPowerMw += report.leakagePowerMw;
+        report.maxTempC = led.maxTempC();
+        led.attributeVcEnergy(now, report.vcEnergyMwCycles);
+    }
+    finishReport(report);
+    return report;
+}
+
+PowerReport
+makePowerReportDirect(Network &net, Cycle now)
+{
+    PowerReport report;
+    report.at = now;
+    initKinds(report, net.levels().maxLevel());
 
     for (std::size_t i = 0; i < net.numLinks(); i++) {
         OpticalLink &link = net.link(i);
@@ -31,15 +101,7 @@ makePowerReport(Network &net, Cycle now)
         report.totalPowerMw += p;
         report.baselinePowerMw += link.maxPowerMw();
     }
-    for (auto &kr : report.byKind) {
-        if (kr.count > 0) {
-            kr.normalizedPower = kr.powerMw / kr.baselineMw;
-            kr.meanLevel /= kr.count;
-        }
-    }
-    if (report.baselinePowerMw > 0.0)
-        report.normalizedPower =
-            report.totalPowerMw / report.baselinePowerMw;
+    finishReport(report);
     return report;
 }
 
@@ -71,6 +133,12 @@ PowerReport::toString() const
         }
         out += "]\n";
     }
+    if (thermal) {
+        std::snprintf(buf, sizeof(buf),
+                      "  leakage %.1f mW, hottest junction %.1f C\n",
+                      leakagePowerMw, maxTempC);
+        out += buf;
+    }
     return out;
 }
 
@@ -79,13 +147,29 @@ collectLinkRows(Network &net, Cycle now)
 {
     std::vector<LinkRow> rows;
     rows.reserve(net.numLinks());
+    bool thermal =
+        net.ledgerActive() && net.powerLedger().thermalEnabled();
+    const LinkPowerLedger &led = net.powerLedger();
     for (std::size_t i = 0; i < net.numLinks(); i++) {
         OpticalLink &link = net.link(i);
-        rows.push_back(LinkRow{link.name(), link.kind(),
-                               link.currentLevel(),
-                               link.currentBitRateGbps(),
-                               link.powerMw(now), link.totalFlits(),
-                               link.numTransitions()});
+        LinkRow row;
+        row.name = link.name();
+        row.kind = link.kind();
+        row.level = link.currentLevel();
+        row.brGbps = link.currentBitRateGbps();
+        row.powerMw = link.powerMw(now);
+        row.totalFlits = link.totalFlits();
+        row.transitions = link.numTransitions();
+        if (thermal) {
+            int id = static_cast<int>(i);
+            row.leakageMw = led.leakPowerMw(id);
+            row.tempC = led.tempC(id);
+            row.vcFlits.reserve(
+                static_cast<std::size_t>(led.numVcs()));
+            for (int vc = 0; vc < led.numVcs(); vc++)
+                row.vcFlits.push_back(led.vcFlits(id, vc));
+        }
+        rows.push_back(std::move(row));
     }
     return rows;
 }

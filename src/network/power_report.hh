@@ -24,21 +24,33 @@ struct KindReport
 {
     LinkKind kind;
     int count = 0;
-    double powerMw = 0.0;          ///< instantaneous
+    double powerMw = 0.0;          ///< instantaneous (dynamic)
     double baselineMw = 0.0;       ///< all-at-max power
     double normalizedPower = 0.0;  ///< powerMw / baselineMw
     double meanLevel = 0.0;        ///< average bit-rate level index
     std::uint64_t totalFlits = 0;  ///< flits carried so far
+    double leakageMw = 0.0;        ///< 0 with the thermal model off
     std::vector<int> levelHistogram; ///< links per level index
 };
 
 struct PowerReport
 {
     Cycle at = 0;
+    /** Instantaneous power; includes leakage when the thermal model
+     *  is on (effective power), dynamic only otherwise. */
     double totalPowerMw = 0.0;
     double baselinePowerMw = 0.0;
     double normalizedPower = 0.0;
     std::array<KindReport, 3> byKind; ///< indexed by LinkKind order
+
+    // Leakage/thermal extension, populated only when the thermal
+    // model is enabled (thermal == true).
+    bool thermal = false;
+    double leakagePowerMw = 0.0; ///< leakage component of totalPowerMw
+    double maxTempC = 0.0;       ///< hottest junction across all links
+    /** Dynamic link energy attributed to each VC, mW-cycles
+     *  (LinkPowerLedger::attributeVcEnergy). */
+    std::vector<double> vcEnergyMwCycles;
 
     const KindReport &forKind(LinkKind kind) const
     {
@@ -49,10 +61,22 @@ struct PowerReport
     std::string toString() const;
 };
 
-/** Snapshot the network's power state at @p now. */
+/**
+ * Snapshot the network's power state at @p now. Served from the SoA
+ * ledger's flat columns when active (the epoch hot path: no per-link
+ * pointer chase); falls back to makePowerReportDirect when a fault
+ * injector detached the ledger. With the thermal model off the two
+ * paths produce bitwise-identical reports.
+ */
 PowerReport makePowerReport(Network &net, Cycle now);
 
-/** Per-link rows for CSV dumps: name, kind, level, br, power, flits. */
+/** The pre-ledger walk over OpticalLink objects (dynamic power only).
+ *  Kept as the accounting oracle and the microbench baseline. */
+PowerReport makePowerReportDirect(Network &net, Cycle now);
+
+/** Per-link rows for CSV dumps: name, kind, level, br, power, flits,
+ *  and — with the thermal model on — leakage, junction temperature,
+ *  and per-VC flit attribution. */
 struct LinkRow
 {
     std::string name;
@@ -62,6 +86,9 @@ struct LinkRow
     double powerMw;
     std::uint64_t totalFlits;
     std::uint64_t transitions;
+    double leakageMw = 0.0; ///< 0 with the thermal model off
+    double tempC = 0.0;     ///< 0 with the thermal model off
+    std::vector<std::uint64_t> vcFlits; ///< empty with thermal off
 };
 
 std::vector<LinkRow> collectLinkRows(Network &net, Cycle now);

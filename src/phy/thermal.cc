@@ -1,0 +1,71 @@
+#include "phy/thermal.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+void
+ThermalParams::validate() const
+{
+    if (!enabled)
+        return;
+    if (!(subLeakMw >= 0.0))
+        fatal("leakage.sub_mw must be >= 0, got %g", subLeakMw);
+    if (!(gateLeakMw >= 0.0))
+        fatal("leakage.gate_mw must be >= 0, got %g", gateLeakMw);
+    if (!(subTempSlopeC > 0.0))
+        fatal("leakage.sub_slope must be > 0, got %g", subTempSlopeC);
+    if (!(gateTempSlopeC > 0.0))
+        fatal("leakage.gate_slope must be > 0, got %g", gateTempSlopeC);
+    if (!(thermalResCPerW >= 0.0))
+        fatal("thermal.resistance must be >= 0, got %g",
+              thermalResCPerW);
+    if (tauCycles == 0)
+        fatal("thermal.tau must be > 0 cycles");
+    if (epochCycles == 0)
+        fatal("thermal.epoch must be > 0 cycles when leakage is "
+              "enabled");
+}
+
+LeakageModel::LeakageModel(const ThermalParams &params, double vmax_v)
+    : params_(params), vmaxV_(vmax_v)
+{
+    if (!(vmax_v > 0.0))
+        fatal("LeakageModel: vmax must be > 0, got %g", vmax_v);
+}
+
+double
+LeakageModel::leakageMw(double vdd_frac, double temp_c) const
+{
+    if (!params_.enabled || vdd_frac <= 0.0)
+        return 0.0;
+    double dt = temp_c - params_.refTempC;
+    double sub = params_.subLeakMw * vdd_frac *
+                 std::exp(dt / params_.subTempSlopeC);
+    double gate = params_.gateLeakMw * vdd_frac * vdd_frac *
+                  std::exp(dt / params_.gateTempSlopeC);
+    return sub + gate;
+}
+
+double
+LeakageModel::steadyTempC(double total_mw) const
+{
+    return params_.ambientC +
+           total_mw * 1e-3 * params_.thermalResCPerW;
+}
+
+double
+LeakageModel::stepTempC(double temp_c, double total_mw,
+                        Cycle dt_cycles) const
+{
+    // Exact solution of tau*T' = T_ss - T over one step: alpha in
+    // (0, 1], so T moves monotonically toward T_ss and can never
+    // overshoot — a fixed load converges without oscillation.
+    double alpha = -std::expm1(-static_cast<double>(dt_cycles) /
+                               static_cast<double>(params_.tauCycles));
+    return temp_c + (steadyTempC(total_mw) - temp_c) * alpha;
+}
+
+} // namespace oenet

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Static (leakage) power and link thermal state.
+ *
+ * The Table 2 budget reproduced by LinkPowerModel is *dynamic* power
+ * only. McPAT-style circuit models treat static leakage as first-class:
+ * sub-threshold leakage grows roughly linearly with Vdd and
+ * exponentially with junction temperature, while gate (oxide tunneling)
+ * leakage scales with Vdd^2 and is nearly temperature-independent.
+ * This header adds both, plus the feedback loop that makes them
+ * interesting: dissipated power raises the link's temperature through a
+ * lumped thermal resistance, and a hotter link leaks more, which the
+ * DVS policy can observe as *effective* (dynamic + leakage) power.
+ *
+ * The thermal plant is a single-pole RC: the junction relaxes toward
+ *
+ *     T_ss = T_ambient + P_total[W] * R_th[°C/W]
+ *
+ * with time constant tau. Temperatures are stepped once per thermal
+ * epoch using the exact exponential solution
+ *
+ *     T' = T + (T_ss - T) * (1 - exp(-dt/tau))
+ *
+ * which is monotone for any dt (0 < alpha <= 1), so a fixed load
+ * converges to a stable temperature without oscillation — the property
+ * tests/phy/thermal_test.cc pins.
+ *
+ * Everything here is disabled by default (ThermalParams::enabled =
+ * false). With leakage off, no caller adds any term anywhere, keeping
+ * every output byte-identical to the leakage-free era
+ * (docs/DETERMINISM.md §6).
+ */
+
+#ifndef OENET_PHY_THERMAL_HH
+#define OENET_PHY_THERMAL_HH
+
+#include "common/types.hh"
+
+namespace oenet {
+
+/** Leakage + thermal-plant calibration for one link's circuits. */
+struct ThermalParams
+{
+    /** Master switch. Off: no leakage terms, no thermal state, no new
+     *  trace/CSV fields — outputs byte-identical to leakage-free. */
+    bool enabled = false;
+
+    // -- Leakage at the reference point (vmax, refTempC) --------------
+
+    /** Sub-threshold leakage of the scalable circuits (driver, TIA,
+     *  CDR) at full supply and reference temperature, mW. */
+    double subLeakMw = 4.0;
+
+    /** Gate (oxide tunneling) leakage at full supply, mW. */
+    double gateLeakMw = 1.0;
+
+    /** Junction temperature the leakage constants are quoted at, °C. */
+    double refTempC = 45.0;
+
+    /** Sub-threshold exponential temperature scale, °C: leakage grows
+     *  by e per this many degrees above refTempC (~doubles per 21 °C
+     *  with the default 30). */
+    double subTempSlopeC = 30.0;
+
+    /** Gate-leakage temperature scale, °C. Gate leakage is nearly
+     *  temperature-independent, hence the long default slope. */
+    double gateTempSlopeC = 300.0;
+
+    // -- Thermal plant -------------------------------------------------
+
+    double ambientC = 45.0;        ///< package/coolant temperature, °C
+    double thermalResCPerW = 40.0; ///< junction-to-ambient R_th, °C/W
+    Cycle tauCycles = 625000;      ///< RC time constant (~1 ms @625MHz)
+    Cycle epochCycles = 1000;      ///< temperature update period
+
+    /** DVS thermal throttle: at or above this junction temperature the
+     *  controller forces down-transitions regardless of utilization
+     *  (0 disables the throttle but keeps the model). */
+    double throttleC = 85.0;
+
+    /** Fatal() on nonsensical values; no-op when disabled. */
+    void validate() const;
+};
+
+/**
+ * Evaluates leakage power and steady-state temperature for one set of
+ * ThermalParams. Stateless; per-link temperature lives in the
+ * LinkPowerLedger's SoA columns.
+ */
+class LeakageModel
+{
+  public:
+    LeakageModel() = default;
+    LeakageModel(const ThermalParams &params, double vmax_v);
+
+    /**
+     * Static power at supply fraction @p vdd_frac (= vdd/vmax, 0 when
+     * power-gated) and junction temperature @p temp_c, mW:
+     *
+     *   subLeak * f * exp((T-ref)/subSlope)
+     *     + gateLeak * f^2 * exp((T-ref)/gateSlope)
+     */
+    double leakageMw(double vdd_frac, double temp_c) const;
+
+    /** Equilibrium junction temperature under @p total_mw dissipated:
+     *  ambient + P * R_th (mW -> W conversion inside), °C. */
+    double steadyTempC(double total_mw) const;
+
+    /** One RC step of length @p dt_cycles from @p temp_c toward the
+     *  equilibrium for @p total_mw, using the exact exponential
+     *  update (monotone, never overshoots). */
+    double stepTempC(double temp_c, double total_mw,
+                     Cycle dt_cycles) const;
+
+    const ThermalParams &params() const { return params_; }
+
+  private:
+    ThermalParams params_{};
+    double vmaxV_ = 1.8;
+};
+
+} // namespace oenet
+
+#endif // OENET_PHY_THERMAL_HH

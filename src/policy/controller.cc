@@ -66,6 +66,13 @@ LinkController::setFault(FaultInjector *faults, int link_index)
 }
 
 void
+LinkController::setThermal(const LinkPowerLedger *ledger, int id)
+{
+    thermal_ = ledger;
+    thermalId_ = id;
+}
+
+void
 LinkController::traceLaser(Cycle now, const char *action, int from,
                            int to) const
 {
@@ -167,6 +174,28 @@ LinkController::onWindow(Cycle now)
                         traceSink_->faultEvent(FaultEvent{
                             now, traceId_, "dvs_clamp", 0, rate});
                     }
+                }
+            }
+        }
+        // Thermal throttle: the ledger's effective (dynamic + leakage)
+        // power view is what makes thermal runaway visible to the
+        // policy. A junction at or above the throttle point is forced
+        // down a level regardless of measured utilization — dropping
+        // Vdd cuts dynamic *and* leakage power, breaking the hotter ->
+        // leakier -> hotter loop.
+        if (thermal_ != nullptr) {
+            lastEffectivePowerMw_ =
+                thermal_->effectivePowerMw(thermalId_);
+            double temp = thermal_->tempC(thermalId_);
+            double limit = thermal_->thermal().throttleC;
+            if (limit > 0.0 && temp >= limit &&
+                decision != LevelDecision::kDown) {
+                decision = LevelDecision::kDown;
+                escalated = false;
+                thermalThrottles_++;
+                if (traceSink_) {
+                    traceSink_->faultEvent(FaultEvent{
+                        now, traceId_, "thermal_throttle", 0, temp});
                 }
             }
         }
@@ -274,6 +303,12 @@ PolicyEngine::PolicyEngine(Kernel &kernel, Network &net,
             dvs_.push_back(std::make_unique<LinkController>(
                 net.link(i), provider, port, params_.link,
                 std::move(backlog)));
+        }
+        if (net.ledgerActive() && net.powerLedger().thermalEnabled()) {
+            // Controller i drives link i, which is ledger row i.
+            for (std::size_t i = 0; i < dvs_.size(); i++)
+                dvs_[i]->setThermal(&net.powerLedger(),
+                                    static_cast<int>(i));
         }
         kernel.schedulePeriodic(params_.windowCycles,
                                 params_.windowCycles,
@@ -410,6 +445,15 @@ PolicyEngine::totalDvsClamps() const
     std::uint64_t n = 0;
     for (const auto &c : dvs_)
         n += c->dvsClamps();
+    return n;
+}
+
+std::uint64_t
+PolicyEngine::totalThermalThrottles() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : dvs_)
+        n += c->thermalThrottles();
     return n;
 }
 

@@ -97,6 +97,15 @@ class LinkController
     void setTrace(TraceSink *sink, int trace_id);
 
     /**
+     * Attach the system power ledger's thermal view (@p id = this
+     * link's ledger/link index). Each window the controller samples
+     * the link's *effective* (dynamic + leakage) power — the quantity
+     * that exposes thermal runaway — and forces a down-transition
+     * whenever the junction is at or above ThermalParams::throttleC.
+     */
+    void setThermal(const LinkPowerLedger *ledger, int id);
+
+    /**
      * Attach the fault injector (null detaches). Two effects: the
      * laser state machine's VOA commands become subject to
      * control-plane faults, and the windowed degradation clamp arms —
@@ -123,6 +132,16 @@ class LinkController
     /** Windows where the error-rate clamp overrode the policy. */
     std::uint64_t dvsClamps() const { return dvsClamps_; }
 
+    /** Windows where the thermal throttle forced a down-transition. */
+    std::uint64_t thermalThrottles() const { return thermalThrottles_; }
+
+    /** Effective (dynamic + leakage) power sampled at the last window
+     *  boundary, mW; 0 until the thermal view is attached. */
+    double lastEffectivePowerMw() const
+    {
+        return lastEffectivePowerMw_;
+    }
+
   private:
     void syncLaser(Cycle now);
     void traceLaser(Cycle now, const char *action, int from,
@@ -145,6 +164,10 @@ class LinkController
     TraceSink *traceSink_ = nullptr;
     int traceId_ = kInvalid;
     FaultInjector *faults_ = nullptr;
+    const LinkPowerLedger *thermal_ = nullptr;
+    int thermalId_ = kInvalid;
+    std::uint64_t thermalThrottles_ = 0;
+    double lastEffectivePowerMw_ = 0.0;
 };
 
 /** Drives all per-link controllers from the kernel clock. */
@@ -183,6 +206,10 @@ class PolicyEngine
     /** Windows where the error-rate clamp overrode a DVS decision,
      *  summed across controllers. */
     std::uint64_t totalDvsClamps() const;
+
+    /** Thermal-throttle down-transitions across all DVS controllers
+     *  (0 with the thermal model off). */
+    std::uint64_t totalThermalThrottles() const;
 
     /** VOA control-plane fault totals across all laser controllers. */
     std::uint64_t totalVoaDelayed() const;

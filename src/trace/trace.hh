@@ -133,9 +133,18 @@ struct PowerSnapshotEvent
     Cycle at = 0;
     Kind kinds[3];
     int numKinds = 0;
-    double totalPowerMw = 0.0;
+    double totalPowerMw = 0.0; ///< includes leakage when hasThermal
     double baselinePowerMw = 0.0;
     double normalizedPower = 0.0;
+
+    // Leakage/thermal extension. hasThermal gates emission of these
+    // fields in every sink, so with the thermal model disabled the
+    // output stream stays byte-identical to the pre-thermal format
+    // (docs/DETERMINISM.md §6).
+    bool hasThermal = false;
+    double leakagePowerMw = 0.0;
+    double maxTempC = 0.0;
+    std::vector<double> vcEnergyMwCycles; ///< per-VC dynamic energy
 };
 
 /**

@@ -163,7 +163,21 @@ JsonlTraceSink::powerSnapshot(const PowerSnapshotEvent &e)
             << ", \"mean_level\": " << num(kr.meanLevel)
             << ", \"flits\": " << u64(kr.totalFlits) << "}";
     }
-    os_ << "]}\n";
+    os_ << "]";
+    if (e.hasThermal) {
+        // Appended only when the thermal model is on, so leakage-off
+        // traces stay byte-identical to the pre-thermal format.
+        os_ << ", \"leakage_mw\": " << num(e.leakagePowerMw)
+            << ", \"max_temp_c\": " << num(e.maxTempC)
+            << ", \"vc_energy_mwc\": [";
+        for (std::size_t v = 0; v < e.vcEnergyMwCycles.size(); v++) {
+            if (v > 0)
+                os_ << ", ";
+            os_ << num(e.vcEnergyMwCycles[v]);
+        }
+        os_ << "]";
+    }
+    os_ << "}\n";
 }
 
 void

@@ -137,3 +137,60 @@ TEST(ConfigValidate, FaultDefaultsAreValid)
     c.validate();
     SUCCEED();
 }
+
+TEST(ConfigValidate, RejectsZeroMetricsInterval)
+{
+    // A zero snapshot interval used to be accepted and silently meant
+    // "no snapshots", aliasing the detached-sink path; now the
+    // explicit way (don't attach a sink) is the only way.
+    SystemConfig c;
+    c.metricsIntervalCycles = 0;
+    expectRejected(c, "trace.metrics_interval must be > 0");
+}
+
+TEST(ConfigValidate, ThermalDefaultsAreValid)
+{
+    SystemConfig c;
+    c.thermal.enabled = true;
+    c.validate();
+    c.thermal.throttleC = 0.0; // throttle off, model on: legal
+    c.validate();
+    SUCCEED();
+}
+
+TEST(ConfigValidate, RejectsBadThermalParams)
+{
+    SystemConfig c;
+    c.thermal.enabled = true;
+    c.thermal.tauCycles = 0;
+    expectRejected(c, "thermal.tau must be > 0");
+    c = SystemConfig{};
+    c.thermal.enabled = true;
+    c.thermal.epochCycles = 0;
+    expectRejected(c, "thermal.epoch must be > 0");
+    c = SystemConfig{};
+    c.thermal.enabled = true;
+    c.thermal.subLeakMw = -1.0;
+    expectRejected(c, "leakage.sub_mw must be >= 0");
+    c = SystemConfig{};
+    c.thermal.enabled = true;
+    c.thermal.subTempSlopeC = 0.0;
+    expectRejected(c, "leakage.sub_slope must be > 0");
+
+    // Disabled thermal params are never inspected: garbage is fine.
+    c = SystemConfig{};
+    c.thermal.tauCycles = 0;
+    c.validate();
+    SUCCEED();
+}
+
+TEST(ConfigValidate, RejectsThermalWithFaults)
+{
+    // Fault-attached links bypass the power ledger (receiver-side
+    // advances would race the thermal epoch), so the combination is
+    // rejected rather than silently un-thermal.
+    SystemConfig c;
+    c.thermal.enabled = true;
+    c.fault.enabled = true;
+    expectRejected(c, "mutually");
+}

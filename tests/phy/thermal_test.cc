@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Golden-value tests for the leakage + thermal model (phy/thermal.hh)
+ * at the paper's operating points, and the convergence property the
+ * whole feedback loop rests on: the exact-exponential RC step is
+ * monotone, so a fixed load settles to its equilibrium temperature
+ * without oscillation or overshoot.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "phy/link_power.hh"
+#include "phy/thermal.hh"
+
+using namespace oenet;
+
+namespace {
+
+ThermalParams
+enabledDefaults()
+{
+    ThermalParams p;
+    p.enabled = true;
+    return p;
+}
+
+} // namespace
+
+TEST(LeakageModel, GoldenValuesAtReferenceTemperature)
+{
+    LeakageModel m(enabledDefaults(), 1.8);
+    // Full supply at the reference temperature: both exponentials are
+    // exactly 1, so leakage is subLeakMw + gateLeakMw.
+    EXPECT_DOUBLE_EQ(m.leakageMw(1.0, 45.0), 5.0);
+    // Half supply (the paper's 0.9 V point): 4*0.5 + 1*0.25.
+    EXPECT_DOUBLE_EQ(m.leakageMw(0.5, 45.0), 2.25);
+    // Power-gated links leak nothing (supply cut).
+    EXPECT_DOUBLE_EQ(m.leakageMw(0.0, 45.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.leakageMw(-1.0, 90.0), 0.0);
+}
+
+TEST(LeakageModel, TemperatureScalingMatchesClosedForm)
+{
+    ThermalParams p = enabledDefaults();
+    LeakageModel m(p, 1.8);
+    // +30 C above reference = one sub-threshold e-folding.
+    double expected = p.subLeakMw * std::exp(1.0) +
+                      p.gateLeakMw * std::exp(30.0 / p.gateTempSlopeC);
+    EXPECT_NEAR(m.leakageMw(1.0, 75.0), expected, 1e-12);
+    // Leakage is strictly increasing in temperature.
+    EXPECT_GT(m.leakageMw(1.0, 46.0), m.leakageMw(1.0, 45.0));
+}
+
+TEST(LeakageModel, DisabledModelLeaksNothing)
+{
+    // The leakage-off guarantee behind byte-identical outputs: a
+    // disabled model contributes exactly 0.0, so the paper's dynamic
+    // operating points are untouched.
+    ThermalParams p; // enabled = false
+    LeakageModel m(p, 1.8);
+    EXPECT_EQ(m.leakageMw(1.0, 45.0), 0.0);
+    EXPECT_EQ(m.leakageMw(1.0, 125.0), 0.0);
+
+    LinkPowerModel dyn(LinkScheme::kVcsel);
+    EXPECT_NEAR(dyn.powerMw(10.0, 1.8) + m.leakageMw(1.0, 45.0),
+                291.25, 1e-6);
+    EXPECT_NEAR(dyn.powerMw(5.0, 0.9) + m.leakageMw(0.5, 45.0), 61.25,
+                1e-6);
+}
+
+TEST(LeakageModel, EffectivePowerAtPaperPointsWithLeakage)
+{
+    // With the model on and the junction at reference temperature,
+    // the paper's two headline points gain exactly the reference
+    // leakage: 291.25 + 5.0 and 61.25 + 2.25 mW.
+    LeakageModel m(enabledDefaults(), 1.8);
+    LinkPowerModel dyn(LinkScheme::kVcsel);
+    EXPECT_NEAR(dyn.powerMw(10.0, 1.8) + m.leakageMw(1.0, 45.0),
+                296.25, 1e-6);
+    EXPECT_NEAR(dyn.powerMw(5.0, 0.9) + m.leakageMw(0.5, 45.0), 63.5,
+                1e-6);
+}
+
+TEST(LeakageModel, SteadyTempMatchesThermalLaw)
+{
+    // T_ss = ambient + P[W] * R_th: 45 + 0.29125 * 40 = 56.65 C for a
+    // full-rate link.
+    LeakageModel m(enabledDefaults(), 1.8);
+    EXPECT_NEAR(m.steadyTempC(291.25), 56.65, 1e-12);
+    EXPECT_DOUBLE_EQ(m.steadyTempC(0.0), 45.0);
+}
+
+TEST(LeakageModel, StepConvergesMonotonicallyWithoutOvershoot)
+{
+    // Fixed 291.25 mW load from ambient: every epoch must move the
+    // temperature strictly toward 56.65 C and never past it, for both
+    // the default epoch and a pathologically long one (dt >> tau).
+    LeakageModel m(enabledDefaults(), 1.8);
+    double steady = m.steadyTempC(291.25);
+    for (Cycle dt : {Cycle{1000}, Cycle{10000000}}) {
+        double t = 45.0;
+        for (int i = 0; i < 8000; i++) {
+            double next = m.stepTempC(t, 291.25, dt);
+            ASSERT_GE(next, t) << "dt=" << dt << " step " << i;
+            ASSERT_LE(next, steady + 1e-9)
+                << "dt=" << dt << " step " << i;
+            t = next;
+        }
+        EXPECT_NEAR(t, steady, 1e-3) << "dt=" << dt;
+    }
+}
+
+TEST(LeakageModel, CoolingIsMonotoneToo)
+{
+    // Dropping the load from a hot start relaxes downward, again
+    // without crossing the new equilibrium.
+    LeakageModel m(enabledDefaults(), 1.8);
+    double steady = m.steadyTempC(61.25); // 47.45 C
+    double t = 56.65;
+    for (int i = 0; i < 8000; i++) {
+        double next = m.stepTempC(t, 61.25, 1000);
+        ASSERT_LE(next, t);
+        ASSERT_GE(next, steady - 1e-9);
+        t = next;
+    }
+    EXPECT_NEAR(t, steady, 1e-3);
+}

@@ -147,6 +147,38 @@ TEST(TraceSystem, DetachStopsEmission)
     EXPECT_EQ(sink.snapshots().size(), snapshots);
 }
 
+TEST(TraceSystem, ReattachReplacesTheSnapshotHook)
+{
+    // Regression: re-attaching a sink used to leave the previous epoch
+    // hook installed, so the old cadence kept firing into the new
+    // sink — and re-attaching with snapshots disabled (interval 0)
+    // didn't disable anything.
+    SystemConfig cfg = smallConfig();
+    PoeSystem sys(cfg);
+
+    RecordingTraceSink first;
+    sys.setTraceSink(&first, 250);
+    sys.run(1000);
+    std::size_t firstCount = first.snapshots().size();
+    EXPECT_GE(firstCount, 3u);
+
+    // Re-attach at a coarser cadence: only the new interval fires.
+    RecordingTraceSink second;
+    sys.setTraceSink(&second, 1000);
+    sys.run(3000); // now 1000 -> 4000: hook due at 2000 and 3000
+    EXPECT_EQ(first.snapshots().size(), firstCount);
+    ASSERT_EQ(second.snapshots().size(), 2u);
+    for (const PowerSnapshotEvent &e : second.snapshots())
+        EXPECT_EQ(e.at % 1000, 0u) << "stale 250-cycle hook fired";
+
+    // Re-attach with snapshots disabled: nothing may fire at all.
+    RecordingTraceSink third;
+    sys.setTraceSink(&third, 0);
+    sys.run(2000);
+    EXPECT_EQ(third.snapshots().size(), 0u);
+    EXPECT_EQ(second.snapshots().size(), 2u);
+}
+
 TEST(TraceSystem, JsonlOutputIsRunToRunDeterministic)
 {
     auto capture = []() {
