@@ -164,5 +164,5 @@ main(int argc, char **argv)
     writeSweepManifest("ablation_manifest.json", "ablation_policy",
                        args.seed, report.outcomes);
     std::printf("   (manifest: ablation_manifest.json)\n");
-    return 0;
+    return exitStatus(report);
 }

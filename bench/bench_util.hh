@@ -40,6 +40,14 @@ struct BenchArgs
     int shards = 1;          ///< --shards N; intra-run shard domains
     bool leakage = false;    ///< --leakage on|off; thermal/leakage model
 
+    // Crash safety (see DESIGN.md "Crash-safe sweeps").
+    std::string journal;     ///< --journal PATH; append-only checkpoint
+    bool resume = false;     ///< --resume; replay the journal first
+    bool isolate = false;    ///< --isolate; fork each point
+    std::uint64_t timeoutMs = 0;  ///< --timeout-ms N; absolute budget
+    double timeoutFactor = 0.0;   ///< --timeout-factor X; vs median
+    int maxRetries = 2;      ///< --max-retries N; per failing point
+
     // Fabric overrides; unset flags keep each bench's own defaults
     // (the paper's 8x8x8 mesh) so unflagged runs stay byte-identical.
     bool topologySet = false; ///< --topology was given
@@ -160,6 +168,19 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
             } else {
                 fatal("%s: %s needs on|off, got '%s'", argv[0], a, v);
             }
+        } else if (std::strcmp(a, "--journal") == 0) {
+            args.journal = value();
+        } else if (std::strcmp(a, "--resume") == 0) {
+            args.resume = true;
+        } else if (std::strcmp(a, "--isolate") == 0) {
+            args.isolate = true;
+        } else if (std::strcmp(a, "--timeout-ms") == 0) {
+            args.timeoutMs = parseFlagUint(argv[0], a, value());
+        } else if (std::strcmp(a, "--timeout-factor") == 0) {
+            args.timeoutFactor =
+                parseFlagDouble(argv[0], a, value(), 1.0, 1e6);
+        } else if (std::strcmp(a, "--max-retries") == 0) {
+            args.maxRetries = parseFlagInt(argv[0], a, value(), 0, 100);
         } else if (std::strcmp(a, "--idle-elision") == 0) {
             const char *v = value();
             if (std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0) {
@@ -207,6 +228,27 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_seed)
                 "ticking them\n"
                 "             (default on; outputs are byte-identical "
                 "either way)\n"
+                "  --journal PATH\n"
+                "             append a CRC-guarded checkpoint record "
+                "per finished point\n"
+                "  --resume   replay PATH's valid records and run only "
+                "the rest\n"
+                "             (manifests come out byte-identical to an "
+                "uninterrupted run)\n"
+                "  --isolate  fork each point into its own process "
+                "(a crash or hang\n"
+                "             loses one point, not the sweep)\n"
+                "  --timeout-ms N\n"
+                "             kill an isolated point after N ms and "
+                "retry it\n"
+                "  --timeout-factor X\n"
+                "             like --timeout-ms, but X times the "
+                "running median point time\n"
+                "  --max-retries N\n"
+                "             attempts beyond the first before a point "
+                "is recorded failed\n"
+                "             (default 2; backoff doubles between "
+                "attempts)\n"
                 "  --topology mesh|torus|cmesh|fattree\n"
                 "             fabric (default: the bench's own, the "
                 "paper's 8x8x8 mesh)\n"
@@ -234,6 +276,12 @@ runnerOptions(const BenchArgs &args)
     SweepRunner::Options opts;
     opts.jobs = args.jobs;
     opts.baseSeed = args.seed;
+    opts.journalPath = args.journal;
+    opts.resume = args.resume;
+    opts.isolate = args.isolate;
+    opts.timeoutMs = args.timeoutMs;
+    opts.timeoutFactor = args.timeoutFactor;
+    opts.maxRetries = args.maxRetries;
     if (!args.quiet) {
         opts.progress = [](const SweepOutcome &o, std::size_t done,
                            std::size_t total) {
@@ -312,7 +360,8 @@ markTracePoint(const BenchArgs &args, std::vector<Point> &points,
                 static_cast<unsigned long long>(args.metricsInterval));
 }
 
-/** One-line runner telemetry: threads, wall time, speedup. */
+/** One-line runner telemetry (threads, wall time, speedup), plus the
+ *  per-status breakdown when points were resumed or failed. */
 inline void
 printReport(const SweepReport &report)
 {
@@ -321,6 +370,50 @@ printReport(const SweepReport &report)
                 report.outcomes.size(), report.jobs,
                 report.jobs == 1 ? "" : "s", report.wallMs / 1000.0,
                 report.pointWallMs.sum() / 1000.0, report.speedup());
+    if (report.resumedPoints > 0) {
+        std::printf("sweep: %zu point(s) replayed from the journal\n",
+                    report.resumedPoints);
+    }
+    std::size_t failed = report.failedPoints();
+    if (failed > 0) {
+        std::printf("sweep: %zu ok, %zu FAILED\n",
+                    report.outcomes.size() - failed, failed);
+        for (const auto &o : report.outcomes) {
+            if (!o.ok()) {
+                std::printf("  FAILED [%zu] %s after %d attempt(s): "
+                            "%s\n",
+                            o.index, o.label.c_str(), o.attempts,
+                            o.error.c_str());
+            }
+        }
+    }
+}
+
+/** Process exit code for a finished sweep: 0 when every point is ok,
+ *  1 when any point exhausted its retries (that point's manifest row
+ *  survives, marked by the status column — the sweep's other points
+ *  are intact and the operator sees the failure in $?). */
+inline int
+exitStatus(const SweepReport &report)
+{
+    return report.allOk() ? 0 : 1;
+}
+
+/** Same for timeline sweeps, printing what failed (timeline benches
+ *  have no SweepReport to carry the breakdown). */
+inline int
+exitStatus(const std::vector<TimelineOutcome> &outcomes)
+{
+    int failed = 0;
+    for (const auto &o : outcomes) {
+        if (o.status != PointStatus::kOk) {
+            failed++;
+            std::printf("  FAILED [%zu] %s after %d attempt(s): %s\n",
+                        o.index, o.label.c_str(), o.attempts,
+                        o.error.c_str());
+        }
+    }
+    return failed > 0 ? 1 : 0;
 }
 
 /** Column-aligned table that mirrors itself into a CSV file. */

@@ -170,5 +170,5 @@ main(int argc, char **argv)
     std::printf("\npaper shape: pa_5to10 tracks non_pa saturation; "
                 "pa_3.3to10 ~3 pkt/cyc; static_3.3 < 2 pkt/cyc; VCSEL "
                 "slightly below modulator in power.\n");
-    return 0;
+    return exitStatus(report);
 }

@@ -115,5 +115,5 @@ main(int argc, char **argv)
     std::printf("\npaper choice: average threshold 0.5 balances "
                 "power-performance; 0.6 buys more savings at higher "
                 "latency.\n");
-    return 0;
+    return exitStatus(report);
 }

@@ -113,5 +113,5 @@ main(int argc, char **argv)
     std::printf("\npaper shape: worst latency at T_w=100; higher power "
                 "for short windows except at 1.25 pkt/cyc; T_w~1000 "
                 "balances both.\n");
-    return 0;
+    return exitStatus(report);
 }

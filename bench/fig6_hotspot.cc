@@ -179,5 +179,5 @@ main(int argc, char **argv)
     writeSweepManifest("fig6_manifest.json", "fig6_hotspot", args.seed,
                        timelineRollups(outcomes));
     std::printf("   (manifest: fig6_manifest.json)\n");
-    return 0;
+    return exitStatus(outcomes);
 }

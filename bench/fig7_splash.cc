@@ -89,5 +89,5 @@ main(int argc, char **argv)
     writeSweepManifest("fig7_manifest.json", "fig7_splash", args.seed,
                        timelineRollups(outcomes));
     std::printf("   (manifest: fig7_manifest.json)\n");
-    return 0;
+    return exitStatus(outcomes);
 }

@@ -205,5 +205,5 @@ main(int argc, char **argv)
                 "%d failed link%s).\n",
                 wk.throughputFlitsPerCycle, wk.linkHardFailures,
                 wk.linkHardFailures == 1 ? "" : "s");
-    return 0;
+    return exitStatus(report);
 }

@@ -107,5 +107,5 @@ main(int argc, char **argv)
 
     std::printf("\npaper headline: >75%% average power saving, <2x "
                 "latency, >60%% PLP saving.\n");
-    return 0;
+    return exitStatus(report);
 }

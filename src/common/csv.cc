@@ -1,5 +1,6 @@
 #include "common/csv.hh"
 
+#include "common/fs.hh"
 #include "common/log.hh"
 #include "common/stats.hh"
 
@@ -20,21 +21,36 @@ csvQuote(const std::string &cell)
     return out;
 }
 
-CsvWriter::CsvWriter(const std::string &path) : path_(path), out_(path)
+CsvWriter::CsvWriter(const std::string &path) : path_(path)
 {
-    if (!out_)
-        fatal("cannot open CSV output '%s'", path.c_str());
+}
+
+CsvWriter::~CsvWriter()
+{
+    close();
+}
+
+void
+CsvWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    atomicWriteFileOrDie(path_, buffer_);
 }
 
 void
 CsvWriter::writeCells(const std::vector<std::string> &cells)
 {
+    if (closed_)
+        panic("CsvWriter: row written after close for '%s'",
+              path_.c_str());
     for (std::size_t i = 0; i < cells.size(); i++) {
         if (i)
-            out_ << ',';
-        out_ << csvQuote(cells[i]);
+            buffer_ += ',';
+        buffer_ += csvQuote(cells[i]);
     }
-    out_ << '\n';
+    buffer_ += '\n';
 }
 
 void

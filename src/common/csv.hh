@@ -2,12 +2,16 @@
  * @file
  * Minimal CSV emission used by the benchmark harness to dump the series
  * behind every regenerated figure next to the human-readable table.
+ *
+ * Rows accumulate in memory and the file is published atomically
+ * (write-temp + fsync + rename, common/fs.hh) on close() or
+ * destruction: a run that is killed mid-sweep never leaves a torn CSV
+ * where a previous complete one stood.
  */
 
 #ifndef OENET_COMMON_CSV_HH
 #define OENET_COMMON_CSV_HH
 
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -16,8 +20,16 @@ namespace oenet {
 class CsvWriter
 {
   public:
-    /** Open @p path for writing; fatal() on failure. */
+    /** Stage output for @p path; the file appears atomically when the
+     *  writer is closed or destroyed. */
     explicit CsvWriter(const std::string &path);
+
+    /** Publishes via close() if still open; any failure is fatal()
+     *  there, never silently swallowed. */
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
 
     /** Write the header row. Must be the first row written. */
     void header(const std::vector<std::string> &columns);
@@ -28,6 +40,10 @@ class CsvWriter
     /** Append one row of numeric cells. */
     void rowNumeric(const std::vector<double> &cells, int precision = 6);
 
+    /** Atomically publish the accumulated rows to path(); fatal() with
+     *  errno context on I/O failure. Idempotent. */
+    void close();
+
     /** Rows written so far, excluding the header. */
     std::size_t rowCount() const { return rows_; }
 
@@ -37,9 +53,10 @@ class CsvWriter
     void writeCells(const std::vector<std::string> &cells);
 
     std::string path_;
-    std::ofstream out_;
+    std::string buffer_;
     std::size_t rows_ = 0;
     bool wroteHeader_ = false;
+    bool closed_ = false;
 };
 
 /** Quote a CSV cell if it contains separators/quotes/newlines. */

@@ -1,0 +1,170 @@
+#include "common/fs.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+
+namespace oenet {
+
+namespace {
+
+std::string
+errnoMessage(const char *op, const std::string &path)
+{
+    return std::string(op) + " '" + path +
+           "' failed: " + std::strerror(errno);
+}
+
+void
+setError(std::string *error, const char *op, const std::string &path)
+{
+    if (error)
+        *error = errnoMessage(op, path);
+}
+
+/** Directory part of @p path ("." when the path has no slash). */
+std::string
+dirnameOf(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+} // namespace
+
+std::string
+atomicTempPath(const std::string &path)
+{
+    return path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+}
+
+bool
+atomicWriteFile(const std::string &path, const std::string &data,
+                std::string *error)
+{
+    std::string tmp = atomicTempPath(path);
+
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) {
+        setError(error, "open", tmp);
+        return false;
+    }
+
+    const char *p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, "write", tmp);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+
+    if (::fsync(fd) != 0) {
+        setError(error, "fsync", tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        setError(error, "close", tmp);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "rename", tmp);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+
+    // Make the rename durable: fsync the directory entry. Failure here
+    // is not worth unwinding (the data is already complete and in
+    // place); surface it only if the directory cannot even be opened
+    // read-only, which would point at a deeper problem.
+    std::string dir = dirnameOf(path);
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+    return true;
+}
+
+void
+atomicWriteFileOrDie(const std::string &path, const std::string &data)
+{
+    std::string error;
+    if (!atomicWriteFile(path, data, &error))
+        fatal("atomic write of '%s': %s", path.c_str(), error.c_str());
+}
+
+bool
+atomicPublishFile(const std::string &tmp, const std::string &path,
+                  std::string *error)
+{
+    // fsync works on a read-only descriptor; the writer already closed
+    // its own.
+    int fd = ::open(tmp.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        setError(error, "open", tmp);
+        return false;
+    }
+    if (::fsync(fd) != 0) {
+        setError(error, "fsync", tmp);
+        ::close(fd);
+        return false;
+    }
+    ::close(fd);
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "rename", tmp);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+
+    std::string dir = dirnameOf(path);
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::string *out, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        errno = errno ? errno : ENOENT;
+        setError(error, "open", path);
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad()) {
+        setError(error, "read", path);
+        return false;
+    }
+    *out = ss.str();
+    return true;
+}
+
+} // namespace oenet

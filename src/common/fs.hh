@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Crash-safe file plumbing shared by every writer of results the user
+ * cannot afford to lose (sweep manifests, CSVs, journals, traces).
+ *
+ * The core primitive is write-temp + fsync + rename: the destination
+ * path either keeps its previous contents or atomically becomes the
+ * complete new contents — a crash mid-write can never leave a torn
+ * file at the published name. POSIX rename(2) within one directory is
+ * atomic; the temp file lives next to the destination so the rename
+ * never crosses filesystems.
+ */
+
+#ifndef OENET_COMMON_FS_HH
+#define OENET_COMMON_FS_HH
+
+#include <string>
+
+namespace oenet {
+
+/**
+ * Atomically replace @p path with @p data: write "<path>.tmp.<pid>",
+ * fsync it, rename over @p path, then fsync the containing directory
+ * so the rename itself is durable.
+ *
+ * @return true on success; on failure, fills @p error (when non-null)
+ * with a message carrying the failing syscall and errno context, and
+ * removes the temp file.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &data,
+                     std::string *error = nullptr);
+
+/** atomicWriteFile or die: fatal() with the errno-context message. */
+void atomicWriteFileOrDie(const std::string &path,
+                          const std::string &data);
+
+/**
+ * Publish an already-written temp file: fsync @p tmp, rename it over
+ * @p path, fsync the containing directory. For writers that stream to
+ * "<path>.tmp.<pid>" themselves (e.g. trace sinks) instead of staging
+ * the whole payload in memory.
+ */
+bool atomicPublishFile(const std::string &tmp, const std::string &path,
+                       std::string *error = nullptr);
+
+/** The temp-file name atomicWriteFile-style writers stage under:
+ *  "<path>.tmp.<pid>". */
+std::string atomicTempPath(const std::string &path);
+
+/** Read a whole file into @p out. @return false (with @p error filled
+ *  when non-null) if the file cannot be opened or read. */
+bool readFile(const std::string &path, std::string *out,
+              std::string *error = nullptr);
+
+} // namespace oenet
+
+#endif // OENET_COMMON_FS_HH

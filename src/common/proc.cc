@@ -1,0 +1,189 @@
+#include "common/proc.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <exception>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace oenet {
+
+namespace {
+
+std::string
+errnoError(const char *op)
+{
+    return std::string(op) + " failed: " + std::strerror(errno);
+}
+
+/** Classify a waitpid status into the result (kOk decided by caller). */
+void
+classifyExit(int wstatus, ChildResult &result)
+{
+    if (WIFEXITED(wstatus)) {
+        result.status = WEXITSTATUS(wstatus) == 0
+                            ? ChildResult::Status::kOk
+                            : ChildResult::Status::kExited;
+        result.code = WEXITSTATUS(wstatus);
+    } else if (WIFSIGNALED(wstatus)) {
+        result.status = ChildResult::Status::kSignaled;
+        result.code = WTERMSIG(wstatus);
+    } else {
+        result.status = ChildResult::Status::kError;
+        result.error = "unrecognized wait status";
+    }
+}
+
+/** Block (retrying EINTR) until @p pid is reaped. */
+int
+reap(pid_t pid)
+{
+    int wstatus = 0;
+    while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    return wstatus;
+}
+
+} // namespace
+
+std::string
+ChildResult::describe() const
+{
+    switch (status) {
+      case Status::kOk:
+        return "ok";
+      case Status::kExited:
+        return "exit " + std::to_string(code);
+      case Status::kSignaled:
+        return "signal " + std::to_string(code) + " (" +
+               strsignal(code) + ")";
+      case Status::kTimeout:
+        return "timeout";
+      case Status::kError:
+        return "error: " + error;
+    }
+    return "unknown";
+}
+
+bool
+writeAll(int fd, const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+ChildResult
+runInChild(const std::function<void(int write_fd)> &body,
+           double timeout_ms)
+{
+    ChildResult result;
+
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        result.error = errnoError("pipe");
+        return result;
+    }
+    ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        result.error = errnoError("fork");
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return result;
+    }
+
+    if (pid == 0) {
+        // Child: the write end is our only channel back. A SIGPIPE
+        // (parent gave up) must not core-dump the child into a
+        // confusing "signaled" classification.
+        ::close(fds[0]);
+        ::signal(SIGPIPE, SIG_IGN);
+        try {
+            body(fds[1]);
+        } catch (...) {
+            ::_exit(kChildExceptionExit);
+        }
+        ::_exit(0);
+    }
+
+    // Parent: drain the pipe under the deadline.
+    ::close(fds[1]);
+    auto start = std::chrono::steady_clock::now();
+    bool timedOut = false;
+    char buf[4096];
+    for (;;) {
+        int waitMs = -1;
+        if (timeout_ms > 0) {
+            double elapsed =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            double left = timeout_ms - elapsed;
+            if (left <= 0) {
+                timedOut = true;
+                break;
+            }
+            // Round up so a sub-millisecond remainder still waits.
+            waitMs = static_cast<int>(left) + 1;
+        }
+
+        struct pollfd pfd = {fds[0], POLLIN, 0};
+        int pr = ::poll(&pfd, 1, waitMs);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            result.error = errnoError("poll");
+            break;
+        }
+        if (pr == 0)
+            continue; // deadline recheck at loop head
+
+        ssize_t n = ::read(fds[0], buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            result.error = errnoError("read");
+            break;
+        }
+        if (n == 0)
+            break; // EOF: child closed its end (usually by exiting)
+        result.payload.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fds[0]);
+
+    if (timedOut) {
+        ::kill(pid, SIGKILL);
+        reap(pid);
+        result.status = ChildResult::Status::kTimeout;
+        result.payload.clear();
+        return result;
+    }
+    if (!result.error.empty()) {
+        ::kill(pid, SIGKILL);
+        reap(pid);
+        result.status = ChildResult::Status::kError;
+        return result;
+    }
+
+    classifyExit(reap(pid), result);
+    return result;
+}
+
+} // namespace oenet

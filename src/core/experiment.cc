@@ -112,7 +112,16 @@ runExperiment(const SystemConfig &config, const TrafficSpec &spec,
     sys.run(protocol.measure);
     sys.stopMeasurement();
     sys.awaitDrain(protocol.drainLimit);
-    return sys.metrics();
+    RunMetrics m = sys.metrics();
+    if (cfg.conservationAuditEnabled()) {
+        // Detach the sink before the audit's settle cycles so the
+        // trace ends exactly where the untraced run's would; nothing
+        // below emits events.
+        if (trace.sink)
+            sys.setTraceSink(nullptr);
+        m.auditFailures = sys.auditConservation();
+    }
+    return m;
 }
 
 double

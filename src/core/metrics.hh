@@ -70,11 +70,67 @@ struct RunMetrics
     std::uint64_t voaLost = 0;
     std::uint64_t voaRetries = 0;
 
+    /** End-of-run conservation-audit violations (PoeSystem::
+     *  auditConservation); 0 when the audit passed or did not run.
+     *  Not a manifest column; the sweep runner turns a nonzero count
+     *  into a failed outcome. */
+    std::uint64_t auditFailures = 0;
+
     Cycle measuredCycles = 0;
 
     /** One-line summary for logs. */
     std::string summary() const;
 };
+
+/**
+ * Visit every RunMetrics field as (snake_case_name, reference), in a
+ * fixed order, preserving each field's exact type (double, integer,
+ * bool). This is the journal's serialization surface: a SweepOutcome
+ * checkpointed to disk and replayed on --resume must reproduce the
+ * in-memory record exactly, including the fault/leakage counters that
+ * are deliberately NOT manifest columns. The manifest writers keep
+ * their own frozen subset (sweep_runner.cc) — extending this list is
+ * safe, reordering or renaming breaks journal compatibility.
+ */
+template <typename Metrics, typename Visitor>
+void
+forEachRunMetricsField(Metrics &m, Visitor &&v)
+{
+    v("avg_latency", m.avgLatency);
+    v("p50_latency", m.p50Latency);
+    v("p95_latency", m.p95Latency);
+    v("max_latency", m.maxLatency);
+    v("packets_measured", m.packetsMeasured);
+    v("avg_power_mw", m.avgPowerMw);
+    v("baseline_power_mw", m.baselinePowerMw);
+    v("normalized_power", m.normalizedPower);
+    v("leakage_power_mw", m.leakagePowerMw);
+    v("max_temp_c", m.maxTempC);
+    v("thermal_throttles", m.thermalThrottles);
+    v("power_latency_product", m.powerLatencyProduct);
+    v("throughput_flits_per_cycle", m.throughputFlitsPerCycle);
+    v("offered_rate", m.offeredRate);
+    v("packets_injected", m.packetsInjected);
+    v("packets_ejected", m.packetsEjected);
+    v("drained", m.drained);
+    v("transitions", m.transitions);
+    v("decisions_up", m.decisionsUp);
+    v("decisions_down", m.decisionsDown);
+    v("optical_stalls", m.opticalStalls);
+    v("link_hard_failures", m.linkHardFailures);
+    v("flits_corrupted", m.flitsCorrupted);
+    v("flit_retries", m.flitRetries);
+    v("lock_loss_events", m.lockLossEvents);
+    v("flits_dropped_on_fail", m.flitsDroppedOnFail);
+    v("flits_dropped_dead_port", m.flitsDroppedDeadPort);
+    v("poisoned_wormholes", m.poisonedWormholes);
+    v("dvs_clamps", m.dvsClamps);
+    v("voa_delayed", m.voaDelayed);
+    v("voa_lost", m.voaLost);
+    v("voa_retries", m.voaRetries);
+    v("audit_failures", m.auditFailures);
+    v("measured_cycles", m.measuredCycles);
+}
 
 /** Ratios of a power-aware run against a baseline run (the
  *  normalization the paper's figures use). */

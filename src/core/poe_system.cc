@@ -61,6 +61,12 @@ PoeSystem::setTraffic(std::unique_ptr<TrafficSource> traffic)
 void
 PoeSystem::setTraceSink(TraceSink *sink, Cycle metrics_interval)
 {
+    // End the run on the outgoing sink: a caller that detaches (e.g.
+    // to run the conservation audit's settle cycles untraced) gets
+    // its run_end at the detach cycle — exactly where the destructor
+    // would have emitted it — and the destructor won't re-emit.
+    if (traceSink_ != nullptr && traceSink_ != sink)
+        traceSink_->endRun(kernel_.now());
     traceSink_ = sink;
     // Link-layer emissions can fire inside the parallel phase, so the
     // network sees the mux; the engine and this class emit only from
@@ -244,6 +250,108 @@ PoeSystem::totalTransitions() const
     for (std::size_t i = 0; i < network_->numLinks(); i++)
         n += network_->link(i).numTransitions();
     return n;
+}
+
+std::uint64_t
+PoeSystem::auditConservation(Cycle settle_limit)
+{
+    // Stop creating packets, then let the fabric settle: in-flight
+    // flits eject (or drop at dead ports), returned credits walk back
+    // to their pools. Under faults the fabric may never fully drain
+    // (stranded wormholes with orphan reclaim off), so the loop is
+    // budgeted, and the flit equation below holds at any instant —
+    // only the credit check needs quiescence.
+    setTraffic(nullptr);
+    auto inFabric = [this] {
+        return network_->flitsInSystem() - network_->sourceQueuedFlits();
+    };
+    auto creditsPending = [this] {
+        for (int r = 0; r < network_->numRouters(); r++) {
+            if (network_->router(r).pendingCreditCount() != 0)
+                return true;
+        }
+        for (int n = 0; n < network_->numNodes(); n++) {
+            if (network_->node(n).pendingCreditCount() != 0)
+                return true;
+        }
+        return false;
+    };
+    for (Cycle i = 0; i < settle_limit; i++) {
+        if (inFabric() == 0 && !creditsPending())
+            break;
+        kernel_.step();
+    }
+
+    std::uint64_t violations = 0;
+
+    // Flit conservation (lifetime counters; valid settled or not).
+    std::uint64_t injected = network_->flitsInjected();
+    std::uint64_t poisoned = network_->poisonedWormholes();
+    std::uint64_t ejected = network_->flitsEjected();
+    std::uint64_t retired = network_->poisonTailsRetired();
+    std::uint64_t dropFail = network_->flitsDroppedOnFailLifetime();
+    std::uint64_t dropDead = network_->flitsDroppedDeadPort();
+    std::uint64_t inflight = inFabric();
+    std::uint64_t lhs = injected + poisoned;
+    std::uint64_t rhs = ejected + retired + dropFail + dropDead + inflight;
+    if (lhs != rhs) {
+        violations++;
+        warn("conservation audit: flit ledger imbalance: "
+             "injected %llu + poisoned %llu != ejected %llu + "
+             "retired %llu + dropped_on_fail %llu + "
+             "dropped_dead_port %llu + in_fabric %llu",
+             static_cast<unsigned long long>(injected),
+             static_cast<unsigned long long>(poisoned),
+             static_cast<unsigned long long>(ejected),
+             static_cast<unsigned long long>(retired),
+             static_cast<unsigned long long>(dropFail),
+             static_cast<unsigned long long>(dropDead),
+             static_cast<unsigned long long>(inflight));
+    }
+
+    // Credit restitution — only meaningful once every flit has left
+    // the fabric and every returned credit applied, and only on a
+    // fault-free fabric (a hard-failed link legitimately strands the
+    // credits of flits it dropped).
+    if (inflight != 0 || creditsPending() ||
+        network_->failedLinks() != 0) {
+        return violations;
+    }
+    for (int ri = 0; ri < network_->numRouters(); ri++) {
+        Router &r = network_->router(ri);
+        for (int p = 0; p < r.numPorts(); p++) {
+            if (r.outputLink(p) == nullptr)
+                continue;
+            for (int v = 0; v < r.numVcs(); v++) {
+                if (!r.outputVcFree(p, v)) {
+                    violations++;
+                    warn("conservation audit: %s output %d vc %d "
+                         "still allocated at quiescence",
+                         r.name().c_str(), p, v);
+                }
+                if (r.outputCredits(p, v) != r.outputVcCapacity(p, v)) {
+                    violations++;
+                    warn("conservation audit: %s output %d vc %d "
+                         "credits %d != capacity %d",
+                         r.name().c_str(), p, v, r.outputCredits(p, v),
+                         r.outputVcCapacity(p, v));
+                }
+            }
+        }
+    }
+    for (int ni = 0; ni < network_->numNodes(); ni++) {
+        Node &n = network_->node(ni);
+        for (int v = 0; v < n.numVcs(); v++) {
+            if (n.injectionCredits(v) != n.injectionVcCapacity()) {
+                violations++;
+                warn("conservation audit: node %d vc %d injection "
+                     "credits %d != capacity %d",
+                     ni, v, n.injectionCredits(v),
+                     n.injectionVcCapacity());
+            }
+        }
+    }
+    return violations;
 }
 
 double

@@ -75,6 +75,26 @@ class PoeSystem final : public PacketSink, public Ticking
     /** Metrics for the last measurement window. */
     RunMetrics metrics();
 
+    /**
+     * Conservation audit (Debug builds, or `sim.conservation_audit`):
+     * stop the traffic source, let in-flight flits and returned
+     * credits settle (at most @p settle_limit extra cycles), then
+     * check that every flit ever injected is accounted for —
+     *
+     *   injected + poisoned == ejected + poisonTailsRetired
+     *                          + droppedOnFail + droppedDeadPort
+     *                          + still-in-fabric
+     *
+     * — and, when the fabric reached quiescence and no link has
+     * hard-failed, that every credit pool was restituted: each router
+     * output VC free and back at its downstream depth, each node
+     * injection VC back at capacity, no pending credits anywhere.
+     * Each violation is warn()ed (never an abort) and counted.
+     * Detach any trace sink first; the settle cycles emit no events.
+     * @return the number of violations (0 = books balance).
+     */
+    std::uint64_t auditConservation(Cycle settle_limit = 50000);
+
     /** Instantaneous normalized power (all links, vs. always-max). */
     double normalizedPowerNow();
 

@@ -1,14 +1,20 @@
 #include "core/sweep_runner.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
+#include <cstring>
 #include <mutex>
+#include <thread>
+#include <type_traits>
 
 #include "common/csv.hh"
+#include "common/fs.hh"
 #include "common/log.hh"
 #include "common/parallel.hh"
+#include "common/proc.hh"
 #include "common/rng.hh"
+#include "core/sweep_journal.hh"
 
 namespace oenet {
 
@@ -85,7 +91,108 @@ metricsFields(const RunMetrics &m)
     };
 }
 
+// The isolation pipe carries RunMetrics as raw bytes.
+static_assert(std::is_trivially_copyable_v<RunMetrics>,
+              "RunMetrics must stay trivially copyable: isolated sweep "
+              "points ship it over a pipe as raw bytes");
+
+/** One execution attempt of one sweep point. */
+struct Attempt
+{
+    bool ok = false;
+    bool retryable = true;
+    RunMetrics metrics;
+    std::string error;
+};
+
+Attempt
+runAttempt(const SweepPoint &staged, std::uint64_t seed,
+           const SweepRunner::PointFn &fn, bool isolate, double budget_ms)
+{
+    Attempt a;
+    if (isolate) {
+        ChildResult r = runInChild(
+            [&](int write_fd) {
+                RunMetrics m = fn(staged, seed);
+                writeAll(write_fd, &m, sizeof(m));
+            },
+            budget_ms);
+        switch (r.status) {
+          case ChildResult::Status::kOk:
+            if (r.payload.size() != sizeof(RunMetrics)) {
+                a.error = "isolated child returned a short metrics "
+                          "payload (" +
+                          std::to_string(r.payload.size()) + " of " +
+                          std::to_string(sizeof(RunMetrics)) + " bytes)";
+                return a;
+            }
+            std::memcpy(&a.metrics, r.payload.data(), sizeof(RunMetrics));
+            break;
+          case ChildResult::Status::kTimeout:
+            a.error = "watchdog: point exceeded its " +
+                      jsonNumber(budget_ms) +
+                      " ms budget; child killed";
+            return a;
+          default:
+            a.error = "isolated child failed: " + r.describe();
+            return a;
+        }
+    } else {
+        try {
+            a.metrics = fn(staged, seed);
+        } catch (const std::exception &e) {
+            a.error = std::string("point body threw: ") + e.what();
+            return a;
+        } catch (...) {
+            a.error = "point body threw a non-standard exception";
+            return a;
+        }
+    }
+
+    if (a.metrics.auditFailures > 0) {
+        // Deterministic by construction -- retrying cannot change it.
+        a.error = "conservation audit failed (" +
+                  std::to_string(a.metrics.auditFailures) +
+                  " violation(s))";
+        a.retryable = false;
+        return a;
+    }
+    a.ok = true;
+    return a;
+}
+
 } // namespace
+
+const char *
+pointStatusName(PointStatus status)
+{
+    return status == PointStatus::kOk ? "ok" : "failed";
+}
+
+std::size_t
+SweepReport::failedPoints() const
+{
+    std::size_t failed = 0;
+    for (const SweepOutcome &o : outcomes)
+        if (!o.ok())
+            failed++;
+    return failed;
+}
+
+double
+sweepPointBudgetMs(const SweepRunner::Options &options,
+                   std::vector<double> completed_wall_ms)
+{
+    if (options.timeoutMs > 0.0)
+        return options.timeoutMs;
+    if (options.timeoutFactor <= 0.0 || completed_wall_ms.size() < 3)
+        return 0.0;
+    auto mid = completed_wall_ms.begin() +
+               static_cast<std::ptrdiff_t>(completed_wall_ms.size() / 2);
+    std::nth_element(completed_wall_ms.begin(), mid,
+                     completed_wall_ms.end());
+    return std::max(100.0, options.timeoutFactor * *mid);
+}
 
 SweepRunner::SweepRunner(Options options) : options_(std::move(options))
 {
@@ -124,15 +231,104 @@ SweepRunner::run(const std::vector<SweepPoint> &points,
     report.jobs = effectiveJobs(options_.jobs, points.size());
     report.outcomes.resize(points.size());
 
+    // ---- Journal / resume setup -------------------------------------
+    if (options_.resume && options_.journalPath.empty())
+        fatal("sweep: --resume requires a --journal path");
+
+    std::vector<char> replayed(points.size(), 0);
+    SweepJournal journal;
+    if (!options_.journalPath.empty()) {
+        SweepJournal::Header header;
+        header.baseSeed = options_.baseSeed;
+        header.points = points.size();
+
+        std::size_t keepBytes = 0;
+        if (options_.resume) {
+            SweepJournal::Loaded loaded =
+                SweepJournal::load(options_.journalPath);
+            if (loaded.exists && loaded.hasHeader) {
+                if (loaded.header.baseSeed != header.baseSeed ||
+                    loaded.header.points != header.points) {
+                    fatal("sweep journal '%s' belongs to a different "
+                          "sweep (journal: base_seed=%llu points=%llu; "
+                          "this run: base_seed=%llu points=%zu) -- "
+                          "refusing to resume",
+                          options_.journalPath.c_str(),
+                          static_cast<unsigned long long>(
+                              loaded.header.baseSeed),
+                          static_cast<unsigned long long>(
+                              loaded.header.points),
+                          static_cast<unsigned long long>(header.baseSeed),
+                          points.size());
+                }
+                if (loaded.droppedLines > 0) {
+                    warn("sweep journal '%s': discarded %zu corrupt or "
+                         "torn trailing line(s); those points re-run",
+                         options_.journalPath.c_str(),
+                         loaded.droppedLines);
+                }
+                for (SweepOutcome &o : loaded.outcomes) {
+                    if (o.index >= points.size() || replayed[o.index]) {
+                        fatal("sweep journal '%s': record for point %zu "
+                              "is out of range or duplicated -- refusing "
+                              "to resume",
+                              options_.journalPath.c_str(), o.index);
+                    }
+                    const SweepPoint &point = points[o.index];
+                    std::uint64_t seed = pointSeed(point, o.index);
+                    if (o.label != point.label || o.seed != seed) {
+                        fatal("sweep journal '%s': record %zu does not "
+                              "match this sweep (journal: '%s' seed=%llu; "
+                              "live: '%s' seed=%llu) -- refusing to "
+                              "resume",
+                              options_.journalPath.c_str(), o.index,
+                              o.label.c_str(),
+                              static_cast<unsigned long long>(o.seed),
+                              point.label.c_str(),
+                              static_cast<unsigned long long>(seed));
+                    }
+                    replayed[o.index] = 1;
+                    o.params = point.params; // not journaled; from live
+                    report.outcomes[o.index] = std::move(o);
+                    report.resumedPoints++;
+                }
+                keepBytes = loaded.validBytes;
+            } else if (loaded.exists) {
+                warn("sweep journal '%s' has no valid header; starting "
+                     "a fresh journal",
+                     options_.journalPath.c_str());
+            }
+            if (report.resumedPoints > 0) {
+                inform("sweep: resumed %zu of %zu point(s) from '%s'",
+                       report.resumedPoints, points.size(),
+                       options_.journalPath.c_str());
+            }
+        }
+        journal.open(options_.journalPath, header, keepBytes);
+    }
+
+    const bool wantWatchdog =
+        options_.timeoutMs > 0.0 || options_.timeoutFactor > 0.0;
+    if (wantWatchdog && !options_.isolate) {
+        warn("sweep: per-point timeouts are only enforceable with "
+             "--isolate (an in-process point cannot be safely killed); "
+             "running without a watchdog");
+    }
+    const int maxAttempts = 1 + std::max(0, options_.maxRetries);
+
+    // ---- Execution ---------------------------------------------------
     auto sweepStart = std::chrono::steady_clock::now();
     std::vector<RunningStat> workerWallMs(
         static_cast<std::size_t>(report.jobs));
     std::mutex progressMutex;
-    std::size_t done = 0;
+    std::size_t done = report.resumedPoints;
+    std::vector<double> completedWallMs;
 
     parallelFor(
         points.size(), report.jobs,
         [&](std::size_t i, int worker) {
+            if (replayed[i])
+                return;
             const SweepPoint &point = points[i];
             std::uint64_t seed = pointSeed(point, i);
 
@@ -140,24 +336,68 @@ SweepRunner::run(const std::vector<SweepPoint> &points,
             if (options_.reseedSpecs)
                 staged.spec.seed = seed;
 
-            auto pointStart = std::chrono::steady_clock::now();
-            RunMetrics metrics = fn(staged, seed);
-            double wallMs = elapsedMs(pointStart);
-
-            SweepOutcome &out = report.outcomes[i];
+            SweepOutcome out;
             out.index = i;
             out.label = point.label;
             out.params = point.params;
             out.seed = seed;
-            out.metrics = metrics;
-            out.wallMs = wallMs;
-            workerWallMs[static_cast<std::size_t>(worker)].add(wallMs);
 
-            if (options_.progress) {
-                std::lock_guard<std::mutex> lock(progressMutex);
-                done++;
-                options_.progress(out, done, points.size());
+            double totalWallMs = 0.0;
+            for (int attempt = 1;; attempt++) {
+                double budgetMs = 0.0;
+                if (options_.isolate && wantWatchdog) {
+                    std::lock_guard<std::mutex> lock(progressMutex);
+                    budgetMs =
+                        sweepPointBudgetMs(options_, completedWallMs);
+                }
+
+                auto attemptStart = std::chrono::steady_clock::now();
+                Attempt a = runAttempt(staged, seed, fn,
+                                       options_.isolate, budgetMs);
+                totalWallMs += elapsedMs(attemptStart);
+                out.attempts = attempt;
+
+                if (a.ok) {
+                    out.status = PointStatus::kOk;
+                    out.metrics = a.metrics;
+                    out.error.clear();
+                    break;
+                }
+                out.error = a.error;
+                if (!a.retryable || attempt >= maxAttempts) {
+                    out.status = PointStatus::kFailed;
+                    out.metrics = RunMetrics{};
+                    warn("sweep: point %zu '%s' failed after %d "
+                         "attempt(s): %s",
+                         i, point.label.c_str(), attempt,
+                         out.error.c_str());
+                    break;
+                }
+                double backoffMs = std::min(
+                    5000.0, options_.retryBackoffMs *
+                                static_cast<double>(1u << (attempt - 1)));
+                warn("sweep: point %zu '%s' attempt %d failed (%s); "
+                     "retrying in %.0f ms",
+                     i, point.label.c_str(), attempt, a.error.c_str(),
+                     backoffMs);
+                if (backoffMs > 0.0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double, std::milli>(
+                            backoffMs));
+                }
             }
+            out.wallMs = totalWallMs;
+            workerWallMs[static_cast<std::size_t>(worker)].add(
+                totalWallMs);
+
+            std::lock_guard<std::mutex> lock(progressMutex);
+            if (out.ok())
+                completedWallMs.push_back(totalWallMs);
+            report.outcomes[i] = std::move(out);
+            journal.append(report.outcomes[i]);
+            done++;
+            if (options_.progress)
+                options_.progress(report.outcomes[i], done, points.size());
         });
 
     report.wallMs = elapsedMs(sweepStart);
@@ -171,6 +411,13 @@ runTimelines(const SweepRunner &runner,
              const std::vector<TimelinePoint> &points)
 {
     const SweepRunner::Options &opts = runner.options();
+    if (!opts.journalPath.empty() || opts.isolate) {
+        warn("sweep: journal/isolate are not supported for timeline "
+             "sweeps (per-bin series are not checkpointable records); "
+             "running without them");
+    }
+    const int maxAttempts = 1 + std::max(0, opts.maxRetries);
+
     std::vector<TimelineOutcome> outcomes(points.size());
     std::mutex progressMutex;
     std::size_t done = 0;
@@ -188,33 +435,64 @@ runTimelines(const SweepRunner &runner,
             if (opts.reseedSpecs)
                 spec.seed = seed;
 
-            TraceOptions trace;
-            std::unique_ptr<TraceSink> sink;
-            if (point.trace && opts.traceFactory) {
-                sink = opts.traceFactory(point.label);
-                trace.sink = sink.get();
-            }
-
-            auto start = std::chrono::steady_clock::now();
-            TimelineResult timeline =
-                runTimeline(point.config, spec, point.total, point.bin,
-                            point.warmup, trace);
-            double wallMs = elapsedMs(start);
-
             TimelineOutcome &out = outcomes[i];
             out.index = i;
             out.label = point.label;
             out.seed = seed;
-            out.timeline = std::move(timeline);
-            out.wallMs = wallMs;
+
+            auto start = std::chrono::steady_clock::now();
+            for (int attempt = 1;; attempt++) {
+                out.attempts = attempt;
+                try {
+                    TraceOptions trace;
+                    std::unique_ptr<TraceSink> sink;
+                    if (point.trace && opts.traceFactory) {
+                        sink = opts.traceFactory(point.label);
+                        trace.sink = sink.get();
+                    }
+                    out.timeline =
+                        runTimeline(point.config, spec, point.total,
+                                    point.bin, point.warmup, trace);
+                    out.status = PointStatus::kOk;
+                    out.error.clear();
+                    break;
+                } catch (const std::exception &e) {
+                    out.error =
+                        std::string("timeline body threw: ") + e.what();
+                } catch (...) {
+                    out.error = "timeline body threw a non-standard "
+                                "exception";
+                }
+                if (attempt >= maxAttempts) {
+                    out.status = PointStatus::kFailed;
+                    out.timeline = TimelineResult{};
+                    warn("sweep: timeline point %zu '%s' failed after "
+                         "%d attempt(s): %s",
+                         i, point.label.c_str(), attempt,
+                         out.error.c_str());
+                    break;
+                }
+                double backoffMs = std::min(
+                    5000.0, opts.retryBackoffMs *
+                                static_cast<double>(1u << (attempt - 1)));
+                if (backoffMs > 0.0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double, std::milli>(
+                            backoffMs));
+                }
+            }
+            out.wallMs = elapsedMs(start);
 
             if (opts.progress) {
                 SweepOutcome progress;
                 progress.index = i;
                 progress.label = point.label;
                 progress.seed = seed;
+                progress.status = out.status;
+                progress.attempts = out.attempts;
+                progress.error = out.error;
                 progress.metrics = out.timeline.metrics;
-                progress.wallMs = wallMs;
+                progress.wallMs = out.wallMs;
                 std::lock_guard<std::mutex> lock(progressMutex);
                 done++;
                 opts.progress(progress, done, points.size());
@@ -234,6 +512,9 @@ timelineRollups(const std::vector<TimelineOutcome> &outcomes)
         o.index = t.index;
         o.label = t.label;
         o.seed = t.seed;
+        o.status = t.status;
+        o.attempts = t.attempts;
+        o.error = t.error;
         o.metrics = t.timeline.metrics;
         o.wallMs = t.wallMs;
         rollups.push_back(std::move(o));
@@ -255,6 +536,8 @@ sweepManifestJson(const std::string &sweep_name, std::uint64_t base_seed,
         out += "    {\"index\": " + std::to_string(o.index);
         out += ", \"label\": " + jsonString(o.label);
         out += ", \"seed\": " + std::to_string(o.seed);
+        out += ", \"status\": ";
+        out += jsonString(pointStatusName(o.status));
         out += ", \"params\": {";
         for (std::size_t p = 0; p < o.params.size(); p++) {
             if (p > 0)
@@ -282,12 +565,8 @@ writeSweepManifest(const std::string &path, const std::string &sweep_name,
                    std::uint64_t base_seed,
                    const std::vector<SweepOutcome> &outcomes)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        fatal("writeSweepManifest: cannot open '%s'", path.c_str());
-    out << sweepManifestJson(sweep_name, base_seed, outcomes);
-    if (!out)
-        fatal("writeSweepManifest: write to '%s' failed", path.c_str());
+    atomicWriteFileOrDie(
+        path, sweepManifestJson(sweep_name, base_seed, outcomes));
 }
 
 void
@@ -295,7 +574,8 @@ writeSweepManifestCsv(const std::string &path,
                       const std::vector<SweepOutcome> &outcomes)
 {
     CsvWriter csv(path);
-    std::vector<std::string> header = {"index", "label", "seed"};
+    std::vector<std::string> header = {"index", "label", "seed",
+                                       "status"};
     std::vector<std::string> paramKeys;
     if (!outcomes.empty()) {
         for (const auto &kv : outcomes.front().params)
@@ -309,7 +589,8 @@ writeSweepManifestCsv(const std::string &path,
 
     for (const SweepOutcome &o : outcomes) {
         std::vector<std::string> row = {std::to_string(o.index), o.label,
-                                        std::to_string(o.seed)};
+                                        std::to_string(o.seed),
+                                        pointStatusName(o.status)};
         for (const auto &key : paramKeys) {
             std::string cell;
             for (const auto &kv : o.params) {

@@ -23,10 +23,35 @@
  *    the pre-runner serial behavior.
  *
  * The manifest (JSON or CSV) records per point: parameters, the derived
- * seed, and the full metrics record. Wall-clock times are kept in the
- * in-memory SweepOutcome/SweepReport for operator feedback but are
- * deliberately excluded from manifests, which must be byte-identical
- * for identical (points, baseSeed) at any --jobs value.
+ * seed, the point's status, and the full metrics record. Wall-clock
+ * times are kept in the in-memory SweepOutcome/SweepReport for operator
+ * feedback but are deliberately excluded from manifests, which must be
+ * byte-identical for identical (points, baseSeed) at any --jobs value.
+ *
+ * Crash safety (DESIGN.md §13). Long sweeps survive partial failure
+ * instead of dying with it:
+ *
+ *  - journal: with Options::journalPath set, every completed outcome
+ *    is appended to a CRC-guarded JSONL checkpoint file the moment it
+ *    finishes (core/sweep_journal.hh); Options::resume replays the
+ *    valid records, skips those points, and — because seeds derive
+ *    from (baseSeed, seedKey), never scheduling — the final manifest
+ *    is byte-identical to an uninterrupted run at any --jobs;
+ *  - watchdog + retry: a per-point wall-clock budget (absolute
+ *    timeoutMs, or timeoutFactor x the running median of completed
+ *    points); a point that exceeds it or dies is retried with bounded
+ *    exponential backoff up to maxRetries, then recorded as a failed
+ *    outcome (status column) so the sweep completes gracefully;
+ *  - isolation: with Options::isolate, each point runs in a forked
+ *    child returning its metrics over a pipe (common/proc.hh), so a
+ *    segfault or OOM in one degenerate config cannot take down the
+ *    driver; the watchdog kills and reaps hung children. The deadline
+ *    is only enforceable on isolated points — without isolate a hung
+ *    in-process point cannot be safely interrupted.
+ *
+ * All manifest/CSV writers publish atomically (write-temp + fsync +
+ * rename, common/fs.hh): an interrupted run never leaves a torn file
+ * where a previous good one stood.
  */
 
 #ifndef OENET_CORE_SWEEP_RUNNER_HH
@@ -70,6 +95,16 @@ struct SweepPoint
     bool trace = false;
 };
 
+/** Terminal status of one sweep point. */
+enum class PointStatus
+{
+    kOk,     ///< ran to completion; metrics are valid
+    kFailed, ///< exhausted retries (crash/timeout/exception/audit)
+};
+
+/** "ok" / "failed" — the manifest status column's vocabulary. */
+const char *pointStatusName(PointStatus status);
+
 /** Structured result record for one executed sweep point. */
 struct SweepOutcome
 {
@@ -77,8 +112,13 @@ struct SweepOutcome
     std::string label;
     std::vector<std::pair<std::string, double>> params;
     std::uint64_t seed = 0; ///< derived stream seed actually used
-    RunMetrics metrics;
+    PointStatus status = PointStatus::kOk;
+    int attempts = 1;  ///< executions it took (1 = no retries)
+    std::string error; ///< failure diagnostic; never in manifests
+    RunMetrics metrics; ///< zero-initialized when status == kFailed
     double wallMs = 0.0; ///< informational; never written to manifests
+
+    bool ok() const { return status == PointStatus::kOk; }
 };
 
 /** A whole executed sweep: per-point outcomes plus runner telemetry. */
@@ -88,12 +128,19 @@ struct SweepReport
     int jobs = 1;          ///< worker threads actually used
     double wallMs = 0.0;   ///< whole-sweep wall time
     RunningStat pointWallMs; ///< per-point wall times (merged at join)
+    std::size_t resumedPoints = 0; ///< points replayed from the journal
 
     /** Serial-equivalent time / actual time (1.0 when jobs == 1). */
     double speedup() const
     {
         return wallMs > 0.0 ? pointWallMs.sum() / wallMs : 0.0;
     }
+
+    /** Outcomes whose status is kFailed. */
+    std::size_t failedPoints() const;
+
+    /** True when every point completed ok (a sweep's exit-code gate). */
+    bool allOk() const { return failedPoints() == 0; }
 };
 
 class SweepRunner
@@ -119,6 +166,31 @@ class SweepRunner
          *  replaced with the derived stream seed. Set false to honor
          *  the seeds already baked into the specs. */
         bool reseedSpecs = true;
+
+        // Crash safety (see the file comment).
+
+        /** Append-only checkpoint journal; empty disables. */
+        std::string journalPath;
+        /** Replay valid journal records and skip those points. The
+         *  journal header must match (baseSeed, point count) or the
+         *  runner refuses with an actionable fatal(). */
+        bool resume = false;
+        /** Run each point in a forked child (fork/pipe isolation). */
+        bool isolate = false;
+        /** Absolute per-point wall-clock budget, ms; 0 disables. Only
+         *  enforced on isolated points. */
+        double timeoutMs = 0.0;
+        /** Median-based budget: timeoutFactor x the running median of
+         *  completed point wall times (once >= 3 points finished;
+         *  never below 100 ms). 0 disables. An absolute timeoutMs
+         *  takes precedence. Only enforced on isolated points. */
+        double timeoutFactor = 0.0;
+        /** Extra attempts after a point's first failure. */
+        int maxRetries = 2;
+        /** First retry backoff, doubled per attempt, capped at 5 s.
+         *  Exposed so tests do not sleep their wall-clock away. */
+        double retryBackoffMs = 100.0;
+
         ProgressFn progress;
         /** Makes the event-trace sink for each trace-marked point
          *  (argument: the point's label). Null (the default) disables
@@ -173,12 +245,19 @@ struct TimelineOutcome
     std::size_t index = 0;
     std::string label;
     std::uint64_t seed = 0;
-    TimelineResult timeline;
+    PointStatus status = PointStatus::kOk;
+    int attempts = 1;
+    std::string error;
+    TimelineResult timeline; ///< empty series when status == kFailed
     double wallMs = 0.0;
 };
 
 /** Shard timeline captures across the runner's worker pool; same
- *  determinism contract as SweepRunner::run. */
+ *  determinism contract as SweepRunner::run. A point whose body
+ *  throws is retried per Options::maxRetries, then recorded failed;
+ *  journal/isolate options do not apply to timeline sweeps (their
+ *  per-bin series are not checkpointable records) and draw a one-time
+ *  warn() if requested. */
 std::vector<TimelineOutcome>
 runTimelines(const SweepRunner &runner,
              const std::vector<TimelinePoint> &points);
@@ -188,22 +267,34 @@ runTimelines(const SweepRunner &runner,
 // ---------------------------------------------------------------------
 
 /** Render the sweep manifest as deterministic JSON: sweep name, base
- *  seed, and per point {index, label, params, seed, metrics}. Byte-
- *  identical for identical outcomes regardless of thread count. */
+ *  seed, and per point {index, label, seed, status, params, metrics}.
+ *  Byte-identical for identical outcomes regardless of thread count. */
 std::string sweepManifestJson(const std::string &sweep_name,
                               std::uint64_t base_seed,
                               const std::vector<SweepOutcome> &outcomes);
 
-/** Write sweepManifestJson() to @p path; fatal() on I/O failure. */
+/** Write sweepManifestJson() to @p path atomically (write-temp +
+ *  fsync + rename); fatal() with errno context on I/O failure. */
 void writeSweepManifest(const std::string &path,
                         const std::string &sweep_name,
                         std::uint64_t base_seed,
                         const std::vector<SweepOutcome> &outcomes);
 
 /** Write the same records as CSV (param columns from the first point;
- *  one metrics column per RunMetrics field). */
+ *  one metrics column per RunMetrics field), atomically. */
 void writeSweepManifestCsv(const std::string &path,
                            const std::vector<SweepOutcome> &outcomes);
+
+/**
+ * The watchdog budget for the next point attempt, in ms, given the
+ * options and the wall times of the points completed so far: the
+ * absolute timeoutMs when set, else timeoutFactor x median once three
+ * points have finished (floored at 100 ms), else 0 (no budget).
+ * Exposed for tests; median-based budgets are intentionally advisory
+ * early in a sweep, when no baseline exists yet.
+ */
+double sweepPointBudgetMs(const SweepRunner::Options &options,
+                          std::vector<double> completed_wall_ms);
 
 /** Adapt timeline outcomes (their whole-run rollups) to the manifest
  *  writers. */

@@ -75,6 +75,11 @@ runTimeline(const SystemConfig &config, const TrafficSpec &spec,
     sys.stopMeasurement();
     sys.awaitDrain(300000);
     result.metrics = sys.metrics();
+    if (config.conservationAuditEnabled()) {
+        if (trace.sink)
+            sys.setTraceSink(nullptr);
+        result.metrics.auditFailures = sys.auditConservation();
+    }
     return result;
 }
 

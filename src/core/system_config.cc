@@ -80,6 +80,10 @@ SystemConfig::fromConfig(const Config &config)
         config.getDouble("thermal.throttle", c.thermal.throttleC);
 
     c.idleElision = config.getBool("sim.idle_elision", c.idleElision);
+    if (config.has("sim.conservation_audit")) {
+        c.conservationAudit =
+            config.getBool("sim.conservation_audit", false);
+    }
     c.shards =
         static_cast<int>(config.getInt("sim.shards", c.shards));
     c.metricsIntervalCycles = config.getUint("trace.metrics_interval",
@@ -315,6 +319,18 @@ SystemConfig::validate() const
               static_cast<unsigned long long>(fault.retryBackoffBase));
     }
     checkProb("fault.clamp_rate", fault.clampErrorRate);
+}
+
+bool
+SystemConfig::conservationAuditEnabled() const
+{
+    if (conservationAudit.has_value())
+        return *conservationAudit;
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
 }
 
 TopologyParams

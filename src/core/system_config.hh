@@ -97,6 +97,17 @@ struct SystemConfig
      *  not attaching a sink, not by zeroing the interval. */
     Cycle metricsIntervalCycles = 1000;
 
+    /** End-of-run flit/credit conservation audit (PoeSystem::
+     *  auditConservation), run by runExperiment/runTimeline after the
+     *  metrics are captured. Unset (the default) enables it in Debug
+     *  builds only; set to force it on or off. Violations surface as
+     *  RunMetrics::auditFailures, which the sweep runner turns into a
+     *  failed outcome — never an abort. */
+    std::optional<bool> conservationAudit;
+
+    /** Resolve conservationAudit against the build type. */
+    bool conservationAuditEnabled() const;
+
     /** Topology knobs bundled for makeTopology(). */
     TopologyParams topologyParams() const;
 

@@ -298,6 +298,7 @@ OpticalLink::failLink(Cycle at)
     transitionType_ = nullptr;
     int lost = inflightCount_;
     flitsDroppedOnFail_ += static_cast<std::uint64_t>(lost);
+    flitsDroppedOnFailLifetime_ += static_cast<std::uint64_t>(lost);
     inflightCount_ = 0;
     enterPhase(Phase::kOff, at, kNeverCycle);
     if (traceSink_) {

@@ -244,6 +244,14 @@ class OpticalLink
         return flitsDroppedOnFail_;
     }
 
+    /** Same, but never cleared by resetStats() — the conservation
+     *  audit balances whole-run flit counters, which include drops
+     *  from before the measurement window. */
+    std::uint64_t flitsDroppedOnFailLifetime() const
+    {
+        return flitsDroppedOnFailLifetime_;
+    }
+
     /** Retransmissions since the last beginWindow() (DVS clamp
      *  input). */
     std::uint64_t windowRetries() const { return windowRetries_; }
@@ -409,6 +417,7 @@ class OpticalLink
     std::uint64_t flitRetries_ = 0;
     std::uint64_t lockLossEvents_ = 0;
     std::uint64_t flitsDroppedOnFail_ = 0;
+    std::uint64_t flitsDroppedOnFailLifetime_ = 0;
     std::uint64_t windowRetries_ = 0;
 
     // Serialization / in-flight flits.

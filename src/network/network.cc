@@ -316,6 +316,15 @@ Network::flitsDroppedOnFail() const
 }
 
 std::uint64_t
+Network::flitsDroppedOnFailLifetime() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : links_)
+        n += l->flitsDroppedOnFailLifetime();
+    return n;
+}
+
+std::uint64_t
 Network::flitsDroppedDeadPort() const
 {
     std::uint64_t n = 0;
@@ -419,6 +428,24 @@ Network::flitsEjected() const
     std::uint64_t n = 0;
     for (const auto &node : nodes_)
         n += node->flitsEjected();
+    return n;
+}
+
+std::uint64_t
+Network::sourceQueuedFlits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &node : nodes_)
+        n += node->sourceQueueFlits();
+    return n;
+}
+
+std::uint64_t
+Network::poisonTailsRetired() const
+{
+    std::uint64_t n = 0;
+    for (const auto &node : nodes_)
+        n += node->poisonTails();
     return n;
 }
 

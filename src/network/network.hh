@@ -159,6 +159,14 @@ class Network
     /** Flits anywhere in flight: source queues, buffers, links. */
     std::uint64_t flitsInSystem() const;
 
+    /** Flits still waiting in source queues (subset of
+     *  flitsInSystem; they have not entered the fabric yet). */
+    std::uint64_t sourceQueuedFlits() const;
+
+    /** Synthetic poison tails retired at nodes (counterpart of
+     *  poisonedWormholes, which counts their creation). */
+    std::uint64_t poisonTailsRetired() const;
+
     // Fault/resilience aggregates (all zero when faults are off).
 
     /** Links that have hard-failed so far. */
@@ -175,6 +183,10 @@ class Network
 
     /** In-flight flits lost to hard failures, all links. */
     std::uint64_t flitsDroppedOnFail() const;
+
+    /** Same, but immune to resetStats (whole-run accounting; the
+     *  conservation audit balances lifetime counters). */
+    std::uint64_t flitsDroppedOnFailLifetime() const;
 
     /** Flits discarded at dead router outputs, all routers. */
     std::uint64_t flitsDroppedDeadPort() const;

@@ -95,6 +95,25 @@ class Node final : public Ticking,
      *  hard link failure; not delivered data). */
     std::uint64_t poisonTails() const { return poisonTails_; }
 
+    /** Injection credits currently held for @p vc. At quiescence on a
+     *  fault-free fabric this must equal injectionVcCapacity()
+     *  (conservation audit). */
+    int injectionCredits(int vc) const
+    {
+        return credits_.at(static_cast<std::size_t>(vc));
+    }
+
+    /** Per-VC credit pool backing the injection link. */
+    int injectionVcCapacity() const { return params_.vcDepth; }
+
+    int numVcs() const { return params_.numVcs; }
+
+    /** Returned credits not yet applied (empty at quiescence). */
+    std::size_t pendingCreditCount() const
+    {
+        return pendingCredits_.size();
+    }
+
   private:
     struct PendingCredit
     {

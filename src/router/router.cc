@@ -89,8 +89,10 @@ Router::connectOutput(int port, OpticalLink *link, int downstream_vc_depth)
         panic("Router %s: bad output port %d", name_.c_str(), port);
     auto &out = outputs_[static_cast<std::size_t>(port)];
     out.link = link;
-    for (auto &vc : out.vcs)
+    for (auto &vc : out.vcs) {
         vc.credits = downstream_vc_depth;
+        vc.maxCredits = downstream_vc_depth;
+    }
 }
 
 void
@@ -129,6 +131,14 @@ Router::outputCredits(int port, int vc) const
     return outputs_.at(static_cast<std::size_t>(port))
         .vcs.at(static_cast<std::size_t>(vc))
         .credits;
+}
+
+int
+Router::outputVcCapacity(int port, int vc) const
+{
+    return outputs_.at(static_cast<std::size_t>(port))
+        .vcs.at(static_cast<std::size_t>(vc))
+        .maxCredits;
 }
 
 bool

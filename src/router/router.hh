@@ -118,6 +118,17 @@ class Router final : public Ticking,
     /** Credits available for (output port, vc). */
     int outputCredits(int port, int vc) const;
 
+    /** Initial credit pool of (output port, vc) — the downstream VC
+     *  depth passed to connectOutput. At quiescence on a fault-free
+     *  fabric, outputCredits must equal this (conservation audit). */
+    int outputVcCapacity(int port, int vc) const;
+
+    /** Returned credits not yet applied (empty at quiescence). */
+    std::size_t pendingCreditCount() const
+    {
+        return pendingCredits_.size();
+    }
+
     /** True if output VC is unallocated. */
     bool outputVcFree(int port, int vc) const;
 
@@ -197,6 +208,7 @@ class Router final : public Ticking,
         int ownerInPort = kInvalid;
         int ownerInVc = kInvalid;
         int credits = 0;
+        int maxCredits = 0; ///< initial pool (downstream VC depth)
     };
 
     struct OutputPort

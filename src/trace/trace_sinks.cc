@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/fs.hh"
 #include "common/log.hh"
 
 namespace oenet {
@@ -37,6 +38,29 @@ quoted(const std::string &s)
     return out;
 }
 
+/** Close a file-backed sink's stream and rename its temp file into
+ *  place; no-op for stream-backed sinks. */
+void
+publishTrace(std::ofstream &owned, const std::string &final_path,
+             const char *what)
+{
+    if (final_path.empty())
+        return;
+    owned.flush();
+    bool streamOk = owned.good();
+    owned.close();
+    if (!streamOk) {
+        fatal("%s: write to '%s' failed", what,
+              atomicTempPath(final_path).c_str());
+    }
+    std::string error;
+    if (!atomicPublishFile(atomicTempPath(final_path), final_path,
+                           &error)) {
+        fatal("%s: publish of '%s': %s", what, final_path.c_str(),
+              error.c_str());
+    }
+}
+
 } // namespace
 
 const char *
@@ -67,14 +91,23 @@ parseTraceFormat(const std::string &name)
 // ---------------------------------------------------------------------
 
 JsonlTraceSink::JsonlTraceSink(const std::string &path)
-    : owned_(path, std::ios::binary | std::ios::trunc), os_(owned_)
+    : finalPath_(path),
+      owned_(atomicTempPath(path), std::ios::binary | std::ios::trunc),
+      os_(owned_)
 {
-    if (!owned_)
-        fatal("JsonlTraceSink: cannot open '%s'", path.c_str());
+    if (!owned_) {
+        fatal("JsonlTraceSink: cannot open '%s'",
+              atomicTempPath(path).c_str());
+    }
 }
 
 JsonlTraceSink::JsonlTraceSink(std::ostream &os) : os_(os)
 {
+}
+
+JsonlTraceSink::~JsonlTraceSink()
+{
+    publishTrace(owned_, finalPath_, "JsonlTraceSink");
 }
 
 void
@@ -197,10 +230,14 @@ JsonlTraceSink::endRun(Cycle at)
 // from the periodic power snapshots.
 
 ChromeTraceSink::ChromeTraceSink(const std::string &path)
-    : owned_(path, std::ios::binary | std::ios::trunc), os_(owned_)
+    : finalPath_(path),
+      owned_(atomicTempPath(path), std::ios::binary | std::ios::trunc),
+      os_(owned_)
 {
-    if (!owned_)
-        fatal("ChromeTraceSink: cannot open '%s'", path.c_str());
+    if (!owned_) {
+        fatal("ChromeTraceSink: cannot open '%s'",
+              atomicTempPath(path).c_str());
+    }
 }
 
 ChromeTraceSink::ChromeTraceSink(std::ostream &os) : os_(os)
@@ -211,6 +248,7 @@ ChromeTraceSink::~ChromeTraceSink()
 {
     if (!closed_)
         endRun(0);
+    publishTrace(owned_, finalPath_, "ChromeTraceSink");
 }
 
 void

@@ -14,6 +14,10 @@
  * run's output is byte-identical for identical (config, seed) at any
  * --jobs count. Timestamps are router-core cycles; in the Chrome
  * viewer 1 "us" on the axis is 1 cycle.
+ *
+ * File-backed sinks stream to "<path>.tmp.<pid>" and atomically rename
+ * to the final path at destruction (common/fs.hh): an interrupted run
+ * never leaves a torn trace where a previous complete one stood.
  */
 
 #ifndef OENET_TRACE_TRACE_SINKS_HH
@@ -45,11 +49,15 @@ TraceFormat parseTraceFormat(const std::string &name);
 class JsonlTraceSink final : public TraceSink
 {
   public:
-    /** Write to @p path; fatal() if the file cannot be opened. */
+    /** Write to @p path (via its temp file); fatal() if the temp file
+     *  cannot be opened. */
     explicit JsonlTraceSink(const std::string &path);
 
     /** Write to a caller-owned stream (testing). */
     explicit JsonlTraceSink(std::ostream &os);
+
+    /** Publishes a file-backed trace atomically to its final path. */
+    ~JsonlTraceSink() override;
 
     void beginRun(const std::vector<TraceLinkInfo> &links) override;
     void linkTransition(const LinkTransitionEvent &e) override;
@@ -61,6 +69,7 @@ class JsonlTraceSink final : public TraceSink
     void endRun(Cycle at) override;
 
   private:
+    std::string finalPath_; ///< empty when stream-backed
     std::ofstream owned_;
     std::ostream &os_;
 };
@@ -89,6 +98,7 @@ class ChromeTraceSink final : public TraceSink
     void open(const char *name, const char *cat, const char *ph,
               Cycle ts, int pid, int tid);
 
+    std::string finalPath_; ///< empty when stream-backed
     std::ofstream owned_;
     std::ostream &os_;
     bool begun_ = false;

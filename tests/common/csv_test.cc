@@ -60,3 +60,25 @@ TEST(CsvWriter, PathAccessor)
     EXPECT_EQ(w.path(), path);
     std::remove(path.c_str());
 }
+
+TEST(CsvWriter, PublishesAtomicallyOnClose)
+{
+    std::string path = testing::TempDir() + "/oenet_csv_atomic.csv";
+    {
+        std::ofstream old(path, std::ios::binary | std::ios::trunc);
+        old << "previous,complete,file\n";
+    }
+    {
+        CsvWriter w(path);
+        w.header({"a", "b"});
+        w.row({"1", "2"});
+        // The previous file stays intact until the writer publishes —
+        // a killed run never leaves a torn CSV where a good one stood.
+        EXPECT_EQ(readAll(path), "previous,complete,file\n");
+        w.close();
+        EXPECT_EQ(readAll(path), "a,b\n1,2\n");
+        w.close(); // idempotent; destructor must not re-publish either
+    }
+    EXPECT_EQ(readAll(path), "a,b\n1,2\n");
+    std::remove(path.c_str());
+}

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -16,6 +17,7 @@
 
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "core/sweep_journal.hh"
 #include "core/sweep_runner.hh"
 
 using namespace oenet;
@@ -226,6 +228,372 @@ TEST(SweepRunner, TimelinesDeterministicAcrossThreadCounts)
     std::string a = sweepManifestJson("t", 1, timelineRollups(serial));
     std::string b = sweepManifestJson("t", 1, timelineRollups(parallel));
     EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Crash safety: retry, watchdog, isolation, journal/resume.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Deterministic synthetic metrics: a pure function of the point's
+ *  first parameter and seed, so replayed and re-run points agree. */
+RunMetrics
+syntheticMetrics(const SweepPoint &p, std::uint64_t seed)
+{
+    RunMetrics m;
+    m.avgLatency = p.params[0].second * 10.0 + 0.125;
+    m.packetsMeasured = seed % 100000;
+    m.drained = true;
+    return m;
+}
+
+/** Options with instant retries so tests never sleep. */
+SweepRunner::Options
+fastRetryOpts(int jobs = 1)
+{
+    SweepRunner::Options opts;
+    opts.jobs = jobs;
+    opts.retryBackoffMs = 0.0;
+    return opts;
+}
+
+} // namespace
+
+TEST(SweepRobustness, FlakyPointRecoversOnRetry)
+{
+    std::atomic<int> firstAttempts{0};
+    SweepRunner::Options opts = fastRetryOpts();
+    opts.maxRetries = 2;
+    SweepReport report = SweepRunner(opts).run(
+        smallSweep(), [&](const SweepPoint &p, std::uint64_t seed) {
+            if (p.label == "rate=0.3/pa" && firstAttempts++ == 0)
+                throw std::runtime_error("transient failure");
+            return syntheticMetrics(p, seed);
+        });
+    EXPECT_TRUE(report.allOk());
+    EXPECT_EQ(report.outcomes[0].attempts, 2);
+    EXPECT_EQ(report.outcomes[1].attempts, 1);
+    EXPECT_EQ(firstAttempts.load(), 2);
+}
+
+TEST(SweepRobustness, ExhaustedRetriesRecordFailedOutcome)
+{
+    SweepRunner::Options opts = fastRetryOpts(2);
+    opts.maxRetries = 1;
+    SweepReport report = SweepRunner(opts).run(
+        smallSweep(), [&](const SweepPoint &p, std::uint64_t seed) {
+            if (p.label == "rate=0.6/base")
+                throw std::runtime_error("always broken");
+            return syntheticMetrics(p, seed);
+        });
+    EXPECT_FALSE(report.allOk());
+    EXPECT_EQ(report.failedPoints(), 1u);
+    const SweepOutcome &bad = report.outcomes[3];
+    EXPECT_EQ(bad.label, "rate=0.6/base");
+    EXPECT_EQ(bad.status, PointStatus::kFailed);
+    EXPECT_EQ(bad.attempts, 2); // 1 + maxRetries
+    EXPECT_NE(bad.error.find("always broken"), std::string::npos);
+    EXPECT_EQ(bad.metrics.avgLatency, 0.0) << "failed metrics zeroed";
+    // The other five points are intact.
+    for (std::size_t i = 0; i < report.outcomes.size(); i++) {
+        if (i != 3)
+            EXPECT_TRUE(report.outcomes[i].ok());
+    }
+}
+
+TEST(SweepRobustness, FailedStatusAppearsInManifests)
+{
+    SweepRunner::Options opts = fastRetryOpts();
+    opts.maxRetries = 0;
+    SweepReport report = SweepRunner(opts).run(
+        smallSweep(), [&](const SweepPoint &p, std::uint64_t seed) {
+            if (p.label == "rate=0.9/pa")
+                throw std::runtime_error("broken");
+            return syntheticMetrics(p, seed);
+        });
+    std::string json = sweepManifestJson("t", 5, report.outcomes);
+    EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+    EXPECT_EQ(json.find("broken"), std::string::npos)
+        << "error text must stay out of the manifest";
+
+    std::string csvPath = "sweep_runner_test_status.csv";
+    writeSweepManifestCsv(csvPath, report.outcomes);
+    std::ifstream csv(csvPath);
+    std::string header, row;
+    ASSERT_TRUE(std::getline(csv, header));
+    EXPECT_NE(header.find(",status,"), std::string::npos);
+    std::size_t failedRows = 0;
+    while (std::getline(csv, row)) {
+        if (row.find(",failed,") != std::string::npos)
+            failedRows++;
+    }
+    EXPECT_EQ(failedRows, 1u);
+    std::remove(csvPath.c_str());
+}
+
+TEST(SweepRobustness, AuditFailureIsFailedWithoutRetry)
+{
+    std::atomic<int> calls{0};
+    SweepRunner::Options opts = fastRetryOpts();
+    opts.maxRetries = 3;
+    SweepReport report = SweepRunner(opts).run(
+        smallSweep(), [&](const SweepPoint &p, std::uint64_t seed) {
+            RunMetrics m = syntheticMetrics(p, seed);
+            if (p.label == "rate=0.3/base") {
+                calls++;
+                m.auditFailures = 2;
+            }
+            return m;
+        });
+    EXPECT_EQ(report.failedPoints(), 1u);
+    const SweepOutcome &bad = report.outcomes[1];
+    EXPECT_EQ(bad.status, PointStatus::kFailed);
+    // A conservation-audit violation is deterministic; retrying it
+    // would just burn the retry budget.
+    EXPECT_EQ(bad.attempts, 1);
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_NE(bad.error.find("conservation audit"), std::string::npos);
+}
+
+TEST(SweepRobustness, IsolatedCrashIsContained)
+{
+    SweepRunner::Options opts = fastRetryOpts(2);
+    opts.isolate = true;
+    opts.maxRetries = 0;
+    SweepReport report = SweepRunner(opts).run(
+        smallSweep(), [&](const SweepPoint &p, std::uint64_t seed) {
+            if (p.label == "rate=0.6/pa")
+                std::raise(SIGSEGV); // dies in the child, not here
+            return syntheticMetrics(p, seed);
+        });
+    ASSERT_EQ(report.outcomes.size(), 6u);
+    EXPECT_EQ(report.failedPoints(), 1u);
+    const SweepOutcome &bad = report.outcomes[2];
+    EXPECT_EQ(bad.status, PointStatus::kFailed);
+    EXPECT_NE(bad.error.find("signal 11"), std::string::npos);
+    for (std::size_t i = 0; i < report.outcomes.size(); i++) {
+        if (i != 2) {
+            EXPECT_TRUE(report.outcomes[i].ok());
+            EXPECT_GT(report.outcomes[i].metrics.avgLatency, 0.0);
+        }
+    }
+}
+
+TEST(SweepRobustness, IsolatedResultsMatchInProcessResults)
+{
+    std::vector<SweepPoint> points = smallSweep();
+    SweepRunner::Options inProc = fastRetryOpts();
+    SweepRunner::Options isolated = fastRetryOpts();
+    isolated.isolate = true;
+    SweepReport a = SweepRunner(inProc).run(
+        points, [](const SweepPoint &p, std::uint64_t seed) {
+            return syntheticMetrics(p, seed);
+        });
+    SweepReport b = SweepRunner(isolated).run(
+        points, [](const SweepPoint &p, std::uint64_t seed) {
+            return syntheticMetrics(p, seed);
+        });
+    EXPECT_EQ(sweepManifestJson("t", 1, a.outcomes),
+              sweepManifestJson("t", 1, b.outcomes));
+}
+
+TEST(SweepRobustness, WatchdogKillsHungIsolatedPoint)
+{
+    SweepRunner::Options opts = fastRetryOpts();
+    opts.isolate = true;
+    opts.timeoutMs = 200.0;
+    opts.maxRetries = 1;
+    SweepReport report = SweepRunner(opts).run(
+        smallSweep(), [&](const SweepPoint &p, std::uint64_t seed) {
+            if (p.label == "rate=0.9/base") {
+                for (;;) {
+                } // hang; the watchdog must SIGKILL the child
+            }
+            return syntheticMetrics(p, seed);
+        });
+    EXPECT_EQ(report.failedPoints(), 1u);
+    const SweepOutcome &bad = report.outcomes[5];
+    EXPECT_EQ(bad.status, PointStatus::kFailed);
+    EXPECT_EQ(bad.attempts, 2);
+    EXPECT_NE(bad.error.find("watchdog"), std::string::npos);
+}
+
+TEST(SweepBudget, AbsoluteTimeoutWins)
+{
+    SweepRunner::Options opts;
+    opts.timeoutMs = 500.0;
+    opts.timeoutFactor = 10.0;
+    EXPECT_EQ(sweepPointBudgetMs(opts, {}), 500.0);
+    EXPECT_EQ(sweepPointBudgetMs(opts, {1.0, 2.0, 3.0}), 500.0);
+}
+
+TEST(SweepBudget, FactorNeedsThreeSamplesAndUsesMedian)
+{
+    SweepRunner::Options opts;
+    opts.timeoutFactor = 3.0;
+    EXPECT_EQ(sweepPointBudgetMs(opts, {}), 0.0);
+    EXPECT_EQ(sweepPointBudgetMs(opts, {100.0, 200.0}), 0.0);
+    EXPECT_EQ(sweepPointBudgetMs(opts, {100.0, 300.0, 200.0}), 600.0);
+}
+
+TEST(SweepBudget, FactorBudgetIsFloored)
+{
+    SweepRunner::Options opts;
+    opts.timeoutFactor = 1.0;
+    // 1 x median(10, 20, 30) = 20 ms — below the 100 ms floor.
+    EXPECT_EQ(sweepPointBudgetMs(opts, {10.0, 20.0, 30.0}), 100.0);
+}
+
+TEST(SweepBudget, DisabledByDefault)
+{
+    EXPECT_EQ(sweepPointBudgetMs(SweepRunner::Options{},
+                                 {50.0, 60.0, 70.0}),
+              0.0);
+}
+
+TEST(SweepJournalResume, ResumeSkipsCompletedPoints)
+{
+    std::string path = "sweep_runner_test_resume.jsonl";
+    std::remove(path.c_str());
+    std::vector<SweepPoint> points = smallSweep();
+
+    SweepRunner::Options opts = fastRetryOpts(2);
+    opts.journalPath = path;
+    SweepReport first = SweepRunner(opts).run(
+        points, [](const SweepPoint &p, std::uint64_t seed) {
+            return syntheticMetrics(p, seed);
+        });
+    ASSERT_TRUE(first.allOk());
+
+    std::atomic<int> executed{0};
+    opts.resume = true;
+    SweepReport second = SweepRunner(opts).run(
+        points, [&](const SweepPoint &p, std::uint64_t seed) {
+            executed++;
+            return syntheticMetrics(p, seed);
+        });
+    EXPECT_EQ(executed.load(), 0) << "all points replayed, none re-run";
+    EXPECT_EQ(second.resumedPoints, 6u);
+    EXPECT_EQ(sweepManifestJson("t", 5, first.outcomes),
+              sweepManifestJson("t", 5, second.outcomes));
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournalResume, PartialJournalRunsOnlyTheRemainder)
+{
+    std::string path = "sweep_runner_test_partial.jsonl";
+    std::remove(path.c_str());
+    std::vector<SweepPoint> points = smallSweep();
+
+    SweepRunner::Options plain = fastRetryOpts();
+    SweepReport uninterrupted = SweepRunner(plain).run(
+        points, [](const SweepPoint &p, std::uint64_t seed) {
+            return syntheticMetrics(p, seed);
+        });
+
+    SweepRunner::Options journaled = fastRetryOpts();
+    journaled.journalPath = path;
+    SweepRunner(journaled).run(
+        points, [](const SweepPoint &p, std::uint64_t seed) {
+            return syntheticMetrics(p, seed);
+        });
+
+    // Simulate a SIGKILL after two points: keep header + 2 records.
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::string all((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+        std::size_t pos = 0;
+        for (int nl = 0; nl < 3; pos++) {
+            if (all[pos] == '\n')
+                nl++;
+        }
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(all.data(), static_cast<std::streamsize>(pos));
+    }
+
+    std::atomic<int> executed{0};
+    journaled.resume = true;
+    SweepReport resumed = SweepRunner(journaled).run(
+        points, [&](const SweepPoint &p, std::uint64_t seed) {
+            executed++;
+            return syntheticMetrics(p, seed);
+        });
+    EXPECT_EQ(executed.load(), 4);
+    EXPECT_EQ(resumed.resumedPoints, 2u);
+    EXPECT_EQ(sweepManifestJson("t", 5, uninterrupted.outcomes),
+              sweepManifestJson("t", 5, resumed.outcomes));
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournalResume, FailedOutcomesReplayAsFailed)
+{
+    std::string path = "sweep_runner_test_failed.jsonl";
+    std::remove(path.c_str());
+    std::vector<SweepPoint> points = smallSweep();
+
+    SweepRunner::Options opts = fastRetryOpts();
+    opts.journalPath = path;
+    opts.maxRetries = 0;
+    SweepReport first = SweepRunner(opts).run(
+        points, [](const SweepPoint &p, std::uint64_t seed) {
+            if (p.label == "rate=0.3/pa")
+                throw std::runtime_error("dead config");
+            return syntheticMetrics(p, seed);
+        });
+    EXPECT_EQ(first.failedPoints(), 1u);
+
+    // Resume replays the failed record too — it was a terminal
+    // outcome, not an interrupted one.
+    opts.resume = true;
+    SweepReport second = SweepRunner(opts).run(
+        points, [](const SweepPoint &p, std::uint64_t seed) {
+            ADD_FAILURE() << "no point should re-run";
+            return syntheticMetrics(p, seed);
+        });
+    EXPECT_EQ(second.failedPoints(), 1u);
+    EXPECT_EQ(second.outcomes[0].status, PointStatus::kFailed);
+    EXPECT_EQ(sweepManifestJson("t", 5, first.outcomes),
+              sweepManifestJson("t", 5, second.outcomes));
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournalResumeDeath, ResumeWithoutJournalIsFatal)
+{
+    SweepRunner::Options opts;
+    opts.resume = true;
+    EXPECT_EXIT(SweepRunner(opts).run(
+                    smallSweep(),
+                    [](const SweepPoint &, std::uint64_t) {
+                        return RunMetrics{};
+                    }),
+                ::testing::ExitedWithCode(1),
+                "--resume requires a --journal");
+}
+
+TEST(SweepJournalResumeDeath, MismatchedHeaderIsFatal)
+{
+    std::string path = "sweep_runner_test_mismatch.jsonl";
+    std::remove(path.c_str());
+    {
+        SweepJournal j;
+        j.open(path, SweepJournal::Header{99, 3}, 0);
+        j.close();
+    }
+    SweepRunner::Options opts;
+    opts.baseSeed = 5; // journal says 99
+    opts.journalPath = path;
+    opts.resume = true;
+    EXPECT_EXIT(SweepRunner(opts).run(
+                    smallSweep(),
+                    [](const SweepPoint &p, std::uint64_t seed) {
+                        return syntheticMetrics(p, seed);
+                    }),
+                ::testing::ExitedWithCode(1),
+                "belongs to a different sweep");
+    std::remove(path.c_str());
 }
 
 TEST(SweepManifest, JsonShapeAndWallTimeExclusion)
