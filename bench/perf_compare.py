@@ -18,6 +18,11 @@ Two modes, combinable in one invocation:
   idle-elision win: BM_SystemCycleIdleNoElision over BM_SystemCycleIdle
   must stay >= 3x.
 
+Either mode refuses JSON recorded from a non-Release simulator build
+(the oenet_build_type context stamped by bench_sim_microbench); pass
+--allow-debug to downgrade the refusal to a warning. A debug build of
+the google-benchmark *library* (library_build_type) only warns.
+
 Exit status: 0 all checks pass, 1 a check failed, 2 usage/parse error.
 
 Regenerate the committed baseline (from a Release build):
@@ -32,12 +37,42 @@ import sys
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load(path):
+def check_build_type(doc, path, allow_debug):
+    """Reject (or warn about) timings from unoptimized builds.
+
+    oenet_build_type is the simulator's own CMAKE_BUILD_TYPE, stamped
+    by bench_sim_microbench's main; it is authoritative. The
+    library_build_type field only describes how libbenchmark itself was
+    compiled (distro packages are often 'debug'), so it merits a
+    warning, not a refusal.
+    """
+    ctx = doc.get("context", {})
+    own = ctx.get("oenet_build_type")
+    if own is None:
+        print(f"perf_compare: WARNING: {path} has no oenet_build_type "
+              f"context (recorded before build-type stamping); cannot "
+              f"verify it came from a Release build", file=sys.stderr)
+    elif own.lower() != "release":
+        msg = (f"{path} was recorded from a '{own}' build of the "
+               f"simulator; perf numbers are only meaningful from "
+               f"Release (-O2 -DNDEBUG)")
+        if not allow_debug:
+            sys.exit(f"perf_compare: {msg} (pass --allow-debug to "
+                     f"override)")
+        print(f"perf_compare: WARNING: {msg}", file=sys.stderr)
+    if ctx.get("library_build_type", "").lower() == "debug":
+        print(f"perf_compare: WARNING: {path} used a debug build of "
+              f"the google-benchmark library; absolute times may be "
+              f"inflated", file=sys.stderr)
+
+
+def load(path, allow_debug=False):
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"perf_compare: cannot read {path}: {e}")
+    check_build_type(doc, path, allow_debug)
     times = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
@@ -73,12 +108,18 @@ def main():
                     metavar=("SLOW", "FAST", "MIN"), default=[],
                     help="assert time(SLOW)/time(FAST) >= MIN in the "
                          "last file")
+    ap.add_argument("--allow-debug", action="store_true",
+                    help="downgrade the non-Release build refusal to a "
+                         "warning (local experiments only)")
     args = ap.parse_args()
 
     failed = False
+    target = None
 
     if len(args.files) == 2:
-        base, new = load(args.files[0]), load(args.files[1])
+        base = load(args.files[0], args.allow_debug)
+        new = load(args.files[1], args.allow_debug)
+        target = new
         shared = sorted(set(base) & set(new))
         if not shared:
             sys.exit("perf_compare: no common benchmarks to compare")
@@ -103,7 +144,8 @@ def main():
         ap.error("expected BASELINE.json NEW.json or a single file "
                  "with --expect-ratio")
 
-    target = load(args.files[-1])
+    if target is None:
+        target = load(args.files[-1], args.allow_debug)
     for slow, fast, min_ratio in args.expect_ratio:
         try:
             want = float(min_ratio)

@@ -20,9 +20,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "core/experiment.hh"
 #include "core/poe_system.hh"
+#include "network/boundary.hh"
 #include "network/power_report.hh"
+#include "router/router.hh"
 
 using namespace oenet;
 
@@ -125,6 +130,174 @@ BM_SmallSystemCycleLoaded(benchmark::State &state)
 }
 BENCHMARK(BM_SmallSystemCycleLoaded)->Unit(benchmark::kMicrosecond);
 
+// A hand-wired router held at saturation: four direction inputs feed
+// endless 4-flit packets with rotating destinations while the harness
+// plays upstream (respects credits) and downstream (returns credits).
+// Every tick runs the full allocator walk — SA nomination masks, VA
+// request collection, switch traversal — over the SoA hot state, which
+// is exactly the loaded path the fig7 benches spend their time in.
+void
+BM_LoadedRouterTick(benchmark::State &state)
+{
+    constexpr int kCluster = 2;
+    constexpr int kVcDepth = 8; // 16 deep / 2 VCs
+    MeshTopology mesh(2, 2, kCluster);
+    BitrateLevelTable levels = BitrateLevelTable::linear(5.0, 10.0, 6);
+    Router::Params rp;
+    rp.numVcs = 2;
+    rp.bufferDepthPerPort = 16;
+    Router router("r0", 0, mesh, rp);
+
+    struct Probe final : CreditSink
+    {
+        int returned[8][2] = {};
+        void returnCredit(int port, int vc, Cycle) override
+        {
+            returned[port][vc]++;
+        }
+    } probe;
+
+    int ports = mesh.portsPerRouter();
+    OpticalLink::Params lp;
+    std::vector<std::unique_ptr<OpticalLink>> ins, outs;
+    for (int p = 0; p < ports; p++) {
+        ins.push_back(std::make_unique<OpticalLink>(
+            "in" + std::to_string(p), LinkKind::kInterRouter, levels,
+            lp));
+        outs.push_back(std::make_unique<OpticalLink>(
+            "out" + std::to_string(p), LinkKind::kInterRouter, levels,
+            lp));
+        router.connectInput(p, ins[p].get(), &probe, p);
+        router.connectOutput(p, outs[p].get(), kVcDepth);
+    }
+
+    // Per direction port: a looping stream of flitized packets, VCs
+    // alternating per packet, destinations rotating over all 8 nodes.
+    struct Feeder
+    {
+        std::vector<Flit> flits;
+        std::size_t next = 0;
+        int sent[2] = {};
+    };
+    std::vector<Feeder> feeders(static_cast<std::size_t>(ports));
+    PacketId id = 1;
+    std::vector<Flit> pkt;
+    for (int p = kCluster; p < ports; p++) {
+        for (int i = 0; i < 16; i++) {
+            pkt.clear();
+            flitizePacket(pkt, id, 0,
+                          static_cast<NodeId>(id * 3 % 8), 4, 0);
+            for (Flit &f : pkt) {
+                f.vc = static_cast<std::uint8_t>(i & 1);
+                feeders[static_cast<std::size_t>(p)].flits.push_back(f);
+            }
+            id++;
+        }
+    }
+
+    Cycle t = 0;
+    for (auto _ : state) {
+        router.tick(t);
+        for (int p = kCluster; p < ports; p++) {
+            Feeder &fd = feeders[static_cast<std::size_t>(p)];
+            const Flit &f = fd.flits[fd.next];
+            int vc = f.vc;
+            if (ins[static_cast<std::size_t>(p)]->canAccept(t) &&
+                fd.sent[vc] - probe.returned[p][vc] < kVcDepth) {
+                ins[static_cast<std::size_t>(p)]->accept(t, f);
+                fd.sent[vc]++;
+                fd.next = (fd.next + 1) % fd.flits.size();
+            }
+        }
+        for (int q = 0; q < ports; q++) {
+            auto &out = outs[static_cast<std::size_t>(q)];
+            while (out->hasArrival(t)) {
+                Flit f = out->popArrival(t);
+                router.returnCredit(q, f.vc, t);
+            }
+        }
+        t++;
+    }
+}
+BENCHMARK(BM_LoadedRouterTick);
+
+// The boundary-proxy mechanism over a 4-cycle window carrying one
+// delivery — roughly a boundary edge's duty cycle in the loaded fig7
+// runs. The generic (cross-shard) variant pays the per-cycle edge
+// machinery every cycle whether or not anything moved: dirty probe,
+// publish flip, delivery-edge probe, ready-drain check, credit drain.
+// The direct (same-shard) variant is the zero-copy specialization:
+// idle cycles cost nothing because the edge is excluded from the
+// per-cycle cross-shard passes entirely; only the delivery itself does
+// work. Their ratio is the proxy tax the fast path reclaims, asserted
+// machine-independently in CI via perf_compare.py --expect-ratio.
+constexpr int kDrainWindow = 4; // cycles per delivery
+
+struct NullCreditSink final : CreditSink
+{
+    std::uint64_t count = 0;
+    void returnCredit(int, int, Cycle) override { count++; }
+};
+
+void
+BM_BoundaryDrainGeneric(benchmark::State &state)
+{
+    BitrateLevelTable levels = BitrateLevelTable::linear(5.0, 10.0, 6);
+    OpticalLink link("bnd", LinkKind::kInterRouter, levels,
+                     OpticalLink::Params{});
+    NullCreditSink upstream;
+    BoundaryChannel chan(&link, &upstream, 0);
+    Flit f;
+    f.flags = Flit::kHeadFlag | Flit::kTailFlag;
+    for (auto _ : state) {
+        for (int c = 0; c < kDrainWindow; c++) {
+            // Parallel phase, producer side: one delivery per window.
+            if (c == 0)
+                chan.stageArrival(f);
+            // Between phases, driving thread: swap pass probes every
+            // cross-shard edge.
+            if (chan.dirty())
+                chan.swapBuffers();
+            // Destination pre-pass: delivery wake probe, every cycle.
+            benchmark::DoNotOptimize(chan.takeDeliveryEdge());
+            // Parallel phase, consumer side: drain and stage credits.
+            while (chan.hasReadyArrival()) {
+                const Flit &got = chan.popReadyArrival();
+                chan.returnCredit(0, got.vc, 1);
+            }
+            // Source pre-pass: collect published credits, every cycle.
+            chan.drainCredits();
+        }
+        benchmark::DoNotOptimize(upstream.count);
+    }
+}
+BENCHMARK(BM_BoundaryDrainGeneric);
+
+void
+BM_BoundaryDrainDirect(benchmark::State &state)
+{
+    BitrateLevelTable levels = BitrateLevelTable::linear(5.0, 10.0, 6);
+    OpticalLink link("bnd", LinkKind::kInterRouter, levels,
+                     OpticalLink::Params{});
+    NullCreditSink upstream;
+    BoundaryChannel chan(&link, &upstream, 0);
+    chan.setDirect();
+    Flit f;
+    f.flags = Flit::kHeadFlag | Flit::kTailFlag;
+    for (auto _ : state) {
+        // One delivery per window; the other cycles are free (the edge
+        // is not in the cross-shard pre/post passes, and the consumer
+        // router only ticks when the shuttle wakes it).
+        chan.stageArrival(f); // publishes immediately
+        while (chan.hasReadyArrival()) {
+            const Flit &got = chan.popReadyArrival();
+            chan.returnCredit(0, got.vc, 1); // forwards synchronously
+        }
+        benchmark::DoNotOptimize(upstream.count);
+    }
+}
+BENCHMARK(BM_BoundaryDrainDirect);
+
 // Shared setup for the accounting pair: a 16x16x8 fabric (~5k links,
 // the scale where the scattered OpticalLink objects no longer fit in
 // cache) with the thermal model on and enough simulated history that
@@ -182,4 +355,21 @@ BENCHMARK(BM_PowerAccountingLedger)->Unit(benchmark::kMicrosecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+#ifndef OENET_BUILD_TYPE
+#define OENET_BUILD_TYPE "unknown"
+#endif
+
+int
+main(int argc, char **argv)
+{
+    // Stamp the simulator's own build type into the JSON context so
+    // perf_compare.py can refuse baselines recorded from Debug builds
+    // (the library_build_type field only describes libbenchmark).
+    benchmark::AddCustomContext("oenet_build_type", OENET_BUILD_TYPE);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -142,6 +142,45 @@ class OpticalLink
     /** Pop the oldest arrived flit. @pre hasArrival(now). */
     Flit popArrival(Cycle now);
 
+    /** Sender-side in-flight ring capacity (doubles as the replay
+     *  buffer depth with faults attached). Receivers batching a drain
+     *  can size their staging to 2x this. */
+    static constexpr int kInflightCap = 16;
+
+    /**
+     * Pop every flit arrived by @p now into @p sink, in order; returns
+     * the count. Equivalent to `while (hasArrival(now))
+     * sink(popArrival(now))` but with no fault model attached it is a
+     * single branch-light ring walk — arrival stamps are final, so
+     * nothing re-checks the head between pops. With faults the
+     * per-flit poll loop is kept: each pop can expose a corrupt head
+     * whose replay walk (RNG draws, trace events) must run before the
+     * next arrival test.
+     */
+    template <typename SinkFn>
+    int drainArrivalsDue(Cycle now, SinkFn &&sink)
+    {
+        if (faults_ == nullptr) {
+            int head = inflightHead_;
+            int n = 0;
+            while (n < inflightCount_ &&
+                   inflight_[head].arrives <= now) {
+                sink(inflight_[head].flit);
+                head = (head + 1) & (kInflightCap - 1);
+                n++;
+            }
+            inflightHead_ = head;
+            inflightCount_ -= n;
+            return n;
+        }
+        int n = 0;
+        while (hasArrival(now)) {
+            sink(popArrival(now));
+            n++;
+        }
+        return n;
+    }
+
     /** Flits accepted but not yet popped by the receiver. */
     int inFlight() const { return inflightCount_; }
 
@@ -420,8 +459,9 @@ class OpticalLink
     std::uint64_t flitsDroppedOnFailLifetime_ = 0;
     std::uint64_t windowRetries_ = 0;
 
-    // Serialization / in-flight flits.
-    static constexpr int kInflightCap = 16;
+    // Serialization / in-flight flits (ring capacity kInflightCap,
+    // public above; power of two so the drain walk can mask).
+    static_assert((kInflightCap & (kInflightCap - 1)) == 0);
     double nextFree_ = 0.0; ///< earliest cycle the transmitter is free
     struct InFlight
     {

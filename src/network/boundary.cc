@@ -7,19 +7,15 @@ namespace oenet {
 void
 BoundaryChannel::swapBuffers()
 {
-    if (readyHead_ != readyArrivals_.size())
-        panic("BoundaryChannel %s: %zu ready flits not drained "
+    if (head_ != readyEnd_)
+        panic("BoundaryChannel %s: %u ready flits not drained "
               "(missing delivery wake?)",
-              link_->name().c_str(),
-              readyArrivals_.size() - readyHead_);
-    if (!readyCredits_.empty())
-        panic("BoundaryChannel %s: %zu ready credits not drained",
-              link_->name().c_str(), readyCredits_.size());
-    std::swap(readyArrivals_, pendingArrivals_);
-    pendingArrivals_.clear();
-    readyHead_ = 0;
-    std::swap(readyCredits_, pendingCredits_);
-    pendingCredits_.clear();
+              link_->name().c_str(), readyEnd_ - head_);
+    if (credHead_ != credReadyEnd_)
+        panic("BoundaryChannel %s: %u ready credits not drained",
+              link_->name().c_str(), credReadyEnd_ - credHead_);
+    readyEnd_ = pendEnd_;
+    credReadyEnd_ = credPendEnd_;
     if (pendingFailed_) {
         pendingFailed_ = false;
         failed_ = true;

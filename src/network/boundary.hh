@@ -11,34 +11,45 @@
  *                     ahead of arrival, which is exactly the phase
  *                     headroom the handoff needs (the link wakes it
  *                     with a one-cycle lead; see setReceiverWakeLead).
- *   BoundaryChannel   a double-buffered SPSC mailbox. The shuttle
- *                     writes the pending side during the parallel
- *                     phase; the driving thread swaps pending->ready
- *                     between phases; the destination router drains
- *                     the ready side — at the flit's true arrival
- *                     cycle — during the next parallel phase. Credits
- *                     ride the same mailbox in the other direction.
+ *   BoundaryChannel   a phase-separated SPSC mailbox backed by
+ *                     fixed-capacity ring slabs. The shuttle writes the
+ *                     pending region during the parallel phase; the
+ *                     driving thread publishes pending -> ready between
+ *                     phases by advancing one index (no buffer copy or
+ *                     allocation); the destination router drains the
+ *                     ready region — at the flit's true arrival cycle —
+ *                     during the next parallel phase. Credits ride a
+ *                     second ring in the other direction.
  *
  * No payload atomics anywhere: the producer and consumer touch
- * different buffers in any given phase, and the kernel's phase barrier
- * supplies the happens-before edge across the swap.
+ * disjoint index ranges in any given phase, and the kernel's phase
+ * barrier supplies the happens-before edge across the publish.
  *
  * The proxy is used for every inter-router link at every shard count,
- * including --shards 1 and links whose endpoints share a shard. That
- * uniformity is what makes output byte-identical at any shard count:
- * the per-link call sequence is the same by construction, so nothing
- * about timing, RNG draw order, or trace emission depends on where the
- * partition fell. Delivery timing is unchanged from a direct receiver:
+ * including --shards 1 and links whose endpoints share a shard: the
+ * shuttle's poll of hasArrival(now + 1) is what fixes the link walk's
+ * RNG draw cycles and trace emission points, so it can never be
+ * bypassed. What *is* specialized is the publication machinery. A link
+ * whose endpoints share a shard runs in **direct mode** (setDirect):
+ * staged flits are published immediately (the destination router ticks
+ * before the shuttle within a cycle, so it cannot observe them early),
+ * credits forward synchronously (they are time-stamped, so application
+ * timing is unchanged), and the per-cycle swap/drain hooks skip the
+ * edge entirely. The call sequence seen by the link, the routers, and
+ * the RNG streams is byte-for-byte identical in both modes; see
+ * DESIGN.md section 11 and docs/DETERMINISM.md section 5.
+ *
+ * Delivery timing is unchanged from a direct receiver in either mode:
  * a flit accepted at t with arrival t+k is staged at t+k-1 and drained
- * at t+k; a credit returned at t is forwarded in the t+1 pre-pass and
- * applied at t+1. See DESIGN.md section 11 and docs/DETERMINISM.md.
+ * at t+k; a credit returned at t applies at t+1.
  */
 
 #ifndef OENET_NETWORK_BOUNDARY_HH
 #define OENET_NETWORK_BOUNDARY_HH
 
-#include <vector>
+#include <cstdint>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "link/endpoints.hh"
 #include "link/link.hh"
@@ -53,6 +64,14 @@ namespace oenet {
  * destination shard). Also carries the reverse credit stream, with the
  * roles swapped. All methods are phase-bound — see each one's comment
  * for which thread may call it when; none of them synchronize.
+ *
+ * Storage is two fixed ring slabs addressed by monotonically
+ * increasing indices masked on access: head <= readyEnd <= pendEnd.
+ * Staging writes slab[pendEnd++ & mask]; publishing is readyEnd =
+ * pendEnd; draining reads slab[head++ & mask]. Capacities are hard
+ * bounds from the protocol (the link's in-flight ring caps arrivals
+ * per cycle; switch allocation returns at most one credit per input
+ * port per cycle), so overflow is a bug and panics.
  */
 class BoundaryChannel final : public CreditSink
 {
@@ -64,31 +83,55 @@ class BoundaryChannel final : public CreditSink
     {
     }
 
+    /**
+     * Switch to direct (same-shard) mode: stageArrival/stageFailure
+     * publish immediately and returnCredit forwards synchronously, so
+     * the channel needs no per-cycle swap or drain. Only legal when
+     * producer and consumer run on the same thread (the shuttle ticks
+     * after the destination router, the upstream router's credit
+     * application is stamped) — Network::configureSharding sets it for
+     * every edge whose endpoints share a shard. Configuration-time
+     * only, before the first cycle.
+     */
+    void setDirect() { direct_ = true; }
+    bool direct() const { return direct_; }
+
     // --- producer side: source shard's thread, parallel phase ---
 
-    /** Stage a flit for delivery at the start of the next cycle. */
+    /** Stage a flit for delivery at the start of the next cycle
+     *  (published immediately in direct mode). */
     void stageArrival(const Flit &flit)
     {
-        pendingArrivals_.push_back(flit);
-        arrivalsDirty_ = true;
+        if (pendEnd_ - head_ >= kArrivalCap)
+            panic("BoundaryChannel %s: arrival ring overflow",
+                  link_->name().c_str());
+        arrivals_[pendEnd_++ & kArrivalMask] = flit;
+        if (direct_)
+            readyEnd_ = pendEnd_;
+        else
+            arrivalsDirty_ = true;
     }
 
     /** Stage the link's hard failure (staged once, by the shuttle). */
     void stageFailure()
     {
-        pendingFailed_ = true;
-        arrivalsDirty_ = true;
+        if (direct_) {
+            // The only reader (the destination router) ticked before
+            // the shuttle this cycle, so it first observes the flag
+            // next cycle — the same cycle the swap would publish it.
+            failed_ = true;
+        } else {
+            pendingFailed_ = true;
+            arrivalsDirty_ = true;
+        }
     }
 
     // --- consumer side: destination shard's thread, parallel phase ---
 
-    bool hasReadyArrival() const
-    {
-        return readyHead_ < readyArrivals_.size();
-    }
+    bool hasReadyArrival() const { return head_ != readyEnd_; }
 
     /** Pop the oldest ready flit. @pre hasReadyArrival(). */
-    const Flit &popReadyArrival() { return readyArrivals_[readyHead_++]; }
+    const Flit &popReadyArrival() { return arrivals_[head_++ & kArrivalMask]; }
 
     /** True once the link's hard failure has propagated (from the
      *  exact cycle a direct receiver would observe it). */
@@ -96,26 +139,35 @@ class BoundaryChannel final : public CreditSink
 
     /** CreditSink: the destination router frees a buffer slot at
      *  @p now; the credit reaches the source router next cycle's
-     *  pre-pass and applies at now+1, as with a direct call. */
+     *  pre-pass (synchronously in direct mode — either way it is
+     *  stamped @p now and applies at now+1, as with a direct call). */
     void returnCredit(int port, int vc, Cycle now) override
     {
         (void)port;
-        pendingCredits_.push_back(StagedCredit{vc, now});
+        if (direct_) {
+            upstream_->returnCredit(srcPort_, vc, now);
+            return;
+        }
+        if (credPendEnd_ - credHead_ >= kCreditCap)
+            panic("BoundaryChannel %s: credit ring overflow",
+                  link_->name().c_str());
+        credits_[credPendEnd_++ & kCreditMask] = StagedCredit{vc, now};
         creditsDirty_ = true;
     }
 
-    // --- source shard's thread, pre-pass ---
+    // --- source shard's thread, pre-pass (cross-shard mode only) ---
 
     /** Forward every ready credit to the source router, stamped with
      *  its original return cycle (so it applies at that cycle + 1). */
     void drainCredits()
     {
-        for (const StagedCredit &c : readyCredits_)
+        while (credHead_ != credReadyEnd_) {
+            const StagedCredit &c = credits_[credHead_++ & kCreditMask];
             upstream_->returnCredit(srcPort_, c.vc, c.at);
-        readyCredits_.clear();
+        }
     }
 
-    // --- destination shard's thread, pre-pass ---
+    // --- destination shard's thread, pre-pass (cross-shard mode only) ---
 
     /** True if the ready side carries anything the destination router
      *  must tick for (flits, or a just-propagated failure); clears the
@@ -128,7 +180,7 @@ class BoundaryChannel final : public CreditSink
         return any;
     }
 
-    // --- driving thread, between phases ---
+    // --- driving thread, between phases (cross-shard mode only) ---
 
     /** True if the shuttle staged flits or a failure this cycle. */
     bool arrivalsDirty() const { return arrivalsDirty_; }
@@ -139,20 +191,17 @@ class BoundaryChannel final : public CreditSink
     /** True if either side staged something this cycle. */
     bool dirty() const { return arrivalsDirty_ || creditsDirty_; }
 
-    /** Publish the pending side: staged flits/credits/failure become
-     *  ready for the next cycle's consumers. @pre the previous ready
-     *  side was fully drained (the pre-pass wake guarantees it). */
+    /** Publish the pending region: staged flits/credits/failure become
+     *  ready for the next cycle's consumers. An index flip, no copy.
+     *  @pre the previous ready region was fully drained (the pre-pass
+     *  wake guarantees it). */
     void swapBuffers();
 
     // --- any thread between steps (driving thread) ---
 
     /** Flits staged in the mailbox (in neither the link nor a router
      *  buffer); counted by Network::flitsInSystem. */
-    int staged() const
-    {
-        return static_cast<int>(pendingArrivals_.size() +
-                                (readyArrivals_.size() - readyHead_));
-    }
+    int staged() const { return static_cast<int>(pendEnd_ - head_); }
 
     OpticalLink *link() const { return link_; }
 
@@ -163,23 +212,43 @@ class BoundaryChannel final : public CreditSink
         Cycle at; ///< cycle the destination router returned it
     };
 
+    // Ring capacities. Arrivals: the shuttle stages at most one link
+    // ring's worth (kInflightCap) per tick and the ready region is
+    // drained before the next publish, so 2 * kInflightCap bounds the
+    // live range. Credits: switch allocation returns at most one
+    // credit per input port per cycle, so pending + ready <= 2.
+    static constexpr std::uint32_t kArrivalCap = 32;
+    static constexpr std::uint32_t kArrivalMask = kArrivalCap - 1;
+    static constexpr std::uint32_t kCreditCap = 8;
+    static constexpr std::uint32_t kCreditMask = kCreditCap - 1;
+    static_assert((kArrivalCap & kArrivalMask) == 0);
+    static_assert(static_cast<int>(kArrivalCap) >=
+                  2 * OpticalLink::kInflightCap);
+    static_assert((kCreditCap & kCreditMask) == 0);
+
     OpticalLink *link_;
     CreditSink *upstream_;
     int srcPort_;
+    bool direct_ = false;
 
     // Flit direction (written by producer, drained by consumer).
-    std::vector<Flit> pendingArrivals_;
-    std::vector<Flit> readyArrivals_;
-    std::size_t readyHead_ = 0;
+    // Monotonic indices, masked on access: head_ <= readyEnd_ <= pendEnd_.
+    Flit arrivals_[kArrivalCap];
+    std::uint32_t head_ = 0;
+    std::uint32_t readyEnd_ = 0;
+    std::uint32_t pendEnd_ = 0;
     bool arrivalsDirty_ = false;
     bool pendingFailed_ = false;
 
     // Credit direction (written by consumer, drained by producer).
-    std::vector<StagedCredit> pendingCredits_;
-    std::vector<StagedCredit> readyCredits_;
+    StagedCredit credits_[kCreditCap];
+    std::uint32_t credHead_ = 0;
+    std::uint32_t credReadyEnd_ = 0;
+    std::uint32_t credPendEnd_ = 0;
     bool creditsDirty_ = false;
 
-    // Failure propagation (published by swapBuffers).
+    // Failure propagation (published by swapBuffers; direct mode sets
+    // failed_ immediately — see stageFailure).
     bool failed_ = false;
     bool failEdge_ = false;
 };
@@ -187,11 +256,14 @@ class BoundaryChannel final : public CreditSink
 /**
  * The inter-router link's registered receiver: runs in the source
  * router's shard and ferries deliveries into the BoundaryChannel one
- * cycle before their arrival stamp. Polling hasArrival(now + 1) makes
- * the shuttle a faithful image of a direct every-cycle receiver
+ * cycle before their arrival stamp. Polling arrivals due by now + 1
+ * makes the shuttle a faithful image of a direct every-cycle receiver
  * shifted one cycle early, so the link's lazy fault/replay walk — and
  * every RNG draw and trace emission it performs — happens at the same
- * simulated cycles as it would for a direct receiver.
+ * simulated cycles as it would for a direct receiver. Identical in
+ * both channel modes; in direct mode the shuttle additionally issues
+ * the destination router's delivery wake itself (a same-domain wake at
+ * now + 1, the cycle the cross-shard pre-pass would have issued it).
  */
 class LinkShuttle final : public Ticking
 {
@@ -201,14 +273,22 @@ class LinkShuttle final : public Ticking
     {
     }
 
+    /** Direct-mode wake target (the destination router); set together
+     *  with BoundaryChannel::setDirect. Configuration-time only. */
+    void setDirectDst(Ticking *dst) { directDst_ = dst; }
+
     void tick(Cycle now) override
     {
-        while (link_->hasArrival(now + 1))
-            channel_->stageArrival(link_->popArrival(now + 1));
+        int staged = link_->drainArrivalsDue(
+            now + 1, [this](const Flit &f) { channel_->stageArrival(f); });
+        bool edge = staged > 0;
         if (link_->isFailed() && !failStaged_) {
             failStaged_ = true;
             channel_->stageFailure();
+            edge = true;
         }
+        if (edge && directDst_ != nullptr)
+            directDst_->wakeAt(now + 1);
     }
 
     Cycle nextWakeCycle(Cycle now) override
@@ -225,6 +305,7 @@ class LinkShuttle final : public Ticking
   private:
     OpticalLink *link_;
     BoundaryChannel *channel_;
+    Ticking *directDst_ = nullptr;
     bool failStaged_ = false;
 };
 

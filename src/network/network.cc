@@ -72,7 +72,8 @@ Network::Network(Kernel &kernel, const Params &params)
             link->setReceiverWakeLead(1);
             dst.connectInputBoundary(spec.dstPort.value(), link.get(),
                                      chan.get(), spec.srcPort.value());
-            edges_.push_back(BoundaryEdge{chan.get(), spec.srcRouter,
+            edges_.push_back(BoundaryEdge{chan.get(), shuttle.get(),
+                                          spec.srcRouter,
                                           spec.dstRouter, &dst});
             channels_.push_back(std::move(chan));
             shuttles_.push_back(std::move(shuttle));
@@ -95,7 +96,7 @@ Network::Network(Kernel &kernel, const Params &params)
     for (auto &s : shuttles_)
         kernel.addTicking(s.get());
 
-    configureSharding(kernel, params.shards);
+    configureSharding(kernel, params.shards, params.directBoundary);
 
     if (params.thermal.enabled) {
         // Batched thermal epoch on the driving thread (events run
@@ -114,7 +115,8 @@ Network::Network(Kernel &kernel, const Params &params)
 }
 
 void
-Network::configureSharding(Kernel &kernel, int shards)
+Network::configureSharding(Kernel &kernel, int shards,
+                           bool direct_boundary)
 {
     kernel.configureSharding(shards);
     shardOf_ = topo_->partition(shards);
@@ -146,15 +148,33 @@ Network::configureSharding(Kernel &kernel, int shards)
         edge_idx++;
     }
 
-    // Per-domain boundary lists, in link-enumeration order — the
-    // canonical merge order for boundary events.
+    // Edges whose endpoints share a shard switch to direct mode: the
+    // shuttle stays (it fixes the link walk's RNG/trace cycles), but
+    // publication is immediate, credits forward synchronously, and the
+    // per-cycle pre/post-pass hooks below skip the edge entirely. The
+    // call sequence is identical either way (boundary.hh); at
+    // --shards 1 every edge is direct and the hooks vanish.
+    // sim.direct_boundary=off keeps every edge on the generic path so
+    // the equivalence can be soaked end to end.
+    crossEdges_.clear();
+    for (auto &e : edges_) {
+        if (direct_boundary && e.srcDomain == e.dstDomain) {
+            e.channel->setDirect();
+            e.shuttle->setDirectDst(e.dstRouter);
+        } else {
+            crossEdges_.push_back(&e);
+        }
+    }
+
+    // Per-domain cross-shard boundary lists, in link-enumeration order
+    // — the canonical merge order for boundary events.
     domainIngress_.assign(static_cast<std::size_t>(shards) + 1, {});
     domainEgress_.assign(static_cast<std::size_t>(shards) + 1, {});
-    for (auto &e : edges_) {
-        domainIngress_[static_cast<std::size_t>(e.dstDomain)]
-            .push_back(&e);
-        domainEgress_[static_cast<std::size_t>(e.srcDomain)]
-            .push_back(e.channel);
+    for (BoundaryEdge *e : crossEdges_) {
+        domainIngress_[static_cast<std::size_t>(e->dstDomain)]
+            .push_back(e);
+        domainEgress_[static_cast<std::size_t>(e->srcDomain)]
+            .push_back(e->channel);
     }
 
     // Pre-pass (each shard's thread, before its tick pass): wake
@@ -175,19 +195,23 @@ Network::configureSharding(Kernel &kernel, int shards)
     }
 
     // Post-pass (driving thread, after the barrier): publish staged
-    // boundary traffic and tell the kernel which domains have work, so
-    // the all-quiet fast path never skips a delivery.
+    // cross-shard boundary traffic and tell the kernel which domains
+    // have work, so the all-quiet fast path never skips a delivery.
+    // Direct edges publish inline and wake their own router, so with
+    // no cross-shard edges (--shards 1) there is nothing to install.
+    if (crossEdges_.empty())
+        return;
     kernel.addPostPass([this, &kernel](Cycle) {
-        for (auto &e : edges_) {
-            bool arrivals = e.channel->arrivalsDirty();
-            bool credits = e.channel->creditsDirty();
+        for (BoundaryEdge *e : crossEdges_) {
+            bool arrivals = e->channel->arrivalsDirty();
+            bool credits = e->channel->creditsDirty();
             if (!arrivals && !credits)
                 continue;
-            e.channel->swapBuffers();
+            e->channel->swapBuffers();
             if (arrivals)
-                kernel.markDomainWork(e.dstDomain);
+                kernel.markDomainWork(e->dstDomain);
             if (credits)
-                kernel.markDomainWork(e.srcDomain);
+                kernel.markDomainWork(e->srcDomain);
         }
     });
 }

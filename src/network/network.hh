@@ -45,6 +45,10 @@ class Network
          *  threads, same phase structure). Output is byte-identical
          *  at every value; see docs/DETERMINISM.md. */
         int shards = 1;
+        /** Zero-copy direct channel mode on same-shard boundary
+         *  edges; off forces the generic cross-shard machinery
+         *  everywhere (bit-identical output, verification only). */
+        bool directBoundary = true;
         /** Leakage + thermal model (phy/thermal.hh); disabled by
          *  default, which keeps every output byte-identical to the
          *  leakage-free era. */
@@ -205,7 +209,8 @@ class Network
   private:
     /** Wire boundary channels/shuttles over every inter-router link,
      *  partition the fabric, and install the kernel's shard hooks. */
-    void configureSharding(Kernel &kernel, int shards);
+    void configureSharding(Kernel &kernel, int shards,
+                           bool direct_boundary);
 
     std::unique_ptr<const Topology> topo_;
     BitrateLevelTable levels_;
@@ -219,6 +224,7 @@ class Network
     struct BoundaryEdge
     {
         BoundaryChannel *channel;
+        LinkShuttle *shuttle;
         int srcDomain; ///< kernel domain of the source router
         int dstDomain; ///< kernel domain of the destination router
         Router *dstRouter;
@@ -226,9 +232,14 @@ class Network
     std::vector<std::unique_ptr<BoundaryChannel>> channels_;
     std::vector<std::unique_ptr<LinkShuttle>> shuttles_;
     std::vector<BoundaryEdge> edges_;
-    /** Per shard domain (index 1..shards): edges delivering into it
-     *  (ingress wakes) and edges crediting out of it (credit drains),
-     *  each in link-enumeration order. */
+    /** Edges whose endpoints are in different shards — the only ones
+     *  needing the pre-pass drains and the post-pass publish; edges
+     *  with both ends in one shard run in the channel's direct mode
+     *  and never appear in a per-cycle scan. */
+    std::vector<BoundaryEdge *> crossEdges_;
+    /** Per shard domain (index 1..shards): cross-shard edges
+     *  delivering into it (ingress wakes) and crediting out of it
+     *  (credit drains), each in link-enumeration order. */
     std::vector<std::vector<BoundaryEdge *>> domainIngress_;
     std::vector<std::vector<BoundaryChannel *>> domainEgress_;
     std::vector<int> shardOf_;

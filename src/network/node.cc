@@ -84,8 +84,7 @@ Node::drainEjection(Cycle now)
 {
     if (ejLink_ == nullptr)
         return;
-    while (ejLink_->hasArrival(now)) {
-        Flit flit = ejLink_->popArrival(now);
+    ejLink_->drainArrivalsDue(now, [this, now](const Flit &flit) {
         // Immediately free the router-side credit for this flit.
         if (ejUpstream_ != nullptr)
             ejUpstream_->returnCredit(ejUpstreamPort_, flit.vc, now);
@@ -93,7 +92,7 @@ Node::drainEjection(Cycle now)
             // Synthetic tail closing a wormhole killed by a link
             // failure: frees resources but is not delivered data.
             poisonTails_++;
-            continue;
+            return;
         }
         flitsEjected_++;
         if (flit.isTail()) {
@@ -101,7 +100,7 @@ Node::drainEjection(Cycle now)
             if (sink_ != nullptr)
                 sink_->packetEjected(flit, now);
         }
-    }
+    });
 }
 
 int

@@ -1,43 +1,20 @@
 #include "router/buffer.hh"
 
-#include "common/log.hh"
-
 namespace oenet {
 
-FlitFifo::FlitFifo(int capacity)
-    : ring_(static_cast<std::size_t>(capacity)), capacity_(capacity)
-{
-    if (capacity < 1)
-        panic("FlitFifo: capacity must be >= 1, got %d", capacity);
-}
-
 void
-FlitFifo::push(const Flit &flit)
+FlitSlab::configure(int segments, int depth)
 {
-    if (full())
-        panic("FlitFifo: overflow (capacity %d); credit protocol broken",
-              capacity_);
-    ring_[static_cast<std::size_t>((head_ + size_) % capacity_)] = flit;
-    size_++;
-}
-
-Flit
-FlitFifo::pop()
-{
-    if (empty())
-        panic("FlitFifo: underflow");
-    Flit flit = ring_[static_cast<std::size_t>(head_)];
-    head_ = (head_ + 1) % capacity_;
-    size_--;
-    return flit;
-}
-
-const Flit &
-FlitFifo::front() const
-{
-    if (empty())
-        panic("FlitFifo: front of empty FIFO");
-    return ring_[static_cast<std::size_t>(head_)];
+    if (segments < 1)
+        panic("FlitSlab: need at least one segment, got %d", segments);
+    if (depth < 1)
+        panic("FlitSlab: segment capacity must be >= 1, got %d", depth);
+    depth_ = depth;
+    slab_.assign(static_cast<std::size_t>(segments) *
+                     static_cast<std::size_t>(depth),
+                 Flit{});
+    head_.assign(static_cast<std::size_t>(segments), 0);
+    size_.assign(static_cast<std::size_t>(segments), 0);
 }
 
 } // namespace oenet

@@ -29,20 +29,32 @@ Router::Router(std::string name, int router_id, const Topology &topo,
     if (ports > kMaxPorts || ports * params_.numVcs > 64)
         fatal("Router %s: %d ports x %d VCs exceeds allocator masks",
               name_.c_str(), ports, params_.numVcs);
-    inputs_.resize(static_cast<std::size_t>(ports));
-    outputs_.resize(static_cast<std::size_t>(ports));
-    saInputArb_.resize(static_cast<std::size_t>(ports));
-    saCandidateVc_.assign(static_cast<std::size_t>(ports), kInvalid);
+    auto nports = static_cast<std::size_t>(ports);
+    auto nflat = static_cast<std::size_t>(ports * params_.numVcs);
+    inputs_.resize(nports);
+    vcState_.assign(nflat, VcState::kIdle);
+    vcOutPort_.assign(nflat, static_cast<std::int16_t>(kInvalid));
+    vcOutVc_.assign(nflat, static_cast<std::int16_t>(kInvalid));
+    vcOutVcMask_.assign(nflat, 0);
+    vcLastActivity_.assign(nflat, 0);
+    buffers_.configure(ports * params_.numVcs, vcDepth_);
+    portOcc_.assign(nports, 0);
+    inBoundary_.assign(nports, nullptr);
+    inDrainLink_.assign(nports, nullptr);
+    outAllocated_.assign(nflat, 0);
+    outCredits_.assign(nflat, 0);
+    outMaxCredits_.assign(nflat, 0);
+    outLink_.assign(nports, nullptr);
+    latchFull_.assign(nports, 0);
+    latch_.assign(nports, Flit{});
+    saArb_.resize(nports);
+    vaArb_.resize(nports);
+    saInputArb_.resize(nports);
+    saCandidateVc_.assign(nports, kInvalid);
 
     for (int p = 0; p < ports; p++) {
-        auto &in = inputs_[static_cast<std::size_t>(p)];
-        in.vcs.reserve(static_cast<std::size_t>(params_.numVcs));
-        for (int v = 0; v < params_.numVcs; v++)
-            in.vcs.emplace_back(vcDepth_);
-        auto &out = outputs_[static_cast<std::size_t>(p)];
-        out.vcs.resize(static_cast<std::size_t>(params_.numVcs));
-        out.saArb.resize(ports);
-        out.vaArb.resize(ports * params_.numVcs);
+        saArb_[static_cast<std::size_t>(p)].resize(ports);
+        vaArb_[static_cast<std::size_t>(p)].resize(ports * params_.numVcs);
         saInputArb_[static_cast<std::size_t>(p)].resize(params_.numVcs);
     }
 }
@@ -57,6 +69,7 @@ Router::connectInput(int port, OpticalLink *link, CreditSink *upstream,
     in.link = link;
     in.upstream = upstream;
     in.upstreamPort = upstream_port;
+    inDrainLink_[static_cast<std::size_t>(port)] = link;
     if (link != nullptr)
         link->setReceiver(this); // arrival wake edge (idle elision)
 }
@@ -72,6 +85,7 @@ Router::connectInputBoundary(int port, OpticalLink *link,
     in.boundary = channel;
     in.upstream = channel;
     in.upstreamPort = upstream_port;
+    inBoundary_[static_cast<std::size_t>(port)] = channel;
 }
 
 bool
@@ -87,11 +101,11 @@ Router::connectOutput(int port, OpticalLink *link, int downstream_vc_depth)
 {
     if (port < 0 || port >= numPorts())
         panic("Router %s: bad output port %d", name_.c_str(), port);
-    auto &out = outputs_[static_cast<std::size_t>(port)];
-    out.link = link;
-    for (auto &vc : out.vcs) {
-        vc.credits = downstream_vc_depth;
-        vc.maxCredits = downstream_vc_depth;
+    outLink_[static_cast<std::size_t>(port)] = link;
+    for (int v = 0; v < params_.numVcs; v++) {
+        auto f = static_cast<std::size_t>(flatIdx(port, v));
+        outCredits_[f] = downstream_vc_depth;
+        outMaxCredits_[f] = downstream_vc_depth;
     }
 }
 
@@ -118,41 +132,40 @@ Router::bufferCapacity(int) const
 int
 Router::inputOccupancy(int port) const
 {
-    const auto &in = inputs_.at(static_cast<std::size_t>(port));
-    int n = 0;
-    for (const auto &vc : in.vcs)
-        n += vc.buffer.size();
-    return n;
+    return portOcc_.at(static_cast<std::size_t>(port));
 }
 
 int
 Router::outputCredits(int port, int vc) const
 {
-    return outputs_.at(static_cast<std::size_t>(port))
-        .vcs.at(static_cast<std::size_t>(vc))
-        .credits;
+    if (port < 0 || port >= numPorts() || vc < 0 || vc >= params_.numVcs)
+        panic("Router %s: bad output VC (%d, %d)", name_.c_str(), port,
+              vc);
+    return outCredits_[static_cast<std::size_t>(flatIdx(port, vc))];
 }
 
 int
 Router::outputVcCapacity(int port, int vc) const
 {
-    return outputs_.at(static_cast<std::size_t>(port))
-        .vcs.at(static_cast<std::size_t>(vc))
-        .maxCredits;
+    if (port < 0 || port >= numPorts() || vc < 0 || vc >= params_.numVcs)
+        panic("Router %s: bad output VC (%d, %d)", name_.c_str(), port,
+              vc);
+    return outMaxCredits_[static_cast<std::size_t>(flatIdx(port, vc))];
 }
 
 bool
 Router::outputVcFree(int port, int vc) const
 {
-    return !outputs_.at(static_cast<std::size_t>(port))
-                .vcs.at(static_cast<std::size_t>(vc))
-                .allocated;
+    if (port < 0 || port >= numPorts() || vc < 0 || vc >= params_.numVcs)
+        panic("Router %s: bad output VC (%d, %d)", name_.c_str(), port,
+              vc);
+    return !outAllocated_[static_cast<std::size_t>(flatIdx(port, vc))];
 }
 
 OpticalLink *
 Router::outputLink(int port) const
 {
-    return outputs_.at(static_cast<std::size_t>(port)).link;
+    return outLink_.at(static_cast<std::size_t>(port));
 }
 
 OpticalLink *
@@ -164,16 +177,15 @@ Router::inputLink(int port) const
 bool
 Router::outputWaiting(int port) const
 {
-    const auto &out = outputs_.at(static_cast<std::size_t>(port));
-    if (out.latchFull)
+    if (latchFull_.at(static_cast<std::size_t>(port)))
         return true;
-    for (const auto &in : inputs_) {
-        for (const auto &ivc : in.vcs) {
-            if (ivc.outPort == port && !ivc.buffer.empty() &&
-                (ivc.state == VcState::kActive ||
-                 ivc.state == VcState::kVcAlloc))
-                return true;
-        }
+    int flats = numPorts() * params_.numVcs;
+    for (int f = 0; f < flats; f++) {
+        auto s = static_cast<std::size_t>(f);
+        if (vcOutPort_[s] == port && !buffers_.empty(f) &&
+            (vcState_[s] == VcState::kActive ||
+             vcState_[s] == VcState::kVcAlloc))
+            return true;
     }
     return false;
 }
@@ -182,14 +194,12 @@ int
 Router::bufferedFor(int port) const
 {
     int n = 0;
-    for (const auto &in : inputs_) {
-        for (const auto &ivc : in.vcs) {
-            if (ivc.outPort == port)
-                n += ivc.buffer.size();
-        }
+    int flats = numPorts() * params_.numVcs;
+    for (int f = 0; f < flats; f++) {
+        if (vcOutPort_[static_cast<std::size_t>(f)] == port)
+            n += buffers_.size(f);
     }
-    const auto &out = outputs_.at(static_cast<std::size_t>(port));
-    if (out.latchFull)
+    if (latchFull_.at(static_cast<std::size_t>(port)))
         n++;
     return n;
 }
@@ -200,8 +210,8 @@ Router::totalBufferedFlits() const
     int n = 0;
     for (int p = 0; p < numPorts(); p++)
         n += inputOccupancy(p);
-    for (const auto &out : outputs_)
-        n += out.latchFull ? 1 : 0;
+    for (std::uint8_t full : latchFull_)
+        n += full ? 1 : 0;
     return n;
 }
 
@@ -212,10 +222,9 @@ Router::applyCredits(Cycle now)
     while (i < pendingCredits_.size()) {
         const auto &pc = pendingCredits_[i];
         if (pc.effective <= now) {
-            auto &state = outputs_[static_cast<std::size_t>(pc.port)]
-                              .vcs[static_cast<std::size_t>(pc.vc)];
-            state.credits++;
-            if (state.credits > vcDepth_)
+            auto f = static_cast<std::size_t>(flatIdx(pc.port, pc.vc));
+            outCredits_[f]++;
+            if (outCredits_[f] > vcDepth_)
                 panic("Router %s: credit overflow on output %d vc %d",
                       name_.c_str(), pc.port, pc.vc);
             pendingCredits_[i] = pendingCredits_.back();
@@ -229,19 +238,25 @@ Router::applyCredits(Cycle now)
 void
 Router::stageSwitchTraversal(Cycle now)
 {
-    for (auto &out : outputs_) {
-        if (!out.latchFull)
-            continue;
-        if (out.link == nullptr)
+    // Walk only the occupied latches (ascending port order, same as
+    // the full scan). SA runs after ST within a tick, so the mask at
+    // entry is exactly the set of latches filled in earlier cycles.
+    for (std::uint64_t m = latchMask_; m != 0; m &= m - 1) {
+        int q = std::countr_zero(m);
+        auto s = static_cast<std::size_t>(q);
+        OpticalLink *link = outLink_[s];
+        if (link == nullptr)
             panic("Router %s: latched flit on unconnected output",
                   name_.c_str());
-        if (out.link->canAccept(now)) {
-            out.link->accept(now, out.latch);
-            out.latchFull = false;
+        if (link->canAccept(now)) {
+            link->accept(now, latch_[s]);
+            latchFull_[s] = 0;
+            latchMask_ &= ~(1ull << q);
             latchCount_--;
-        } else if (out.link->isFailed()) {
+        } else if (link->isFailed()) {
             // The link died with this flit waiting; it is lost.
-            out.latchFull = false;
+            latchFull_[s] = 0;
+            latchMask_ &= ~(1ull << q);
             latchCount_--;
             droppedDeadPort_++;
         }
@@ -260,22 +275,28 @@ Router::stageSwitchAllocation(Cycle now)
     std::uint64_t port_requests[kMaxPorts] = {};
     bool any = false;
     for (int p = 0; p < ports; p++) {
-        auto &in = inputs_[static_cast<std::size_t>(p)];
+        // A port with no buffered flits can nominate nothing.
+        if (portOcc_[static_cast<std::size_t>(p)] == 0) {
+            saCandidateVc_[static_cast<std::size_t>(p)] = kInvalid;
+            continue;
+        }
+        int base = p * vcs;
         std::uint64_t req = 0;
         for (int v = 0; v < vcs; v++) {
-            const auto &ivc = in.vcs[static_cast<std::size_t>(v)];
-            if (ivc.state != VcState::kActive || ivc.buffer.empty())
+            auto f = static_cast<std::size_t>(base + v);
+            if (vcState_[f] != VcState::kActive ||
+                buffers_.empty(base + v))
                 continue;
-            const auto &out =
-                outputs_[static_cast<std::size_t>(ivc.outPort)];
+            int q = vcOutPort_[f];
+            OpticalLink *olink = outLink_[static_cast<std::size_t>(q)];
             // A dead output accepts (and discards) anything, so the
             // wormhole headed there can drain regardless of latch or
             // credit state.
-            if (out.link == nullptr || !out.link->isFailed()) {
-                if (out.latchFull)
+            if (olink == nullptr || !olink->isFailed()) {
+                if (latchFull_[static_cast<std::size_t>(q)])
                     continue;
-                if (out.vcs[static_cast<std::size_t>(ivc.outVc)]
-                        .credits <= 0)
+                if (outCredits_[static_cast<std::size_t>(
+                        q * vcs + vcOutVc_[f])] <= 0)
                     continue;
             }
             req |= 1ull << v;
@@ -285,7 +306,7 @@ Router::stageSwitchAllocation(Cycle now)
                 : kInvalid;
         saCandidateVc_[static_cast<std::size_t>(p)] = winner;
         if (winner != kInvalid) {
-            int q = in.vcs[static_cast<std::size_t>(winner)].outPort;
+            int q = vcOutPort_[static_cast<std::size_t>(base + winner)];
             port_requests[q] |= 1ull << p;
             any = true;
         }
@@ -295,30 +316,35 @@ Router::stageSwitchAllocation(Cycle now)
 
     // Stage 2: each output port picks among nominating input ports.
     for (int q = 0; q < ports; q++) {
-        auto &out = outputs_[static_cast<std::size_t>(q)];
-        if (port_requests[q] == 0 || out.latchFull)
+        auto qs = static_cast<std::size_t>(q);
+        if (port_requests[q] == 0 || latchFull_[qs])
             continue;
-        int p = out.saArb.pick(port_requests[q]);
+        int p = saArb_[qs].pick(port_requests[q]);
         int v = saCandidateVc_[static_cast<std::size_t>(p)];
         auto &in = inputs_[static_cast<std::size_t>(p)];
-        auto &ivc = in.vcs[static_cast<std::size_t>(v)];
+        int fi = p * vcs + v;
+        auto fs = static_cast<std::size_t>(fi);
 
-        Flit flit = ivc.buffer.pop();
+        Flit flit = buffers_.pop(fi);
         bufferedFlits_--;
-        in.occupancy.update(now, inputOccupancy(p));
-        ivc.lastActivity = now;
-        bool dead = out.link != nullptr && out.link->isFailed();
+        portOcc_[static_cast<std::size_t>(p)]--;
+        in.occupancy.update(now, portOcc_[static_cast<std::size_t>(p)]);
+        vcLastActivity_[fs] = now;
+        int ov = vcOutVc_[fs];
+        OpticalLink *olink = outLink_[qs];
+        bool dead = olink != nullptr && olink->isFailed();
         if (dead) {
             // Flits to a hard-failed link are discarded at the switch;
             // output credits are not touched (the far side will never
             // return them).
             droppedDeadPort_++;
         } else {
-            flit.vc = static_cast<std::uint8_t>(ivc.outVc);
-            out.latch = flit;
-            out.latchFull = true;
+            flit.vc = static_cast<std::uint8_t>(ov);
+            latch_[qs] = flit;
+            latchFull_[qs] = 1;
+            latchMask_ |= 1ull << q;
             latchCount_++;
-            out.vcs[static_cast<std::size_t>(ivc.outVc)].credits--;
+            outCredits_[static_cast<std::size_t>(q * vcs + ov)]--;
             flitsSwitched_++;
         }
 
@@ -333,18 +359,17 @@ Router::stageSwitchAllocation(Cycle now)
         saCandidateVc_[static_cast<std::size_t>(p)] = kInvalid;
 
         if (flit.isTail()) {
-            out.vcs[static_cast<std::size_t>(ivc.outVc)].allocated =
-                false;
-            ivc.outPort = kInvalid;
-            ivc.outVc = kInvalid;
+            outAllocated_[static_cast<std::size_t>(q * vcs + ov)] = 0;
+            vcOutPort_[fs] = static_cast<std::int16_t>(kInvalid);
+            vcOutVc_[fs] = static_cast<std::int16_t>(kInvalid);
             activeVcCount_--;
-            if (ivc.buffer.empty()) {
-                ivc.state = VcState::kIdle;
+            if (buffers_.empty(fi)) {
+                vcState_[fs] = VcState::kIdle;
             } else {
-                if (!ivc.buffer.front().isHead())
+                if (!buffers_.front(fi).isHead())
                     panic("Router %s: non-head after tail on in %d vc %d",
                           name_.c_str(), p, v);
-                ivc.state = VcState::kRouting;
+                vcState_[fs] = VcState::kRouting;
                 routingCount_++;
             }
         }
@@ -359,36 +384,32 @@ Router::stageVcAllocation(Cycle now)
     int vcs = params_.numVcs;
 
     // Collect requesting input VCs (flattened index p*vcs + v) per
-    // requested output port.
+    // requested output port — a single walk over the flat state array.
     std::uint64_t requests[kMaxPorts] = {};
-    for (int p = 0; p < ports; p++) {
-        auto &in = inputs_[static_cast<std::size_t>(p)];
-        for (int v = 0; v < vcs; v++) {
-            const auto &ivc = in.vcs[static_cast<std::size_t>(v)];
-            if (ivc.state == VcState::kVcAlloc)
-                requests[ivc.outPort] |= 1ull << (p * vcs + v);
-        }
+    int flats = ports * vcs;
+    for (int f = 0; f < flats; f++) {
+        auto fs = static_cast<std::size_t>(f);
+        if (vcState_[fs] == VcState::kVcAlloc)
+            requests[vcOutPort_[fs]] |= 1ull << f;
     }
 
     for (int q = 0; q < ports; q++) {
-        auto &out = outputs_[static_cast<std::size_t>(q)];
         if (requests[q] == 0)
             continue;
+        auto qs = static_cast<std::size_t>(q);
 
-        if (out.link != nullptr && out.link->isFailed()) {
+        if (outLink_[qs] != nullptr && outLink_[qs]->isFailed()) {
             // Dead output: grant every requester immediately (VC 0,
             // unconditionally) so wormholes stuck routing to it can
             // drain into the drop path instead of waiting forever for
             // an output VC that will never free.
             for (;;) {
-                int winner = out.vaArb.pick(requests[q]);
+                int winner = vaArb_[qs].pick(requests[q]);
                 if (winner < 0)
                     break;
-                auto &ivc =
-                    inputs_[static_cast<std::size_t>(winner / vcs)]
-                        .vcs[static_cast<std::size_t>(winner % vcs)];
-                ivc.outVc = 0;
-                ivc.state = VcState::kActive;
+                auto ws = static_cast<std::size_t>(winner);
+                vcOutVc_[ws] = 0;
+                vcState_[ws] = VcState::kActive;
                 vcAllocCount_--;
                 activeVcCount_++;
                 requests[q] &= ~(1ull << winner);
@@ -400,38 +421,31 @@ Router::stageVcAllocation(Cycle now)
         // With a VC-class topology (torus datelines) each requester
         // may only take output VCs inside the mask its route computed;
         // the unrestricted fabrics keep the mask-free fast path.
+        int qbase = q * vcs;
         for (int ov = 0; ov < vcs; ov++) {
-            if (out.vcs[static_cast<std::size_t>(ov)].allocated)
+            if (outAllocated_[static_cast<std::size_t>(qbase + ov)])
                 continue;
             std::uint64_t eligible = requests[q];
             if (restrictedVcs_) {
                 for (std::uint64_t rem = eligible; rem != 0;
                      rem &= rem - 1) {
                     int i = std::countr_zero(rem);
-                    const auto &rvc =
-                        inputs_[static_cast<std::size_t>(i / vcs)]
-                            .vcs[static_cast<std::size_t>(i % vcs)];
-                    if (!(rvc.outVcMask >> ov & 1))
+                    if (!(vcOutVcMask_[static_cast<std::size_t>(i)] >> ov &
+                          1))
                         eligible &= ~(1ull << i);
                 }
                 if (eligible == 0)
                     continue;
             }
-            int winner = out.vaArb.pick(eligible);
+            int winner = vaArb_[qs].pick(eligible);
             if (winner < 0)
                 break;
-            int p = winner / vcs;
-            int v = winner % vcs;
-            auto &ivc = inputs_[static_cast<std::size_t>(p)]
-                            .vcs[static_cast<std::size_t>(v)];
-            ivc.outVc = ov;
-            ivc.state = VcState::kActive;
+            auto ws = static_cast<std::size_t>(winner);
+            vcOutVc_[ws] = static_cast<std::int16_t>(ov);
+            vcState_[ws] = VcState::kActive;
             vcAllocCount_--;
             activeVcCount_++;
-            auto &ovc = out.vcs[static_cast<std::size_t>(ov)];
-            ovc.allocated = true;
-            ovc.ownerInPort = p;
-            ovc.ownerInVc = v;
+            outAllocated_[static_cast<std::size_t>(qbase + ov)] = 1;
             requests[q] &= ~(1ull << winner);
         }
     }
@@ -465,9 +479,9 @@ Router::selectRoute(NodeId dst)
     RouteOption live[kMaxRouteCandidates];
     int m = 0;
     for (int i = 0; i < n; i++) {
-        const auto &out = outputs_[static_cast<std::size_t>(
+        OpticalLink *link = outLink_[static_cast<std::size_t>(
             candidates[i].port.value())];
-        if (out.link != nullptr && out.link->isFailed())
+        if (link != nullptr && link->isFailed())
             continue;
         live[m++] = candidates[i];
     }
@@ -482,11 +496,10 @@ Router::selectRoute(NodeId dst)
     RouteOption best = live[0];
     int best_credits = -1;
     for (int i = 0; i < m; i++) {
-        const auto &out = outputs_[static_cast<std::size_t>(
-            live[i].port.value())];
+        int base = live[i].port.value() * params_.numVcs;
         int credits = 0;
-        for (const auto &vc : out.vcs)
-            credits += vc.credits;
+        for (int v = 0; v < params_.numVcs; v++)
+            credits += outCredits_[static_cast<std::size_t>(base + v)];
         if (credits > best_credits) {
             best_credits = credits;
             best = live[i];
@@ -499,20 +512,20 @@ void
 Router::stageRouteComputation(Cycle now)
 {
     (void)now;
-    for (auto &in : inputs_) {
-        for (auto &ivc : in.vcs) {
-            if (ivc.state != VcState::kRouting)
-                continue;
-            if (ivc.buffer.empty() || !ivc.buffer.front().isHead())
-                panic("Router %s: routing state without head flit",
-                      name_.c_str());
-            RouteOption route = selectRoute(ivc.buffer.front().dst);
-            ivc.outPort = route.port.value();
-            ivc.outVcMask = vcMaskForClass(route.vcClass);
-            ivc.state = VcState::kVcAlloc;
-            routingCount_--;
-            vcAllocCount_++;
-        }
+    int flats = numPorts() * params_.numVcs;
+    for (int f = 0; f < flats; f++) {
+        auto fs = static_cast<std::size_t>(f);
+        if (vcState_[fs] != VcState::kRouting)
+            continue;
+        if (buffers_.empty(f) || !buffers_.front(f).isHead())
+            panic("Router %s: routing state without head flit",
+                  name_.c_str());
+        RouteOption route = selectRoute(buffers_.front(f).dst);
+        vcOutPort_[fs] = static_cast<std::int16_t>(route.port.value());
+        vcOutVcMask_[fs] = vcMaskForClass(route.vcClass);
+        vcState_[fs] = VcState::kVcAlloc;
+        routingCount_--;
+        vcAllocCount_++;
     }
 }
 
@@ -520,37 +533,39 @@ void
 Router::drainArrivals(Cycle now)
 {
     for (int p = 0; p < numPorts(); p++) {
-        auto &in = inputs_[static_cast<std::size_t>(p)];
         auto deliver = [&](const Flit &flit) {
             int v = flit.vc;
             if (v < 0 || v >= params_.numVcs)
                 panic("Router %s: flit with bad VC %d on input %d",
                       name_.c_str(), v, p);
-            auto &ivc = in.vcs[static_cast<std::size_t>(v)];
-            if (ivc.buffer.full())
+            int fi = flatIdx(p, v);
+            auto fs = static_cast<std::size_t>(fi);
+            if (buffers_.full(fi))
                 panic("Router %s: input %d vc %d overflow (credit bug)",
                       name_.c_str(), p, v);
-            if (ivc.state == VcState::kIdle) {
+            if (vcState_[fs] == VcState::kIdle) {
                 if (!flit.isHead())
                     panic("Router %s: body flit into idle in %d vc %d",
                           name_.c_str(), p, v);
-                ivc.state = VcState::kRouting;
+                vcState_[fs] = VcState::kRouting;
                 routingCount_++;
             }
-            ivc.buffer.push(flit);
-            ivc.lastActivity = now;
+            buffers_.push(fi, flit);
+            vcLastActivity_[fs] = now;
             bufferedFlits_++;
-            in.occupancy.update(now, inputOccupancy(p));
+            portOcc_[static_cast<std::size_t>(p)]++;
+            inputs_[static_cast<std::size_t>(p)].occupancy.update(
+                now, portOcc_[static_cast<std::size_t>(p)]);
         };
-        if (in.boundary != nullptr) {
+        if (BoundaryChannel *bc = inBoundary_[static_cast<std::size_t>(p)]) {
             // Channeled input: everything on the ready side has an
             // arrival stamp <= now (the shuttle staged it one cycle
             // before arrival).
-            while (in.boundary->hasReadyArrival())
-                deliver(in.boundary->popReadyArrival());
-        } else if (in.link != nullptr) {
-            while (in.link->hasArrival(now))
-                deliver(in.link->popArrival(now));
+            while (bc->hasReadyArrival())
+                deliver(bc->popReadyArrival());
+        } else if (OpticalLink *l =
+                       inDrainLink_[static_cast<std::size_t>(p)]) {
+            l->drainArrivalsDue(now, deliver);
         }
     }
 }
@@ -563,23 +578,26 @@ Router::reclaimOrphans(Cycle now)
         if (!inputFailed(in))
             continue;
         for (int v = 0; v < params_.numVcs; v++) {
-            auto &ivc = in.vcs[static_cast<std::size_t>(v)];
+            int fi = flatIdx(p, v);
+            auto fs = static_cast<std::size_t>(fi);
             // kActive with an empty buffer means mid-wormhole: the
             // head went downstream, the rest died with the link. Once
             // the timeout confirms nothing more is coming, close the
             // wormhole with a synthetic poison tail; normal switch
             // allocation forwards it and frees the allocated state at
             // every hop downstream.
-            if (ivc.state != VcState::kActive || !ivc.buffer.empty())
+            if (vcState_[fs] != VcState::kActive || !buffers_.empty(fi))
                 continue;
-            if (now < ivc.lastActivity + orphanTimeout_)
+            if (now < vcLastActivity_[fs] + orphanTimeout_)
                 continue;
             Flit tail{};
             tail.flags = Flit::kTailFlag | Flit::kPoisonFlag;
-            ivc.buffer.push(tail);
-            ivc.lastActivity = now;
+            buffers_.push(fi, tail);
+            vcLastActivity_[fs] = now;
             bufferedFlits_++;
-            in.occupancy.update(now, inputOccupancy(p));
+            portOcc_[static_cast<std::size_t>(p)]++;
+            in.occupancy.update(now,
+                                portOcc_[static_cast<std::size_t>(p)]);
             poisoned_++;
         }
     }

@@ -29,6 +29,7 @@
 #ifndef OENET_ROUTER_ROUTER_HH
 #define OENET_ROUTER_ROUTER_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -167,7 +168,7 @@ class Router final : public Ticking,
     std::uint64_t poisonedWormholes() const { return poisoned_; }
 
   private:
-    enum class VcState
+    enum class VcState : std::uint8_t
     {
         kIdle,
         kRouting,
@@ -175,25 +176,14 @@ class Router final : public Ticking,
         kActive,
     };
 
-    struct InputVc
-    {
-        FlitFifo buffer;
-        VcState state = VcState::kIdle;
-        int outPort = kInvalid;
-        int outVc = kInvalid;
-        std::uint64_t outVcMask = 0; ///< output VCs RC allows for VA
-        Cycle lastActivity = 0; ///< last push/pop (orphan detection)
-
-        explicit InputVc(int depth) : buffer(depth) {}
-    };
-
+    /** Cold per-input-port wiring; the per-VC pipeline state lives in
+     *  the flat hot-state arrays below. */
     struct InputPort
     {
         OpticalLink *link = nullptr;
         BoundaryChannel *boundary = nullptr; ///< set: drain via channel
         CreditSink *upstream = nullptr;
         int upstreamPort = kInvalid;
-        std::vector<InputVc> vcs;
         TimeWeighted occupancy;
     };
 
@@ -201,25 +191,6 @@ class Router final : public Ticking,
      *  boundary flag when the input is channeled (the link object
      *  itself may be mid-walk on another shard's thread). */
     static bool inputFailed(const InputPort &in);
-
-    struct OutputVcState
-    {
-        bool allocated = false;
-        int ownerInPort = kInvalid;
-        int ownerInVc = kInvalid;
-        int credits = 0;
-        int maxCredits = 0; ///< initial pool (downstream VC depth)
-    };
-
-    struct OutputPort
-    {
-        OpticalLink *link = nullptr;
-        std::vector<OutputVcState> vcs;
-        bool latchFull = false;
-        Flit latch{};
-        RoundRobinArbiter saArb; ///< among input ports
-        RoundRobinArbiter vaArb; ///< among flattened input VCs
-    };
 
     struct PendingCredit
     {
@@ -238,6 +209,13 @@ class Router final : public Ticking,
     void stageRouteComputation(Cycle now);
     void drainArrivals(Cycle now);
 
+    /** Flat index of input/output VC (@p port, @p vc) into the
+     *  hot-state arrays — the same flattening VA's request masks use. */
+    int flatIdx(int port, int vc) const
+    {
+        return port * params_.numVcs + vc;
+    }
+
     std::string name_;
     int routerId_;
     const Topology &topo_;
@@ -246,7 +224,42 @@ class Router final : public Ticking,
     bool restrictedVcs_; ///< topology routes carry VC classes (torus)
 
     std::vector<InputPort> inputs_;
-    std::vector<OutputPort> outputs_;
+
+    // ------------------------------------------------------------------
+    // Hot state, structure-of-arrays. Per-VC arrays are indexed
+    // flatIdx(port, vc); per-port arrays by the port. The allocator
+    // walks each touch one contiguous array per field instead of
+    // striding across per-port/per-VC objects.
+    // ------------------------------------------------------------------
+
+    // Input VC pipeline state.
+    std::vector<VcState> vcState_;
+    std::vector<std::int16_t> vcOutPort_; ///< kInvalid until RC
+    std::vector<std::int16_t> vcOutVc_;   ///< kInvalid until VA
+    std::vector<std::uint64_t> vcOutVcMask_; ///< output VCs RC allows
+    std::vector<Cycle> vcLastActivity_; ///< last push/pop (orphans)
+    FlitSlab buffers_; ///< segment flatIdx(port, vc), depth vcDepth_
+    std::vector<std::int32_t> portOcc_; ///< flits buffered per input port
+
+    // Hot mirrors of inputs_[p].{boundary, link} for the per-cycle
+    // arrival drain: InputPort is cache-line sized (it carries the
+    // occupancy tracker), so the drain's all-ports scan packs its two
+    // pointers here instead. Written only by the connectInput* calls.
+    std::vector<BoundaryChannel *> inBoundary_;
+    std::vector<OpticalLink *> inDrainLink_;
+
+    // Output VC credit/allocation state.
+    std::vector<std::uint8_t> outAllocated_;
+    std::vector<std::int32_t> outCredits_;
+    std::vector<std::int32_t> outMaxCredits_; ///< initial pool
+
+    // Per output port.
+    std::vector<OpticalLink *> outLink_;
+    std::vector<std::uint8_t> latchFull_;
+    std::vector<Flit> latch_;
+    std::vector<RoundRobinArbiter> saArb_; ///< among input ports
+    std::vector<RoundRobinArbiter> vaArb_; ///< among flattened input VCs
+
     std::vector<RoundRobinArbiter> saInputArb_; ///< per input port
     std::vector<PendingCredit> pendingCredits_;
 
@@ -259,6 +272,7 @@ class Router final : public Ticking,
     // are skipped entirely (the common case on an idle fabric).
     int bufferedFlits_ = 0; ///< flits across all input buffers
     int latchCount_ = 0;    ///< occupied output latches
+    std::uint64_t latchMask_ = 0; ///< bit q = latchFull_[q] (ST walk)
     int routingCount_ = 0;  ///< input VCs in kRouting
     int vcAllocCount_ = 0;  ///< input VCs in kVcAlloc
     int activeVcCount_ = 0; ///< input VCs in kActive (open wormholes)

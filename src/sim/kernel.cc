@@ -219,7 +219,13 @@ Kernel::runDomainPass(Domain &dom, Cycle now)
         dom.passOrder = t->tickOrder_;
         t->tick(now);
         Cycle wake = t->nextWakeCycle(now);
-        if (wake > now + 1) {
+        // Park hysteresis: a component due again at now+2 would pay a
+        // heap push plus an O(active) sorted re-admit just to skip a
+        // single cycle; ticking it through the gap is cheaper. The
+        // extra tick is a no-op by the quiescence contract (elision
+        // off ticks everything every cycle and stays byte-identical),
+        // so output is unchanged.
+        if (wake > now + 2) {
             t->asleep_ = true;
             t->pendingWake_ = wake;
             if (wake != kNeverCycle)

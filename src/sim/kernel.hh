@@ -68,8 +68,12 @@ class Ticking
      * asked by the kernel right after tick(now). Answering now+1 (the
      * default) keeps the component in every cycle's pass; anything
      * later parks it until that cycle (kNeverCycle = indefinitely,
-     * until a wake edge). A sleeping component must be woken by
-     * whoever hands it work (see wakeAt); the kernel never polls it.
+     * until a wake edge). The kernel may tick a component *earlier*
+     * than its answer (it keeps now+2 answers active rather than pay
+     * the park/re-admit round trip for a one-cycle gap); such ticks
+     * must be no-ops — the same quiescence invariant elision-off
+     * already demands. A sleeping component must be woken by whoever
+     * hands it work (see wakeAt); the kernel never polls it.
      */
     virtual Cycle nextWakeCycle(Cycle now) { return now + 1; }
 

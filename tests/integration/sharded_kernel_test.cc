@@ -173,6 +173,60 @@ TEST(ShardedKernel, FingerprintInvariantUnderLinkFailure)
     }
 }
 
+TEST(ShardedKernel, DirectBoundaryEquivalenceSoak)
+{
+    // The same-shard zero-copy specialization (immediate publish,
+    // synchronous credits, no per-cycle swap/drain hooks) must be
+    // call-sequence-identical to the generic cross-shard channel path.
+    // Soak it with randomized seeded traffic across shard counts and
+    // elision modes: every (shards, elision, seed) cell must
+    // fingerprint identically with the specialization on and off.
+    for (std::uint64_t seed : {11ull, 90210ull, 400000087ull}) {
+        for (int shards : {1, 2, 4}) {
+            for (bool elision : {true, false}) {
+                SystemConfig direct = asymmetricMesh(shards, elision);
+                SystemConfig generic = direct;
+                generic.directBoundary = false;
+                std::uint64_t pd = 0, pg = 0;
+                EXPECT_EQ(fingerprint(direct, 0.8, seed, pd),
+                          fingerprint(generic, 0.8, seed, pg))
+                    << "shards=" << shards << " elision=" << elision
+                    << " seed=" << seed;
+                EXPECT_EQ(pd, pg);
+                EXPECT_GT(pd, 0u);
+            }
+        }
+    }
+}
+
+TEST(ShardedKernel, DirectBoundaryEquivalenceUnderLinkFailure)
+{
+    // Same soak through the failure machinery: the direct channel's
+    // immediate failure flag and poison-credit path must match the
+    // generic swap-published ones cycle for cycle.
+    auto cfg = [](bool direct, int shards, bool elision) {
+        SystemConfig c = asymmetricMesh(shards, elision);
+        c.routing = RoutingAlgo::kWestFirst;
+        c.fault.enabled = true;
+        c.fault.killLink = 64;
+        c.fault.killCycle = 900;
+        c.fault.orphanTimeoutCycles = 300;
+        c.directBoundary = direct;
+        return c;
+    };
+    for (int shards : {1, 2, 4}) {
+        for (bool elision : {true, false}) {
+            std::uint64_t pd = 0, pg = 0;
+            EXPECT_EQ(fingerprint(cfg(true, shards, elision), 0.6, 23,
+                                  pd),
+                      fingerprint(cfg(false, shards, elision), 0.6, 23,
+                                  pg))
+                << "shards=" << shards << " elision=" << elision;
+            EXPECT_EQ(pd, pg);
+        }
+    }
+}
+
 TEST(ShardedKernel, RepeatedShardedRunsAreReproducible)
 {
     // Same binary, same config, threads and all: run-to-run equality

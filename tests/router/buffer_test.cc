@@ -1,4 +1,4 @@
-/** @file Tests for the per-VC flit FIFO. */
+/** @file Tests for the shared input-VC flit slab. */
 
 #include <gtest/gtest.h>
 
@@ -16,81 +16,127 @@ numbered(int seq)
     return f;
 }
 
+FlitSlab
+slab(int segments, int depth)
+{
+    FlitSlab s;
+    s.configure(segments, depth);
+    return s;
+}
+
 } // namespace
 
-TEST(FlitFifo, StartsEmpty)
+TEST(FlitSlab, StartsEmpty)
 {
-    FlitFifo f(8);
-    EXPECT_TRUE(f.empty());
-    EXPECT_FALSE(f.full());
-    EXPECT_EQ(f.size(), 0);
-    EXPECT_EQ(f.capacity(), 8);
-    EXPECT_EQ(f.freeSlots(), 8);
-}
-
-TEST(FlitFifo, FifoOrder)
-{
-    FlitFifo f(4);
-    for (int i = 0; i < 4; i++)
-        f.push(numbered(i));
-    EXPECT_TRUE(f.full());
-    for (int i = 0; i < 4; i++)
-        EXPECT_EQ(f.pop().seq, i);
-    EXPECT_TRUE(f.empty());
-}
-
-TEST(FlitFifo, FrontDoesNotPop)
-{
-    FlitFifo f(4);
-    f.push(numbered(42));
-    EXPECT_EQ(f.front().seq, 42);
-    EXPECT_EQ(f.size(), 1);
-}
-
-TEST(FlitFifo, WrapsAround)
-{
-    FlitFifo f(3);
-    for (int round = 0; round < 10; round++) {
-        f.push(numbered(round));
-        EXPECT_EQ(f.pop().seq, round);
+    FlitSlab s = slab(4, 8);
+    EXPECT_EQ(s.segments(), 4);
+    EXPECT_EQ(s.depth(), 8);
+    for (int seg = 0; seg < 4; seg++) {
+        EXPECT_TRUE(s.empty(seg));
+        EXPECT_FALSE(s.full(seg));
+        EXPECT_EQ(s.size(seg), 0);
+        EXPECT_EQ(s.freeSlots(seg), 8);
     }
-    EXPECT_TRUE(f.empty());
 }
 
-TEST(FlitFifo, InterleavedPushPop)
+TEST(FlitSlab, FifoOrder)
 {
-    FlitFifo f(4);
-    f.push(numbered(0));
-    f.push(numbered(1));
-    EXPECT_EQ(f.pop().seq, 0);
-    f.push(numbered(2));
-    f.push(numbered(3));
-    f.push(numbered(4));
-    EXPECT_TRUE(f.full());
+    FlitSlab s = slab(1, 4);
+    for (int i = 0; i < 4; i++)
+        s.push(0, numbered(i));
+    EXPECT_TRUE(s.full(0));
+    for (int i = 0; i < 4; i++)
+        EXPECT_EQ(s.pop(0).seq, i);
+    EXPECT_TRUE(s.empty(0));
+}
+
+TEST(FlitSlab, FrontDoesNotPop)
+{
+    FlitSlab s = slab(1, 4);
+    s.push(0, numbered(42));
+    EXPECT_EQ(s.front(0).seq, 42);
+    EXPECT_EQ(s.size(0), 1);
+}
+
+TEST(FlitSlab, WrapsAround)
+{
+    FlitSlab s = slab(1, 3);
+    for (int round = 0; round < 10; round++) {
+        s.push(0, numbered(round));
+        EXPECT_EQ(s.pop(0).seq, round);
+    }
+    EXPECT_TRUE(s.empty(0));
+}
+
+TEST(FlitSlab, InterleavedPushPop)
+{
+    FlitSlab s = slab(1, 4);
+    s.push(0, numbered(0));
+    s.push(0, numbered(1));
+    EXPECT_EQ(s.pop(0).seq, 0);
+    s.push(0, numbered(2));
+    s.push(0, numbered(3));
+    s.push(0, numbered(4));
+    EXPECT_TRUE(s.full(0));
     for (int i = 1; i <= 4; i++)
-        EXPECT_EQ(f.pop().seq, i);
+        EXPECT_EQ(s.pop(0).seq, i);
 }
 
-TEST(FlitFifoDeath, OverflowPanics)
+TEST(FlitSlab, SegmentsAreIndependent)
 {
-    FlitFifo f(1);
-    f.push(numbered(0));
-    EXPECT_DEATH(f.push(numbered(1)), "overflow");
+    FlitSlab s = slab(3, 2);
+    s.push(0, numbered(10));
+    s.push(2, numbered(20));
+    s.push(2, numbered(21));
+    EXPECT_EQ(s.size(0), 1);
+    EXPECT_TRUE(s.empty(1));
+    EXPECT_TRUE(s.full(2));
+    EXPECT_EQ(s.pop(2).seq, 20);
+    EXPECT_EQ(s.pop(0).seq, 10);
+    EXPECT_EQ(s.pop(2).seq, 21);
+    EXPECT_TRUE(s.empty(0));
+    EXPECT_TRUE(s.empty(2));
 }
 
-TEST(FlitFifoDeath, UnderflowPanics)
+TEST(FlitSlab, ReconfigureResets)
 {
-    FlitFifo f(1);
-    EXPECT_DEATH((void)f.pop(), "underflow");
+    FlitSlab s = slab(2, 2);
+    s.push(1, numbered(7));
+    s.configure(3, 4);
+    EXPECT_EQ(s.segments(), 3);
+    EXPECT_EQ(s.depth(), 4);
+    for (int seg = 0; seg < 3; seg++)
+        EXPECT_TRUE(s.empty(seg));
 }
 
-TEST(FlitFifoDeath, FrontOfEmptyPanics)
+TEST(FlitSlabDeath, OverflowPanics)
 {
-    FlitFifo f(1);
-    EXPECT_DEATH((void)f.front(), "empty");
+    FlitSlab s = slab(2, 1);
+    s.push(0, numbered(0));
+    EXPECT_DEATH(s.push(0, numbered(1)), "overflow");
 }
 
-TEST(FlitFifoDeath, ZeroCapacityPanics)
+TEST(FlitSlabDeath, UnderflowPanics)
 {
-    EXPECT_DEATH(FlitFifo f(0), "capacity");
+    FlitSlab s = slab(2, 1);
+    s.push(1, numbered(0)); // a full neighbor must not mask segment 0
+    EXPECT_DEATH((void)s.pop(0), "underflow");
+}
+
+TEST(FlitSlabDeath, FrontOfEmptyPanics)
+{
+    FlitSlab s = slab(1, 1);
+    EXPECT_DEATH((void)s.front(0), "empty");
+}
+
+TEST(FlitSlabDeath, ZeroDepthPanics)
+{
+    FlitSlab s;
+    EXPECT_DEATH(s.configure(1, 0), "capacity");
+}
+
+TEST(FlitSlabDeath, ZeroSegmentsPanics)
+{
+    FlitSlab s;
+    EXPECT_DEATH(s.configure(0, 1), "segment");
 }
